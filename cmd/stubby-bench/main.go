@@ -1,0 +1,265 @@
+// Command stubby-bench regenerates the tables and figures of the paper's
+// evaluation (Section 7) on the simulated substrate.
+//
+// Usage:
+//
+//	stubby-bench -all
+//	stubby-bench -table 1
+//	stubby-bench -fig 5 | 11 | 12 | 13 | 14
+//	stubby-bench -fig 11 -size 0.5 -seed 7
+//	stubby-bench -ablation ordering | search | units | profile | all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/stubby-mr/stubby/internal/bench"
+	"github.com/stubby-mr/stubby/internal/workloads"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "figure to regenerate (5, 11, 12, 13, 14)")
+		table    = flag.Int("table", 0, "table to regenerate (1)")
+		all      = flag.Bool("all", false, "regenerate everything")
+		ablation = flag.String("ablation", "", "ablation to run: ordering, search, units, profile, all")
+		size     = flag.Float64("size", 0.25, "workload size factor (records scale)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	h := bench.New(bench.Config{SizeFactor: *size, Seed: *seed})
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "stubby-bench:", err)
+		os.Exit(1)
+	}
+	if *all || *table == 1 {
+		ran = true
+		if err := printTable1(h); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *fig == 5 {
+		ran = true
+		if err := printFig5(h); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *fig == 11 {
+		ran = true
+		if err := printFigSpeedups(h, 11); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *fig == 12 {
+		ran = true
+		if err := printFigSpeedups(h, 12); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *fig == 13 {
+		ran = true
+		if err := printFig13(h); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *fig == 14 {
+		ran = true
+		if err := printFig14(h); err != nil {
+			fail(err)
+		}
+	}
+	if *ablation != "" {
+		ran = true
+		if err := printAblations(h, *ablation); err != nil {
+			fail(err)
+		}
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// ablationWorkloads is the subset used by the structural ablations: one
+// vertically-dominated workflow (IR), the horizontally-dominated one (BR),
+// and the largest mixed one (BA).
+var ablationWorkloads = []string{"IR", "BR", "BA"}
+
+func printAblations(h *bench.Harness, which string) error {
+	if which == "ordering" || which == "all" {
+		runs, err := h.AblationOrdering(ablationWorkloads)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: phase ordering (Section 4 argues Vertical before Horizontal)")
+		printAblationTable(runs)
+	}
+	if which == "search" || which == "all" {
+		runs, err := h.AblationSearch(ablationWorkloads)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: configuration search strategy (Section 4.2 chooses RRS)")
+		printAblationTable(runs)
+	}
+	if which == "units" || which == "all" {
+		runs, err := h.AblationUnitScope(ablationWorkloads)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: dynamic optimization units vs one global unit (Section 4.1)")
+		printAblationTable(runs)
+	}
+	if which == "profile" || which == "all" {
+		rows, err := h.AblationProfileFraction("IR", []float64{0.05, 0.1, 0.25, 0.5, 1.0})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: profile sampling fraction (IR), estimate accuracy and plan quality")
+		var cells [][]string
+		for _, r := range rows {
+			cells = append(cells, []string{
+				fmt.Sprintf("%.2f", r.Fraction),
+				fmt.Sprintf("%.1f s", r.Estimated),
+				fmt.Sprintf("%.1f s", r.Actual),
+				fmt.Sprintf("%.1f%%", r.RelError*100),
+				fmt.Sprintf("%.2fx", r.Speedup),
+			})
+		}
+		fmt.Println(bench.FormatTable(
+			[]string{"Fraction", "Estimated", "Actual", "Rel. error", "Speedup vs unopt"}, cells))
+	}
+	return nil
+}
+
+func printAblationTable(runs map[string][]bench.AblationRun) {
+	var cells [][]string
+	for _, abbr := range ablationWorkloads {
+		for _, r := range runs[abbr] {
+			cells = append(cells, []string{
+				r.Workload, r.Variant,
+				fmt.Sprintf("%d", r.Jobs),
+				fmt.Sprintf("%.1f s", r.Makespan),
+				fmt.Sprintf("%.2fx", r.Speedup),
+				fmt.Sprintf("%.0f ms", r.OptimizeMS),
+			})
+		}
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Workflow", "Variant", "Jobs", "Makespan", "vs default", "Opt time"}, cells))
+}
+
+func printTable1(h *bench.Harness) error {
+	rows, err := h.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1: MapReduce workflows and corresponding data sizes")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Abbr, r.Title,
+			fmt.Sprintf("%.0f GB", r.PaperGB),
+			fmt.Sprintf("%.0f GB", r.VirtualGB),
+			fmt.Sprintf("%d", r.Records),
+			fmt.Sprintf("%d", r.Jobs),
+		})
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Abbr", "Workflow", "Paper size", "Simulated size", "Records", "Jobs"}, cells))
+	return nil
+}
+
+func printFig5(h *bench.Harness) error {
+	rows, err := h.Figure5()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 5: performance degradation and improvement caused by packing")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Transformation, r.Case,
+			fmt.Sprintf("%.1f s", r.Unpacked),
+			fmt.Sprintf("%.1f s", r.Packed),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Transformation", "Case", "No packing", "With packing", "Speedup"}, cells))
+	return nil
+}
+
+func printFigSpeedups(h *bench.Harness, fig int) error {
+	var runs map[string][]bench.PlannerRun
+	var err error
+	var title string
+	if fig == 11 {
+		title = "Figure 11: speedup over Baseline by Stubby, Vertical, and Horizontal"
+		runs, err = h.Figure11()
+	} else {
+		title = "Figure 12: speedup over Baseline by Stubby, Starfish, YSmart, and MRShare"
+		runs, err = h.Figure12()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(title)
+	header := []string{"Workflow"}
+	if len(runs[workloads.Abbrs()[0]]) > 0 {
+		for _, r := range runs[workloads.Abbrs()[0]] {
+			header = append(header, r.Planner)
+		}
+	}
+	var cells [][]string
+	for _, abbr := range workloads.Abbrs() {
+		row := []string{abbr}
+		for _, r := range runs[abbr] {
+			row = append(row, fmt.Sprintf("%.2fx (%dj)", r.Speedup, r.Jobs))
+		}
+		cells = append(cells, row)
+	}
+	fmt.Println(bench.FormatTable(header, cells))
+	return nil
+}
+
+func printFig13(h *bench.Harness) error {
+	rows, err := h.Figure13()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 13: optimization overhead")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Workload,
+			fmt.Sprintf("%.0f ms", r.OptimizeMS),
+			fmt.Sprintf("%.0f s", r.WorkflowSec),
+			fmt.Sprintf("%.3f%%", r.OverheadPct),
+		})
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Workflow", "Optimization time", "Workflow runtime (sim)", "Overhead"}, cells))
+	return nil
+}
+
+func printFig14(h *bench.Harness) error {
+	points, err := h.Figure14()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 14: actual vs estimated normalized cost, first unit of IR")
+	var cells [][]string
+	for _, p := range points {
+		cells = append(cells, []string{
+			fmt.Sprintf("%.3f", p.EstimatedNorm),
+			fmt.Sprintf("%.3f", p.ActualNorm),
+			p.Description,
+		})
+	}
+	fmt.Println(bench.FormatTable([]string{"Estimated", "Actual", "Subplan"}, cells))
+	return nil
+}

@@ -1,0 +1,215 @@
+// Command stubby optimizes and runs the paper's evaluation workflows on
+// the simulated MapReduce substrate, showing plans before and after
+// optimization.
+//
+// Usage:
+//
+//	stubby -list
+//	stubby -workload BR
+//	stubby -workload BR -optimizer stubby -run
+//	stubby -workload LA -optimizer ysmart -dot
+//	stubby -workload IR -compare
+//	stubby -workload BR -export br.plan.json
+//	stubby -import br.plan.json -optimizer stubby
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/stubby-mr/stubby"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available workloads")
+		workload = flag.String("workload", "", "workload abbreviation (IR, SN, LA, WG, BA, BR, PJ, US)")
+		planner  = flag.String("optimizer", "stubby", "optimizer: stubby, vertical, horizontal, baseline, starfish, ysmart, mrshare, none")
+		run      = flag.Bool("run", false, "execute the plans and report simulated runtimes")
+		compare  = flag.Bool("compare", false, "run every optimizer on the workload")
+		dot      = flag.Bool("dot", false, "print the optimized plan in Graphviz DOT format")
+		size     = flag.Float64("size", 0.25, "workload size factor")
+		seed     = flag.Int64("seed", 1, "random seed")
+		fraction = flag.Float64("profile", 0.5, "profiling sample fraction")
+		export   = flag.String("export", "", "write the annotated plan to this JSON file and exit")
+		imprt    = flag.String("import", "", "read an annotated plan from this JSON file (structure-only) instead of building a workload")
+	)
+	flag.Parse()
+
+	if *imprt != "" {
+		importAndOptimize(*imprt, strings.ToLower(*planner), *seed, *dot)
+		return
+	}
+
+	if *list {
+		fmt.Println("Workloads (Table 1):")
+		for _, abbr := range stubby.Workloads() {
+			fmt.Printf("  %s\n", abbr)
+		}
+		return
+	}
+	if *workload == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	wl, err := stubby.BuildWorkload(*workload, stubby.WorkloadOptions{SizeFactor: *size, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	if err := stubby.Profile(wl.Cluster, wl.Workflow, wl.DFS, *fraction, *seed); err != nil {
+		fail(err)
+	}
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fail(err)
+		}
+		if err := stubby.ExportPlan(f, wl.Workflow); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote annotated %s plan to %s\n", wl.Abbr, *export)
+		return
+	}
+	fmt.Printf("== %s: %s (%.0f GB simulated)\n", wl.Abbr, wl.Title, wl.PaperGB)
+	fmt.Println("-- original plan")
+	fmt.Print(wl.Workflow.Summary())
+
+	if *compare {
+		comparePlanners(wl, *seed)
+		return
+	}
+
+	plan := wl.Workflow
+	switch strings.ToLower(*planner) {
+	case "none":
+	default:
+		p, err := makePlanner(wl, strings.ToLower(*planner), *seed)
+		if err != nil {
+			fail(err)
+		}
+		t0 := time.Now()
+		plan, err = p.Plan(wl.Workflow)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("-- %s plan (optimized in %v)\n", p.Name(), time.Since(t0).Round(time.Millisecond))
+		fmt.Print(plan.Summary())
+	}
+	if *dot {
+		fmt.Println(plan.DOT())
+	}
+	if *run {
+		before, err := stubby.Run(wl.Cluster, wl.DFS.Clone(), wl.Workflow)
+		if err != nil {
+			fail(err)
+		}
+		after, err := stubby.Run(wl.Cluster, wl.DFS.Clone(), plan)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("-- simulated runtimes: original %.1fs, optimized %.1fs (%.2fx speedup)\n",
+			before.Makespan, after.Makespan, before.Makespan/after.Makespan)
+	}
+}
+
+func makePlanner(wl *stubby.Workload, name string, seed int64) (stubby.Planner, error) {
+	c := wl.Cluster
+	switch name {
+	case "stubby":
+		return stubby.NewStubbyPlanner(c, stubby.GroupAll, seed, "Stubby"), nil
+	case "vertical":
+		return stubby.NewStubbyPlanner(c, stubby.GroupVertical, seed, "Vertical"), nil
+	case "horizontal":
+		return stubby.NewStubbyPlanner(c, stubby.GroupHorizontal, seed, "Horizontal"), nil
+	case "baseline":
+		return stubby.NewBaseline(c), nil
+	case "starfish":
+		return stubby.NewStarfish(c, seed), nil
+	case "ysmart":
+		return stubby.NewYSmart(c), nil
+	case "mrshare":
+		return stubby.NewMRShare(c, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown optimizer %q", name)
+	}
+}
+
+func comparePlanners(wl *stubby.Workload, seed int64) {
+	names := []string{"baseline", "starfish", "ysmart", "mrshare", "vertical", "horizontal", "stubby"}
+	var baseTime float64
+	for _, name := range names {
+		p, err := makePlanner(wl, name, seed)
+		if err != nil {
+			fail(err)
+		}
+		t0 := time.Now()
+		plan, err := p.Plan(wl.Workflow)
+		if err != nil {
+			fail(err)
+		}
+		optTime := time.Since(t0)
+		rep, err := stubby.Run(wl.Cluster, wl.DFS.Clone(), plan)
+		if err != nil {
+			fail(err)
+		}
+		if name == "baseline" {
+			baseTime = rep.Makespan
+		}
+		fmt.Printf("  %-11s %d jobs  %8.1fs simulated  %6.2fx vs baseline  (optimized in %v)\n",
+			p.Name(), len(plan.Jobs), rep.Makespan, baseTime/rep.Makespan, optTime.Round(time.Millisecond))
+	}
+}
+
+// importAndOptimize loads a structure-only plan (annotations but no function
+// bodies — the paper's Figure 2 deployment, where Stubby receives plans from
+// remote workflow generators) and optimizes it. Imported plans cannot be
+// executed, so -run is unavailable in this mode.
+func importAndOptimize(path, planner string, seed int64, dot bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	plan, err := stubby.ImportPlanStructure(f)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("== imported plan %s\n-- original plan\n", plan.Name)
+	fmt.Print(plan.Summary())
+	if planner != "none" {
+		groups := stubby.GroupAll
+		switch planner {
+		case "vertical":
+			groups = stubby.GroupVertical
+		case "horizontal":
+			groups = stubby.GroupHorizontal
+		case "stubby":
+		default:
+			fail(fmt.Errorf("imported plans support -optimizer stubby, vertical, horizontal, or none; got %q", planner))
+		}
+		res, err := stubby.Optimize(stubby.DefaultCluster(), plan, stubby.Options{Seed: seed, Groups: groups})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("-- optimized plan (estimated makespan %.1fs)\n", res.EstimatedCost)
+		fmt.Print(res.Plan.Summary())
+		if dot {
+			fmt.Println(res.Plan.DOT())
+		}
+		return
+	}
+	if dot {
+		fmt.Println(plan.DOT())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "stubby:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,279 @@
+// Package baselines implements the comparator optimizers of the paper's
+// evaluation (Section 7): the production Baseline (Pig's rule-based
+// multi-query optimization plus rule-of-thumb configuration tuning),
+// Starfish (cost-based configuration only), YSmart (rule-based packing that
+// minimizes the job count), and MRShare (cost-based horizontal packing with
+// rule-based configuration).
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/optimizer"
+	"github.com/stubby-mr/stubby/internal/trans"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// Planner is the common interface of all workflow optimizers compared in
+// the evaluation.
+type Planner interface {
+	// Name labels the planner in result tables.
+	Name() string
+	// Plan returns an optimized copy of the workflow.
+	Plan(w *wf.Workflow) (*wf.Workflow, error)
+}
+
+// RuleConfig applies rule-of-thumb configuration tuning in place, standing
+// in for the "manually-tuned using rules-of-thumb" settings of the paper's
+// Baseline (Cloudera's classic Hadoop tuning tips): reducers sized to
+// ~90% of the cluster's reduce slots, a large sort buffer and merge
+// factor, and the combiner enabled where one exists.
+func RuleConfig(w *wf.Workflow, c *mrsim.Cluster) {
+	reducers := int(0.9 * float64(c.TotalReduceSlots()))
+	if reducers < 1 {
+		reducers = 1
+	}
+	for _, j := range w.Jobs {
+		if !j.PinnedReducers {
+			j.Config.NumReduceTasks = reducers
+		}
+		j.Config.SplitSizeMB = 128
+		j.Config.SortBufferMB = 200
+		j.Config.IOSortFactor = 25
+		j.Config.UseCombiner = hasCombiner(j)
+		j.Config.CompressMapOutput = false
+		j.Config.CompressOutput = false
+	}
+}
+
+func hasCombiner(j *wf.Job) bool {
+	for _, g := range j.ReduceGroups {
+		if !g.MapOnly() && g.Combiner != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// packAllSameInput repeatedly horizontally packs every set of jobs sharing
+// an input dataset, until no packing applies — Pig's unconditional
+// multi-query execution rule.
+func packAllSameInput(w *wf.Workflow) *wf.Workflow {
+	plan := w.Clone()
+	for {
+		groups := sameInputGroups(plan)
+		applied := false
+		for _, g := range groups {
+			if trans.CanHorizontal(plan, g, true) != nil {
+				continue
+			}
+			next, err := trans.Horizontal(plan, g, true)
+			if err == nil {
+				plan = next
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			return plan
+		}
+	}
+}
+
+// sameInputGroups lists maximal sets of single-input jobs sharing their
+// input, deterministically ordered.
+func sameInputGroups(w *wf.Workflow) [][]string {
+	byInput := map[string][]string{}
+	for _, j := range w.Jobs {
+		ins := j.Inputs()
+		if len(ins) == 1 {
+			byInput[ins[0]] = append(byInput[ins[0]], j.ID)
+		}
+	}
+	var inputs []string
+	for in, ids := range byInput {
+		if len(ids) >= 2 {
+			inputs = append(inputs, in)
+		}
+	}
+	sort.Strings(inputs)
+	var out [][]string
+	for _, in := range inputs {
+		ids := byInput[in]
+		sort.Strings(ids)
+		out = append(out, ids)
+	}
+	return out
+}
+
+// Baseline is the production comparator: Pig's rule-based horizontal
+// packing wherever possible, plus rule-of-thumb configurations.
+type Baseline struct {
+	Cluster *mrsim.Cluster
+}
+
+// Name implements Planner.
+func (b Baseline) Name() string { return "Baseline" }
+
+// Plan implements Planner.
+func (b Baseline) Plan(w *wf.Workflow) (*wf.Workflow, error) {
+	plan := packAllSameInput(w)
+	RuleConfig(plan, b.Cluster)
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	return plan, nil
+}
+
+// Starfish is the cost-based configuration-only comparator [8]: it finds
+// good configuration parameter settings for each job but misses every
+// packing opportunity.
+type Starfish struct {
+	Cluster *mrsim.Cluster
+	Seed    int64
+}
+
+// Name implements Planner.
+func (s Starfish) Name() string { return "Starfish" }
+
+// Plan implements Planner.
+func (s Starfish) Plan(w *wf.Workflow) (*wf.Workflow, error) {
+	opt := optimizer.New(s.Cluster, optimizer.Options{
+		Groups: optimizer.GroupConfigOnly,
+		Seed:   s.Seed,
+	})
+	res, err := opt.Optimize(w)
+	if err != nil {
+		return nil, err
+	}
+	return res.Plan, nil
+}
+
+// YSmart is the rule-based comparator [11]: it packs vertically and
+// horizontally wherever preconditions allow, minimizing the total number of
+// jobs regardless of cost, with rule-based configuration settings
+// (the paper's enhancement).
+type YSmart struct {
+	Cluster *mrsim.Cluster
+}
+
+// Name implements Planner.
+func (y YSmart) Name() string { return "YSmart" }
+
+// Plan implements Planner.
+func (y YSmart) Plan(w *wf.Workflow) (*wf.Workflow, error) {
+	plan := w.Clone()
+	for guard := 0; guard < 4*len(w.Jobs)+8; guard++ {
+		if next, ok := ySmartStep(plan); ok {
+			plan = next
+			continue
+		}
+		break
+	}
+	RuleConfig(plan, y.Cluster)
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	return plan, nil
+}
+
+// ySmartStep applies the first available job-eliminating transformation:
+// inter-job packing (directly removes a job), intra-job packing (enables
+// inter), then horizontal packing of same-input siblings.
+func ySmartStep(plan *wf.Workflow) (*wf.Workflow, bool) {
+	order, err := plan.TopoSort()
+	if err != nil {
+		return nil, false
+	}
+	for _, jp := range order {
+		for _, jc := range plan.JobConsumers(jp) {
+			if trans.CanInterVertical(plan, jp.ID, jc.ID) == nil {
+				if next, err := trans.InterVertical(plan, jp.ID, jc.ID); err == nil {
+					return next, true
+				}
+			}
+		}
+	}
+	for _, jc := range order {
+		if trans.CanIntraVertical(plan, jc.ID) == nil {
+			// Only worthwhile for YSmart if it unlocks an inter packing
+			// that removes a job; apply and check.
+			mid, err := trans.IntraVertical(plan, jc.ID)
+			if err != nil {
+				continue
+			}
+			for _, jp := range mid.JobProducers(mid.Job(jc.ID)) {
+				if trans.CanInterVertical(mid, jp.ID, jc.ID) == nil {
+					if next, err := trans.InterVertical(mid, jp.ID, jc.ID); err == nil {
+						return next, true
+					}
+				}
+			}
+		}
+	}
+	for _, g := range sameInputGroups(plan) {
+		if trans.CanHorizontal(plan, g, true) == nil {
+			if next, err := trans.Horizontal(plan, g, true); err == nil {
+				return next, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// MRShare is the cost-based horizontal packing comparator [13]: it decides
+// scan sharing with the What-if cost model but applies rule-based
+// configurations and considers neither vertical packing nor partition
+// function transformations.
+type MRShare struct {
+	Cluster *mrsim.Cluster
+	Seed    int64
+}
+
+// Name implements Planner.
+func (m MRShare) Name() string { return "MRShare" }
+
+// Plan implements Planner.
+func (m MRShare) Plan(w *wf.Workflow) (*wf.Workflow, error) {
+	plan := w.Clone()
+	RuleConfig(plan, m.Cluster)
+	opt := optimizer.New(m.Cluster, optimizer.Options{
+		Groups:              optimizer.GroupHorizontal,
+		DisablePartition:    true,
+		DisableConfigSearch: true,
+		Seed:                m.Seed,
+	})
+	res, err := opt.Optimize(plan)
+	if err != nil {
+		return nil, err
+	}
+	return res.Plan, nil
+}
+
+// StubbyPlanner adapts the full optimizer (or one of its transformation
+// groups) to the Planner interface.
+type StubbyPlanner struct {
+	Cluster *mrsim.Cluster
+	Groups  optimizer.Groups
+	Seed    int64
+	Label   string
+}
+
+// Name implements Planner.
+func (s StubbyPlanner) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "Stubby"
+}
+
+// Plan implements Planner.
+func (s StubbyPlanner) Plan(w *wf.Workflow) (*wf.Workflow, error) {
+	res, err := optimizer.New(s.Cluster, optimizer.Options{Groups: s.Groups, Seed: s.Seed}).Optimize(w)
+	if err != nil {
+		return nil, err
+	}
+	return res.Plan, nil
+}

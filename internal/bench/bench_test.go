@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func testHarness() *Harness {
+	return New(Config{SizeFactor: 0.15, Seed: 1})
+}
+
+func TestTable1Inventory(t *testing.T) {
+	h := testHarness()
+	rows, err := h.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.Records <= 0 || r.Jobs <= 0 {
+			t.Errorf("%s: empty workload", r.Abbr)
+		}
+		// Virtual size must match the paper's dataset size closely.
+		if r.VirtualGB < r.PaperGB*0.95 || r.VirtualGB > r.PaperGB*1.05 {
+			t.Errorf("%s: virtual %.1f GB, paper %.1f GB", r.Abbr, r.VirtualGB, r.PaperGB)
+		}
+	}
+	if rows[0].Abbr != "IR" || rows[5].Jobs != 7 {
+		t.Error("Table 1 order or BR job count wrong")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver; skipped in -short")
+	}
+	h := testHarness()
+	rows, err := h.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Case {
+		case "improvement":
+			if r.Speedup <= 1 {
+				t.Errorf("%s improvement should exceed 1x, got %.2f", r.Transformation, r.Speedup)
+			}
+		case "degradation":
+			if r.Speedup >= 1 {
+				t.Errorf("%s degradation should be below 1x, got %.2f", r.Transformation, r.Speedup)
+			}
+		}
+	}
+}
+
+func TestComparePlannersOnPJ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver; skipped in -short")
+	}
+	// The Post-processing Jobs decision (Section 7.2): rule-based packing
+	// (Baseline/YSmart) loses to cost-based refusal to pack.
+	h := testHarness()
+	runs, err := h.ComparePlanners("PJ", []string{"Stubby", "YSmart"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stubbySpeed, ysmartSpeed float64
+	for _, r := range runs {
+		switch r.Planner {
+		case "Stubby":
+			stubbySpeed = r.Speedup
+		case "YSmart":
+			ysmartSpeed = r.Speedup
+		}
+	}
+	if stubbySpeed < 1 {
+		t.Errorf("Stubby slower than Baseline on PJ: %.2fx", stubbySpeed)
+	}
+	if stubbySpeed < ysmartSpeed {
+		t.Errorf("Stubby (%.2fx) should beat YSmart (%.2fx) on PJ", stubbySpeed, ysmartSpeed)
+	}
+}
+
+func TestFigure13Overhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver; skipped in -short")
+	}
+	h := testHarness()
+	rows, err := h.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		if r.OptimizeMS <= 0 || r.WorkflowSec <= 0 {
+			t.Errorf("%s: empty measurements", r.Workload)
+		}
+	}
+}
+
+func TestFigure14Scatter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver; skipped in -short")
+	}
+	h := testHarness()
+	points, err := h.Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 3 {
+		t.Fatalf("only %d subplans enumerated", len(points))
+	}
+	// Normalization and identity subplan presence.
+	sawIdentity := false
+	for _, p := range points {
+		if p.EstimatedNorm < 0 || p.EstimatedNorm > 1 || p.ActualNorm < 0 || p.ActualNorm > 1 {
+			t.Errorf("normalized cost out of range: %+v", p)
+		}
+		if strings.Contains(p.Description, "no structural change") {
+			sawIdentity = true
+		}
+	}
+	if !sawIdentity {
+		t.Error("identity subplan missing from the deep dive")
+	}
+	// Rank agreement at the extremes (the paper's dotted circles).
+	bestEst, bestAct := 0, 0
+	for i, p := range points {
+		if p.EstimatedNorm < points[bestEst].EstimatedNorm {
+			bestEst = i
+		}
+		if p.ActualNorm < points[bestAct].ActualNorm {
+			bestAct = i
+		}
+	}
+	if points[bestEst].ActualNorm > points[bestAct].ActualNorm*1.3 {
+		t.Errorf("estimated best subplan (%q, actual %.3f) far from actual best (%q, %.3f)",
+			points[bestEst].Description, points[bestEst].ActualNorm,
+			points[bestAct].Description, points[bestAct].ActualNorm)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"a", "bb"}, [][]string{{"x", "y"}, {"long", "z"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a") || !strings.Contains(lines[0], "bb") {
+		t.Error("header malformed")
+	}
+	if !strings.Contains(lines[1], "-") {
+		t.Error("separator missing")
+	}
+}
+
+func TestHarnessCachesWorkloads(t *testing.T) {
+	h := testHarness()
+	a, err := h.workload("PJ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.workload("PJ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("workload not cached")
+	}
+	if _, err := h.workload("XX"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

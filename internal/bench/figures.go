@@ -1,0 +1,420 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/stubby-mr/stubby/internal/baselines"
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/optimizer"
+	"github.com/stubby-mr/stubby/internal/trans"
+	"github.com/stubby-mr/stubby/internal/wf"
+	"github.com/stubby-mr/stubby/internal/workloads"
+)
+
+// ---------------------------------------------------------------- Table 1 --
+
+// Table1Row is one workload inventory line.
+type Table1Row struct {
+	Abbr, Title string
+	PaperGB     float64
+	// Records/Partitions are the materialized base-data figures; VirtualGB
+	// is what they represent under the workload's cluster scale.
+	Records    int64
+	Partitions int
+	VirtualGB  float64
+	Jobs       int
+}
+
+// Table1 regenerates the workload inventory (paper Table 1).
+func (h *Harness) Table1() ([]Table1Row, error) {
+	var out []Table1Row
+	for _, abbr := range workloads.Abbrs() {
+		wl, err := h.workload(abbr)
+		if err != nil {
+			return nil, err
+		}
+		var records int64
+		var bytes float64
+		parts := 0
+		for _, id := range wl.DFS.IDs() {
+			stored, _ := wl.DFS.Get(id)
+			records += stored.Records()
+			bytes += float64(stored.Bytes())
+			parts += len(stored.Parts)
+		}
+		out = append(out, Table1Row{
+			Abbr: abbr, Title: wl.Title, PaperGB: wl.PaperGB,
+			Records: records, Partitions: parts,
+			VirtualGB: bytes * wl.Cluster.VirtualScale / 1e9,
+			Jobs:      len(wl.Workflow.Jobs),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- Figure 5 --
+
+// Fig5Row is one bar of Figure 5: the speedup of applying a packing
+// transformation relative to not applying it, for one data regime.
+type Fig5Row struct {
+	Transformation string // "intra-vertical" or "horizontal"
+	Case           string // "improvement" or "degradation"
+	Unpacked       float64
+	Packed         float64
+	Speedup        float64 // Unpacked / Packed
+}
+
+// Figure5 reproduces the motivation experiment: vertical and horizontal
+// packing each shown in a regime where they help and one where they hurt
+// (Section 3.1/3.3, Figure 5).
+func (h *Harness) Figure5() ([]Fig5Row, error) {
+	var out []Fig5Row
+	// Intra-job vertical packing on a none-to-one subgraph. The input
+	// layout satisfies the consumer's grouping either way; packing
+	// eliminates the shuffle but pins map-side parallelism to the input
+	// partition count.
+	vert := func(caseName string, parts int, cpu float64) error {
+		un, packed, err := h.fig5Vertical(parts, cpu)
+		if err != nil {
+			return err
+		}
+		out = append(out, Fig5Row{"intra-vertical", caseName, un, packed, un / packed})
+		return nil
+	}
+	// Improvement: plenty of pre-sorted partitions -> aligned map tasks
+	// still fill the cluster and the whole shuffle disappears.
+	if err := vert("improvement", 120, 0.5e-6); err != nil {
+		return nil, err
+	}
+	// Degradation: few coarse partitions -> the packed plan concentrates
+	// all compute on a handful of aligned map tasks while the unpacked
+	// plan fans out over the whole cluster.
+	if err := vert("degradation", 16, 0.5e-6); err != nil {
+		return nil, err
+	}
+	// Horizontal packing of two same-input aggregates.
+	horiz := func(caseName string, records int, cpu float64, gb float64) error {
+		un, packed, err := h.fig5Horizontal(records, cpu, gb)
+		if err != nil {
+			return err
+		}
+		out = append(out, Fig5Row{"horizontal", caseName, un, packed, un / packed})
+		return nil
+	}
+	// Improvement: a very large scan-bound input is read once not twice.
+	if err := horiz("improvement", 60000, 0.3e-6, 500); err != nil {
+		return nil, err
+	}
+	// Degradation: small compute-bound jobs the cluster could have run
+	// concurrently (the Post-processing Jobs situation).
+	if err := horiz("degradation", 8000, 30e-6, 4); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func fig5Cluster(gb float64, bytes float64) *mrsim.Cluster {
+	c := mrsim.DefaultCluster()
+	if bytes > 0 {
+		c.VirtualScale = gb * 1e9 / bytes
+	}
+	return c
+}
+
+// fig5Vertical builds base(partitioned+sorted on k) -> J(group-sum on k)
+// and times the job with and without intra-job vertical packing.
+func (h *Harness) fig5Vertical(parts int, cpu float64) (unpacked, packed float64, err error) {
+	rng := rand.New(rand.NewSource(h.cfg.Seed ^ 0xf16))
+	n := int(float64(40000) * h.cfg.SizeFactor * 4)
+	pairs := make([]keyval.Pair, n)
+	for i := range pairs {
+		pairs[i] = keyval.Pair{Key: keyval.T(int64(rng.Intn(n / 4))), Value: keyval.T(rng.Float64())}
+	}
+	mkDFS := func() (*mrsim.DFS, error) {
+		dfs := mrsim.NewDFS()
+		err := dfs.Ingest("base", pairs, mrsim.IngestSpec{
+			NumPartitions: parts,
+			KeyFields:     []string{"k"},
+			Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"k"}, SortFields: []string{"k"}},
+		})
+		return dfs, err
+	}
+	sum := wf.ReduceStage("R", func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		var s float64
+		for _, v := range vs {
+			s += v[0].(float64)
+		}
+		emit(k, keyval.T(s))
+	}, nil, cpu)
+	job := &wf.Job{
+		ID: "J", Config: wf.DefaultConfig(), Origin: []string{"J"},
+		MapBranches: []wf.MapBranch{{
+			Tag: 0, Input: "base",
+			Stages: []wf.Stage{wf.MapStage("M", func(k, v keyval.Tuple, emit wf.Emit) { emit(k, v) }, cpu)},
+			KeyIn:  []string{"k"}, ValIn: []string{"v"},
+			KeyOut: []string{"k"}, ValOut: []string{"v"},
+		}},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "out",
+			Stages: []wf.Stage{sum},
+			KeyIn:  []string{"k"}, ValIn: []string{"v"},
+			KeyOut: []string{"k"}, ValOut: []string{"sum"},
+		}},
+	}
+	w := &wf.Workflow{
+		Name: "fig5v",
+		Jobs: []*wf.Job{job},
+		Datasets: []*wf.Dataset{
+			{ID: "base", Base: true, KeyFields: []string{"k"}, ValueFields: []string{"v"},
+				Layout: wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"k"}, SortFields: []string{"k"}}},
+			{ID: "out"},
+		},
+	}
+	dfs, err := mkDFS()
+	if err != nil {
+		return 0, 0, err
+	}
+	cluster := fig5Cluster(100, float64(keyval.PairsSize(pairs)))
+	// Tune the unpacked plan's reducer count to a sensible production
+	// setting so the comparison is fair.
+	w.Job("J").Config.NumReduceTasks = cluster.TotalReduceSlots() * 9 / 10
+	repA, err := mrsim.NewEngine(cluster, dfs).RunWorkflow(w)
+	if err != nil {
+		return 0, 0, err
+	}
+	packedPlan, err := trans.IntraVertical(w, "J")
+	if err != nil {
+		return 0, 0, err
+	}
+	dfs2, err := mkDFS()
+	if err != nil {
+		return 0, 0, err
+	}
+	repB, err := mrsim.NewEngine(cluster, dfs2).RunWorkflow(packedPlan)
+	if err != nil {
+		return 0, 0, err
+	}
+	return repA.Makespan, repB.Makespan, nil
+}
+
+// fig5Horizontal builds base -> {A, B} (two filter+group aggregates) and
+// times them separately versus horizontally packed.
+func (h *Harness) fig5Horizontal(records int, cpu float64, gb float64) (unpacked, packed float64, err error) {
+	rng := rand.New(rand.NewSource(h.cfg.Seed ^ 0xf17))
+	pairs := make([]keyval.Pair, records)
+	for i := range pairs {
+		pairs[i] = keyval.Pair{Key: keyval.T(int64(rng.Intn(500))), Value: keyval.T(rng.Float64(), rng.Float64())}
+	}
+	mkDFS := func() (*mrsim.DFS, error) {
+		dfs := mrsim.NewDFS()
+		err := dfs.Ingest("base", pairs, mrsim.IngestSpec{
+			NumPartitions: 12,
+			KeyFields:     []string{"k"},
+			Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"k"}},
+		})
+		return dfs, err
+	}
+	agg := func(id, out string, idx int) *wf.Job {
+		// Filtering consumers (the paper's "filtering, grouping, and
+		// aggregation"): each keeps a disjoint ~5% slice, so the scan
+		// dominates and sharing it is the prize.
+		lo := int64(idx * 25)
+		hi := lo + 25
+		return &wf.Job{
+			ID: id, Config: wf.DefaultConfig(), Origin: []string{id},
+			MapBranches: []wf.MapBranch{{
+				Tag: 0, Input: "base",
+				Stages: []wf.Stage{wf.MapStage("M_"+id, func(k, v keyval.Tuple, emit wf.Emit) {
+					if x := k[0].(int64); x >= lo && x < hi {
+						emit(k, keyval.T(v[idx]))
+					}
+				}, cpu)},
+				KeyIn: []string{"k"}, ValIn: []string{"x", "y"},
+				KeyOut: []string{"k"}, ValOut: []string{"v"},
+			}},
+			ReduceGroups: []wf.ReduceGroup{{
+				Tag: 0, Output: out,
+				Stages: []wf.Stage{wf.ReduceStage("R_"+id, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+					var s float64
+					for _, v := range vs {
+						s += v[0].(float64)
+					}
+					emit(k, keyval.T(s/float64(len(vs))))
+				}, nil, cpu)},
+				KeyIn: []string{"k"}, ValIn: []string{"v"},
+				KeyOut: []string{"k"}, ValOut: []string{"avg"},
+			}},
+		}
+	}
+	w := &wf.Workflow{
+		Name: "fig5h",
+		Jobs: []*wf.Job{agg("A", "outA", 0), agg("B", "outB", 1)},
+		Datasets: []*wf.Dataset{
+			{ID: "base", Base: true, KeyFields: []string{"k"}, ValueFields: []string{"x", "y"}},
+			{ID: "outA"}, {ID: "outB"},
+		},
+	}
+	cluster := fig5Cluster(gb, float64(keyval.PairsSize(pairs)))
+	for _, j := range w.Jobs {
+		j.Config.NumReduceTasks = cluster.TotalReduceSlots() / 4
+	}
+	dfs, err := mkDFS()
+	if err != nil {
+		return 0, 0, err
+	}
+	repA, err := mrsim.NewEngine(cluster, dfs).RunWorkflow(w)
+	if err != nil {
+		return 0, 0, err
+	}
+	packedPlan, err := trans.Horizontal(w, []string{"A", "B"}, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Give the packed job the combined reducer budget so the comparison
+	// isolates the packing decision, not a reducer-count artifact.
+	packedPlan.Jobs[0].Config.NumReduceTasks = cluster.TotalReduceSlots() / 2
+	dfs2, err := mkDFS()
+	if err != nil {
+		return 0, 0, err
+	}
+	repB, err := mrsim.NewEngine(cluster, dfs2).RunWorkflow(packedPlan)
+	if err != nil {
+		return 0, 0, err
+	}
+	return repA.Makespan, repB.Makespan, nil
+}
+
+// --------------------------------------------------------- Figures 11 & 12 --
+
+// Figure11 measures Stubby and its transformation groups in isolation
+// against the Baseline on all eight workflows.
+func (h *Harness) Figure11() (map[string][]PlannerRun, error) {
+	return h.compareAll([]string{"Stubby", "Vertical", "Horizontal"})
+}
+
+// Figure12 measures Stubby against the state-of-the-art comparators.
+func (h *Harness) Figure12() (map[string][]PlannerRun, error) {
+	return h.compareAll([]string{"Stubby", "Starfish", "YSmart", "MRShare"})
+}
+
+func (h *Harness) compareAll(names []string) (map[string][]PlannerRun, error) {
+	out := make(map[string][]PlannerRun)
+	for _, abbr := range workloads.Abbrs() {
+		runs, err := h.ComparePlanners(abbr, names)
+		if err != nil {
+			return nil, err
+		}
+		out[abbr] = runs
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- Figure 13 --
+
+// Fig13Row is one workload's optimization overhead.
+type Fig13Row struct {
+	Workload string
+	// OptimizeMS is Stubby's real optimization time in milliseconds.
+	OptimizeMS float64
+	// WorkflowSec is the Baseline plan's simulated running time.
+	WorkflowSec float64
+	// OverheadPct is OptimizeMS/1000 over WorkflowSec, in percent. (The
+	// optimizer runs on the host clock while workflows run on the
+	// simulated clock; the paper's "small relative overhead" shape is
+	// preserved, see EXPERIMENTS.md.)
+	OverheadPct float64
+}
+
+// Figure13 measures Stubby's optimization efficiency on all workflows.
+func (h *Harness) Figure13() ([]Fig13Row, error) {
+	var out []Fig13Row
+	for _, abbr := range workloads.Abbrs() {
+		wl, err := h.workload(abbr)
+		if err != nil {
+			return nil, err
+		}
+		base, err := baselines.Baseline{Cluster: wl.Cluster}.Plan(wl.Workflow)
+		if err != nil {
+			return nil, err
+		}
+		baseTime, err := runPlan(wl, base)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := optimizer.New(wl.Cluster, optimizer.Options{Seed: h.cfg.Seed}).Optimize(wl.Workflow); err != nil {
+			return nil, err
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1000
+		out = append(out, Fig13Row{
+			Workload:    abbr,
+			OptimizeMS:  ms,
+			WorkflowSec: baseTime,
+			OverheadPct: ms / 1000 / baseTime * 100,
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- Figure 14 --
+
+// Fig14Point is one subplan of the deep-dive optimization unit.
+type Fig14Point struct {
+	Description   string
+	EstimatedCost float64
+	ActualCost    float64
+	// EstimatedNorm/ActualNorm are normalized to the unit's worst subplan.
+	EstimatedNorm, ActualNorm float64
+}
+
+// Figure14 drills into the first optimization unit of the Information
+// Retrieval workflow: every enumerated subplan is configured by RRS, costed
+// by the What-if engine, and then actually executed, yielding the
+// estimated-versus-actual scatter.
+func (h *Harness) Figure14() ([]Fig14Point, error) {
+	wl, err := h.workload("IR")
+	if err != nil {
+		return nil, err
+	}
+	res, err := optimizer.New(wl.Cluster, optimizer.Options{
+		Seed: h.cfg.Seed, KeepSubplans: true,
+	}).Optimize(wl.Workflow)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Units) == 0 {
+		return nil, fmt.Errorf("bench: no optimization units recorded")
+	}
+	unit := res.Units[0]
+	var out []Fig14Point
+	maxEst, maxAct := 0.0, 0.0
+	for _, sp := range unit.Subplans {
+		if sp.Plan == nil {
+			continue
+		}
+		actual, err := runPlan(wl, sp.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("bench: subplan %q failed: %w", sp.Description, err)
+		}
+		p := Fig14Point{Description: sp.Description, EstimatedCost: sp.Cost, ActualCost: actual}
+		out = append(out, p)
+		if sp.Cost > maxEst {
+			maxEst = sp.Cost
+		}
+		if actual > maxAct {
+			maxAct = actual
+		}
+	}
+	for i := range out {
+		if maxEst > 0 {
+			out[i].EstimatedNorm = out[i].EstimatedCost / maxEst
+		}
+		if maxAct > 0 {
+			out[i].ActualNorm = out[i].ActualCost / maxAct
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package keyval
+
+import "fmt"
+
+// Interval is a half-open interval [Lo, Hi) over a single field, used by
+// filter annotations ("J6.filter = {0 <= O < 100}") and by partition pruning
+// against range-partitioned datasets. A nil bound is unbounded on that side.
+type Interval struct {
+	Lo Field // inclusive lower bound; nil = -inf
+	Hi Field // exclusive upper bound; nil = +inf
+}
+
+// Contains reports whether the field value lies in [Lo, Hi).
+func (iv Interval) Contains(f Field) bool {
+	if iv.Lo != nil && CompareFields(f, iv.Lo) < 0 {
+		return false
+	}
+	if iv.Hi != nil && CompareFields(f, iv.Hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// Empty reports whether the interval contains no values (Lo >= Hi).
+func (iv Interval) Empty() bool {
+	if iv.Lo == nil || iv.Hi == nil {
+		return false
+	}
+	return CompareFields(iv.Lo, iv.Hi) >= 0
+}
+
+// Unbounded reports whether the interval covers everything.
+func (iv Interval) Unbounded() bool {
+	return iv.Lo == nil && iv.Hi == nil
+}
+
+// Intersect returns the intersection of two intervals.
+func (iv Interval) Intersect(o Interval) Interval {
+	out := Interval{Lo: iv.Lo, Hi: iv.Hi}
+	if o.Lo != nil && (out.Lo == nil || CompareFields(o.Lo, out.Lo) > 0) {
+		out.Lo = o.Lo
+	}
+	if o.Hi != nil && (out.Hi == nil || CompareFields(o.Hi, out.Hi) < 0) {
+		out.Hi = o.Hi
+	}
+	return out
+}
+
+// Overlaps reports whether the two intervals share any value.
+func (iv Interval) Overlaps(o Interval) bool {
+	return !iv.Intersect(o).Empty()
+}
+
+func (iv Interval) String() string {
+	lo, hi := "-inf", "+inf"
+	if iv.Lo != nil {
+		lo = fmt.Sprintf("%v", iv.Lo)
+	}
+	if iv.Hi != nil {
+		hi = fmt.Sprintf("%v", iv.Hi)
+	}
+	return fmt.Sprintf("[%s, %s)", lo, hi)
+}
+
+// PartitionBounds describes the key range [Lo, Hi) covered by one partition
+// of a range-partitioned dataset, projected onto the partition field(s).
+// Only the first partition field participates in interval pruning, which is
+// the single-attribute case the paper's partition pruning example uses.
+type PartitionBounds struct {
+	Lo Tuple // inclusive; nil = unbounded below
+	Hi Tuple // exclusive; nil = unbounded above
+}
+
+// Interval returns the bounds of the first partition field as an Interval.
+// Note: for multi-field bounds the upper endpoint is NOT exclusive on the
+// first field (a key equal to Hi[0] can still sort below the full Hi
+// tuple); use FieldRangeOverlaps for pruning decisions.
+func (pb PartitionBounds) Interval() Interval {
+	var iv Interval
+	if len(pb.Lo) > 0 {
+		iv.Lo = pb.Lo[0]
+	}
+	if len(pb.Hi) > 0 {
+		iv.Hi = pb.Hi[0]
+	}
+	return iv
+}
+
+// FieldRangeOverlaps reports whether the partition may contain a record
+// whose first partition field lies in iv. The partition's first-field range
+// is [Lo[0], Hi[0]), except that when the Hi bound has more than one field
+// the upper endpoint becomes inclusive: keys equal to Hi[0] on the first
+// field can still compare below the full bound tuple. This is the sound
+// overlap test for partition pruning.
+func (pb PartitionBounds) FieldRangeOverlaps(iv Interval) bool {
+	var lo0, hi0 Field
+	if len(pb.Lo) > 0 {
+		lo0 = pb.Lo[0]
+	}
+	hiInclusive := len(pb.Hi) > 1
+	if len(pb.Hi) > 0 {
+		hi0 = pb.Hi[0]
+	}
+	// Partition entirely above the filter.
+	if iv.Hi != nil && lo0 != nil && CompareFields(lo0, iv.Hi) >= 0 {
+		return false
+	}
+	// Partition entirely below the filter.
+	if iv.Lo != nil && hi0 != nil {
+		c := CompareFields(iv.Lo, hi0)
+		if c > 0 || (c == 0 && !hiInclusive) {
+			return false
+		}
+	}
+	return true
+}
+
+// RangeBounds computes per-partition bounds from split points: partition i
+// covers [SplitPoints[i-1], SplitPoints[i]).
+func RangeBounds(splitPoints []Tuple) []PartitionBounds {
+	bounds := make([]PartitionBounds, len(splitPoints)+1)
+	for i := range bounds {
+		if i > 0 {
+			bounds[i].Lo = splitPoints[i-1]
+		}
+		if i < len(splitPoints) {
+			bounds[i].Hi = splitPoints[i]
+		}
+	}
+	return bounds
+}

@@ -1,0 +1,155 @@
+package keyval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randInterval draws an interval with random (possibly unbounded, possibly
+// empty) integer endpoints.
+func randInterval(r *rand.Rand) Interval {
+	var iv Interval
+	if r.Intn(4) != 0 {
+		iv.Lo = int64(r.Intn(200) - 100)
+	}
+	if r.Intn(4) != 0 {
+		iv.Hi = int64(r.Intn(200) - 100)
+	}
+	return iv
+}
+
+func randIvField(r *rand.Rand) Field {
+	if r.Intn(8) == 0 {
+		return float64(r.Intn(4000)-2000) / 10
+	}
+	return int64(r.Intn(240) - 120)
+}
+
+// TestIntervalIntersectIsConjunctionQuick: membership in the intersection
+// is exactly membership in both intervals.
+func TestIntervalIntersectIsConjunctionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randInterval(r), randInterval(r)
+		inter := a.Intersect(b)
+		for i := 0; i < 50; i++ {
+			v := randIvField(r)
+			if inter.Contains(v) != (a.Contains(v) && b.Contains(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntervalIntersectCommutesQuick: Intersect is commutative up to
+// membership.
+func TestIntervalIntersectCommutesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randInterval(r), randInterval(r)
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		for i := 0; i < 30; i++ {
+			v := randIvField(r)
+			if ab.Contains(v) != ba.Contains(v) {
+				return false
+			}
+		}
+		return ab.Empty() == ba.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntervalOverlapsSymmetricQuick: Overlaps is symmetric and consistent
+// with Empty of the intersection.
+func TestIntervalOverlapsSymmetricQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randInterval(r), randInterval(r)
+		if a.Overlaps(b) != b.Overlaps(a) {
+			return false
+		}
+		return a.Overlaps(b) == !a.Intersect(b).Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntervalEmptyContainsNothingQuick: an empty interval contains no
+// value; a non-empty bounded integer interval contains its Lo endpoint.
+func TestIntervalEmptyContainsNothingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		iv := randInterval(r)
+		if iv.Empty() {
+			for i := 0; i < 30; i++ {
+				if iv.Contains(randIvField(r)) {
+					return false
+				}
+			}
+			return true
+		}
+		if iv.Lo != nil && !iv.Contains(iv.Lo) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRangeBoundsPartitionAgreementQuick: for random ascending split
+// points, the partition chosen by PartitionSpec.Partition for a key always
+// has bounds that contain the key's first field.
+func TestRangeBoundsPartitionAgreementQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		set := map[int64]bool{}
+		var points []Tuple
+		for len(points) < n {
+			v := int64(r.Intn(200) - 100)
+			if !set[v] {
+				set[v] = true
+				points = append(points, T(v))
+			}
+		}
+		SortTuples(points)
+		spec := PartitionSpec{Type: RangePartition, SplitPoints: points}
+		if spec.Validate() != nil {
+			return false
+		}
+		bounds := RangeBounds(points)
+		for i := 0; i < 60; i++ {
+			key := T(int64(r.Intn(240) - 120))
+			p := spec.Partition(key, spec.NumPartitions(0))
+			if p < 0 || p >= len(bounds) {
+				return false
+			}
+			if !bounds[p].FieldRangeOverlaps(Interval{Lo: key[0], Hi: nil}) &&
+				!bounds[p].FieldRangeOverlaps(Interval{Lo: nil, Hi: key[0]}) {
+				return false
+			}
+			// Direct containment: Lo <= key < Hi on the first field.
+			b := bounds[p]
+			if len(b.Lo) > 0 && CompareFields(key[0], b.Lo[0]) < 0 {
+				return false
+			}
+			if len(b.Hi) > 0 && CompareFields(key[0], b.Hi[0]) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package keyval
+
+import "testing"
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval{Lo: int64(0), Hi: int64(100)}
+	if !iv.Contains(int64(0)) || !iv.Contains(int64(99)) {
+		t.Error("bounds inclusion wrong")
+	}
+	if iv.Contains(int64(100)) || iv.Contains(int64(-1)) {
+		t.Error("exclusion wrong")
+	}
+	open := Interval{}
+	if !open.Contains(int64(1e9)) || !open.Unbounded() {
+		t.Error("unbounded interval should contain everything")
+	}
+	lower := Interval{Lo: int64(5)}
+	if lower.Contains(int64(4)) || !lower.Contains(int64(5)) {
+		t.Error("half-bounded interval wrong")
+	}
+}
+
+func TestIntervalEmptyIntersectOverlap(t *testing.T) {
+	a := Interval{Lo: int64(0), Hi: int64(50)}
+	b := Interval{Lo: int64(50), Hi: int64(100)}
+	if a.Overlaps(b) {
+		t.Error("adjacent half-open intervals must not overlap")
+	}
+	c := Interval{Lo: int64(25), Hi: int64(75)}
+	got := a.Intersect(c)
+	if CompareFields(got.Lo, int64(25)) != 0 || CompareFields(got.Hi, int64(50)) != 0 {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !a.Overlaps(c) {
+		t.Error("overlapping intervals reported disjoint")
+	}
+	if !(Interval{Lo: int64(5), Hi: int64(5)}).Empty() {
+		t.Error("degenerate interval not empty")
+	}
+	if (Interval{Lo: int64(5)}).Empty() {
+		t.Error("half-bounded interval reported empty")
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if s := (Interval{Lo: int64(1), Hi: int64(2)}).String(); s != "[1, 2)" {
+		t.Errorf("String = %s", s)
+	}
+	if s := (Interval{}).String(); s != "[-inf, +inf)" {
+		t.Errorf("String = %s", s)
+	}
+}
+
+func TestPartitionBoundsInterval(t *testing.T) {
+	pb := PartitionBounds{Lo: T(10), Hi: T(20)}
+	iv := pb.Interval()
+	if !iv.Contains(int64(10)) || iv.Contains(int64(20)) {
+		t.Error("bounds interval wrong")
+	}
+	var unbounded PartitionBounds
+	if !unbounded.Interval().Unbounded() {
+		t.Error("empty bounds should be unbounded")
+	}
+}

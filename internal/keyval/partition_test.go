@@ -1,0 +1,229 @@
+package keyval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashPartitionInRange(t *testing.T) {
+	spec := PartitionSpec{Type: HashPartition}
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%20) + 1
+		key := genTuple(r)
+		p := spec.Partition(key, n)
+		return p >= 0 && p < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashPartitionOnSubsetOfFields(t *testing.T) {
+	spec := PartitionSpec{Type: HashPartition, KeyFields: []int{0}}
+	a, b := T(7, "x"), T(7, "y")
+	for n := 1; n <= 16; n++ {
+		if spec.Partition(a, n) != spec.Partition(b, n) {
+			t.Fatalf("keys equal on field 0 must co-partition (n=%d)", n)
+		}
+	}
+}
+
+func TestRangePartition(t *testing.T) {
+	spec := PartitionSpec{
+		Type:        RangePartition,
+		SplitPoints: []Tuple{T(100), T(200), T(300)},
+	}
+	cases := []struct {
+		key  Tuple
+		want int
+	}{
+		{T(0), 0}, {T(99), 0}, {T(100), 1}, {T(150), 1},
+		{T(200), 2}, {T(299), 2}, {T(300), 3}, {T(1000), 3},
+	}
+	n := spec.NumPartitions(0)
+	if n != 4 {
+		t.Fatalf("NumPartitions = %d, want 4", n)
+	}
+	for _, c := range cases {
+		if got := spec.Partition(c.key, n); got != c.want {
+			t.Errorf("Partition(%v) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestRangePartitionMonotone(t *testing.T) {
+	spec := PartitionSpec{Type: RangePartition, SplitPoints: []Tuple{T(10), T(20)}}
+	f := func(a, b int64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		n := spec.NumPartitions(0)
+		return spec.Partition(T(a), n) <= spec.Partition(T(b), n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionSpecValidate(t *testing.T) {
+	good := PartitionSpec{Type: RangePartition, SplitPoints: []Tuple{T(1), T(2)}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := PartitionSpec{Type: RangePartition, SplitPoints: []Tuple{T(2), T(2)}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-ascending split points accepted")
+	}
+	hash := PartitionSpec{Type: HashPartition, SplitPoints: []Tuple{T(1)}}
+	if err := hash.Validate(); err == nil {
+		t.Error("hash spec with split points accepted")
+	}
+}
+
+func TestPartitionSpecCloneEqual(t *testing.T) {
+	s := PartitionSpec{
+		Type:        RangePartition,
+		KeyFields:   []int{0},
+		SortFields:  []int{0, 1},
+		SplitPoints: []Tuple{T(5)},
+	}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.SplitPoints[0][0] = int64(9)
+	if s.SplitPoints[0][0] != int64(5) {
+		t.Fatal("clone aliases split points")
+	}
+	if s.Equal(c) {
+		t.Fatal("mutated clone still equal")
+	}
+	other := s.Clone()
+	other.SortFields = []int{1, 0}
+	if s.Equal(other) {
+		t.Fatal("different sort fields reported equal")
+	}
+}
+
+func TestEffectiveFieldsDefaults(t *testing.T) {
+	s := PartitionSpec{}
+	if got := s.EffectiveKeyFields(3); len(got) != 3 || got[2] != 2 {
+		t.Errorf("EffectiveKeyFields = %v", got)
+	}
+	if got := s.EffectiveSortFields(2); len(got) != 2 || got[0] != 0 {
+		t.Errorf("EffectiveSortFields = %v", got)
+	}
+}
+
+func TestSortPairsAndIsSorted(t *testing.T) {
+	pairs := []Pair{
+		{Key: T(2, "b"), Value: T(1)},
+		{Key: T(1, "z"), Value: T(2)},
+		{Key: T(2, "a"), Value: T(3)},
+		{Key: T(1, "z"), Value: T(1)},
+	}
+	SortPairs(pairs, []int{0, 1})
+	want := []Tuple{T(1, "z"), T(1, "z"), T(2, "a"), T(2, "b")}
+	for i, p := range pairs {
+		if Compare(p.Key, want[i]) != 0 {
+			t.Fatalf("pos %d key = %v, want %v", i, p.Key, want[i])
+		}
+	}
+	// Ties broken by value for determinism.
+	if pairs[0].Value[0].(int64) != 1 {
+		t.Error("tie not broken by value")
+	}
+	if !IsSortedOn(pairs, []int{0}) {
+		t.Error("IsSortedOn should hold after sort")
+	}
+	if IsSortedOn([]Pair{{Key: T(2)}, {Key: T(1)}}, []int{0}) {
+		t.Error("IsSortedOn false negative")
+	}
+}
+
+func TestSortThenGroupContiguous(t *testing.T) {
+	// Sorting on (O, Z) must keep groups of O contiguous — the property the
+	// intra-job vertical packing postcondition relies on (Figure 4).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pairs := make([]Pair, 50)
+		for i := range pairs {
+			pairs[i] = Pair{Key: T(int64(r.Intn(5)), int64(r.Intn(5)))}
+		}
+		SortPairs(pairs, []int{0, 1})
+		seen := map[int64]bool{}
+		var prev int64 = -1
+		for _, p := range pairs {
+			o := p.Key[0].(int64)
+			if o != prev {
+				if seen[o] {
+					return false // group of O reappeared: not contiguous
+				}
+				seen[o] = true
+				prev = o
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquiDepthSplitPoints(t *testing.T) {
+	var sample []Tuple
+	for i := 0; i < 1000; i++ {
+		sample = append(sample, T(int64(i)))
+	}
+	points := EquiDepthSplitPoints(sample, nil, 4)
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+	spec := PartitionSpec{Type: RangePartition, SplitPoints: points}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("derived split points invalid: %v", err)
+	}
+	// Roughly balanced: each of the 4 partitions should get ~250 keys.
+	counts := make([]int, 4)
+	for _, s := range sample {
+		counts[spec.Partition(s, 4)]++
+	}
+	for i, c := range counts {
+		if c < 200 || c > 300 {
+			t.Errorf("partition %d holds %d keys; want ~250", i, c)
+		}
+	}
+}
+
+func TestEquiDepthSplitPointsLowCardinality(t *testing.T) {
+	sample := []Tuple{T(1), T(1), T(1), T(1)}
+	points := EquiDepthSplitPoints(sample, nil, 4)
+	if len(points) > 1 {
+		t.Fatalf("low-cardinality sample should collapse duplicates, got %v", points)
+	}
+	if EquiDepthSplitPoints(nil, nil, 4) != nil {
+		t.Error("empty sample should produce no points")
+	}
+	if EquiDepthSplitPoints(sample, nil, 1) != nil {
+		t.Error("n=1 should produce no points")
+	}
+}
+
+func TestRangeBoundsAndPruneInterval(t *testing.T) {
+	bounds := RangeBounds([]Tuple{T(100), T(200)})
+	if len(bounds) != 3 {
+		t.Fatalf("bounds = %d, want 3", len(bounds))
+	}
+	filter := Interval{Lo: int64(0), Hi: int64(100)}
+	overlapping := 0
+	for _, b := range bounds {
+		if b.Interval().Overlaps(filter) {
+			overlapping++
+		}
+	}
+	if overlapping != 1 {
+		t.Errorf("filter [0,100) should overlap exactly partition 0, got %d", overlapping)
+	}
+}

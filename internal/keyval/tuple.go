@@ -1,0 +1,332 @@
+// Package keyval provides the record substrate for the simulated MapReduce
+// runtime: tuples of typed fields, key-value pairs, comparison and hashing,
+// byte-size accounting, partition functions (hash and range), and interval
+// predicates used by filter annotations and partition pruning.
+//
+// Tuples are positional; field names live in workflow schema annotations
+// (package wf), mirroring how Stubby treats MapReduce programs as black
+// boxes whose key/value composition is exposed only through annotations.
+package keyval
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+)
+
+// Field is a single value in a tuple. The supported dynamic types are
+// int64, float64, string, and bool. Using a small closed set keeps
+// comparison, hashing, and size accounting total and deterministic.
+type Field any
+
+// Tuple is an ordered list of fields. A nil or empty tuple is valid and
+// compares less than any non-empty tuple.
+type Tuple []Field
+
+// Pair is one key-value record flowing through a MapReduce job.
+type Pair struct {
+	Key   Tuple
+	Value Tuple
+}
+
+// T builds a tuple from its arguments, normalizing integer types to int64
+// and float32 to float64 so that comparison is well defined.
+func T(fields ...any) Tuple {
+	t := make(Tuple, len(fields))
+	for i, f := range fields {
+		t[i] = normalize(f)
+	}
+	return t
+}
+
+func normalize(f any) Field {
+	switch v := f.(type) {
+	case int:
+		return int64(v)
+	case int32:
+		return int64(v)
+	case int64:
+		return v
+	case uint:
+		return int64(v)
+	case uint32:
+		return int64(v)
+	case uint64:
+		return int64(v)
+	case float32:
+		return float64(v)
+	case float64:
+		return v
+	case string:
+		return v
+	case bool:
+		return v
+	case nil:
+		return nil
+	default:
+		panic(fmt.Sprintf("keyval: unsupported field type %T", f))
+	}
+}
+
+// typeRank orders fields of different dynamic types so that CompareFields is
+// a total order: nil < bool < int64/float64 (numeric) < string.
+func typeRank(f Field) int {
+	switch f.(type) {
+	case nil:
+		return 0
+	case bool:
+		return 1
+	case int64, float64:
+		return 2
+	case string:
+		return 3
+	default:
+		panic(fmt.Sprintf("keyval: unsupported field type %T", f))
+	}
+}
+
+// CompareFields returns -1, 0, or +1 ordering a before, equal to, or after b.
+// Numeric fields compare by value across int64/float64.
+func CompareFields(a, b Field) int {
+	ra, rb := typeRank(a), typeRank(b)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch av := a.(type) {
+	case nil:
+		return 0
+	case bool:
+		bv := b.(bool)
+		switch {
+		case av == bv:
+			return 0
+		case !av:
+			return -1
+		default:
+			return 1
+		}
+	case int64:
+		switch bv := b.(type) {
+		case int64:
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			default:
+				return 0
+			}
+		case float64:
+			return compareFloat(float64(av), bv)
+		}
+	case float64:
+		switch bv := b.(type) {
+		case int64:
+			return compareFloat(av, float64(bv))
+		case float64:
+			return compareFloat(av, bv)
+		}
+	case string:
+		return strings.Compare(av, b.(string))
+	}
+	panic("keyval: unreachable comparison")
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Compare orders tuples lexicographically field by field. A shorter tuple
+// that is a prefix of a longer one compares less.
+func Compare(a, b Tuple) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if c := CompareFields(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CompareOn orders tuples by the projection onto the given field indices.
+// Indices beyond a tuple's length are treated as nil fields.
+func CompareOn(a, b Tuple, fields []int) int {
+	for _, i := range fields {
+		var fa, fb Field
+		if i < len(a) {
+			fa = a[i]
+		}
+		if i < len(b) {
+			fb = b[i]
+		}
+		if c := CompareFields(fa, fb); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// EqualOn reports whether two tuples agree on the given field indices.
+func EqualOn(a, b Tuple, fields []int) bool {
+	return CompareOn(a, b, fields) == 0
+}
+
+// Project returns the sub-tuple at the given field indices. Out-of-range
+// indices yield nil fields. A nil fields list selects the whole tuple.
+func Project(t Tuple, fields []int) Tuple {
+	if fields == nil {
+		return Clone(t)
+	}
+	out := make(Tuple, len(fields))
+	for j, i := range fields {
+		if i < len(t) {
+			out[j] = t[i]
+		}
+	}
+	return out
+}
+
+// Clone returns a copy of the tuple. Fields are immutable values, so a
+// shallow copy of the slice suffices.
+func Clone(t Tuple) Tuple {
+	if t == nil {
+		return nil
+	}
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Hash returns a 64-bit FNV-1a hash of the projection of t onto fields.
+// If fields is nil the whole tuple is hashed.
+func Hash(t Tuple, fields []int) uint64 {
+	h := fnv.New64a()
+	write := func(f Field) {
+		var buf [9]byte
+		switch v := f.(type) {
+		case nil:
+			buf[0] = 0
+			h.Write(buf[:1])
+		case bool:
+			buf[0] = 1
+			if v {
+				buf[1] = 1
+			}
+			h.Write(buf[:2])
+		case int64:
+			buf[0] = 2
+			putUint64(buf[1:], uint64(v))
+			h.Write(buf[:9])
+		case float64:
+			buf[0] = 3
+			putUint64(buf[1:], math.Float64bits(v))
+			h.Write(buf[:9])
+		case string:
+			buf[0] = 4
+			h.Write(buf[:1])
+			h.Write([]byte(v))
+			buf[0] = 0xff
+			h.Write(buf[:1])
+		}
+	}
+	if fields == nil {
+		for _, f := range t {
+			write(f)
+		}
+		return h.Sum64()
+	}
+	for _, i := range fields {
+		if i < len(t) {
+			write(t[i])
+		} else {
+			write(nil)
+		}
+	}
+	return h.Sum64()
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * (7 - i)))
+	}
+}
+
+// FieldSize returns the encoded size in bytes of one field, used for I/O
+// cost accounting. Sizes approximate a binary serialization: one tag byte
+// plus the payload.
+func FieldSize(f Field) int64 {
+	switch v := f.(type) {
+	case nil:
+		return 1
+	case bool:
+		return 2
+	case int64:
+		return 9
+	case float64:
+		return 9
+	case string:
+		return int64(len(v)) + 3
+	default:
+		panic(fmt.Sprintf("keyval: unsupported field type %T", f))
+	}
+}
+
+// Size returns the encoded size in bytes of a tuple.
+func Size(t Tuple) int64 {
+	var n int64 = 2 // field-count header
+	for _, f := range t {
+		n += FieldSize(f)
+	}
+	return n
+}
+
+// PairSize returns the encoded size in bytes of a key-value pair.
+func PairSize(p Pair) int64 {
+	return Size(p.Key) + Size(p.Value)
+}
+
+// PairsSize returns the total encoded size of a slice of pairs.
+func PairsSize(ps []Pair) int64 {
+	var n int64
+	for _, p := range ps {
+		n += PairSize(p)
+	}
+	return n
+}
+
+// String renders a tuple for debugging, e.g. (42, "a").
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, f := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch v := f.(type) {
+		case string:
+			fmt.Fprintf(&b, "%q", v)
+		default:
+			fmt.Fprintf(&b, "%v", v)
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,186 @@
+package keyval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	tu := T(int(1), int32(2), int64(3), uint(4), uint32(5), uint64(6), float32(1.5), 2.5, "x", true, nil)
+	want := Tuple{int64(1), int64(2), int64(3), int64(4), int64(5), int64(6), 1.5, 2.5, "x", true, nil}
+	if Compare(tu, want) != 0 {
+		t.Fatalf("T normalized to %v, want %v", tu, want)
+	}
+}
+
+func TestNormalizeUnsupportedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsupported field type")
+		}
+	}()
+	T(struct{}{})
+}
+
+func TestCompareFieldsTotalOrder(t *testing.T) {
+	// nil < bool < numeric < string
+	ordered := []Field{nil, false, true, int64(-5), int64(0), 0.5, int64(1), "a", "b"}
+	for i := range ordered {
+		for j := range ordered {
+			got := CompareFields(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("CompareFields(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareFieldsNumericCross(t *testing.T) {
+	if CompareFields(int64(2), 2.0) != 0 {
+		t.Error("int64(2) should equal float64(2)")
+	}
+	if CompareFields(int64(2), 2.5) != -1 {
+		t.Error("int64(2) should be < 2.5")
+	}
+	if CompareFields(3.5, int64(3)) != 1 {
+		t.Error("3.5 should be > int64(3)")
+	}
+}
+
+func TestCompareTuples(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{T(1, 2), T(1, 2), 0},
+		{T(1), T(1, 2), -1},
+		{T(1, 3), T(1, 2), 1},
+		{nil, T(), 0},
+		{nil, T(1), -1},
+		{T("a", 1), T("a", 2), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareOnAndProject(t *testing.T) {
+	a, b := T(1, "x", 9), T(2, "x", 3)
+	if CompareOn(a, b, []int{1}) != 0 {
+		t.Error("projection on field 1 should be equal")
+	}
+	if CompareOn(a, b, []int{0}) != -1 {
+		t.Error("projection on field 0 should order a < b")
+	}
+	if CompareOn(a, b, []int{2, 0}) != 1 {
+		t.Error("projection on fields (2,0) should order a > b")
+	}
+	p := Project(a, []int{2, 0, 7})
+	if Compare(p, T(9, 1, nil)) != 0 {
+		t.Errorf("Project = %v", p)
+	}
+	if !EqualOn(a, b, []int{1}) || EqualOn(a, b, []int{0}) {
+		t.Error("EqualOn mismatch")
+	}
+}
+
+func TestHashDeterministicAndProjective(t *testing.T) {
+	a := T(1, "x", 2.5)
+	if Hash(a, nil) != Hash(Clone(a), nil) {
+		t.Error("hash not deterministic across clones")
+	}
+	if Hash(a, []int{0}) != Hash(T(1, "y", 9.0), []int{0}) {
+		t.Error("hash on field 0 should ignore other fields")
+	}
+	if Hash(T("ab", "c"), nil) == Hash(T("a", "bc"), nil) {
+		t.Error("string framing must prevent concatenation collisions")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	if FieldSize(int64(1)) != 9 || FieldSize(1.0) != 9 || FieldSize(true) != 2 || FieldSize(nil) != 1 {
+		t.Error("scalar sizes wrong")
+	}
+	if FieldSize("abc") != 6 {
+		t.Errorf("string size = %d, want 6", FieldSize("abc"))
+	}
+	tu := T(1, "ab")
+	if Size(tu) != 2+9+5 {
+		t.Errorf("tuple size = %d", Size(tu))
+	}
+	p := Pair{Key: T(1), Value: T("ab")}
+	if PairSize(p) != Size(p.Key)+Size(p.Value) {
+		t.Error("pair size mismatch")
+	}
+	if PairsSize([]Pair{p, p}) != 2*PairSize(p) {
+		t.Error("pairs size mismatch")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	if s := T(1, "a").String(); s != `(1, "a")` {
+		t.Errorf("String() = %s", s)
+	}
+}
+
+// genTuple builds a random tuple for property tests.
+func genTuple(r *rand.Rand) Tuple {
+	n := r.Intn(4)
+	t := make(Tuple, n)
+	for i := range t {
+		switch r.Intn(4) {
+		case 0:
+			t[i] = int64(r.Intn(100))
+		case 1:
+			t[i] = float64(r.Intn(100)) / 2
+		case 2:
+			t[i] = string(rune('a' + r.Intn(26)))
+		default:
+			t[i] = r.Intn(2) == 0
+		}
+	}
+	return t
+}
+
+func TestCompareProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	// Antisymmetry: Compare(a,b) == -Compare(b,a).
+	anti := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genTuple(r), genTuple(r)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(anti, cfg); err != nil {
+		t.Error(err)
+	}
+	// Transitivity on a sorted triple.
+	trans := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := genTuple(r), genTuple(r), genTuple(r)
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 {
+			return Compare(a, c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(trans, cfg); err != nil {
+		t.Error(err)
+	}
+	// Reflexivity and hash agreement: equal tuples hash equally.
+	hash := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genTuple(r)
+		return Compare(a, a) == 0 && Hash(a, nil) == Hash(Clone(a), nil)
+	}
+	if err := quick.Check(hash, cfg); err != nil {
+		t.Error(err)
+	}
+}

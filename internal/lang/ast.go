@@ -1,0 +1,273 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Script is a parsed query: a sequence of statements ending in one or more
+// STORE statements, mirroring a Pig Latin script.
+type Script struct {
+	Stmts []Stmt
+}
+
+// String renders the script in canonical form; Parse(s.String()) yields an
+// equivalent script (the parse-print-parse fixpoint tested in the suite).
+func (s *Script) String() string {
+	var b strings.Builder
+	for _, st := range s.Stmts {
+		fmt.Fprintf(&b, "%s;\n", st)
+	}
+	return b.String()
+}
+
+// Stmt is one statement: an assignment, a SPLIT, or a STORE.
+type Stmt interface {
+	fmt.Stringer
+	// Position locates the statement for error reporting.
+	Position() Pos
+}
+
+// Assign binds a relation name to an operator result: "name = op".
+type Assign struct {
+	Pos  Pos
+	Name string
+	Op   Op
+}
+
+func (a *Assign) Position() Pos  { return a.Pos }
+func (a *Assign) String() string { return fmt.Sprintf("%s = %s", a.Name, a.Op) }
+
+// Split is "SPLIT rel INTO a IF pred, b IF pred" — the user-defined logical
+// split pattern of the US workload (Section 7.1), sugar for parallel FILTER
+// statements over one relation.
+type Split struct {
+	Pos  Pos
+	Rel  string
+	Arms []SplitArm
+}
+
+// SplitArm is one "name IF predicate" arm of a SPLIT.
+type SplitArm struct {
+	Name string
+	Pred Predicate
+}
+
+func (s *Split) Position() Pos { return s.Pos }
+func (s *Split) String() string {
+	var arms []string
+	for _, a := range s.Arms {
+		arms = append(arms, fmt.Sprintf("%s IF %s", a.Name, a.Pred))
+	}
+	return fmt.Sprintf("SPLIT %s INTO %s", s.Rel, strings.Join(arms, ", "))
+}
+
+// Store is "STORE rel INTO 'dataset'".
+type Store struct {
+	Pos     Pos
+	Rel     string
+	Dataset string
+}
+
+func (s *Store) Position() Pos  { return s.Pos }
+func (s *Store) String() string { return fmt.Sprintf("STORE %s INTO '%s'", s.Rel, s.Dataset) }
+
+// Op is the right-hand side of an assignment.
+type Op interface{ fmt.Stringer }
+
+// Load is "LOAD 'dataset' [AS (f1, f2, ...)]".
+type Load struct {
+	Dataset string
+	Schema  []string // nil: take field names from the dataset annotation
+}
+
+func (l *Load) String() string {
+	if l.Schema == nil {
+		return fmt.Sprintf("LOAD '%s'", l.Dataset)
+	}
+	return fmt.Sprintf("LOAD '%s' AS (%s)", l.Dataset, strings.Join(l.Schema, ", "))
+}
+
+// Filter is "FILTER rel BY predicate".
+type Filter struct {
+	Rel  string
+	Pred Predicate
+}
+
+func (f *Filter) String() string { return fmt.Sprintf("FILTER %s BY %s", f.Rel, f.Pred) }
+
+// Foreach is "FOREACH rel GENERATE items...". Over a flat relation the items
+// must be field references (projection); over a GROUP result they may be
+// aggregate calls, which fuse into the grouping job's reduce function.
+type Foreach struct {
+	Rel   string
+	Items []GenItem
+}
+
+func (f *Foreach) String() string {
+	var items []string
+	for _, it := range f.Items {
+		items = append(items, it.String())
+	}
+	return fmt.Sprintf("FOREACH %s GENERATE %s", f.Rel, strings.Join(items, ", "))
+}
+
+// Group is "GROUP rel BY f1, f2, ...".
+type Group struct {
+	Rel string
+	By  []string
+}
+
+func (g *Group) String() string {
+	return fmt.Sprintf("GROUP %s BY %s", g.Rel, keyList(g.By))
+}
+
+// Join is "JOIN a BY (ka...), b BY (kb...)" — an inner repartition join.
+type Join struct {
+	Left      string
+	LeftKeys  []string
+	Right     string
+	RightKeys []string
+}
+
+func (j *Join) String() string {
+	return fmt.Sprintf("JOIN %s BY %s, %s BY %s",
+		j.Left, keyList(j.LeftKeys), j.Right, keyList(j.RightKeys))
+}
+
+func keyList(keys []string) string {
+	if len(keys) == 1 {
+		return keys[0]
+	}
+	return "(" + strings.Join(keys, ", ") + ")"
+}
+
+// Order is "ORDER rel BY field [ASC|DESC]".
+type Order struct {
+	Rel  string
+	By   string
+	Desc bool
+}
+
+func (o *Order) String() string {
+	dir := "ASC"
+	if o.Desc {
+		dir = "DESC"
+	}
+	return fmt.Sprintf("ORDER %s BY %s %s", o.Rel, o.By, dir)
+}
+
+// Limit is "LIMIT rel n". Following an ORDER it compiles to the scalable
+// top-K pattern; otherwise it selects the first n records of the relation
+// in full-record order (deterministic).
+type Limit struct {
+	Rel string
+	N   int
+}
+
+func (l *Limit) String() string { return fmt.Sprintf("LIMIT %s %d", l.Rel, l.N) }
+
+// Distinct is "DISTINCT rel".
+type Distinct struct {
+	Rel string
+}
+
+func (d *Distinct) String() string { return fmt.Sprintf("DISTINCT %s", d.Rel) }
+
+// GenItem is one item of a GENERATE list.
+type GenItem struct {
+	Pos Pos
+	// Field references a field of a flat relation, or an inner field for
+	// aggregate arguments. Empty when Agg or IsGroup is set.
+	Field string
+	// IsGroup marks the `group` keyword item (the grouping key).
+	IsGroup bool
+	// Agg is the aggregate function name (COUNT, SUM, AVG, MAX, MIN) or "".
+	Agg string
+	// AggField is the aggregate argument field; empty for COUNT(*).
+	AggField string
+	// Alias renames the output field (AS alias).
+	Alias string
+}
+
+func (g GenItem) String() string {
+	var s string
+	switch {
+	case g.IsGroup:
+		s = "group"
+	case g.Agg != "":
+		arg := g.AggField
+		if arg == "" {
+			arg = "*"
+		}
+		s = fmt.Sprintf("%s(%s)", g.Agg, arg)
+	default:
+		s = g.Field
+	}
+	if g.Alias != "" {
+		s += " AS " + g.Alias
+	}
+	return s
+}
+
+// CmpOp is a comparison operator in a filter predicate.
+type CmpOp int
+
+const (
+	CmpLT CmpOp = iota
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+	CmpNE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	case CmpEQ:
+		return "=="
+	case CmpNE:
+		return "!="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
+// Comparison is one "field op literal" term.
+type Comparison struct {
+	Pos   Pos
+	Field string
+	Op    CmpOp
+	// Lit is the literal operand: int64, float64, or string.
+	Lit any
+}
+
+func (c Comparison) String() string {
+	switch v := c.Lit.(type) {
+	case string:
+		return fmt.Sprintf("%s %s '%s'", c.Field, c.Op, v)
+	default:
+		return fmt.Sprintf("%s %s %v", c.Field, c.Op, v)
+	}
+}
+
+// Predicate is a conjunction of comparisons.
+type Predicate struct {
+	Terms []Comparison
+}
+
+func (p Predicate) String() string {
+	var terms []string
+	for _, t := range p.Terms {
+		terms = append(terms, t.String())
+	}
+	return strings.Join(terms, " AND ")
+}

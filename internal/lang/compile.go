@@ -1,0 +1,927 @@
+package lang
+
+import (
+	"fmt"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// Options controls compilation.
+type Options struct {
+	// Name labels the compiled workflow (default "query").
+	Name string
+}
+
+// CompileString parses and compiles a query against the given base dataset
+// descriptors, returning an annotated MapReduce workflow ready for Stubby.
+func CompileString(src string, bases []*wf.Dataset, opt Options) (*wf.Workflow, error) {
+	script, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(script, bases, opt)
+}
+
+// Compile lowers a parsed script to an annotated MapReduce workflow. Each
+// blocking operator (GROUP+FOREACH, JOIN, DISTINCT, ORDER, LIMIT) becomes a
+// MapReduce job; map-side operators (FILTER, flat FOREACH) fold into the
+// next job's map pipeline, as in Pig's compilation. Schema, filter, and
+// dataset annotations are derived mechanically from the query — the
+// annotation-extraction role Section 6 assigns to the workflow generator.
+func Compile(script *Script, bases []*wf.Dataset, opt Options) (*wf.Workflow, error) {
+	name := opt.Name
+	if name == "" {
+		name = "query"
+	}
+	c := &compiler{
+		w:     &wf.Workflow{Name: name},
+		bases: map[string]*wf.Dataset{},
+		rels:  map[string]*relState{},
+		ds:    map[string]bool{},
+		sinks: map[string]bool{},
+	}
+	for _, d := range bases {
+		c.bases[d.ID] = d
+	}
+	for _, st := range script.Stmts {
+		var err error
+		switch s := st.(type) {
+		case *Assign:
+			err = c.assign(s)
+		case *Split:
+			err = c.split(s)
+		case *Store:
+			err = c.store(s)
+		default:
+			err = errf(st.Position(), "unsupported statement %T", st)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(c.w.Jobs) == 0 {
+		return nil, fmt.Errorf("lang: script compiles to no MapReduce jobs; add a blocking operator or STORE a transformed relation")
+	}
+	if !c.stored {
+		return nil, fmt.Errorf("lang: script has no STORE statement; results would be discarded")
+	}
+	if err := c.w.Validate(); err != nil {
+		return nil, fmt.Errorf("lang: compiled workflow invalid: %w", err)
+	}
+	return c.w, nil
+}
+
+// relState tracks one relation: where its records come from (a materialized
+// dataset plus pending map-side stages) and what they look like (flat
+// schema, key split). States are immutable once bound; derivations copy.
+type relState struct {
+	name string
+	// ds is the source dataset; inKey/inVal name its record fields as this
+	// relation reads them (the branch K1/V1 schema annotation).
+	ds           string
+	inKey, inVal []string
+	// pending holds map-side stages to apply after reading ds; pendKeyW is
+	// the key width of records leaving the pipeline.
+	pending  []wf.Stage
+	pendKeyW int
+	// schema names the flat record fields after pending (key ++ value).
+	schema []string
+	// filters are input-subset annotations accumulated from FILTER
+	// statements (sound supersets of the exact predicates).
+	filters []wf.Filter
+	// grouped marks a GROUP result awaiting its FOREACH GENERATE.
+	grouped *groupState
+	// ordered marks an ORDER result awaiting LIMIT or materialization.
+	ordered *orderState
+}
+
+type groupState struct {
+	by    []string
+	byIdx []int
+}
+
+type orderState struct {
+	by    string
+	byIdx int
+	desc  bool
+}
+
+// derive copies the state for a downstream relation, dropping the deferred
+// markers.
+func (r *relState) derive(name string) *relState {
+	out := &relState{
+		name:     name,
+		ds:       r.ds,
+		inKey:    append([]string(nil), r.inKey...),
+		inVal:    append([]string(nil), r.inVal...),
+		pending:  append([]wf.Stage(nil), r.pending...),
+		pendKeyW: r.pendKeyW,
+		schema:   append([]string(nil), r.schema...),
+		filters:  append([]wf.Filter(nil), r.filters...),
+	}
+	return out
+}
+
+type compiler struct {
+	w      *wf.Workflow
+	bases  map[string]*wf.Dataset
+	rels   map[string]*relState
+	ds     map[string]bool // dataset IDs present in the workflow
+	sinks  map[string]bool // dataset IDs pinned by a STORE statement
+	jobSeq int
+	stgSeq int
+	stored bool
+}
+
+// rename re-labels an intermediate dataset that no job consumes and no
+// STORE has pinned, updating its producer and every relation reading it.
+// It reports whether the rename applied.
+func (c *compiler) rename(old, new string) bool {
+	d := c.w.Dataset(old)
+	if d == nil || d.Base || c.sinks[old] || len(c.w.Consumers(old)) > 0 {
+		return false
+	}
+	prod := c.w.Producer(old)
+	if prod == nil {
+		return false
+	}
+	for i := range prod.ReduceGroups {
+		if prod.ReduceGroups[i].Output == old {
+			prod.ReduceGroups[i].Output = new
+		}
+	}
+	d.ID = new
+	delete(c.ds, old)
+	c.ds[new] = true
+	c.sinks[new] = true
+	for _, r := range c.rels {
+		if r.ds == old {
+			r.ds = new
+		}
+	}
+	return true
+}
+
+func (c *compiler) newJobID() string {
+	c.jobSeq++
+	return fmt.Sprintf("Q%d", c.jobSeq)
+}
+
+func (c *compiler) stageName(prefix string) string {
+	c.stgSeq++
+	return fmt.Sprintf("%s%d", prefix, c.stgSeq)
+}
+
+// freshDS allocates a unique dataset ID, preferring the given name.
+func (c *compiler) freshDS(pref string) string {
+	if !c.ds[pref] {
+		return pref
+	}
+	for i := 2; ; i++ {
+		id := fmt.Sprintf("%s_%d", pref, i)
+		if !c.ds[id] {
+			return id
+		}
+	}
+}
+
+func (c *compiler) addDataset(d *wf.Dataset) {
+	c.w.Datasets = append(c.w.Datasets, d)
+	c.ds[d.ID] = true
+}
+
+func (c *compiler) rel(name string, pos Pos) (*relState, error) {
+	r, ok := c.rels[name]
+	if !ok {
+		return nil, errf(pos, "unknown relation %q", name)
+	}
+	return r, nil
+}
+
+// flatRel fetches a relation and rejects deferred GROUP/ORDER states that
+// the consuming operator cannot handle.
+func (c *compiler) flatRel(name string, pos Pos, op string) (*relState, error) {
+	r, err := c.rel(name, pos)
+	if err != nil {
+		return nil, err
+	}
+	if r.grouped != nil {
+		return nil, errf(pos, "%s cannot consume grouped relation %q; follow GROUP with FOREACH ... GENERATE", op, name)
+	}
+	if r.ordered != nil {
+		// Materialize the sort so the consumer sees a flat relation.
+		mat, err := c.materializeOrder(r, "", pos)
+		if err != nil {
+			return nil, err
+		}
+		c.rels[name] = mat
+		return mat, nil
+	}
+	return r, nil
+}
+
+func (c *compiler) assign(a *Assign) error {
+	var (
+		r   *relState
+		err error
+	)
+	switch op := a.Op.(type) {
+	case *Load:
+		r, err = c.load(a.Name, op, a.Pos)
+	case *Filter:
+		r, err = c.filter(a.Name, op, a.Pos)
+	case *Foreach:
+		r, err = c.foreach(a.Name, op, a.Pos)
+	case *Group:
+		r, err = c.group(a.Name, op, a.Pos)
+	case *Join:
+		r, err = c.join(a.Name, op, a.Pos)
+	case *Order:
+		r, err = c.order(a.Name, op, a.Pos)
+	case *Limit:
+		r, err = c.limit(a.Name, op, a.Pos)
+	case *Distinct:
+		r, err = c.distinct(a.Name, op, a.Pos)
+	default:
+		return errf(a.Pos, "unsupported operator %T", a.Op)
+	}
+	if err != nil {
+		return err
+	}
+	c.rels[a.Name] = r
+	return nil
+}
+
+func (c *compiler) load(name string, op *Load, pos Pos) (*relState, error) {
+	base, ok := c.bases[op.Dataset]
+	if !ok {
+		return nil, errf(pos, "unknown base dataset %q; pass its descriptor to Compile", op.Dataset)
+	}
+	if base.KeyFields == nil || base.ValueFields == nil {
+		return nil, errf(pos, "base dataset %q lacks key/value schema annotations required by LOAD", op.Dataset)
+	}
+	keyW := len(base.KeyFields)
+	total := keyW + len(base.ValueFields)
+	keyNames := append([]string(nil), base.KeyFields...)
+	valNames := append([]string(nil), base.ValueFields...)
+	if op.Schema != nil {
+		if len(op.Schema) != total {
+			return nil, errf(pos, "AS schema has %d fields but dataset %q has %d", len(op.Schema), op.Dataset, total)
+		}
+		keyNames = append([]string(nil), op.Schema[:keyW]...)
+		valNames = append([]string(nil), op.Schema[keyW:]...)
+	}
+	if err := checkUnique(append(append([]string{}, keyNames...), valNames...), pos); err != nil {
+		return nil, err
+	}
+	if !c.ds[base.ID] {
+		d := base.Clone()
+		d.Base = true
+		d.KeyFields = append([]string(nil), keyNames...)
+		d.ValueFields = append([]string(nil), valNames...)
+		c.addDataset(d)
+	}
+	return &relState{
+		name:     name,
+		ds:       base.ID,
+		inKey:    keyNames,
+		inVal:    valNames,
+		pendKeyW: keyW,
+		schema:   append(append([]string{}, keyNames...), valNames...),
+	}, nil
+}
+
+func (c *compiler) filter(name string, op *Filter, pos Pos) (*relState, error) {
+	src, err := c.flatRel(op.Rel, pos, "FILTER")
+	if err != nil {
+		return nil, err
+	}
+	terms := make([]compiledTerm, len(op.Pred.Terms))
+	for i, t := range op.Pred.Terms {
+		idx := fieldIndex(src.schema, t.Field)
+		if idx < 0 {
+			return nil, errf(t.Pos, "relation %q has no field %q (fields: %v)", op.Rel, t.Field, src.schema)
+		}
+		terms[i] = compiledTerm{idx: idx, op: t.Op, lit: keyval.T(t.Lit)[0]}
+	}
+	r := src.derive(name)
+	r.pending = append(r.pending, filterStage(c.stageName("F"), r.pendKeyW, terms))
+	r.filters = append(r.filters, filtersFromPredicate(op.Pred)...)
+	return r, nil
+}
+
+func (c *compiler) foreach(name string, op *Foreach, pos Pos) (*relState, error) {
+	src, err := c.rel(op.Rel, pos)
+	if err != nil {
+		return nil, err
+	}
+	if src.grouped != nil {
+		return c.foreachGrouped(name, op, src, pos)
+	}
+	if src.ordered != nil {
+		if src, err = c.flatRel(op.Rel, pos, "FOREACH"); err != nil {
+			return nil, err
+		}
+	}
+	// Flat projection: every item must be a plain field reference.
+	var idx []int
+	var names []string
+	for _, it := range op.Items {
+		if it.IsGroup || it.Agg != "" {
+			return nil, errf(it.Pos, "aggregate %q over non-grouped relation %q; GROUP it first", it, op.Rel)
+		}
+		i := fieldIndex(src.schema, it.Field)
+		if i < 0 {
+			return nil, errf(it.Pos, "relation %q has no field %q (fields: %v)", op.Rel, it.Field, src.schema)
+		}
+		idx = append(idx, i)
+		out := it.Field
+		if it.Alias != "" {
+			out = it.Alias
+		}
+		names = append(names, out)
+	}
+	if err := checkUnique(names, pos); err != nil {
+		return nil, err
+	}
+	r := src.derive(name)
+	r.pending = append(r.pending, projectStage(c.stageName("P"), r.pendKeyW, idx))
+	r.pendKeyW = 0
+	r.schema = names
+	return r, nil
+}
+
+func (c *compiler) group(name string, op *Group, pos Pos) (*relState, error) {
+	src, err := c.flatRel(op.Rel, pos, "GROUP")
+	if err != nil {
+		return nil, err
+	}
+	byIdx := make([]int, len(op.By))
+	for i, f := range op.By {
+		idx := fieldIndex(src.schema, f)
+		if idx < 0 {
+			return nil, errf(pos, "relation %q has no field %q (fields: %v)", op.Rel, f, src.schema)
+		}
+		byIdx[i] = idx
+	}
+	if err := checkUnique(op.By, pos); err != nil {
+		return nil, err
+	}
+	// The grouped relation keeps the source's flat schema as its inner
+	// (bag) schema for aggregate arguments; the deferred marker prevents
+	// anything but FOREACH ... GENERATE from consuming it.
+	r := src.derive(name)
+	r.grouped = &groupState{by: append([]string(nil), op.By...), byIdx: byIdx}
+	return r, nil
+}
+
+// foreachGrouped completes a GROUP: the aggregates fuse into the grouping
+// job's reduce function (as Pig compiles GROUP+FOREACH into one job), with
+// an algebraic combiner when every aggregate decomposes into
+// format-preserving merges (all of COUNT, SUM, AVG, MAX, MIN do).
+func (c *compiler) foreachGrouped(name string, op *Foreach, src *relState, pos Pos) (*relState, error) {
+	gs := src.grouped
+	var aggItems []GenItem
+	var outNames []string
+	for _, it := range op.Items {
+		switch {
+		case it.IsGroup:
+			// The group key is always the output key; the item is allowed
+			// for familiarity but adds no value fields.
+		case it.Agg != "":
+			if it.Agg != "COUNT" {
+				if idx := fieldIndex(src.schema, it.AggField); idx < 0 {
+					return nil, errf(it.Pos, "relation has no field %q (fields: %v)", it.AggField, src.schema)
+				}
+			}
+			aggItems = append(aggItems, it)
+			outNames = append(outNames, aggOutName(it))
+		default:
+			return nil, errf(it.Pos, "field %q in FOREACH over grouped relation; only `group` and aggregates are supported", it.Field)
+		}
+	}
+	if len(aggItems) == 0 {
+		return nil, errf(pos, "FOREACH over grouped relation needs at least one aggregate")
+	}
+	outNames = dedupeNames(outNames, gs.by)
+
+	plan := buildAggPlan(aggItems, func(f string) int { return fieldIndex(src.schema, f) })
+	slotNames := make([]string, len(plan.slots))
+	for i := range slotNames {
+		slotNames[i] = fmt.Sprintf("s%d", i)
+	}
+
+	jobID := c.newJobID()
+	outDS := c.freshDS(name)
+	branch := c.branch(src, aggInitStage(c.stageName("GA"), src.pendKeyW, gs.byIdx, plan.slots))
+	branch.KeyOut = append([]string(nil), gs.by...)
+	branch.ValOut = slotNames
+	combiner := aggCombineStage(c.stageName("GC"), plan.slots)
+	job := &wf.Job{
+		ID: jobID, Config: wf.DefaultConfig(), Origin: []string{jobID},
+		MapBranches: []wf.MapBranch{branch},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag:      0,
+			Stages:   []wf.Stage{aggFinalStage(c.stageName("GR"), plan)},
+			Combiner: &combiner,
+			Output:   outDS,
+			KeyIn:    append([]string(nil), gs.by...),
+			ValIn:    slotNames,
+			KeyOut:   append([]string(nil), gs.by...),
+			ValOut:   outNames,
+		}},
+	}
+	c.w.Jobs = append(c.w.Jobs, job)
+	c.addDataset(&wf.Dataset{ID: outDS, KeyFields: append([]string(nil), gs.by...), ValueFields: outNames})
+	return materializedRel(name, outDS, gs.by, outNames), nil
+}
+
+func (c *compiler) join(name string, op *Join, pos Pos) (*relState, error) {
+	left, err := c.flatRel(op.Left, pos, "JOIN")
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.flatRel(op.Right, pos, "JOIN")
+	if err != nil {
+		return nil, err
+	}
+	lIdx, err := fieldIndices(left.schema, op.LeftKeys, op.Left, pos)
+	if err != nil {
+		return nil, err
+	}
+	rIdx, err := fieldIndices(right.schema, op.RightKeys, op.Right, pos)
+	if err != nil {
+		return nil, err
+	}
+	lRestIdx, lRest := restFields(left.schema, lIdx)
+	rRestIdx, rRest := restFields(right.schema, rIdx)
+	// Join-key fields carry the left input's names on both branches:
+	// identical names assert that the data is the same after the equality
+	// join, which is what downstream flow reasoning needs.
+	keyNames := append([]string(nil), op.LeftKeys...)
+	rRest = dedupeNames(prefixCollisions(rRest, append(keyNames, lRest...), op.Right+"_"), keyNames)
+
+	lb := c.branch(left, joinMapStage(c.stageName("JL"), left.pendKeyW, lIdx, lRestIdx, "l"))
+	lb.KeyOut = keyNames
+	lb.ValOut = append([]string{"side"}, lRest...)
+	rb := c.branch(right, joinMapStage(c.stageName("JR"), right.pendKeyW, rIdx, rRestIdx, "r"))
+	rb.KeyOut = keyNames
+	rb.ValOut = append([]string{"side"}, rRest...)
+
+	jobID := c.newJobID()
+	outDS := c.freshDS(name)
+	outVal := append(append([]string{}, lRest...), rRest...)
+	job := &wf.Job{
+		ID: jobID, Config: wf.DefaultConfig(), Origin: []string{jobID},
+		MapBranches: []wf.MapBranch{lb, rb},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag:    0,
+			Stages: []wf.Stage{joinReduceStage(c.stageName("JM"))},
+			Output: outDS,
+			KeyIn:  keyNames,
+			KeyOut: keyNames,
+			ValOut: outVal,
+		}},
+	}
+	c.w.Jobs = append(c.w.Jobs, job)
+	c.addDataset(&wf.Dataset{ID: outDS, KeyFields: keyNames, ValueFields: outVal})
+	return materializedRel(name, outDS, keyNames, outVal), nil
+}
+
+func (c *compiler) order(name string, op *Order, pos Pos) (*relState, error) {
+	src, err := c.flatRel(op.Rel, pos, "ORDER")
+	if err != nil {
+		return nil, err
+	}
+	idx := fieldIndex(src.schema, op.By)
+	if idx < 0 {
+		return nil, errf(pos, "relation %q has no field %q (fields: %v)", op.Rel, op.By, src.schema)
+	}
+	r := src.derive(name)
+	r.ordered = &orderState{by: op.By, byIdx: idx, desc: op.Desc}
+	return r, nil
+}
+
+// materializeOrder compiles a standalone ORDER into a range-partitioned
+// sort job. The range requirement is expressed as a partition constraint —
+// the paper's example of an initial condition a workflow generator imposes
+// on a job's partition function (Section 3.4); Stubby's partition function
+// transformation later chooses split points from profile samples.
+func (c *compiler) materializeOrder(r *relState, target string, pos Pos) (*relState, error) {
+	os := r.ordered
+	if os.desc {
+		return nil, errf(pos, "ORDER ... DESC must be followed by LIMIT; materialized sorts are ascending")
+	}
+	restIdx, rest := restFields(r.schema, []int{os.byIdx})
+	outDS := target
+	if outDS == "" {
+		outDS = c.freshDS(r.name)
+	}
+	keyNames := []string{os.by}
+	branch := c.branch(r, rekeyStage(c.stageName("OS"), cpuRekey, r.pendKeyW, []int{os.byIdx}, restIdx))
+	branch.KeyOut = keyNames
+	branch.ValOut = rest
+	rt := keyval.RangePartition
+	jobID := c.newJobID()
+	job := &wf.Job{
+		ID: jobID, Config: wf.DefaultConfig(), Origin: []string{jobID},
+		MapBranches: []wf.MapBranch{branch},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag:    0,
+			Stages: []wf.Stage{emitAllStage(c.stageName("OE"))},
+			Output: outDS,
+			Part:   keyval.PartitionSpec{Type: keyval.RangePartition},
+			Constraints: []wf.PartitionConstraint{{
+				RequireType: &rt,
+				Reason:      "ORDER BY " + os.by,
+			}},
+			KeyIn:  keyNames,
+			ValIn:  rest,
+			KeyOut: keyNames,
+			ValOut: rest,
+		}},
+	}
+	c.w.Jobs = append(c.w.Jobs, job)
+	c.addDataset(&wf.Dataset{ID: outDS, KeyFields: keyNames, ValueFields: rest})
+	return materializedRel(r.name, outDS, keyNames, rest), nil
+}
+
+func (c *compiler) limit(name string, op *Limit, pos Pos) (*relState, error) {
+	src, err := c.rel(op.Rel, pos)
+	if err != nil {
+		return nil, err
+	}
+	if src.grouped != nil {
+		return nil, errf(pos, "LIMIT cannot consume grouped relation %q; follow GROUP with FOREACH ... GENERATE", op.Rel)
+	}
+	sortWidth := 0
+	desc := false
+	valIdx := identityIndices(len(src.schema))
+	valOut := append([]string(nil), src.schema...)
+	if src.ordered != nil {
+		sortWidth = 1
+		desc = src.ordered.desc
+		valIdx = append([]int{src.ordered.byIdx}, valIdx...)
+		valOut = append([]string{"sortkey"}, valOut...)
+	}
+	pre := rekeyStage(c.stageName("LK"), cpuRekey, src.pendKeyW, nil, valIdx)
+	local := limitLocalStage(c.stageName("LL"), op.N, sortWidth, desc)
+	branch := c.branch(src, pre, local)
+	branch.KeyOut = []string{"g"}
+	branch.ValOut = valOut
+
+	outNames := dedupeNames(append([]string(nil), src.schema...), []string{"rank"})
+	jobID := c.newJobID()
+	outDS := c.freshDS(name)
+	job := &wf.Job{
+		ID: jobID, Config: wf.DefaultConfig(), Origin: []string{jobID},
+		MapBranches: []wf.MapBranch{branch},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag:    0,
+			Stages: []wf.Stage{limitMergeStage(c.stageName("LM"), op.N, sortWidth, desc)},
+			Output: outDS,
+			KeyIn:  []string{"g"},
+			ValIn:  valOut,
+			KeyOut: []string{"rank"},
+			ValOut: outNames,
+		}},
+	}
+	c.w.Jobs = append(c.w.Jobs, job)
+	c.addDataset(&wf.Dataset{ID: outDS, KeyFields: []string{"rank"}, ValueFields: outNames})
+	return materializedRel(name, outDS, []string{"rank"}, outNames), nil
+}
+
+func (c *compiler) distinct(name string, op *Distinct, pos Pos) (*relState, error) {
+	src, err := c.flatRel(op.Rel, pos, "DISTINCT")
+	if err != nil {
+		return nil, err
+	}
+	branch := c.branch(src, distinctKeyStage(c.stageName("DK"), src.pendKeyW, len(src.schema)))
+	branch.KeyOut = append([]string(nil), src.schema...)
+	branch.ValOut = []string{}
+	combiner := distinctCombineStage(c.stageName("DC"))
+	jobID := c.newJobID()
+	outDS := c.freshDS(name)
+	job := &wf.Job{
+		ID: jobID, Config: wf.DefaultConfig(), Origin: []string{jobID},
+		MapBranches: []wf.MapBranch{branch},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag:      0,
+			Stages:   []wf.Stage{distinctReduceStage(c.stageName("DR"))},
+			Combiner: &combiner,
+			Output:   outDS,
+			KeyIn:    append([]string(nil), src.schema...),
+			ValIn:    []string{},
+			KeyOut:   append([]string(nil), src.schema...),
+			ValOut:   []string{},
+		}},
+	}
+	c.w.Jobs = append(c.w.Jobs, job)
+	c.addDataset(&wf.Dataset{ID: outDS, KeyFields: append([]string(nil), src.schema...), ValueFields: []string{}})
+	return materializedRel(name, outDS, src.schema, []string{}), nil
+}
+
+func (c *compiler) split(s *Split) error {
+	src, err := c.flatRel(s.Rel, s.Pos, "SPLIT")
+	if err != nil {
+		return err
+	}
+	_ = src // validated above; filter re-resolves by name
+	for _, arm := range s.Arms {
+		r, err := c.filter(arm.Name, &Filter{Rel: s.Rel, Pred: arm.Pred}, s.Pos)
+		if err != nil {
+			return err
+		}
+		c.rels[arm.Name] = r
+	}
+	return nil
+}
+
+func (c *compiler) store(s *Store) error {
+	src, err := c.rel(s.Rel, s.Pos)
+	if err != nil {
+		return err
+	}
+	if src.grouped != nil {
+		return errf(s.Pos, "cannot STORE grouped relation %q; follow GROUP with FOREACH ... GENERATE", s.Rel)
+	}
+	if c.ds[s.Dataset] {
+		if src.ds == s.Dataset && len(src.pending) == 0 && src.ordered == nil {
+			c.stored = true
+			c.sinks[s.Dataset] = true
+			return nil // already materialized under this name
+		}
+		return errf(s.Pos, "dataset %q already exists in the workflow", s.Dataset)
+	}
+	if src.ordered != nil {
+		if _, err := c.materializeOrder(src, s.Dataset, s.Pos); err != nil {
+			return err
+		}
+		c.stored = true
+		return nil
+	}
+	if len(src.pending) == 0 && src.ds != "" {
+		// Materialized under an auto-chosen name: rename the dataset in
+		// place when nothing else depends on it yet, so STORE does not
+		// spend a MapReduce job on a copy.
+		if c.rename(src.ds, s.Dataset) {
+			c.stored = true
+			return nil
+		}
+		// Otherwise copy with an identity map-only job so the requested
+		// output dataset exists alongside the original.
+		src = src.derive(src.name)
+		src.pending = append(src.pending, identityStage(c.stageName("ID")))
+	}
+	keyOut := append([]string(nil), src.schema[:src.pendKeyW]...)
+	valOut := append([]string(nil), src.schema[src.pendKeyW:]...)
+	branch := c.branch(src)
+	branch.KeyOut = keyOut
+	branch.ValOut = valOut
+	jobID := c.newJobID()
+	job := &wf.Job{
+		ID: jobID, Config: wf.DefaultConfig(), Origin: []string{jobID},
+		MapBranches: []wf.MapBranch{branch},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag:    0,
+			Output: s.Dataset,
+			KeyOut: keyOut,
+			ValOut: valOut,
+		}},
+	}
+	c.w.Jobs = append(c.w.Jobs, job)
+	c.addDataset(&wf.Dataset{ID: s.Dataset, KeyFields: keyOut, ValueFields: valOut})
+	c.stored = true
+	return nil
+}
+
+// branch assembles a map branch reading the relation's source dataset,
+// running its pending pipeline plus any extra stages, annotated with the
+// input schema and the best filter annotation.
+func (c *compiler) branch(r *relState, extra ...wf.Stage) wf.MapBranch {
+	stages := append(append([]wf.Stage{}, r.pending...), extra...)
+	return wf.MapBranch{
+		Tag:    0,
+		Input:  r.ds,
+		Stages: stages,
+		Filter: pickFilter(r.filters),
+		KeyIn:  append([]string(nil), r.inKey...),
+		ValIn:  append([]string(nil), r.inVal...),
+	}
+}
+
+func materializedRel(name, ds string, keyF, valF []string) *relState {
+	return &relState{
+		name:     name,
+		ds:       ds,
+		inKey:    append([]string(nil), keyF...),
+		inVal:    append([]string(nil), valF...),
+		pendKeyW: len(keyF),
+		schema:   append(append([]string{}, keyF...), valF...),
+	}
+}
+
+// --- helpers -------------------------------------------------------------------
+
+func fieldIndex(schema []string, name string) int {
+	for i, f := range schema {
+		if f == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func fieldIndices(schema, names []string, rel string, pos Pos) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx := fieldIndex(schema, n)
+		if idx < 0 {
+			return nil, errf(pos, "relation %q has no field %q (fields: %v)", rel, n, schema)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// restFields returns the indices and names of schema fields not in the
+// given index set, in schema order.
+func restFields(schema []string, used []int) ([]int, []string) {
+	usedSet := map[int]bool{}
+	for _, i := range used {
+		usedSet[i] = true
+	}
+	var idx []int
+	var names []string
+	for i, f := range schema {
+		if !usedSet[i] {
+			idx = append(idx, i)
+			names = append(names, f)
+		}
+	}
+	return idx, names
+}
+
+func identityIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func checkUnique(names []string, pos Pos) error {
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			return errf(pos, "duplicate field name %q", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// prefixCollisions renames entries of names that collide with taken by
+// prepending the prefix.
+func prefixCollisions(names, taken []string, prefix string) []string {
+	takenSet := map[string]bool{}
+	for _, t := range taken {
+		takenSet[t] = true
+	}
+	out := make([]string, len(names))
+	for i, n := range names {
+		if takenSet[n] {
+			out[i] = prefix + n
+		} else {
+			out[i] = n
+		}
+	}
+	return out
+}
+
+// dedupeNames suffixes duplicates (within names or against reserved) so the
+// final list is collision-free.
+func dedupeNames(names, reserved []string) []string {
+	seen := map[string]bool{}
+	for _, r := range reserved {
+		seen[r] = true
+	}
+	out := make([]string, len(names))
+	for i, n := range names {
+		cand := n
+		for k := 2; seen[cand]; k++ {
+			cand = fmt.Sprintf("%s_%d", n, k)
+		}
+		seen[cand] = true
+		out[i] = cand
+	}
+	return out
+}
+
+func aggOutName(it GenItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	switch it.Agg {
+	case "COUNT":
+		return "cnt"
+	case "SUM":
+		return "sum_" + it.AggField
+	case "AVG":
+		return "avg_" + it.AggField
+	case "MAX":
+		return "max_" + it.AggField
+	case "MIN":
+		return "min_" + it.AggField
+	default:
+		return it.Agg
+	}
+}
+
+// filtersFromPredicate derives per-field interval annotations from a
+// conjunction. Annotations must cover a superset of the records the exact
+// predicate accepts (that is what makes pruning against them sound), so
+// bounds that the half-open integer interval cannot express exactly are
+// relaxed: f > c over floats or strings contributes Lo=c, f <= c over
+// non-integers contributes no upper bound, and != contributes nothing.
+func filtersFromPredicate(pred Predicate) []wf.Filter {
+	ivs := map[string]keyval.Interval{}
+	order := []string{}
+	add := func(field string, iv keyval.Interval) {
+		cur, ok := ivs[field]
+		if !ok {
+			order = append(order, field)
+			ivs[field] = iv
+			return
+		}
+		ivs[field] = cur.Intersect(iv)
+	}
+	for _, t := range pred.Terms {
+		lit := keyval.T(t.Lit)[0]
+		switch t.Op {
+		case CmpGE:
+			add(t.Field, keyval.Interval{Lo: lit})
+		case CmpGT:
+			// Lo = lit is the tightest sound bound even for integer
+			// literals: fields are dynamically typed, so a float between
+			// lit and lit+1 can satisfy the exact predicate.
+			add(t.Field, keyval.Interval{Lo: lit})
+		case CmpLT:
+			add(t.Field, keyval.Interval{Hi: lit})
+		case CmpLE:
+			// Hi = lit+1 over-approximates x <= lit for every dynamic
+			// type that can compare equal to an integer, so it is sound;
+			// non-integers have no sound exclusive upper bound.
+			if i, ok := lit.(int64); ok {
+				add(t.Field, keyval.Interval{Hi: i + 1})
+			}
+		case CmpEQ:
+			switch v := lit.(type) {
+			case int64:
+				add(t.Field, keyval.Interval{Lo: v, Hi: v + 1})
+			case string:
+				add(t.Field, keyval.Interval{Lo: v, Hi: v + "\x00"})
+			default:
+				add(t.Field, keyval.Interval{Lo: lit})
+			}
+		case CmpNE:
+			// no interval information
+		}
+	}
+	var out []wf.Filter
+	for _, f := range order {
+		iv := ivs[f]
+		if iv.Unbounded() {
+			continue
+		}
+		out = append(out, wf.Filter{Field: f, Interval: iv})
+	}
+	return out
+}
+
+// pickFilter selects the most useful interval for the branch's single
+// filter annotation slot: bounded on both sides beats bounded on one.
+func pickFilter(filters []wf.Filter) *wf.Filter {
+	var best *wf.Filter
+	score := func(f wf.Filter) int {
+		s := 0
+		if f.Interval.Lo != nil {
+			s++
+		}
+		if f.Interval.Hi != nil {
+			s++
+		}
+		return s
+	}
+	for i := range filters {
+		if best == nil || score(filters[i]) > score(*best) {
+			best = &filters[i]
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	out := *best
+	return &out
+}

@@ -1,0 +1,376 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// testBases returns the base dataset descriptors shared by compile tests:
+// a lineitem-like table and a small dimension table.
+func testBases() []*wf.Dataset {
+	return []*wf.Dataset{
+		{
+			ID: "lineitem", Base: true,
+			KeyFields:   []string{"ord"},
+			ValueFields: []string{"part", "qty", "price"},
+			Layout:      wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"ord"}},
+		},
+		{
+			ID: "parts", Base: true,
+			KeyFields:   []string{"part"},
+			ValueFields: []string{"brand"},
+		},
+	}
+}
+
+func compileOK(t *testing.T, src string) *wf.Workflow {
+	t.Helper()
+	w, err := CompileString(src, testBases(), Options{Name: "t"})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("compiled workflow invalid: %v", err)
+	}
+	return w
+}
+
+func TestCompileFilterFoldsIntoNextJob(t *testing.T) {
+	w := compileOK(t, `
+		li = LOAD 'lineitem';
+		cheap = FILTER li BY price < 100;
+		g = GROUP cheap BY part;
+		r = FOREACH g GENERATE group, COUNT(*);
+		STORE r INTO 'out';
+	`)
+	if len(w.Jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1 (filter must fold into the group job)", len(w.Jobs))
+	}
+	j := w.Jobs[0]
+	b := j.MapBranches[0]
+	if len(b.Stages) != 2 {
+		t.Fatalf("branch stages = %d, want 2 (filter + agg init)", len(b.Stages))
+	}
+	if b.Filter == nil || b.Filter.Field != "price" {
+		t.Fatalf("filter annotation missing: %+v", b.Filter)
+	}
+	if hi, ok := b.Filter.Interval.Hi.(int64); !ok || hi != 100 {
+		t.Fatalf("filter Hi = %v", b.Filter.Interval.Hi)
+	}
+	if !wf.FieldsEqual(b.KeyIn, []string{"ord"}) || !wf.FieldsEqual(b.ValIn, []string{"part", "qty", "price"}) {
+		t.Fatalf("branch input schema = %v | %v", b.KeyIn, b.ValIn)
+	}
+	g := j.ReduceGroups[0]
+	if g.Combiner == nil {
+		t.Fatal("algebraic aggregate lost its combiner")
+	}
+	if !wf.FieldsEqual(g.KeyOut, []string{"part"}) || !wf.FieldsEqual(g.ValOut, []string{"cnt"}) {
+		t.Fatalf("group output schema = %v | %v", g.KeyOut, g.ValOut)
+	}
+}
+
+func TestCompileProjectionIsMapOnly(t *testing.T) {
+	w := compileOK(t, `
+		li = LOAD 'lineitem';
+		p = FOREACH li GENERATE part, price AS cost;
+		STORE p INTO 'out';
+	`)
+	if len(w.Jobs) != 1 || !w.Jobs[0].MapOnly() {
+		t.Fatalf("want one map-only job, got %s", w.Summary())
+	}
+	d := w.Dataset("out")
+	if !wf.FieldsEqual(d.ValueFields, []string{"part", "cost"}) {
+		t.Fatalf("out schema = %v | %v", d.KeyFields, d.ValueFields)
+	}
+}
+
+func TestCompileJoinShape(t *testing.T) {
+	w := compileOK(t, `
+		li = LOAD 'lineitem';
+		pp = LOAD 'parts';
+		j = JOIN li BY part, pp BY part;
+		STORE j INTO 'j';
+	`)
+	if len(w.Jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(w.Jobs))
+	}
+	j := w.Jobs[0]
+	if len(j.MapBranches) != 2 {
+		t.Fatalf("branches = %d, want 2", len(j.MapBranches))
+	}
+	for _, b := range j.MapBranches {
+		if !wf.FieldsEqual(b.KeyOut, []string{"part"}) {
+			t.Fatalf("branch KeyOut = %v, want [part]", b.KeyOut)
+		}
+	}
+	g := j.ReduceGroups[0]
+	if !wf.FieldsEqual(g.ValOut, []string{"ord", "qty", "price", "brand"}) {
+		t.Fatalf("join ValOut = %v", g.ValOut)
+	}
+}
+
+func TestCompileJoinRenamesCollisions(t *testing.T) {
+	w := compileOK(t, `
+		a = LOAD 'lineitem';
+		b = LOAD 'lineitem' AS (ord, part, qty, price);
+		j = JOIN a BY ord, b BY ord;
+		STORE j INTO 'j';
+	`)
+	g := w.Jobs[0].ReduceGroups[0]
+	want := []string{"part", "qty", "price", "b_part", "b_qty", "b_price"}
+	if !wf.FieldsEqual(g.ValOut, want) {
+		t.Fatalf("join ValOut = %v, want %v", g.ValOut, want)
+	}
+}
+
+func TestCompileOrderLimitTopK(t *testing.T) {
+	w := compileOK(t, `
+		li = LOAD 'lineitem';
+		g = GROUP li BY part;
+		c = FOREACH g GENERATE group, SUM(price) AS rev;
+		s = ORDER c BY rev DESC;
+		top = LIMIT s 5;
+		STORE top INTO 'top5';
+	`)
+	if len(w.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2 (group job + top-K job)\n%s", len(w.Jobs), w.Summary())
+	}
+	topJob := w.Producer("top5")
+	if topJob == nil {
+		t.Fatal("no producer for top5")
+	}
+	// The branch must contain the local selection (a reduce-kind stage with
+	// empty group fields running per-stream).
+	var local *wf.Stage
+	for i, s := range topJob.MapBranches[0].Stages {
+		if s.Kind == wf.ReduceKind {
+			local = &topJob.MapBranches[0].Stages[i]
+		}
+	}
+	if local == nil || local.GroupFields == nil || len(local.GroupFields) != 0 {
+		t.Fatalf("local top-K stage missing or mis-grouped: %+v", local)
+	}
+	d := w.Dataset("top5")
+	if !wf.FieldsEqual(d.KeyFields, []string{"rank"}) {
+		t.Fatalf("top5 key = %v", d.KeyFields)
+	}
+}
+
+func TestCompileStandaloneOrderRangeConstraint(t *testing.T) {
+	w := compileOK(t, `
+		li = LOAD 'lineitem';
+		s = ORDER li BY price;
+		STORE s INTO 'sorted';
+	`)
+	j := w.Producer("sorted")
+	g := j.ReduceGroups[0]
+	if g.Part.Type != keyval.RangePartition {
+		t.Fatalf("sort job partition type = %v, want range", g.Part.Type)
+	}
+	found := false
+	for _, c := range g.Constraints {
+		if c.RequireType != nil && *c.RequireType == keyval.RangePartition {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("range-partitioning constraint missing: %+v", g.Constraints)
+	}
+}
+
+func TestCompileOrderDescNeedsLimit(t *testing.T) {
+	_, err := CompileString(`
+		li = LOAD 'lineitem';
+		s = ORDER li BY price DESC;
+		STORE s INTO 'sorted';
+	`, testBases(), Options{})
+	if err == nil || !strings.Contains(err.Error(), "DESC") {
+		t.Fatalf("materialized DESC sort not rejected: %v", err)
+	}
+}
+
+func TestCompileDistinct(t *testing.T) {
+	w := compileOK(t, `
+		li = LOAD 'lineitem';
+		p = FOREACH li GENERATE part;
+		d = DISTINCT p;
+		STORE d INTO 'uniq';
+	`)
+	if len(w.Jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(w.Jobs))
+	}
+	g := w.Jobs[0].ReduceGroups[0]
+	if g.Combiner == nil {
+		t.Fatal("distinct lost its combiner")
+	}
+	if !wf.FieldsEqual(g.KeyOut, []string{"part"}) || len(g.ValOut) != 0 || g.ValOut == nil {
+		t.Fatalf("distinct schema = %v | %#v", g.KeyOut, g.ValOut)
+	}
+}
+
+func TestCompileSplitSharesInput(t *testing.T) {
+	// The US workload pattern: one producer, two filtered consumers — the
+	// shared input is the horizontal packing / partition pruning setup.
+	w := compileOK(t, `
+		li = LOAD 'lineitem';
+		SPLIT li INTO lo IF price < 50, hi IF price >= 50;
+		gl = GROUP lo BY part;
+		al = FOREACH gl GENERATE group, COUNT(*);
+		gh = GROUP hi BY part;
+		ah = FOREACH gh GENERATE group, COUNT(*);
+		STORE al INTO 'lo_counts';
+		STORE ah INTO 'hi_counts';
+	`)
+	if len(w.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2\n%s", len(w.Jobs), w.Summary())
+	}
+	var lo, hi *wf.Job
+	for _, j := range w.Jobs {
+		switch j.Outputs()[0] {
+		case "lo_counts":
+			lo = j
+		case "hi_counts":
+			hi = j
+		}
+	}
+	if lo == nil || hi == nil {
+		t.Fatalf("missing consumers:\n%s", w.Summary())
+	}
+	if lo.MapBranches[0].Input != "lineitem" || hi.MapBranches[0].Input != "lineitem" {
+		t.Fatal("split consumers do not share the base input")
+	}
+	lf, hf := lo.MapBranches[0].Filter, hi.MapBranches[0].Filter
+	if lf == nil || hf == nil {
+		t.Fatal("split filter annotations missing")
+	}
+	if lf.Interval.Overlaps(hf.Interval) {
+		t.Fatalf("split intervals overlap: %v vs %v", lf.Interval, hf.Interval)
+	}
+}
+
+func TestCompileStoreOfMaterializedCopies(t *testing.T) {
+	w := compileOK(t, `
+		li = LOAD 'lineitem';
+		g = GROUP li BY part;
+		c = FOREACH g GENERATE group, COUNT(*);
+		STORE c INTO 'c';
+		STORE c INTO 'c_again';
+	`)
+	// First store is a no-op (dataset already named c); second adds a copy.
+	if len(w.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2\n%s", len(w.Jobs), w.Summary())
+	}
+	cp := w.Producer("c_again")
+	if cp == nil || !cp.MapOnly() {
+		t.Fatalf("copy job missing or not map-only:\n%s", w.Summary())
+	}
+}
+
+func TestCompileFilterAnnotationRelaxations(t *testing.T) {
+	cases := []struct {
+		name, pred string
+		check      func(t *testing.T, f *wf.Filter)
+	}{
+		{"gt int", "qty > 5", func(t *testing.T, f *wf.Filter) {
+			// Lo stays 5 (not 6): a float 5.5 satisfies qty > 5, so the
+			// integer tightening would be unsound for dynamic fields.
+			if f == nil || f.Interval.Lo != int64(5) || f.Interval.Hi != nil {
+				t.Fatalf("filter = %v", f)
+			}
+		}},
+		{"le int", "qty <= 5", func(t *testing.T, f *wf.Filter) {
+			if f == nil || f.Interval.Hi != int64(6) {
+				t.Fatalf("filter = %v", f)
+			}
+		}},
+		{"gt float relaxed", "price > 5.5", func(t *testing.T, f *wf.Filter) {
+			if f == nil || f.Interval.Lo != 5.5 {
+				t.Fatalf("filter = %v", f)
+			}
+		}},
+		{"le float unbounded", "price <= 5.5", func(t *testing.T, f *wf.Filter) {
+			if f != nil {
+				t.Fatalf("filter = %v, want none (no sound Hi bound)", f)
+			}
+		}},
+		{"ne none", "qty != 5", func(t *testing.T, f *wf.Filter) {
+			if f != nil {
+				t.Fatalf("filter = %v, want none", f)
+			}
+		}},
+		{"range", "qty >= 2 AND qty < 8", func(t *testing.T, f *wf.Filter) {
+			if f == nil || f.Interval.Lo != int64(2) || f.Interval.Hi != int64(8) {
+				t.Fatalf("filter = %v", f)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := compileOK(t, `
+				li = LOAD 'lineitem';
+				f = FILTER li BY `+tc.pred+`;
+				g = GROUP f BY part;
+				r = FOREACH g GENERATE group, COUNT(*);
+				STORE r INTO 'out';
+			`)
+			tc.check(t, w.Jobs[0].MapBranches[0].Filter)
+		})
+	}
+}
+
+func TestCompileEqStringAnnotation(t *testing.T) {
+	w := compileOK(t, `
+		pp = LOAD 'parts';
+		f = FILTER pp BY brand == 'acme';
+		g = GROUP f BY part;
+		r = FOREACH g GENERATE group, COUNT(*);
+		STORE r INTO 'out';
+	`)
+	f := w.Jobs[0].MapBranches[0].Filter
+	if f == nil || f.Interval.Lo != "acme" || f.Interval.Hi != "acme\x00" {
+		t.Fatalf("string equality annotation = %v", f)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"unknown dataset", "r = LOAD 'nope'; STORE r INTO 'x';", "unknown base dataset"},
+		{"unknown relation", "r = FILTER ghost BY a < 1; STORE r INTO 'x';", "unknown relation"},
+		{"unknown field", "r = LOAD 'lineitem'; f = FILTER r BY ghost < 1; STORE f INTO 'x';", "no field"},
+		{"as width", "r = LOAD 'lineitem' AS (a, b); STORE r INTO 'x';", "AS schema has 2 fields"},
+		{"group then filter", "r = LOAD 'lineitem'; g = GROUP r BY part; f = FILTER g BY qty < 1; STORE f INTO 'x';", "grouped relation"},
+		{"store grouped", "r = LOAD 'lineitem'; g = GROUP r BY part; STORE g INTO 'x';", "grouped relation"},
+		{"agg without group", "r = LOAD 'lineitem'; f = FOREACH r GENERATE COUNT(*); STORE f INTO 'x';", "non-grouped"},
+		{"plain field in grouped foreach", "r = LOAD 'lineitem'; g = GROUP r BY part; f = FOREACH g GENERATE qty; STORE f INTO 'x';", "only `group` and aggregates"},
+		{"no aggregates", "r = LOAD 'lineitem'; g = GROUP r BY part; f = FOREACH g GENERATE group; STORE f INTO 'x';", "at least one aggregate"},
+		{"duplicate store", "r = LOAD 'lineitem'; STORE r INTO 'o'; s = FILTER r BY qty < 1; STORE s INTO 'o';", "already exists"},
+		{"store into base", "r = LOAD 'lineitem'; f = FILTER r BY qty < 1; STORE f INTO 'lineitem';", "already exists"},
+		{"no store", "r = LOAD 'lineitem'; f = FILTER r BY qty < 1;", "no MapReduce jobs"},
+		{"no store with job", "r = LOAD 'lineitem'; g = GROUP r BY part; c = FOREACH g GENERATE group, COUNT(*);", "no STORE"},
+		{"dup projection names", "r = LOAD 'lineitem'; p = FOREACH r GENERATE qty, price AS qty; STORE p INTO 'x';", "duplicate field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CompileString(tc.src, testBases(), Options{})
+			if err == nil {
+				t.Fatal("compile succeeded")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestCompileLoadWithoutSchemaAnnotationsFails(t *testing.T) {
+	bases := []*wf.Dataset{{ID: "raw", Base: true}}
+	_, err := CompileString("r = LOAD 'raw'; STORE r INTO 'x';", bases, Options{})
+	if err == nil || !strings.Contains(err.Error(), "schema annotations") {
+		t.Fatalf("schema-less load not rejected: %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package lang
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/optimizer"
+	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// TestComposeCleaningWithQuery reproduces the paper's Figure 1 story: a
+// hand-written workflow cleans OLTP snapshots, and an independently
+// developed query (the Pig role) consumes its output; the two are composed
+// Oozie-style and optimized as one plan. Stubby must find cross-component
+// packing opportunities and must not change the results.
+func TestComposeCleaningWithQuery(t *testing.T) {
+	// Raw snapshot: key (ord), value (part, qty, price, status); status 1
+	// marks records the cleaning stage keeps.
+	var raw []keyval.Pair
+	for i := 0; i < 400; i++ {
+		raw = append(raw, keyval.Pair{
+			Key: keyval.T(int64(i)),
+			Value: keyval.T(
+				"p"+string(rune('0'+i%4)),
+				int64(i%5+1),
+				float64(i%9)*2.5,
+				int64(i%10/7), // ~30% dirty
+			),
+		})
+	}
+	dfs := mrsim.NewDFS()
+	if err := dfs.Ingest("raw", raw, mrsim.IngestSpec{
+		NumPartitions: 4,
+		KeyFields:     []string{"ord"},
+		Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"ord"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Component 1: the hand-written cleaning workflow (a "Java" job):
+	// drop records with status != 0 and strip the status column.
+	cleanStage := wf.MapStage("M_clean", func(k, v keyval.Tuple, emit wf.Emit) {
+		if v[3] == int64(0) {
+			emit(k, v[:3])
+		}
+	}, 1e-6)
+	cleaning := &wf.Workflow{
+		Name: "cleaning",
+		Jobs: []*wf.Job{{
+			ID: "CLEAN", Config: wf.DefaultConfig(), Origin: []string{"CLEAN"},
+			MapBranches: []wf.MapBranch{{
+				Tag: 0, Input: "raw",
+				Stages: []wf.Stage{cleanStage},
+				KeyIn:  []string{"ord"}, ValIn: []string{"part", "qty", "price", "status"},
+				KeyOut: []string{"ord"}, ValOut: []string{"part", "qty", "price"},
+			}},
+			ReduceGroups: []wf.ReduceGroup{{
+				Tag: 0, Output: "cleaned",
+				KeyOut: []string{"ord"}, ValOut: []string{"part", "qty", "price"},
+			}},
+		}},
+		Datasets: []*wf.Dataset{
+			{ID: "raw", Base: true, KeyFields: []string{"ord"}, ValueFields: []string{"part", "qty", "price", "status"}},
+			{ID: "cleaned", KeyFields: []string{"ord"}, ValueFields: []string{"part", "qty", "price"}},
+		},
+	}
+
+	// Component 2: the report query, developed against "cleaned" as if it
+	// were a base dataset (the query author never sees the cleaning code).
+	report, err := CompileString(`
+		c = LOAD 'cleaned';
+		g = GROUP c BY part;
+		r = FOREACH g GENERATE group, COUNT(*) AS n, SUM(price) AS rev;
+		STORE r INTO 'report';
+	`, []*wf.Dataset{{
+		ID: "cleaned", Base: true,
+		KeyFields:   []string{"ord"},
+		ValueFields: []string{"part", "qty", "price"},
+	}}, Options{Name: "report"})
+	if err != nil {
+		t.Fatalf("compile report: %v", err)
+	}
+
+	combined, err := wf.Compose("figure1", cleaning, report)
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	if combined.Dataset("cleaned").Base {
+		t.Fatal("stitched dataset still base")
+	}
+
+	cl := mrsim.DefaultCluster()
+	cl.VirtualScale = 2000
+	if err := profile.NewProfiler(cl, 1.0, 1).Annotate(combined, dfs); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	res, err := optimizer.New(cl, optimizer.Options{Seed: 1}).Optimize(combined)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	// The map-only cleaning job packs into the query's aggregation job:
+	// cross-component inter-job vertical packing.
+	if len(res.Plan.Jobs) != 1 {
+		t.Errorf("cross-component packing missed: %d jobs\n%s", len(res.Plan.Jobs), res.Plan.Summary())
+	}
+
+	collect := func(plan *wf.Workflow) []keyval.Pair {
+		d := dfs.Clone()
+		if _, err := mrsim.NewEngine(cl, d).RunWorkflow(plan); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		st, ok := d.Get("report")
+		if !ok {
+			t.Fatal("report missing")
+		}
+		pairs := st.AllPairs()
+		keyval.SortPairs(pairs, nil)
+		return pairs
+	}
+	want := collect(combined)
+	got := collect(res.Plan)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("optimized composition changed results:\nwant %v\ngot  %v", want, got)
+	}
+	if len(want) != 4 {
+		t.Fatalf("report groups = %d, want 4", len(want))
+	}
+}

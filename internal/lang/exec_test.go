@@ -1,0 +1,353 @@
+package lang
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/optimizer"
+	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// execBases builds a small deterministic DFS with the test tables:
+//
+//	sales:   (ord | part, qty, price)  — 60 rows, parts p0..p4
+//	parts:   (part | brand)            — 5 rows
+func execBases(t *testing.T) (*mrsim.DFS, []*wf.Dataset) {
+	t.Helper()
+	var sales []keyval.Pair
+	for i := 0; i < 60; i++ {
+		part := "p" + string(rune('0'+i%5))
+		sales = append(sales, keyval.Pair{
+			Key:   keyval.T(int64(i)),
+			Value: keyval.T(part, int64(i%7+1), float64(i%10)*1.5),
+		})
+	}
+	var parts []keyval.Pair
+	for i := 0; i < 5; i++ {
+		p := "p" + string(rune('0'+i))
+		parts = append(parts, keyval.Pair{Key: keyval.T(p), Value: keyval.T("brand" + p)})
+	}
+	dfs := mrsim.NewDFS()
+	if err := dfs.Ingest("sales", sales, mrsim.IngestSpec{
+		NumPartitions: 4,
+		KeyFields:     []string{"ord"},
+		Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"ord"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dfs.Ingest("parts", parts, mrsim.IngestSpec{
+		NumPartitions: 2,
+		KeyFields:     []string{"part"},
+		Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"part"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bases := []*wf.Dataset{
+		{ID: "sales", Base: true, KeyFields: []string{"ord"}, ValueFields: []string{"part", "qty", "price"}},
+		{ID: "parts", Base: true, KeyFields: []string{"part"}, ValueFields: []string{"brand"}},
+	}
+	return dfs, bases
+}
+
+func execCluster() *mrsim.Cluster {
+	c := mrsim.DefaultCluster()
+	c.VirtualScale = 1000
+	return c
+}
+
+// runQuery compiles and executes a query, returning the sorted pairs of the
+// named output dataset.
+func runQuery(t *testing.T, src, out string) []keyval.Pair {
+	t.Helper()
+	dfs, bases := execBases(t)
+	w, err := CompileString(src, bases, Options{Name: "exec"})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := mrsim.NewEngine(execCluster(), dfs).RunWorkflow(w); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st, ok := dfs.Get(out)
+	if !ok {
+		t.Fatalf("output %q not materialized", out)
+	}
+	pairs := st.AllPairs()
+	keyval.SortPairs(pairs, nil)
+	return pairs
+}
+
+func TestExecGroupAggregates(t *testing.T) {
+	got := runQuery(t, `
+		s = LOAD 'sales';
+		g = GROUP s BY part;
+		r = FOREACH g GENERATE group, COUNT(*) AS n, SUM(qty) AS tq, AVG(price) AS mp, MAX(qty), MIN(price);
+		STORE r INTO 'agg';
+	`, "agg")
+	// Compute expectations directly from the generator formula.
+	type acc struct {
+		n          int64
+		qty        int64
+		price      float64
+		maxQ       int64
+		minP       float64
+		havePrices bool
+	}
+	accs := map[string]*acc{}
+	for i := 0; i < 60; i++ {
+		part := "p" + string(rune('0'+i%5))
+		q := int64(i%7 + 1)
+		p := float64(i%10) * 1.5
+		a, ok := accs[part]
+		if !ok {
+			a = &acc{minP: p, maxQ: q}
+			accs[part] = a
+		}
+		a.n++
+		a.qty += q
+		a.price += p
+		if q > a.maxQ {
+			a.maxQ = q
+		}
+		if p < a.minP {
+			a.minP = p
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("groups = %d, want 5: %v", len(got), got)
+	}
+	for _, pr := range got {
+		part := pr.Key[0].(string)
+		a := accs[part]
+		if a == nil {
+			t.Fatalf("unexpected group %q", part)
+		}
+		want := keyval.T(a.n, float64(a.qty), a.price/float64(a.n), a.maxQ, a.minP)
+		if keyval.Compare(pr.Value, want) != 0 {
+			t.Errorf("group %s = %v, want %v", part, pr.Value, want)
+		}
+	}
+}
+
+func TestExecJoin(t *testing.T) {
+	got := runQuery(t, `
+		s = LOAD 'sales';
+		p = LOAD 'parts';
+		j = JOIN s BY part, p BY part;
+		STORE j INTO 'joined';
+	`, "joined")
+	if len(got) != 60 {
+		t.Fatalf("join rows = %d, want 60", len(got))
+	}
+	for _, pr := range got {
+		part := pr.Key[0].(string)
+		brand := pr.Value[len(pr.Value)-1].(string)
+		if brand != "brand"+part {
+			t.Errorf("row %v joined wrong brand %q", pr, brand)
+		}
+	}
+}
+
+func TestExecJoinFiltersBothSides(t *testing.T) {
+	got := runQuery(t, `
+		s = LOAD 'sales';
+		cheap = FILTER s BY price < 6;
+		p = LOAD 'parts';
+		sel = FILTER p BY part == 'p2';
+		j = JOIN cheap BY part, sel BY part;
+		STORE j INTO 'joined';
+	`, "joined")
+	want := 0
+	for i := 0; i < 60; i++ {
+		if i%5 == 2 && float64(i%10)*1.5 < 6 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("filtered join rows = %d, want %d", len(got), want)
+	}
+	for _, pr := range got {
+		if pr.Key[0].(string) != "p2" {
+			t.Errorf("row %v escaped the part filter", pr)
+		}
+	}
+}
+
+func TestExecOrderLimitDesc(t *testing.T) {
+	got := runQuery(t, `
+		s = LOAD 'sales';
+		g = GROUP s BY part;
+		rev = FOREACH g GENERATE group, SUM(price) AS total;
+		srt = ORDER rev BY total DESC;
+		top = LIMIT srt 3;
+		STORE top INTO 'top3';
+	`, "top3")
+	if len(got) != 3 {
+		t.Fatalf("top rows = %d, want 3", len(got))
+	}
+	// Ranks ascend while totals descend.
+	for i, pr := range got {
+		if pr.Key[0].(int64) != int64(i+1) {
+			t.Fatalf("rank %d = %v", i, pr.Key)
+		}
+		if i > 0 && got[i-1].Value[1].(float64) < pr.Value[1].(float64) {
+			t.Errorf("totals not descending: %v then %v", got[i-1].Value, pr.Value)
+		}
+	}
+}
+
+func TestExecOrderLimitAsc(t *testing.T) {
+	got := runQuery(t, `
+		s = LOAD 'sales';
+		g = GROUP s BY part;
+		rev = FOREACH g GENERATE group, SUM(price) AS total;
+		srt = ORDER rev BY total ASC;
+		bottom = LIMIT srt 2;
+		STORE bottom INTO 'bottom2';
+	`, "bottom2")
+	if len(got) != 2 {
+		t.Fatalf("rows = %d, want 2", len(got))
+	}
+	if got[0].Value[1].(float64) > got[1].Value[1].(float64) {
+		t.Errorf("totals not ascending: %v then %v", got[0].Value, got[1].Value)
+	}
+}
+
+func TestExecMaterializedOrder(t *testing.T) {
+	got := runQuery(t, `
+		s = LOAD 'sales';
+		g = GROUP s BY part;
+		rev = FOREACH g GENERATE group, SUM(price) AS total;
+		srt = ORDER rev BY total;
+		STORE srt INTO 'sorted';
+	`, "sorted")
+	if len(got) != 5 {
+		t.Fatalf("rows = %d, want 5", len(got))
+	}
+	// Output key is the sort field.
+	for i := 1; i < len(got); i++ {
+		if keyval.Compare(got[i-1].Key, got[i].Key) > 0 {
+			t.Errorf("sort keys out of order at %d: %v then %v", i, got[i-1].Key, got[i].Key)
+		}
+	}
+}
+
+func TestExecDistinct(t *testing.T) {
+	got := runQuery(t, `
+		s = LOAD 'sales';
+		p = FOREACH s GENERATE part;
+		d = DISTINCT p;
+		STORE d INTO 'uniq';
+	`, "uniq")
+	if len(got) != 5 {
+		t.Fatalf("distinct parts = %d, want 5", len(got))
+	}
+}
+
+func TestExecSplitTwoStores(t *testing.T) {
+	dfs, bases := execBases(t)
+	w, err := CompileString(`
+		s = LOAD 'sales';
+		SPLIT s INTO lo IF qty < 4, hi IF qty >= 4;
+		gl = GROUP lo BY part;
+		al = FOREACH gl GENERATE group, COUNT(*) AS n;
+		gh = GROUP hi BY part;
+		ah = FOREACH gh GENERATE group, COUNT(*) AS n;
+		STORE al INTO 'lo_n';
+		STORE ah INTO 'hi_n';
+	`, bases, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := mrsim.NewEngine(execCluster(), dfs).RunWorkflow(w); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sum := func(ds string) int64 {
+		st, ok := dfs.Get(ds)
+		if !ok {
+			t.Fatalf("%s missing", ds)
+		}
+		var total int64
+		for _, pr := range st.AllPairs() {
+			total += pr.Value[0].(int64)
+		}
+		return total
+	}
+	if lo, hi := sum("lo_n"), sum("hi_n"); lo+hi != 60 {
+		t.Fatalf("split counts lo=%d hi=%d, want total 60", lo, hi)
+	}
+}
+
+func TestExecFilterTypesAndOperators(t *testing.T) {
+	got := runQuery(t, `
+		s = LOAD 'sales';
+		f = FILTER s BY qty >= 2 AND qty != 5 AND price < 12.5 AND part == 'p1';
+		g = GROUP f BY part;
+		r = FOREACH g GENERATE group, COUNT(*) AS n;
+		STORE r INTO 'n';
+	`, "n")
+	want := int64(0)
+	for i := 0; i < 60; i++ {
+		q := int64(i%7 + 1)
+		p := float64(i%10) * 1.5
+		if i%5 == 1 && q >= 2 && q != 5 && p < 12.5 {
+			want++
+		}
+	}
+	if len(got) != 1 || got[0].Value[0].(int64) != want {
+		t.Fatalf("filtered count = %v, want %d", got, want)
+	}
+}
+
+// TestExecOptimizedQueryEquivalence is the paper's correctness contract
+// applied to the language path: profile a compiled query, let Stubby
+// transform it, and check the optimized plan produces identical outputs.
+func TestExecOptimizedQueryEquivalence(t *testing.T) {
+	src := `
+		s = LOAD 'sales';
+		SPLIT s INTO lo IF price < 7, hi IF price >= 7;
+		gl = GROUP lo BY part;
+		al = FOREACH gl GENERATE group, COUNT(*) AS n, SUM(price) AS rev;
+		gh = GROUP hi BY part;
+		ah = FOREACH gh GENERATE group, COUNT(*) AS n, MAX(qty) AS mq;
+		STORE al INTO 'lo_agg';
+		STORE ah INTO 'hi_agg';
+	`
+	dfs, bases := execBases(t)
+	w, err := CompileString(src, bases, Options{Name: "equiv"})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cl := execCluster()
+	if err := profile.NewProfiler(cl, 1.0, 1).Annotate(w, dfs); err != nil {
+		t.Fatalf("profile: %v", err)
+	}
+	res, err := optimizer.New(cl, optimizer.Options{Seed: 1}).Optimize(w)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	collect := func(plan *wf.Workflow) map[string][]keyval.Pair {
+		d := dfs.Clone()
+		if _, err := mrsim.NewEngine(cl, d).RunWorkflow(plan); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		out := map[string][]keyval.Pair{}
+		for _, ds := range []string{"lo_agg", "hi_agg"} {
+			st, ok := d.Get(ds)
+			if !ok {
+				t.Fatalf("%s missing", ds)
+			}
+			pairs := st.AllPairs()
+			keyval.SortPairs(pairs, nil)
+			out[ds] = pairs
+		}
+		return out
+	}
+	want := collect(w)
+	got := collect(res.Plan)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("optimized query changed results:\nwant %v\ngot  %v", want, got)
+	}
+}

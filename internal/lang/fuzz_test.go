@@ -1,0 +1,76 @@
+package lang
+
+import (
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary inputs. In normal
+// test runs only the seed corpus executes; `go test -fuzz=FuzzParse
+// ./internal/lang` explores further. The invariants: Parse never panics,
+// and when it succeeds the canonical rendering reparses to the same
+// rendering (print-parse fixpoint).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		comprehensiveScript,
+		"r = LOAD 'x';",
+		"r = LOAD 'x' AS (a, b); s = FILTER r BY a < 1 AND b == 'q'; STORE s INTO 'o';",
+		"SPLIT r INTO a IF x < 1, b IF x >= 1;",
+		"g = GROUP r BY (a, b); s = FOREACH g GENERATE group, COUNT(*), AVG(a) AS m;",
+		"j = JOIN a BY (x, y), b BY (u, v); o = ORDER j BY x DESC; t = LIMIT o 3;",
+		"-- comment only\n",
+		"r = LOAD 'x'; -- trailing\nSTORE r INTO 'y';",
+		"'", "''", ";;;", "= = =", "r = FILTER s BY a <",
+		"\x00\x01\x02", "r = LOAD 'x\n';",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := script.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%s", err, printed)
+		}
+		if again.String() != printed {
+			t.Fatalf("print-parse not a fixpoint:\n%s\nvs\n%s", printed, again.String())
+		}
+	})
+}
+
+// FuzzCompile feeds parsed-and-compilable scripts through the compiler.
+// The invariant: CompileString never panics, and any workflow it returns
+// validates.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"r = LOAD 't'; g = GROUP r BY grp; s = FOREACH g GENERATE group, COUNT(*); STORE s INTO 'o';",
+		"r = LOAD 't'; f = FILTER r BY x < 5; STORE f INTO 'o';",
+		"r = LOAD 't'; d = DISTINCT r; STORE d INTO 'o';",
+		"r = LOAD 't'; o = ORDER r BY x; STORE o INTO 's';",
+		"r = LOAD 't'; o = ORDER r BY x DESC; l = LIMIT o 2; STORE l INTO 's';",
+		"a = LOAD 't'; b = LOAD 't'; j = JOIN a BY id, b BY id; STORE j INTO 'o';",
+		"r = LOAD 't'; SPLIT r INTO u IF x < 1, v IF x >= 1; STORE u INTO 'a'; STORE v INTO 'b';",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	bases := []*wf.Dataset{{
+		ID: "t", Base: true,
+		KeyFields:   []string{"id"},
+		ValueFields: []string{"grp", "x"},
+	}}
+	f.Fuzz(func(t *testing.T, src string) {
+		w, err := CompileString(src, bases, Options{})
+		if err != nil {
+			return
+		}
+		if verr := w.Validate(); verr != nil {
+			t.Fatalf("compiled workflow invalid without error: %v", verr)
+		}
+	})
+}

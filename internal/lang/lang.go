@@ -1,0 +1,46 @@
+// Package lang is a query-based interface for generating annotated
+// MapReduce workflows, in the role Pig Latin plays in the paper's
+// evaluation stack (Figure 2). It demonstrates the interface spectrum:
+// Stubby's optimizer-level components are untouched; the language front-end
+// merely compiles queries to plans and derives the schema, filter, and
+// dataset annotations mechanically during compilation — exactly the
+// annotation-extraction duty Section 6 assigns to the workflow generator.
+//
+// # Language
+//
+// A script is a sequence of statements terminated by semicolons; comments
+// run from "--" to end of line. Keywords are case-insensitive.
+//
+//	rel  = LOAD 'dataset' [AS (f1, f2, ...)]
+//	rel  = FILTER rel BY field op literal [AND field op literal ...]
+//	rel  = FOREACH rel GENERATE item [, item ...]
+//	rel  = GROUP rel BY field | GROUP rel BY (f1, f2, ...)
+//	rel  = JOIN a BY ka, b BY kb        (inner equi-join; key lists allowed)
+//	rel  = ORDER rel BY field [ASC|DESC]
+//	rel  = LIMIT rel n
+//	rel  = DISTINCT rel
+//	SPLIT rel INTO a IF pred, b IF pred [, ...]
+//	STORE rel INTO 'dataset'
+//
+// GENERATE items are field references (with optional AS alias) over flat
+// relations, or `group` and aggregate calls — COUNT(*), COUNT(f), SUM(f),
+// AVG(f), MAX(f), MIN(f) — over GROUP results. Comparison operators are <,
+// <=, >, >=, ==, != against integer, decimal, or 'string' literals.
+//
+// # Compilation
+//
+// Blocking operators (GROUP+FOREACH, JOIN, DISTINCT, ORDER, LIMIT) each
+// become one MapReduce job; FILTER and flat FOREACH fold into the next
+// job's map pipeline (or a map-only job at STORE), as Pig compiles them.
+// GROUP fuses with the following FOREACH into a single job whose reduce
+// computes the aggregates, with an algebraic combiner. ORDER followed by
+// LIMIT compiles to the scalable top-K pattern (task-local selection, one
+// merge group); a standalone ORDER compiles to a sort job carrying a
+// range-partitioning constraint that Stubby's partition function
+// transformation later satisfies with profile-driven split points.
+//
+// The compiled plan is deliberately unoptimized — it is Stubby's input, so
+// queries with shared scans, packable producer-consumer chains, and
+// prunable filters present exactly the opportunities the optimizer's
+// transformations exploit.
+package lang

@@ -1,0 +1,519 @@
+package lang
+
+import "strconv"
+
+// Parse turns query source text into a Script. Errors carry source
+// positions ("lang: line:col: message").
+func Parse(src string) (*Script, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	script := &Script{}
+	for p.tok.kind != tokEOF {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		script.Stmts = append(script.Stmts, st)
+		if err := p.expect(tokSemi, "';' after statement"); err != nil {
+			return nil, err
+		}
+	}
+	if len(script.Stmts) == 0 {
+		return nil, errf(p.tok.pos, "empty script")
+	}
+	return script, nil
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// expect consumes a token of the given kind or fails with a description of
+// what was required.
+func (p *parser) expect(kind tokKind, what string) error {
+	if p.tok.kind != kind {
+		return errf(p.tok.pos, "expected %s, found %s", what, p.tok)
+	}
+	return p.advance()
+}
+
+// keyword consumes the given keyword or fails.
+func (p *parser) keyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return errf(p.tok.pos, "expected %s, found %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokKeyword && p.tok.text == kw
+}
+
+func (p *parser) ident(what string) (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", errf(p.tok.pos, "expected %s, found %s", what, p.tok)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *parser) stringLit(what string) (string, error) {
+	if p.tok.kind != tokString {
+		return "", errf(p.tok.pos, "expected %s, found %s", what, p.tok)
+	}
+	s := p.tok.text
+	return s, p.advance()
+}
+
+func (p *parser) statement() (Stmt, error) {
+	pos := p.tok.pos
+	switch {
+	case p.atKeyword("STORE"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rel, err := p.ident("relation name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("INTO"); err != nil {
+			return nil, err
+		}
+		ds, err := p.stringLit("dataset name")
+		if err != nil {
+			return nil, err
+		}
+		return &Store{Pos: pos, Rel: rel, Dataset: ds}, nil
+	case p.atKeyword("SPLIT"):
+		return p.split(pos)
+	case p.tok.kind == tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokAssign, "'=' after relation name"); err != nil {
+			return nil, err
+		}
+		op, err := p.operator()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Pos: pos, Name: name, Op: op}, nil
+	default:
+		return nil, errf(pos, "expected statement, found %s", p.tok)
+	}
+}
+
+func (p *parser) split(pos Pos) (Stmt, error) {
+	if err := p.advance(); err != nil { // SPLIT
+		return nil, err
+	}
+	rel, err := p.ident("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("INTO"); err != nil {
+		return nil, err
+	}
+	s := &Split{Pos: pos, Rel: rel}
+	for {
+		name, err := p.ident("split target name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("IF"); err != nil {
+			return nil, err
+		}
+		pred, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		s.Arms = append(s.Arms, SplitArm{Name: name, Pred: pred})
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.Arms) < 2 {
+		return nil, errf(pos, "SPLIT needs at least two arms, got %d", len(s.Arms))
+	}
+	return s, nil
+}
+
+func (p *parser) operator() (Op, error) {
+	pos := p.tok.pos
+	if p.tok.kind != tokKeyword {
+		return nil, errf(pos, "expected operator keyword, found %s", p.tok)
+	}
+	kw := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	switch kw {
+	case "LOAD":
+		return p.load()
+	case "FILTER":
+		rel, err := p.ident("relation name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("BY"); err != nil {
+			return nil, err
+		}
+		pred, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		return &Filter{Rel: rel, Pred: pred}, nil
+	case "FOREACH":
+		return p.foreach()
+	case "GROUP":
+		rel, err := p.ident("relation name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("BY"); err != nil {
+			return nil, err
+		}
+		by, err := p.fieldList()
+		if err != nil {
+			return nil, err
+		}
+		return &Group{Rel: rel, By: by}, nil
+	case "JOIN":
+		return p.join()
+	case "ORDER":
+		rel, err := p.ident("relation name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("BY"); err != nil {
+			return nil, err
+		}
+		field, err := p.ident("field name")
+		if err != nil {
+			return nil, err
+		}
+		o := &Order{Rel: rel, By: field}
+		if p.atKeyword("DESC") {
+			o.Desc = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if p.atKeyword("ASC") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		return o, nil
+	case "LIMIT":
+		rel, err := p.ident("relation name")
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokNumber {
+			return nil, errf(p.tok.pos, "expected limit count, found %s", p.tok)
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n < 1 {
+			return nil, errf(p.tok.pos, "limit count must be a positive integer, got %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Limit{Rel: rel, N: n}, nil
+	case "DISTINCT":
+		rel, err := p.ident("relation name")
+		if err != nil {
+			return nil, err
+		}
+		return &Distinct{Rel: rel}, nil
+	default:
+		return nil, errf(pos, "unexpected keyword %s at start of operator", kw)
+	}
+}
+
+func (p *parser) load() (Op, error) {
+	ds, err := p.stringLit("dataset name")
+	if err != nil {
+		return nil, err
+	}
+	l := &Load{Dataset: ds}
+	if p.atKeyword("AS") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokLParen, "'(' after AS"); err != nil {
+			return nil, err
+		}
+		for {
+			f, err := p.ident("field name")
+			if err != nil {
+				return nil, err
+			}
+			l.Schema = append(l.Schema, f)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(tokRParen, "')' closing schema"); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) foreach() (Op, error) {
+	rel, err := p.ident("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("GENERATE"); err != nil {
+		return nil, err
+	}
+	f := &Foreach{Rel: rel}
+	for {
+		item, err := p.genItem()
+		if err != nil {
+			return nil, err
+		}
+		f.Items = append(f.Items, item)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// aggFuncs names the supported aggregate functions; COUNT allows a '*'
+// argument.
+var aggFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MAX": true, "MIN": true,
+}
+
+func (p *parser) genItem() (GenItem, error) {
+	item := GenItem{Pos: p.tok.pos}
+	switch {
+	case p.atKeyword("GROUP"):
+		item.IsGroup = true
+		if err := p.advance(); err != nil {
+			return item, err
+		}
+	case p.tok.kind == tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return item, err
+		}
+		if p.tok.kind == tokLParen {
+			upper := toUpper(name)
+			if !aggFuncs[upper] {
+				return item, errf(item.Pos, "unknown aggregate function %q (supported: COUNT, SUM, AVG, MAX, MIN)", name)
+			}
+			if err := p.advance(); err != nil {
+				return item, err
+			}
+			item.Agg = upper
+			switch {
+			case p.tok.kind == tokStar:
+				if upper != "COUNT" {
+					return item, errf(p.tok.pos, "%s requires a field argument", upper)
+				}
+				if err := p.advance(); err != nil {
+					return item, err
+				}
+			case p.tok.kind == tokIdent:
+				item.AggField = p.tok.text
+				if err := p.advance(); err != nil {
+					return item, err
+				}
+			default:
+				return item, errf(p.tok.pos, "expected aggregate argument, found %s", p.tok)
+			}
+			if err := p.expect(tokRParen, "')' closing aggregate"); err != nil {
+				return item, err
+			}
+		} else {
+			item.Field = name
+		}
+	default:
+		return item, errf(p.tok.pos, "expected GENERATE item, found %s", p.tok)
+	}
+	if p.atKeyword("AS") {
+		if err := p.advance(); err != nil {
+			return item, err
+		}
+		alias, err := p.ident("alias")
+		if err != nil {
+			return item, err
+		}
+		item.Alias = alias
+	}
+	return item, nil
+}
+
+func (p *parser) join() (Op, error) {
+	left, err := p.ident("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("BY"); err != nil {
+		return nil, err
+	}
+	lk, err := p.fieldList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokComma, "',' between join inputs"); err != nil {
+		return nil, err
+	}
+	right, err := p.ident("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.keyword("BY"); err != nil {
+		return nil, err
+	}
+	rk, err := p.fieldList()
+	if err != nil {
+		return nil, err
+	}
+	if len(lk) != len(rk) {
+		return nil, errf(p.tok.pos, "join key lists differ in length: %d vs %d", len(lk), len(rk))
+	}
+	return &Join{Left: left, LeftKeys: lk, Right: right, RightKeys: rk}, nil
+}
+
+// fieldList parses "f" or "(f1, f2, ...)".
+func (p *parser) fieldList() ([]string, error) {
+	if p.tok.kind == tokIdent {
+		f := p.tok.text
+		return []string{f}, p.advance()
+	}
+	if err := p.expect(tokLParen, "field name or '('"); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		f, err := p.ident("field name")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(tokRParen, "')' closing field list"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	var pred Predicate
+	for {
+		cmp, err := p.comparison()
+		if err != nil {
+			return pred, err
+		}
+		pred.Terms = append(pred.Terms, cmp)
+		if !p.atKeyword("AND") {
+			return pred, nil
+		}
+		if err := p.advance(); err != nil {
+			return pred, err
+		}
+	}
+}
+
+func (p *parser) comparison() (Comparison, error) {
+	cmp := Comparison{Pos: p.tok.pos}
+	field, err := p.ident("field name")
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Field = field
+	switch p.tok.kind {
+	case tokLT:
+		cmp.Op = CmpLT
+	case tokLE:
+		cmp.Op = CmpLE
+	case tokGT:
+		cmp.Op = CmpGT
+	case tokGE:
+		cmp.Op = CmpGE
+	case tokEQ:
+		cmp.Op = CmpEQ
+	case tokNE:
+		cmp.Op = CmpNE
+	default:
+		return cmp, errf(p.tok.pos, "expected comparison operator, found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return cmp, err
+	}
+	switch p.tok.kind {
+	case tokNumber:
+		text := p.tok.text
+		if hasDot(text) {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return cmp, errf(p.tok.pos, "bad number %q: %v", text, err)
+			}
+			cmp.Lit = f
+		} else {
+			i, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return cmp, errf(p.tok.pos, "bad integer %q: %v", text, err)
+			}
+			cmp.Lit = i
+		}
+	case tokString:
+		cmp.Lit = p.tok.text
+	default:
+		return cmp, errf(p.tok.pos, "expected literal, found %s", p.tok)
+	}
+	return cmp, p.advance()
+}
+
+func hasDot(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return true
+		}
+	}
+	return false
+}
+
+func toUpper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}

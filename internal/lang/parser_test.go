@@ -1,0 +1,177 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const comprehensiveScript = `
+-- business report over lineitems
+li = LOAD 'lineitem' AS (ord, part, supp, qty, price);
+cheap = FILTER li BY price < 100.5 AND qty >= 2;
+proj = FOREACH cheap GENERATE ord, part, price AS p;
+byorder = GROUP proj BY (ord, part);
+agg = FOREACH byorder GENERATE group, COUNT(*) AS n, SUM(p), AVG(p) AS mean, MAX(p), MIN(p);
+pr = LOAD 'pageranks';
+j = JOIN agg BY ord, pr BY url;
+srt = ORDER j BY n DESC;
+top = LIMIT srt 10;
+d = DISTINCT proj;
+SPLIT li INTO small IF qty < 3, big IF qty >= 3;
+STORE top INTO 'topn';
+STORE d INTO 'uniq';
+`
+
+func TestParseComprehensive(t *testing.T) {
+	s, err := Parse(comprehensiveScript)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got, want := len(s.Stmts), 13; got != want {
+		t.Fatalf("statements = %d, want %d", got, want)
+	}
+	// Spot-check a few statements.
+	a0 := s.Stmts[0].(*Assign)
+	l := a0.Op.(*Load)
+	if l.Dataset != "lineitem" || len(l.Schema) != 5 {
+		t.Errorf("load = %v", l)
+	}
+	a1 := s.Stmts[1].(*Assign)
+	f := a1.Op.(*Filter)
+	if len(f.Pred.Terms) != 2 || f.Pred.Terms[0].Op != CmpLT || f.Pred.Terms[0].Lit != 100.5 {
+		t.Errorf("filter = %v", f)
+	}
+	if f.Pred.Terms[1].Lit != int64(2) {
+		t.Errorf("integer literal parsed as %T", f.Pred.Terms[1].Lit)
+	}
+	a4 := s.Stmts[4].(*Assign)
+	fe := a4.Op.(*Foreach)
+	if len(fe.Items) != 6 || !fe.Items[0].IsGroup || fe.Items[1].Agg != "COUNT" || fe.Items[1].Alias != "n" {
+		t.Errorf("foreach = %v", fe)
+	}
+	if fe.Items[3].Agg != "AVG" || fe.Items[3].AggField != "p" || fe.Items[3].Alias != "mean" {
+		t.Errorf("avg item = %v", fe.Items[3])
+	}
+	sp := s.Stmts[10].(*Split)
+	if sp.Rel != "li" || len(sp.Arms) != 2 || sp.Arms[1].Name != "big" {
+		t.Errorf("split = %v", sp)
+	}
+}
+
+// TestParsePrintParseFixpoint checks that rendering a script and reparsing
+// yields the same rendering — the canonical-form property.
+func TestParsePrintParseFixpoint(t *testing.T) {
+	s1, err := Parse(comprehensiveScript)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	printed := s1.String()
+	s2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of canonical form failed: %v\n%s", err, printed)
+	}
+	if printed != s2.String() {
+		t.Fatalf("canonical form not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", printed, s2.String())
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	s, err := Parse("r = load 'x'; s = Filter r by a == 1; store s into 'y';")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(s.Stmts) != 3 {
+		t.Fatalf("statements = %d", len(s.Stmts))
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "r = LOAD 'x'; -- trailing comment\n-- full line comment\nSTORE r INTO 'y';"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("parse with comments: %v", err)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	s, err := Parse("r = LOAD 'x'; f = FILTER r BY a > -5 AND b < -2.5; STORE f INTO 'y';")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f := s.Stmts[1].(*Assign).Op.(*Filter)
+	if f.Pred.Terms[0].Lit != int64(-5) || f.Pred.Terms[1].Lit != -2.5 {
+		t.Fatalf("negative literals = %v, %v", f.Pred.Terms[0].Lit, f.Pred.Terms[1].Lit)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"empty", "", "empty script"},
+		{"missing semi", "r = LOAD 'x'", "';'"},
+		{"bad statement", "LOAD 'x';", "expected statement"},
+		{"no assign", "r LOAD 'x';", "'='"},
+		{"bad operator", "r = INTO 'x';", "unexpected keyword"},
+		{"unterminated string", "r = LOAD 'x;", "unterminated string"},
+		{"filter needs by", "r = FILTER s a < 3;", "expected BY"},
+		{"bad comparison", "r = FILTER s BY a ~ 3;", "unexpected character"},
+		{"missing literal", "r = FILTER s BY a < ;", "expected literal"},
+		{"join key mismatch", "r = JOIN a BY (x, y), b BY z;", "differ in length"},
+		{"bad agg", "r = FOREACH g GENERATE MEDIAN(x);", "unknown aggregate"},
+		{"sum star", "r = FOREACH g GENERATE SUM(*);", "requires a field"},
+		{"limit zero", "r = LIMIT s 0;", "positive integer"},
+		{"split one arm", "SPLIT r INTO a IF x < 1;", "at least two arms"},
+		{"store needs into", "STORE r 'x';", "expected INTO"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("parse succeeded")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("r = LOAD 'x';\ns = FILTER r BY ;")
+	if err == nil {
+		t.Fatal("parse succeeded")
+	}
+	if !strings.Contains(err.Error(), "2:17") {
+		t.Fatalf("error %q lacks position 2:17", err)
+	}
+}
+
+func TestLexerTokenKinds(t *testing.T) {
+	lx := newLexer("abc <= 'str' == != 12 -3.5 ( ) , ; * group")
+	var kinds []tokKind
+	var texts []string
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.kind == tokEOF {
+			break
+		}
+		kinds = append(kinds, tok.kind)
+		texts = append(texts, tok.text)
+	}
+	want := []tokKind{tokIdent, tokLE, tokString, tokEQ, tokNE, tokNumber,
+		tokNumber, tokLParen, tokRParen, tokComma, tokSemi, tokStar, tokKeyword}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v (%q), want %v", i, kinds[i], texts[i], want[i])
+		}
+	}
+	if texts[len(texts)-1] != "GROUP" {
+		t.Errorf("keyword not canonicalized: %q", texts[len(texts)-1])
+	}
+}

@@ -1,0 +1,163 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+)
+
+// randPredicate builds a random conjunction over fields f0..f2 with mixed
+// literal types and operators.
+func randPredicate(r *rand.Rand) Predicate {
+	fields := []string{"f0", "f1", "f2"}
+	n := 1 + r.Intn(4)
+	var pred Predicate
+	for i := 0; i < n; i++ {
+		var lit any
+		switch r.Intn(3) {
+		case 0:
+			lit = int64(r.Intn(200) - 100)
+		case 1:
+			lit = float64(r.Intn(2000)-1000) / 10
+		default:
+			lit = string(rune('a' + r.Intn(26)))
+		}
+		pred.Terms = append(pred.Terms, Comparison{
+			Field: fields[r.Intn(len(fields))],
+			Op:    CmpOp(r.Intn(6)),
+			Lit:   lit,
+		})
+	}
+	return pred
+}
+
+// randValue draws a field value from the same domains the predicates use.
+func randValue(r *rand.Rand) keyval.Field {
+	switch r.Intn(3) {
+	case 0:
+		return int64(r.Intn(240) - 120)
+	case 1:
+		return float64(r.Intn(2400)-1200) / 10
+	default:
+		return string(rune('a' + r.Intn(26)))
+	}
+}
+
+// evalPredicate applies the exact predicate semantics the compiled filter
+// stage uses.
+func evalPredicate(pred Predicate, rec map[string]keyval.Field) bool {
+	for _, t := range pred.Terms {
+		ct := compiledTerm{op: t.Op, lit: keyval.T(t.Lit)[0]}
+		if !ct.eval(rec[t.Field]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFilterAnnotationSoundnessQuick is the soundness property behind
+// partition pruning: every record the exact predicate accepts must lie in
+// every derived filter interval. (Annotations may over-approximate — that
+// only costs pruning opportunities — but must never under-approximate,
+// which would drop live data.)
+func TestFilterAnnotationSoundnessQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pred := randPredicate(r)
+		filters := filtersFromPredicate(pred)
+		for trial := 0; trial < 60; trial++ {
+			rec := map[string]keyval.Field{
+				"f0": randValue(r), "f1": randValue(r), "f2": randValue(r),
+			}
+			if !evalPredicate(pred, rec) {
+				continue
+			}
+			for _, fl := range filters {
+				if !fl.Interval.Contains(rec[fl.Field]) {
+					t.Logf("pred %v accepted %v but filter %v excludes it", pred, rec, fl)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLimitSelectionQuick checks the LIMIT selection operator against a
+// straightforward specification: it returns the n extremes in order, and
+// merging selections of a partition of the input equals selecting over the
+// whole input (the property that makes local-then-merge top-K correct).
+func TestLimitSelectionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		desc := r.Intn(2) == 0
+		sortWidth := r.Intn(2) // 0 = whole tuple, 1 = first field
+		var vs []keyval.Tuple
+		for i := 0; i < r.Intn(40); i++ {
+			vs = append(vs, keyval.T(int64(r.Intn(10)), int64(i)))
+		}
+		whole := selectLimit(vs, n, sortWidth, desc)
+		// Property 1: ordered under limitCompare.
+		for i := 1; i < len(whole); i++ {
+			if limitCompare(whole[i-1], whole[i], sortWidth, desc) > 0 {
+				return false
+			}
+		}
+		// Property 2: split-select-merge equals whole-select.
+		cut := 0
+		if len(vs) > 0 {
+			cut = r.Intn(len(vs))
+		}
+		part := append([]keyval.Tuple{}, selectLimit(vs[:cut], n, sortWidth, desc)...)
+		part = append(part, selectLimit(vs[cut:], n, sortWidth, desc)...)
+		merged := selectLimit(part, n, sortWidth, desc)
+		if len(merged) != len(whole) {
+			return false
+		}
+		for i := range merged {
+			if keyval.Compare(merged[i], whole[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggMergeAssociativityQuick checks that slot merging is associative
+// and order-insensitive over partitions — the property that makes the
+// compiled combiner safe to run zero or more times at any granularity.
+func TestAggMergeAssociativityQuick(t *testing.T) {
+	slots := []slotDef{{kind: slotSumI}, {kind: slotSumF}, {kind: slotMax}, {kind: slotMin}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		vs := make([]keyval.Tuple, n)
+		for i := range vs {
+			vs[i] = keyval.T(int64(r.Intn(5)), float64(r.Intn(100)), int64(r.Intn(50)), int64(r.Intn(50)))
+		}
+		whole := mergeSlots(slots, vs)
+		cut := 1 + r.Intn(n)
+		if cut >= n {
+			cut = n - 1
+		}
+		if cut < 1 {
+			return keyval.Compare(whole, mergeSlots(slots, vs)) == 0
+		}
+		left := mergeSlots(slots, vs[:cut])
+		right := mergeSlots(slots, vs[cut:])
+		combined := mergeSlots(slots, []keyval.Tuple{left, right})
+		return keyval.Compare(whole, combined) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,400 @@
+package lang
+
+import (
+	"sort"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// Compiled stage generators. Records flowing between lang-compiled stages
+// are flat: the logical record is the concatenation key ++ value, split at a
+// statically known key width. Closures capture field positions resolved at
+// compile time, so the emitted functions remain black boxes to the
+// optimizer — exactly the paper's contract, where program semantics reach
+// Stubby only through annotations.
+
+// Per-record CPU cost estimates (seconds) charged by the simulator for each
+// generated operator, in line with the hand-built workloads' constants.
+const (
+	cpuFilter   = 0.3e-6
+	cpuProject  = 0.4e-6
+	cpuRekey    = 0.5e-6
+	cpuFold     = 0.5e-6
+	cpuJoinMap  = 0.5e-6
+	cpuJoinRed  = 1.0e-6
+	cpuDistinct = 0.4e-6
+	cpuTopK     = 0.5e-6
+	cpuEmitAll  = 0.4e-6
+	cpuIdentity = 0.3e-6
+)
+
+// fieldAt reads flat field i of a record whose key holds the first kw
+// fields.
+func fieldAt(k, v keyval.Tuple, kw, i int) keyval.Field {
+	if i < kw {
+		if i < len(k) {
+			return k[i]
+		}
+		return nil
+	}
+	j := i - kw
+	if j < len(v) {
+		return v[j]
+	}
+	return nil
+}
+
+// compiledTerm is one comparison with its field position resolved.
+type compiledTerm struct {
+	idx int
+	op  CmpOp
+	lit keyval.Field
+}
+
+func (t compiledTerm) eval(f keyval.Field) bool {
+	c := keyval.CompareFields(f, t.lit)
+	switch t.op {
+	case CmpLT:
+		return c < 0
+	case CmpLE:
+		return c <= 0
+	case CmpGT:
+		return c > 0
+	case CmpGE:
+		return c >= 0
+	case CmpEQ:
+		return c == 0
+	case CmpNE:
+		return c != 0
+	default:
+		return false
+	}
+}
+
+// filterStage passes records satisfying every term, preserving the key/value
+// split.
+func filterStage(name string, kw int, terms []compiledTerm) wf.Stage {
+	return wf.MapStage(name, func(k, v keyval.Tuple, emit wf.Emit) {
+		for _, t := range terms {
+			if !t.eval(fieldAt(k, v, kw, t.idx)) {
+				return
+			}
+		}
+		emit(k, v)
+	}, cpuFilter)
+}
+
+// projectStage emits the selected flat fields as the value of a key-less
+// record.
+func projectStage(name string, kw int, idx []int) wf.Stage {
+	return wf.MapStage(name, func(k, v keyval.Tuple, emit wf.Emit) {
+		out := make(keyval.Tuple, len(idx))
+		for i, j := range idx {
+			out[i] = fieldAt(k, v, kw, j)
+		}
+		emit(nil, out)
+	}, cpuProject)
+}
+
+// rekeyStage rebuilds the key and value from selected flat fields.
+func rekeyStage(name string, cpu float64, kw int, keyIdx, valIdx []int) wf.Stage {
+	return wf.MapStage(name, func(k, v keyval.Tuple, emit wf.Emit) {
+		nk := make(keyval.Tuple, len(keyIdx))
+		for i, j := range keyIdx {
+			nk[i] = fieldAt(k, v, kw, j)
+		}
+		nv := make(keyval.Tuple, len(valIdx))
+		for i, j := range valIdx {
+			nv[i] = fieldAt(k, v, kw, j)
+		}
+		emit(nk, nv)
+	}, cpu)
+}
+
+// identityStage passes records through (used when a map-only store job has
+// no pending pipeline).
+func identityStage(name string) wf.Stage {
+	return wf.MapStage(name, func(k, v keyval.Tuple, emit wf.Emit) { emit(k, v) }, cpuIdentity)
+}
+
+// --- aggregation --------------------------------------------------------------
+
+// slotKind is the merge rule for one slot of the pre-aggregated value
+// layout. Every supported aggregate decomposes into slots with associative
+// merges, so one layout serves map output, combine output, and reduce input
+// (the Hadoop requirement that combiners be format-preserving).
+type slotKind int
+
+const (
+	slotSumF slotKind = iota // float64 sum
+	slotSumI                 // int64 sum
+	slotMax                  // max by field comparison
+	slotMin                  // min by field comparison
+)
+
+// slotDef is one slot: its merge rule and the flat source field it
+// initializes from (-1 for constant-1 counters).
+type slotDef struct {
+	kind slotKind
+	src  int
+}
+
+// aggPlan decomposes the GENERATE aggregate list into slots plus the
+// finalizers that turn merged slots into output fields.
+type aggPlan struct {
+	slots []slotDef
+	// finals computes output field i from the merged slot tuple.
+	finals []func(slots keyval.Tuple) keyval.Field
+}
+
+func buildAggPlan(items []GenItem, fieldIdx func(string) int) aggPlan {
+	var p aggPlan
+	for _, it := range items {
+		if it.Agg == "" {
+			continue
+		}
+		base := len(p.slots)
+		switch it.Agg {
+		case "COUNT":
+			p.slots = append(p.slots, slotDef{kind: slotSumI, src: -1})
+			p.finals = append(p.finals, func(s keyval.Tuple) keyval.Field { return s[base] })
+		case "SUM":
+			p.slots = append(p.slots, slotDef{kind: slotSumF, src: fieldIdx(it.AggField)})
+			p.finals = append(p.finals, func(s keyval.Tuple) keyval.Field { return s[base] })
+		case "AVG":
+			p.slots = append(p.slots,
+				slotDef{kind: slotSumF, src: fieldIdx(it.AggField)},
+				slotDef{kind: slotSumI, src: -1})
+			p.finals = append(p.finals, func(s keyval.Tuple) keyval.Field {
+				n := s[base+1].(int64)
+				if n == 0 {
+					return 0.0
+				}
+				return s[base].(float64) / float64(n)
+			})
+		case "MAX":
+			p.slots = append(p.slots, slotDef{kind: slotMax, src: fieldIdx(it.AggField)})
+			p.finals = append(p.finals, func(s keyval.Tuple) keyval.Field { return s[base] })
+		case "MIN":
+			p.slots = append(p.slots, slotDef{kind: slotMin, src: fieldIdx(it.AggField)})
+			p.finals = append(p.finals, func(s keyval.Tuple) keyval.Field { return s[base] })
+		}
+	}
+	return p
+}
+
+func asFloat(f keyval.Field) float64 {
+	switch x := f.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	default:
+		return 0
+	}
+}
+
+// aggInitStage emits (group key, initial slots) per record.
+func aggInitStage(name string, kw int, keyIdx []int, slots []slotDef) wf.Stage {
+	return wf.MapStage(name, func(k, v keyval.Tuple, emit wf.Emit) {
+		nk := make(keyval.Tuple, len(keyIdx))
+		for i, j := range keyIdx {
+			nk[i] = fieldAt(k, v, kw, j)
+		}
+		nv := make(keyval.Tuple, len(slots))
+		for i, s := range slots {
+			switch s.kind {
+			case slotSumI:
+				if s.src < 0 {
+					nv[i] = int64(1)
+				} else {
+					nv[i] = int64(asFloat(fieldAt(k, v, kw, s.src)))
+				}
+			case slotSumF:
+				nv[i] = asFloat(fieldAt(k, v, kw, s.src))
+			case slotMax, slotMin:
+				nv[i] = fieldAt(k, v, kw, s.src)
+			}
+		}
+		emit(nk, nv)
+	}, cpuRekey)
+}
+
+// mergeSlots folds a list of slot tuples into one.
+func mergeSlots(slots []slotDef, vs []keyval.Tuple) keyval.Tuple {
+	out := keyval.Clone(vs[0])
+	for _, v := range vs[1:] {
+		for i, s := range slots {
+			switch s.kind {
+			case slotSumI:
+				out[i] = out[i].(int64) + v[i].(int64)
+			case slotSumF:
+				out[i] = out[i].(float64) + v[i].(float64)
+			case slotMax:
+				if keyval.CompareFields(v[i], out[i]) > 0 {
+					out[i] = v[i]
+				}
+			case slotMin:
+				if keyval.CompareFields(v[i], out[i]) < 0 {
+					out[i] = v[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// aggCombineStage pre-merges slot tuples (format-preserving).
+func aggCombineStage(name string, slots []slotDef) wf.Stage {
+	return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		emit(k, mergeSlots(slots, vs))
+	}, nil, cpuFold)
+}
+
+// aggFinalStage merges slots and emits the finalized output fields.
+func aggFinalStage(name string, plan aggPlan) wf.Stage {
+	return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		merged := mergeSlots(plan.slots, vs)
+		out := make(keyval.Tuple, len(plan.finals))
+		for i, fin := range plan.finals {
+			out[i] = fin(merged)
+		}
+		emit(k, out)
+	}, nil, cpuFold)
+}
+
+// --- join ----------------------------------------------------------------------
+
+// joinMapStage emits (join key, (side, payload...)) where payload is the
+// record minus the join key fields.
+func joinMapStage(name string, kw int, keyIdx, payloadIdx []int, side string) wf.Stage {
+	return wf.MapStage(name, func(k, v keyval.Tuple, emit wf.Emit) {
+		nk := make(keyval.Tuple, len(keyIdx))
+		for i, j := range keyIdx {
+			nk[i] = fieldAt(k, v, kw, j)
+		}
+		nv := make(keyval.Tuple, 0, len(payloadIdx)+1)
+		nv = append(nv, side)
+		for _, j := range payloadIdx {
+			nv = append(nv, fieldAt(k, v, kw, j))
+		}
+		emit(nk, nv)
+	}, cpuJoinMap)
+}
+
+// joinReduceStage performs the inner equi-join: the cross product of left
+// and right payloads per key, emitting (key, left payload ++ right payload).
+func joinReduceStage(name string) wf.Stage {
+	return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		var lefts, rights []keyval.Tuple
+		for _, v := range vs {
+			if v[0] == "l" {
+				lefts = append(lefts, v[1:])
+			} else {
+				rights = append(rights, v[1:])
+			}
+		}
+		for _, l := range lefts {
+			for _, r := range rights {
+				out := make(keyval.Tuple, 0, len(l)+len(r))
+				out = append(out, l...)
+				out = append(out, r...)
+				emit(k, out)
+			}
+		}
+	}, nil, cpuJoinRed)
+}
+
+// --- distinct -------------------------------------------------------------------
+
+// distinctKeyStage rekeys the whole record into the key.
+func distinctKeyStage(name string, kw int, width int) wf.Stage {
+	idx := make([]int, width)
+	for i := range idx {
+		idx[i] = i
+	}
+	return rekeyStage(name, cpuDistinct, kw, idx, nil)
+}
+
+// distinctReduceStage emits one record per group.
+func distinctReduceStage(name string) wf.Stage {
+	return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		emit(k, keyval.Tuple{})
+	}, nil, cpuDistinct)
+}
+
+// distinctCombineStage collapses duplicate keys early.
+func distinctCombineStage(name string) wf.Stage {
+	return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		emit(k, keyval.Tuple{})
+	}, nil, cpuDistinct)
+}
+
+// --- order / limit ---------------------------------------------------------------
+
+// limitCompare orders value tuples for LIMIT selection. sortWidth leading
+// fields form the sort key (0 compares the whole tuple); desc reverses.
+func limitCompare(a, b keyval.Tuple, sortWidth int, desc bool) int {
+	var c int
+	if sortWidth == 0 {
+		c = keyval.Compare(a, b)
+	} else {
+		idx := make([]int, sortWidth)
+		for i := range idx {
+			idx[i] = i
+		}
+		c = keyval.CompareOn(a, b, idx)
+		if c == 0 {
+			c = keyval.Compare(a, b) // total order for determinism
+		}
+	}
+	if desc {
+		return -c
+	}
+	return c
+}
+
+// selectLimit returns the n least values under limitCompare, in order.
+func selectLimit(vs []keyval.Tuple, n, sortWidth int, desc bool) []keyval.Tuple {
+	out := make([]keyval.Tuple, 0, len(vs))
+	out = append(out, vs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return limitCompare(out[i], out[j], sortWidth, desc) < 0
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// limitLocalStage keeps the task-local best n records per stream under a
+// constant key, so a single downstream group can merge them (the SN
+// workload's scalable top-K pattern).
+func limitLocalStage(name string, n, sortWidth int, desc bool) wf.Stage {
+	return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		for _, v := range selectLimit(vs, n, sortWidth, desc) {
+			emit(keyval.T(int64(0)), v)
+		}
+	}, []int{}, cpuTopK) // empty group fields: one group per stream
+}
+
+// limitMergeStage merges candidates into the global best n, emitting
+// (rank, record) with the sort-key prefix stripped.
+func limitMergeStage(name string, n, sortWidth int, desc bool) wf.Stage {
+	return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		for i, v := range selectLimit(vs, n, sortWidth, desc) {
+			emit(keyval.T(int64(i+1)), v[sortWidth:])
+		}
+	}, nil, cpuTopK)
+}
+
+// emitAllStage is the reduce side of a materialized ORDER BY: every record
+// of the group is emitted in arrival (sorted) order.
+func emitAllStage(name string) wf.Stage {
+	return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		for _, v := range vs {
+			emit(k, v)
+		}
+	}, nil, cpuEmitAll)
+}

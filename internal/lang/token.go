@@ -1,0 +1,273 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token types produced by the lexer.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // integer or decimal literal, possibly negative
+	tokString // single-quoted literal
+	tokAssign // =
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+	tokSemi   // ;
+	tokStar   // *
+	tokLT     // <
+	tokLE     // <=
+	tokGT     // >
+	tokGE     // >=
+	tokEQ     // ==
+	tokNE     // !=
+	tokKeyword
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokAssign:
+		return "'='"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokSemi:
+		return "';'"
+	case tokStar:
+		return "'*'"
+	case tokLT:
+		return "'<'"
+	case tokLE:
+		return "'<='"
+	case tokGT:
+		return "'>'"
+	case tokGE:
+		return "'>='"
+	case tokEQ:
+		return "'=='"
+	case tokNE:
+		return "'!='"
+	case tokKeyword:
+		return "keyword"
+	default:
+		return fmt.Sprintf("tokKind(%d)", int(k))
+	}
+}
+
+// keywords are matched case-insensitively against identifiers. The value is
+// the canonical (upper-case) spelling stored in the token text.
+var keywords = map[string]bool{
+	"LOAD": true, "AS": true, "FILTER": true, "BY": true, "AND": true,
+	"FOREACH": true, "GENERATE": true, "GROUP": true, "JOIN": true,
+	"ORDER": true, "DESC": true, "ASC": true, "LIMIT": true,
+	"DISTINCT": true, "STORE": true, "INTO": true, "SPLIT": true,
+	"IF": true,
+}
+
+// Pos locates a token in the source for error reporting.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+type token struct {
+	kind tokKind
+	text string // identifier name, canonical keyword, literal text
+	pos  Pos
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokIdent, tokKeyword:
+		return t.text
+	case tokNumber:
+		return t.text
+	case tokString:
+		return "'" + t.text + "'"
+	default:
+		return t.kind.String()
+	}
+}
+
+// Error is a positioned parse or compile error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lang: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer turns source text into tokens. Comments run from "--" to end of
+// line, as in Pig Latin and SQL.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '-' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '-':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token or a positioned error.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentPart(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		upper := strings.ToUpper(text)
+		if keywords[upper] {
+			return token{kind: tokKeyword, text: upper, pos: pos}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: pos}, nil
+	case isDigit(c), c == '-' && lx.off+1 < len(lx.src) && isDigit(lx.src[lx.off+1]):
+		start := lx.off
+		lx.advance() // first digit or '-'
+		seenDot := false
+		for lx.off < len(lx.src) {
+			c := lx.peekByte()
+			if isDigit(c) {
+				lx.advance()
+				continue
+			}
+			if c == '.' && !seenDot && lx.off+1 < len(lx.src) && isDigit(lx.src[lx.off+1]) {
+				seenDot = true
+				lx.advance()
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.off], pos: pos}, nil
+	case c == '\'':
+		lx.advance()
+		start := lx.off
+		for lx.off < len(lx.src) && lx.peekByte() != '\'' {
+			if lx.peekByte() == '\n' {
+				return token{}, errf(pos, "unterminated string literal")
+			}
+			lx.advance()
+		}
+		if lx.off >= len(lx.src) {
+			return token{}, errf(pos, "unterminated string literal")
+		}
+		text := lx.src[start:lx.off]
+		lx.advance() // closing quote
+		return token{kind: tokString, text: text, pos: pos}, nil
+	}
+	lx.advance()
+	switch c {
+	case '=':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{kind: tokEQ, pos: pos}, nil
+		}
+		return token{kind: tokAssign, pos: pos}, nil
+	case '!':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{kind: tokNE, pos: pos}, nil
+		}
+		return token{}, errf(pos, "unexpected character %q", '!')
+	case '<':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{kind: tokLE, pos: pos}, nil
+		}
+		return token{kind: tokLT, pos: pos}, nil
+	case '>':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return token{kind: tokGE, pos: pos}, nil
+		}
+		return token{kind: tokGT, pos: pos}, nil
+	case '(':
+		return token{kind: tokLParen, pos: pos}, nil
+	case ')':
+		return token{kind: tokRParen, pos: pos}, nil
+	case ',':
+		return token{kind: tokComma, pos: pos}, nil
+	case ';':
+		return token{kind: tokSemi, pos: pos}, nil
+	case '*':
+		return token{kind: tokStar, pos: pos}, nil
+	}
+	return token{}, errf(pos, "unexpected character %q", rune(c))
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

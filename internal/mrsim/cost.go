@@ -1,0 +1,116 @@
+package mrsim
+
+import "math"
+
+// Cost primitives shared by the executor (which applies them to actual
+// per-task record and byte counts) and the What-if engine (which applies
+// them to profile-estimated aggregates). Keeping one set of formulas is
+// what makes cost estimates track actual simulated performance, up to
+// profiling error — exactly the relationship Figure 14 plots.
+
+// SpillRuns returns how many sorted runs the map side writes for the given
+// (virtual) output bytes and sort buffer size. Output fitting in the buffer
+// spills once.
+func SpillRuns(outBytesVirtual float64, sortBufferMB int) int {
+	if outBytesVirtual <= 0 {
+		return 0
+	}
+	buf := float64(sortBufferMB) * MB
+	runs := int(math.Ceil(outBytesVirtual / buf))
+	if runs < 1 {
+		runs = 1
+	}
+	return runs
+}
+
+// ExtraMergePasses returns how many additional full read+write passes over
+// the data are needed to merge `runs` sorted runs with a fan-in of
+// `factor`: ceil(log_factor(runs)) - 1 extra passes beyond the initial
+// spill, floored at zero.
+func ExtraMergePasses(runs, factor int) int {
+	if runs <= 1 || factor < 2 {
+		return 0
+	}
+	passes := int(math.Ceil(math.Log(float64(runs)) / math.Log(float64(factor))))
+	if passes < 1 {
+		passes = 1
+	}
+	return passes - 1
+}
+
+// ReadTime returns the seconds to read bytesVirtual of logical data from
+// local disk, given its on-disk compression state.
+func (c *Cluster) ReadTime(bytesVirtual float64, compressed bool) float64 {
+	if bytesVirtual <= 0 {
+		return 0
+	}
+	disk := bytesVirtual
+	var cpu float64
+	if compressed {
+		disk *= c.CompressRatio
+		cpu = bytesVirtual / MB * c.CompressCPUSecPerMB
+	}
+	return disk/MB/c.DiskMBps + cpu
+}
+
+// WriteTime returns the seconds to write bytesVirtual of logical data to
+// local disk, compressing first if requested.
+func (c *Cluster) WriteTime(bytesVirtual float64, compress bool) float64 {
+	if bytesVirtual <= 0 {
+		return 0
+	}
+	disk := bytesVirtual
+	var cpu float64
+	if compress {
+		disk *= c.CompressRatio
+		cpu = bytesVirtual / MB * c.CompressCPUSecPerMB
+	}
+	return disk/MB/c.DiskMBps + cpu
+}
+
+// NetTime returns the seconds to move bytesVirtual of on-wire data across
+// the network (compression, if any, is applied by the caller to the byte
+// count).
+func (c *Cluster) NetTime(bytesVirtual float64) float64 {
+	if bytesVirtual <= 0 {
+		return 0
+	}
+	return bytesVirtual / MB / c.NetMBps
+}
+
+// SortCPU returns the comparison cost of sorting recordsVirtual records.
+func (c *Cluster) SortCPU(recordsVirtual float64) float64 {
+	if recordsVirtual < 2 {
+		return 0
+	}
+	return recordsVirtual * math.Log2(recordsVirtual) * c.SortCPUPerRecord
+}
+
+// SpillIOTime returns the disk seconds for the map-side sort/spill
+// pipeline: one write of the (possibly compressed) map output plus
+// read+write for each extra merge pass.
+func (c *Cluster) SpillIOTime(outBytesVirtual float64, sortBufferMB, ioSortFactor int, compressed bool) float64 {
+	if outBytesVirtual <= 0 {
+		return 0
+	}
+	onDisk := outBytesVirtual
+	var cpu float64
+	if compressed {
+		onDisk *= c.CompressRatio
+		cpu = outBytesVirtual / MB * c.CompressCPUSecPerMB
+	}
+	runs := SpillRuns(outBytesVirtual, sortBufferMB)
+	extra := ExtraMergePasses(runs, ioSortFactor)
+	diskTime := onDisk / MB / c.DiskMBps * float64(1+2*extra)
+	return diskTime + cpu
+}
+
+// MergeIOTime returns the reduce-side disk seconds to merge `runs` fetched
+// map segments totalling bytesVirtual: read+write per extra pass.
+func (c *Cluster) MergeIOTime(bytesVirtual float64, runs, ioSortFactor int) float64 {
+	extra := ExtraMergePasses(runs, ioSortFactor)
+	if extra == 0 || bytesVirtual <= 0 {
+		return 0
+	}
+	return bytesVirtual / MB / c.DiskMBps * float64(2*extra)
+}

@@ -1,0 +1,707 @@
+package mrsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// keySampleSize is the reservoir size for profile key samples. It bounds
+// both the quality of derived range split points and the resolution of
+// skew estimates, so it is sized like production samplers (TeraSort-style
+// partitioners sample thousands of keys).
+const keySampleSize = 1500
+
+// Engine executes workflows on a simulated cluster over a simulated DFS.
+type Engine struct {
+	Cluster *Cluster
+	DFS     *DFS
+}
+
+// NewEngine builds an engine.
+func NewEngine(c *Cluster, dfs *DFS) *Engine {
+	return &Engine{Cluster: c, DFS: dfs}
+}
+
+// TagStats aggregates per-tag dataflow statistics over a whole job run.
+type TagStats struct {
+	// MapByInput holds map-pipeline stats per input dataset feeding the tag.
+	MapByInput map[string]*PipeStats
+	// Reduce holds reduce-pipeline stats (zero for map-only tags).
+	Reduce PipeStats
+	// CombineIn/CombineOut count records entering and surviving the
+	// combiner (equal when no combiner ran).
+	CombineIn, CombineOut int64
+	// MapKeySample is a uniform sample of map-output keys for this tag.
+	MapKeySample []keyval.Tuple
+}
+
+// MapTotals sums the per-input map stats.
+func (t *TagStats) MapTotals() PipeStats {
+	var out PipeStats
+	for _, s := range t.MapByInput {
+		out.Add(*s)
+	}
+	return out
+}
+
+// JobReport records the execution of one job: task counts, simulated
+// timings, and per-tag dataflow statistics.
+type JobReport struct {
+	JobID          string
+	NumMapTasks    int
+	NumReduceTasks int
+	// Start and End are simulated times; MapsDone is when the map phase
+	// finished (reduce tasks become ready then).
+	Start, End, MapsDone float64
+	// MapTaskSeconds/ReduceTaskSeconds sum task durations (work, not span).
+	MapTaskSeconds, ReduceTaskSeconds float64
+	// MaxMapTaskSec/MaxReduceTaskSec expose straggler effects (skew).
+	MaxMapTaskSec, MaxReduceTaskSec float64
+	// ShuffleBytesVirtual is the total on-wire shuffle volume.
+	ShuffleBytesVirtual float64
+	// MapInputBytes is the real (unscaled, uncompressed) input volume read.
+	MapInputBytes int64
+	// PrunedPartitions counts input partitions skipped by partition pruning.
+	PrunedPartitions int
+	// Tags holds per-tag dataflow statistics.
+	Tags map[int]*TagStats
+}
+
+// Span returns End-Start.
+func (r *JobReport) Span() float64 { return r.End - r.Start }
+
+// RunReport is the result of executing a workflow.
+type RunReport struct {
+	Workflow string
+	// Makespan is the simulated completion time of the whole workflow.
+	Makespan float64
+	Jobs     []*JobReport
+}
+
+// Job returns the report for a job ID, or nil.
+func (r *RunReport) Job(id string) *JobReport {
+	for _, j := range r.Jobs {
+		if j.JobID == id {
+			return j
+		}
+	}
+	return nil
+}
+
+// TotalTaskSeconds sums all task work across the run.
+func (r *RunReport) TotalTaskSeconds() float64 {
+	var t float64
+	for _, j := range r.Jobs {
+		t += j.MapTaskSeconds + j.ReduceTaskSeconds
+	}
+	return t
+}
+
+// RunWorkflow validates and executes the workflow, materializing every
+// job's outputs on the DFS and returning simulated timings.
+func (e *Engine) RunWorkflow(w *wf.Workflow) (*RunReport, error) {
+	if err := e.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := w.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range w.Datasets {
+		if d.Base {
+			if _, ok := e.DFS.Get(d.ID); !ok {
+				return nil, fmt.Errorf("mrsim: base dataset %q not on DFS", d.ID)
+			}
+		}
+	}
+	mapPool := NewSlotPool(e.Cluster.TotalMapSlots())
+	redPool := NewSlotPool(e.Cluster.TotalReduceSlots())
+	ready := make(map[string]float64)
+	report := &RunReport{Workflow: w.Name}
+	for _, job := range order {
+		var jobReady float64
+		for _, in := range job.Inputs() {
+			if t := ready[in]; t > jobReady {
+				jobReady = t
+			}
+		}
+		jr, end, err := e.runJob(w, job, jobReady, mapPool, redPool)
+		if err != nil {
+			return nil, fmt.Errorf("mrsim: job %s: %w", job.ID, err)
+		}
+		report.Jobs = append(report.Jobs, jr)
+		for _, out := range job.Outputs() {
+			ready[out] = end
+		}
+		if end > report.Makespan {
+			report.Makespan = end
+		}
+	}
+	return report, nil
+}
+
+// splitRec carries one record with its source dataset for branch routing.
+type splitRec struct {
+	input string
+	pair  keyval.Pair
+}
+
+// mapSplit is the input of one map task.
+type mapSplit struct {
+	recs       []splitRec
+	bytes      int64           // real encoded bytes
+	compressed map[string]bool // per-input on-disk compression
+	perInput   map[string]int64
+	srcBounds  keyval.PartitionBounds // bounds of source partition (aligned)
+}
+
+// tagRuntime caches per-tag execution state for one job.
+type tagRuntime struct {
+	group    *wf.ReduceGroup
+	numParts int
+	sortIdx  []int // resolved lazily against key width
+	stats    *TagStats
+	sample   *reservoir
+}
+
+func (e *Engine) runJob(w *wf.Workflow, job *wf.Job, jobReady float64, mapPool, redPool *SlotPool) (*JobReport, float64, error) {
+	cfg := job.Config
+	jr := &JobReport{JobID: job.ID, Start: jobReady, Tags: make(map[int]*TagStats)}
+
+	// Resolve per-tag runtime info and the job-wide reduce task count.
+	tags := make(map[int]*tagRuntime)
+	var tagOrder []int
+	numReduce := 0
+	hasReduce := false
+	for i := range job.ReduceGroups {
+		g := &job.ReduceGroups[i]
+		ts := &TagStats{MapByInput: make(map[string]*PipeStats)}
+		jr.Tags[g.Tag] = ts
+		rt := &tagRuntime{
+			group:  g,
+			stats:  ts,
+			sample: newReservoir(keySampleSize, sampleSeed(job.ID, g.Tag)),
+		}
+		tags[g.Tag] = rt
+		tagOrder = append(tagOrder, g.Tag)
+		if !g.MapOnly() {
+			hasReduce = true
+			n := g.Part.NumPartitions(cfg.NumReduceTasks)
+			rt.numParts = n
+			if n > numReduce {
+				numReduce = n
+			}
+		}
+	}
+	sort.Ints(tagOrder)
+	if hasReduce {
+		// Hash-partitioned tags span the full reduce task count.
+		for _, rt := range tags {
+			if !rt.group.MapOnly() && rt.group.Part.Type == keyval.HashPartition {
+				rt.numParts = numReduce
+			}
+		}
+	}
+
+	splits, err := e.buildSplits(w, job, jr)
+	if err != nil {
+		return nil, 0, err
+	}
+	jr.NumMapTasks = len(splits)
+
+	// Execute map tasks.
+	type mapTaskOut struct {
+		buckets map[int][][]keyval.Pair // tag -> partition -> pairs
+		mapOnly map[int][]keyval.Pair   // tag -> output pairs
+	}
+	taskOuts := make([]mapTaskOut, len(splits))
+	mapsDone := jobReady
+	for ti, sp := range splits {
+		out := mapTaskOut{
+			buckets: make(map[int][][]keyval.Pair),
+			mapOnly: make(map[int][]keyval.Pair),
+		}
+		for tag, rt := range tags {
+			if !rt.group.MapOnly() {
+				out.buckets[tag] = make([][]keyval.Pair, rt.numParts)
+			}
+		}
+		// Map-side group chains: intra-packed reduce pipelines that run
+		// inside the map task on the merged branch output stream.
+		groupChains := make(map[int]*chain)
+		for tag, rt := range tags {
+			if rt.group.RunsMapSide && len(rt.group.Stages) > 0 {
+				t := tag
+				groupChains[tag] = newChain(rt.group.Stages, func(p keyval.Pair) {
+					out.mapOnly[t] = append(out.mapOnly[t], p)
+				})
+			}
+		}
+		// One chain per branch, fresh per task so stats stay per-task.
+		type branchExec struct {
+			branch *wf.MapBranch
+			ch     *chain
+		}
+		var execs []branchExec
+		var taskCPU float64
+		for bi := range job.MapBranches {
+			b := &job.MapBranches[bi]
+			rt := tags[b.Tag]
+			g := rt.group
+			tag := b.Tag
+			var sink func(keyval.Pair)
+			switch {
+			case groupChains[tag] != nil:
+				gc := groupChains[tag]
+				sink = func(p keyval.Pair) {
+					rt.sample.add(p.Key)
+					gc.head(p)
+				}
+			case g.MapOnly():
+				sink = func(p keyval.Pair) {
+					rt.sample.add(p.Key)
+					out.mapOnly[tag] = append(out.mapOnly[tag], p)
+				}
+			default:
+				n := rt.numParts
+				spec := g.Part
+				sink = func(p keyval.Pair) {
+					rt.sample.add(p.Key)
+					r := spec.Partition(p.Key, n)
+					out.buckets[tag][r] = append(out.buckets[tag][r], p)
+				}
+			}
+			execs = append(execs, branchExec{branch: b, ch: newChain(b.Stages, sink)})
+		}
+		for _, rec := range sp.recs {
+			for _, be := range execs {
+				if be.branch.Input == rec.input {
+					be.ch.head(rec.pair)
+				}
+			}
+		}
+		for _, be := range execs {
+			be.ch.close()
+			taskCPU += be.ch.stats.CPU
+			st := tags[be.branch.Tag].stats
+			ps := st.MapByInput[be.branch.Input]
+			if ps == nil {
+				ps = &PipeStats{}
+				st.MapByInput[be.branch.Input] = ps
+			}
+			ps.Add(be.ch.stats)
+		}
+		for _, tag := range tagOrder {
+			gc := groupChains[tag]
+			if gc == nil {
+				continue
+			}
+			gc.close()
+			taskCPU += gc.stats.CPU
+			tags[tag].stats.Reduce.Add(gc.stats)
+		}
+
+		// Sort, combine, and size the map output.
+		var outRecords, outBytes int64
+		for tag, rt := range tags {
+			g := rt.group
+			if g.MapOnly() {
+				continue
+			}
+			for r := range out.buckets[tag] {
+				bucket := out.buckets[tag][r]
+				if len(bucket) == 0 {
+					continue
+				}
+				sortIdx := resolveSortFields(rt, bucket[0].Key)
+				keyval.SortPairs(bucket, sortIdx)
+				if cfg.UseCombiner && g.Combiner != nil {
+					combined, in, cpu := runCombiner(*g.Combiner, bucket)
+					rt.stats.CombineIn += in
+					rt.stats.CombineOut += int64(len(combined))
+					taskCPU += cpu
+					bucket = combined
+					out.buckets[tag][r] = bucket
+				}
+				outRecords += int64(len(bucket))
+				outBytes += keyval.PairsSize(bucket)
+			}
+		}
+
+		// Map task duration.
+		c := e.Cluster
+		dur := c.TaskSetupSec
+		for input, b := range sp.perInput {
+			dur += c.ReadTime(c.Scale(float64(b)), sp.compressed[input])
+		}
+		dur += c.Scale(taskCPU)
+		if outRecords > 0 {
+			dur += c.SortCPU(c.Scale(float64(outRecords)))
+			dur += c.SpillIOTime(c.Scale(float64(outBytes)), cfg.SortBufferMB, cfg.IOSortFactor, cfg.CompressMapOutput)
+		}
+		for _, pairs := range out.mapOnly {
+			dur += c.WriteTime(c.Scale(float64(keyval.PairsSize(pairs))), cfg.CompressOutput)
+		}
+		_, end := mapPool.Schedule(jobReady, dur)
+		if end > mapsDone {
+			mapsDone = end
+		}
+		jr.MapTaskSeconds += dur
+		if dur > jr.MaxMapTaskSec {
+			jr.MaxMapTaskSec = dur
+		}
+		jr.MapInputBytes += sp.bytes
+		taskOuts[ti] = out
+	}
+	jr.MapsDone = mapsDone
+
+	// Materialize map-only outputs: one partition per map task.
+	for _, tag := range tagOrder {
+		rt := tags[tag]
+		if !rt.group.MapOnly() {
+			continue
+		}
+		parts := make([]*Partition, len(splits))
+		for ti := range splits {
+			p := NewPartition(taskOuts[ti].mapOnly[tag])
+			p.Bounds = splits[ti].srcBounds
+			parts[ti] = p
+		}
+		layout := e.mapOnlyLayout(w, job, rt.group)
+		e.DFS.Put(rt.group.Output, parts, layout)
+		rt.stats.MapKeySample = rt.sample.keys
+	}
+
+	end := mapsDone
+	if hasReduce {
+		jr.NumReduceTasks = numReduce
+		outParts := make(map[int][]*Partition) // tag -> partitions
+		for _, tag := range tagOrder {
+			rt := tags[tag]
+			if !rt.group.MapOnly() {
+				outParts[tag] = make([]*Partition, rt.numParts)
+			}
+		}
+		c := e.Cluster
+		for r := 0; r < numReduce; r++ {
+			var shuffleBytes int64
+			var fetchRuns int
+			var taskCPU float64
+			var outBytes int64
+			for _, tag := range tagOrder {
+				rt := tags[tag]
+				g := rt.group
+				if g.MapOnly() || r >= rt.numParts {
+					continue
+				}
+				var input []keyval.Pair
+				for ti := range taskOuts {
+					seg := taskOuts[ti].buckets[tag][r]
+					if len(seg) > 0 {
+						input = append(input, seg...)
+						fetchRuns++
+					}
+				}
+				shuffleBytes += keyval.PairsSize(input)
+				if len(input) > 0 {
+					sortIdx := resolveSortFields(rt, input[0].Key)
+					keyval.SortPairs(input, sortIdx)
+				}
+				var outputs []keyval.Pair
+				ch := newChain(g.Stages, func(p keyval.Pair) { outputs = append(outputs, p) })
+				for _, p := range input {
+					ch.head(p)
+				}
+				ch.close()
+				rt.stats.Reduce.Add(ch.stats)
+				taskCPU += ch.stats.CPU
+				outBytes += keyval.PairsSize(outputs)
+				outParts[tag][r] = NewPartition(outputs)
+			}
+			wire := c.Scale(float64(shuffleBytes))
+			var decompCPU float64
+			if cfg.CompressMapOutput {
+				decompCPU = wire / MB * c.CompressCPUSecPerMB
+				wire *= c.CompressRatio
+			}
+			dur := c.TaskSetupSec +
+				c.NetTime(wire) + decompCPU +
+				c.MergeIOTime(c.Scale(float64(shuffleBytes)), fetchRuns, cfg.IOSortFactor) +
+				c.Scale(taskCPU) +
+				c.WriteTime(c.Scale(float64(outBytes)), cfg.CompressOutput)
+			_, tend := redPool.Schedule(mapsDone, dur)
+			if tend > end {
+				end = tend
+			}
+			jr.ReduceTaskSeconds += dur
+			if dur > jr.MaxReduceTaskSec {
+				jr.MaxReduceTaskSec = dur
+			}
+			jr.ShuffleBytesVirtual += wire
+		}
+		// Materialize reduce outputs.
+		for _, tag := range tagOrder {
+			rt := tags[tag]
+			g := rt.group
+			if g.MapOnly() {
+				continue
+			}
+			parts := outParts[tag]
+			for i, p := range parts {
+				if p == nil {
+					parts[i] = NewPartition(nil)
+				}
+			}
+			if g.Part.Type == keyval.RangePartition {
+				bounds := keyval.RangeBounds(g.Part.SplitPoints)
+				for i := range parts {
+					if i < len(bounds) {
+						parts[i].Bounds = bounds[i]
+					}
+				}
+			}
+			e.DFS.Put(g.Output, parts, wf.DeriveGroupOutputLayout(*g, cfg))
+			rt.stats.MapKeySample = rt.sample.keys
+		}
+	}
+	jr.End = end
+	return jr, end, nil
+}
+
+// buildSplits constructs the map-task inputs: aligned one-task-per-partition
+// when a vertical packing postcondition requires it, otherwise size-based
+// splits with partition pruning against filter annotations.
+func (e *Engine) buildSplits(w *wf.Workflow, job *wf.Job, jr *JobReport) ([]mapSplit, error) {
+	inputs := job.Inputs()
+	if job.AlignMapToInput {
+		return e.buildAlignedSplits(w, job, inputs)
+	}
+	splitBytes := int64(float64(job.Config.SplitSizeMB) * MB / e.Cluster.VirtualScale)
+	if splitBytes < 1 {
+		splitBytes = 1
+	}
+	var splits []mapSplit
+	for _, in := range inputs {
+		stored, ok := e.DFS.Get(in)
+		if !ok {
+			return nil, fmt.Errorf("input dataset %q not on DFS", in)
+		}
+		for _, part := range stored.Parts {
+			if e.canPrune(job, in, stored.Layout, part) {
+				jr.PrunedPartitions++
+				continue
+			}
+			// Chunk the partition without crossing partition boundaries.
+			start := 0
+			var bytes int64
+			for i, p := range part.Pairs {
+				bytes += keyval.PairSize(p)
+				if bytes >= splitBytes || i == len(part.Pairs)-1 {
+					recs := make([]splitRec, 0, i-start+1)
+					for _, q := range part.Pairs[start : i+1] {
+						recs = append(recs, splitRec{input: in, pair: q})
+					}
+					splits = append(splits, mapSplit{
+						recs:       recs,
+						bytes:      bytes,
+						compressed: map[string]bool{in: stored.Layout.Compressed},
+						perInput:   map[string]int64{in: bytes},
+					})
+					start = i + 1
+					bytes = 0
+				}
+			}
+			if len(part.Pairs) == 0 {
+				// Empty partitions produce no map task.
+				continue
+			}
+		}
+	}
+	return splits, nil
+}
+
+// buildAlignedSplits creates one map task per input partition, merging
+// aligned partitions of multiple inputs in their shared sort order so that
+// pipelined ReduceKind stages see correctly clustered data.
+func (e *Engine) buildAlignedSplits(w *wf.Workflow, job *wf.Job, inputs []string) ([]mapSplit, error) {
+	type src struct {
+		id     string
+		stored *Stored
+		keyIdx []int // sort projection for merging
+	}
+	var srcs []src
+	numParts := -1
+	for _, in := range inputs {
+		stored, ok := e.DFS.Get(in)
+		if !ok {
+			return nil, fmt.Errorf("input dataset %q not on DFS", in)
+		}
+		if numParts == -1 {
+			numParts = len(stored.Parts)
+		} else if numParts != len(stored.Parts) {
+			return nil, fmt.Errorf("aligned inputs have mismatched partition counts (%q has %d, want %d)",
+				in, len(stored.Parts), numParts)
+		}
+		s := src{id: in, stored: stored}
+		ds := w.Dataset(in)
+		if ds != nil && len(stored.Layout.SortFields) > 0 {
+			if idx, ok := wf.IndicesOf(ds.KeyFields, stored.Layout.SortFields); ok {
+				s.keyIdx = idx
+			}
+		}
+		srcs = append(srcs, s)
+	}
+	canMerge := len(srcs) > 1
+	for _, s := range srcs {
+		if s.keyIdx == nil {
+			canMerge = false
+		}
+	}
+	splits := make([]mapSplit, numParts)
+	for pi := 0; pi < numParts; pi++ {
+		sp := mapSplit{
+			compressed: make(map[string]bool),
+			perInput:   make(map[string]int64),
+		}
+		if len(srcs) == 1 {
+			s := srcs[0]
+			part := s.stored.Parts[pi]
+			for _, p := range part.Pairs {
+				sp.recs = append(sp.recs, splitRec{input: s.id, pair: p})
+			}
+			sp.bytes = part.Bytes
+			sp.perInput[s.id] = part.Bytes
+			sp.compressed[s.id] = s.stored.Layout.Compressed
+			sp.srcBounds = part.Bounds
+		} else {
+			// K-way merge of the aligned partitions.
+			cursors := make([]int, len(srcs))
+			for si, s := range srcs {
+				part := s.stored.Parts[pi]
+				sp.bytes += part.Bytes
+				sp.perInput[s.id] += part.Bytes
+				sp.compressed[s.id] = s.stored.Layout.Compressed
+				_ = si
+			}
+			if pi < len(srcs[0].stored.Parts) {
+				sp.srcBounds = srcs[0].stored.Parts[pi].Bounds
+			}
+			for {
+				best := -1
+				for si, s := range srcs {
+					part := s.stored.Parts[pi]
+					if cursors[si] >= len(part.Pairs) {
+						continue
+					}
+					if best == -1 {
+						best = si
+						continue
+					}
+					if !canMerge {
+						continue // keep input order: drain sources in order
+					}
+					a := part.Pairs[cursors[si]].Key
+					bPart := srcs[best].stored.Parts[pi]
+					b := bPart.Pairs[cursors[best]].Key
+					if keyval.Compare(keyval.Project(a, s.keyIdx), keyval.Project(b, srcs[best].keyIdx)) < 0 {
+						best = si
+					}
+				}
+				if best == -1 {
+					break
+				}
+				s := srcs[best]
+				sp.recs = append(sp.recs, splitRec{input: s.id, pair: s.stored.Parts[pi].Pairs[cursors[best]]})
+				cursors[best]++
+			}
+		}
+		splits[pi] = sp
+	}
+	return splits, nil
+}
+
+// canPrune decides whether an input partition can be skipped: the dataset
+// must be range partitioned on the filtered field and every branch of the
+// job reading it must filter out the partition's whole key range.
+func (e *Engine) canPrune(job *wf.Job, dsID string, layout wf.Layout, part *Partition) bool {
+	if layout.PartType != keyval.RangePartition || len(layout.PartFields) == 0 {
+		return false
+	}
+	field := layout.PartFields[0]
+	any := false
+	for i := range job.MapBranches {
+		b := &job.MapBranches[i]
+		if b.Input != dsID {
+			continue
+		}
+		any = true
+		if b.Filter == nil || b.Filter.Field != field {
+			return false
+		}
+		if part.Bounds.FieldRangeOverlaps(b.Filter.Interval) {
+			return false
+		}
+	}
+	return any
+}
+
+// mapOnlyLayout derives the output layout of a map-only group from its
+// (first) branch's input dataset layout.
+func (e *Engine) mapOnlyLayout(w *wf.Workflow, job *wf.Job, g *wf.ReduceGroup) wf.Layout {
+	var in wf.Layout
+	for i := range job.MapBranches {
+		if job.MapBranches[i].Tag == g.Tag {
+			if stored, ok := e.DFS.Get(job.MapBranches[i].Input); ok {
+				in = stored.Layout
+			}
+			break
+		}
+	}
+	return wf.DeriveMapOnlyOutputLayout(in, *g, job.AlignMapToInput, job.Config)
+}
+
+// resolveSortFields resolves a tag's sort projection against an observed
+// key width.
+func resolveSortFields(rt *tagRuntime, key keyval.Tuple) []int {
+	if rt.sortIdx == nil {
+		rt.sortIdx = rt.group.Part.EffectiveSortFields(len(key))
+	}
+	return rt.sortIdx
+}
+
+// runCombiner applies the combine function to a sorted run, grouping on the
+// full key, and returns the surviving pairs, input count, and CPU charged.
+func runCombiner(combiner wf.Stage, sorted []keyval.Pair) ([]keyval.Pair, int64, float64) {
+	var out []keyval.Pair
+	emit := func(k, v keyval.Tuple) { out = append(out, keyval.Pair{Key: k, Value: v}) }
+	i := 0
+	var cpu float64
+	for i < len(sorted) {
+		j := i + 1
+		for j < len(sorted) && keyval.Compare(sorted[i].Key, sorted[j].Key) == 0 {
+			j++
+		}
+		vals := make([]keyval.Tuple, 0, j-i)
+		for _, p := range sorted[i:j] {
+			vals = append(vals, p.Value)
+		}
+		cpu += float64(j-i) * combiner.CPUPerRecord
+		combiner.Reduce(sorted[i].Key, vals, emit)
+		i = j
+	}
+	return out, int64(len(sorted)), cpu
+}
+
+func sampleSeed(jobID string, tag int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(jobID))
+	h.Write([]byte{byte(tag), byte(tag >> 8)})
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}

@@ -1,0 +1,122 @@
+package mrsim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// Failure injection: the engine must reject broken inputs with descriptive
+// errors instead of corrupting the DFS or panicking.
+
+func failureWorkflow() *wf.Workflow {
+	return &wf.Workflow{
+		Name: "fail",
+		Jobs: []*wf.Job{{
+			ID: "J", Config: wf.DefaultConfig(), Origin: []string{"J"},
+			MapBranches: []wf.MapBranch{{
+				Tag: 0, Input: "in",
+				Stages: []wf.Stage{wf.MapStage("M", func(k, v keyval.Tuple, emit wf.Emit) { emit(k, v) }, 1e-6)},
+			}},
+			ReduceGroups: []wf.ReduceGroup{{
+				Tag: 0, Output: "out",
+				Stages: []wf.Stage{wf.ReduceStage("R", func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+					emit(k, vs[0])
+				}, nil, 1e-6)},
+			}},
+		}},
+		Datasets: []*wf.Dataset{
+			{ID: "in", Base: true},
+			{ID: "out"},
+		},
+	}
+}
+
+func failureDFS(t *testing.T) *DFS {
+	t.Helper()
+	dfs := NewDFS()
+	var pairs []keyval.Pair
+	for i := 0; i < 50; i++ {
+		pairs = append(pairs, keyval.Pair{Key: keyval.T(int64(i % 7)), Value: keyval.T(int64(i))})
+	}
+	if err := dfs.Ingest("in", pairs, IngestSpec{NumPartitions: 3}); err != nil {
+		t.Fatal(err)
+	}
+	return dfs
+}
+
+func TestRunMissingBaseDataset(t *testing.T) {
+	w := failureWorkflow()
+	dfs := NewDFS() // "in" never ingested
+	_, err := NewEngine(DefaultCluster(), dfs).RunWorkflow(w)
+	if err == nil || !strings.Contains(err.Error(), "in") {
+		t.Fatalf("missing base dataset not reported: %v", err)
+	}
+}
+
+func TestRunInvalidConfigRejected(t *testing.T) {
+	w := failureWorkflow()
+	w.Jobs[0].Config.NumReduceTasks = 0
+	_, err := NewEngine(DefaultCluster(), failureDFS(t)).RunWorkflow(w)
+	if err == nil || !strings.Contains(err.Error(), "NumReduceTasks") {
+		t.Fatalf("invalid config not rejected: %v", err)
+	}
+}
+
+func TestRunCyclicWorkflowRejected(t *testing.T) {
+	w := failureWorkflow()
+	// Close a cycle: J also consumes its own output through a second job.
+	w.Jobs = append(w.Jobs, &wf.Job{
+		ID: "LOOP", Config: wf.DefaultConfig(), Origin: []string{"LOOP"},
+		MapBranches: []wf.MapBranch{{
+			Tag: 0, Input: "out",
+			Stages: []wf.Stage{wf.MapStage("ML", func(k, v keyval.Tuple, emit wf.Emit) { emit(k, v) }, 1e-6)},
+		}},
+		ReduceGroups: []wf.ReduceGroup{{Tag: 0, Output: "loopout"}},
+	})
+	w.Datasets = append(w.Datasets, &wf.Dataset{ID: "loopout"})
+	w.Jobs[0].MapBranches = append(w.Jobs[0].MapBranches, wf.MapBranch{
+		Tag: 0, Input: "loopout",
+		Stages: []wf.Stage{wf.MapStage("MC", func(k, v keyval.Tuple, emit wf.Emit) { emit(k, v) }, 1e-6)},
+	})
+	_, err := NewEngine(DefaultCluster(), failureDFS(t)).RunWorkflow(w)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cyclic workflow not rejected: %v", err)
+	}
+}
+
+func TestRunInvalidClusterRejected(t *testing.T) {
+	w := failureWorkflow()
+	c := DefaultCluster()
+	c.Nodes = 0
+	_, err := NewEngine(c, failureDFS(t)).RunWorkflow(w)
+	if err == nil {
+		t.Fatal("invalid cluster not rejected")
+	}
+}
+
+func TestRunDoesNotMutateDFSOnFailure(t *testing.T) {
+	w := failureWorkflow()
+	w.Jobs[0].Config.SortBufferMB = -1
+	dfs := failureDFS(t)
+	before := dfs.IDs()
+	if _, err := NewEngine(DefaultCluster(), dfs).RunWorkflow(w); err == nil {
+		t.Fatal("invalid config not rejected")
+	}
+	after := dfs.IDs()
+	if len(before) != len(after) {
+		t.Fatalf("failed run changed DFS contents: %v -> %v", before, after)
+	}
+}
+
+func TestRunUnknownIntermediateProducerRejected(t *testing.T) {
+	w := failureWorkflow()
+	w.Jobs[0].MapBranches[0].Input = "ghost"
+	w.Datasets = append(w.Datasets, &wf.Dataset{ID: "ghost"}) // non-base, no producer
+	_, err := NewEngine(DefaultCluster(), failureDFS(t)).RunWorkflow(w)
+	if err == nil {
+		t.Fatal("unproduced intermediate input not rejected")
+	}
+}

@@ -1,0 +1,169 @@
+package mrsim
+
+import (
+	"math/rand"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// PipeStats accumulates dataflow and cost statistics for one pipeline
+// execution — the raw material of profile annotations.
+type PipeStats struct {
+	InRecords  int64
+	OutRecords int64
+	InBytes    int64
+	OutBytes   int64
+	CPU        float64
+	// Groups counts invocations of the pipeline's first grouped stage
+	// (the number of distinct reduce groups seen).
+	Groups int64
+}
+
+// Add accumulates another stats block.
+func (s *PipeStats) Add(o PipeStats) {
+	s.InRecords += o.InRecords
+	s.OutRecords += o.OutRecords
+	s.InBytes += o.InBytes
+	s.OutBytes += o.OutBytes
+	s.CPU += o.CPU
+	s.Groups += o.Groups
+}
+
+// chain executes a pipeline of stages over a pushed stream of pairs. It
+// implements the paper's "wrapper classes": several map/reduce functions
+// executing back to back inside one task. ReduceKind stages buffer
+// consecutive records agreeing on their group fields, relying on the
+// stream being clustered on those fields (the vertical packing
+// postconditions guarantee it).
+type chain struct {
+	head  func(keyval.Pair)
+	close func()
+	stats PipeStats
+}
+
+// newChain builds an executor for stages whose final outputs are passed to
+// sink. Stats count records entering the chain, records leaving it, and
+// total stage CPU seconds.
+func newChain(stages []wf.Stage, sink func(keyval.Pair)) *chain {
+	c := &chain{}
+	// Terminal: count outputs.
+	next := func(p keyval.Pair) {
+		c.stats.OutRecords++
+		c.stats.OutBytes += keyval.PairSize(p)
+		sink(p)
+	}
+	closeNext := func() {}
+	firstReduce := -1
+	for i, st := range stages {
+		if st.Kind == wf.ReduceKind {
+			firstReduce = i
+			break
+		}
+	}
+	// Build from last stage backward.
+	for i := len(stages) - 1; i >= 0; i-- {
+		st := stages[i]
+		downstream := next
+		downstreamClose := closeNext
+		switch st.Kind {
+		case wf.MapKind:
+			emit := func(k, v keyval.Tuple) { downstream(keyval.Pair{Key: k, Value: v}) }
+			next = func(p keyval.Pair) {
+				c.stats.CPU += st.CPUPerRecord
+				st.Map(p.Key, p.Value, emit)
+			}
+			closeNext = downstreamClose
+		case wf.ReduceKind:
+			g := &grouper{stage: st, emitPair: downstream, countGroups: i == firstReduce}
+			next = g.push
+			closeNext = func() {
+				g.flush()
+				downstreamClose()
+			}
+			// CPU is charged per record inside grouper.push via the chain.
+			g.chain = c
+		}
+	}
+	entry := next
+	entryClose := closeNext
+	c.head = func(p keyval.Pair) {
+		c.stats.InRecords++
+		c.stats.InBytes += keyval.PairSize(p)
+		entry(p)
+	}
+	c.close = entryClose
+	return c
+}
+
+// grouper buffers consecutive records equal on the stage's group fields and
+// invokes the reduce function once per group.
+type grouper struct {
+	stage       wf.Stage
+	chain       *chain
+	emitPair    func(keyval.Pair)
+	fields      []int // resolved group fields; nil until first record
+	resolved    bool
+	countGroups bool
+	firstKey    keyval.Tuple
+	vals        []keyval.Tuple
+}
+
+func (g *grouper) push(p keyval.Pair) {
+	g.chain.stats.CPU += g.stage.CPUPerRecord
+	if !g.resolved {
+		g.fields = g.stage.GroupFields
+		if g.fields == nil {
+			g.fields = make([]int, len(p.Key))
+			for i := range g.fields {
+				g.fields[i] = i
+			}
+		}
+		g.resolved = true
+	}
+	if g.firstKey != nil && !keyval.EqualOn(g.firstKey, p.Key, g.fields) {
+		g.flush()
+	}
+	if g.firstKey == nil {
+		g.firstKey = p.Key
+	}
+	g.vals = append(g.vals, p.Value)
+}
+
+func (g *grouper) flush() {
+	if g.firstKey == nil {
+		return
+	}
+	if g.countGroups {
+		g.chain.stats.Groups++
+	}
+	key, vals := g.firstKey, g.vals
+	g.firstKey, g.vals = nil, nil
+	emit := func(k, v keyval.Tuple) { g.emitPair(keyval.Pair{Key: k, Value: v}) }
+	g.stage.Reduce(key, vals, emit)
+}
+
+// reservoir is a deterministic fixed-size uniform sample of tuples, used to
+// collect the key samples in profile annotations.
+type reservoir struct {
+	cap  int
+	seen int64
+	keys []keyval.Tuple
+	rng  *rand.Rand
+}
+
+func newReservoir(capacity int, seed int64) *reservoir {
+	return &reservoir{cap: capacity, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (r *reservoir) add(t keyval.Tuple) {
+	r.seen++
+	if len(r.keys) < r.cap {
+		r.keys = append(r.keys, keyval.Clone(t))
+		return
+	}
+	j := r.rng.Int63n(r.seen)
+	if j < int64(r.cap) {
+		r.keys[j] = keyval.Clone(t)
+	}
+}

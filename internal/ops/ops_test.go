@@ -1,0 +1,163 @@
+package ops
+
+import (
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+func runMap(s wf.Stage, pairs []keyval.Pair) []keyval.Pair {
+	var out []keyval.Pair
+	emit := func(k, v keyval.Tuple) { out = append(out, keyval.Pair{Key: k, Value: v}) }
+	for _, p := range pairs {
+		s.Map(p.Key, p.Value, emit)
+	}
+	return out
+}
+
+func runReduce(s wf.Stage, key keyval.Tuple, values []keyval.Tuple) []keyval.Pair {
+	var out []keyval.Pair
+	emit := func(k, v keyval.Tuple) { out = append(out, keyval.Pair{Key: k, Value: v}) }
+	s.Reduce(key, values, emit)
+	return out
+}
+
+func TestIdentity(t *testing.T) {
+	in := []keyval.Pair{{Key: keyval.T(1), Value: keyval.T("a")}}
+	out := runMap(Identity("id", 1e-6), in)
+	if len(out) != 1 || keyval.Compare(out[0].Key, in[0].Key) != 0 {
+		t.Fatalf("identity mangled record: %v", out)
+	}
+}
+
+func TestRekeyAndSrc(t *testing.T) {
+	st := Rekey("rk", 0, []Src{V(1), K(0)}, []Src{V(0)})
+	out := runMap(st, []keyval.Pair{{Key: keyval.T(7), Value: keyval.T("x", 42)}})
+	if keyval.Compare(out[0].Key, keyval.T(42, 7)) != 0 {
+		t.Errorf("key = %v", out[0].Key)
+	}
+	if keyval.Compare(out[0].Value, keyval.T("x")) != 0 {
+		t.Errorf("value = %v", out[0].Value)
+	}
+	// Out-of-range sources yield nil fields, not panics.
+	st2 := Rekey("rk2", 0, []Src{K(9)}, nil)
+	out2 := runMap(st2, []keyval.Pair{{Key: keyval.T(1), Value: keyval.T(2)}})
+	if out2[0].Key[0] != nil {
+		t.Error("out-of-range source should be nil")
+	}
+}
+
+func TestFilterInterval(t *testing.T) {
+	iv := keyval.Interval{Lo: int64(10), Hi: int64(20)}
+	st := FilterInterval("f", 0, K(0), iv, []Src{K(0)}, []Src{V(0)})
+	in := []keyval.Pair{
+		{Key: keyval.T(5), Value: keyval.T(1)},
+		{Key: keyval.T(15), Value: keyval.T(2)},
+		{Key: keyval.T(25), Value: keyval.T(3)},
+	}
+	out := runMap(st, in)
+	if len(out) != 1 || out[0].Value[0].(int64) != 2 {
+		t.Fatalf("filter kept %v", out)
+	}
+}
+
+func TestTagValue(t *testing.T) {
+	out := runMap(TagValue("t", 0, "L"), []keyval.Pair{{Key: keyval.T(1), Value: keyval.T(9, 8)}})
+	if keyval.Compare(out[0].Value, keyval.T("L", 9, 8)) != 0 {
+		t.Errorf("tagged value = %v", out[0].Value)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	vals := []keyval.Tuple{keyval.T(2.0), keyval.T(int64(3)), keyval.T(5.0)}
+	key := keyval.T("g")
+
+	if out := runReduce(Sum("s", 0, 0), key, vals); out[0].Value[0].(float64) != 10 {
+		t.Errorf("sum = %v", out[0].Value)
+	}
+	if out := runReduce(Count("c", 0), key, vals); out[0].Value[0].(int64) != 3 {
+		t.Errorf("count = %v", out[0].Value)
+	}
+	if out := runReduce(Avg("a", 0, 0), key, vals); out[0].Value[0].(float64) != 10.0/3 {
+		t.Errorf("avg = %v", out[0].Value)
+	}
+	out := runReduce(SumAndMax("sm", 0, 0), key, vals)
+	if out[0].Value[0].(float64) != 10 || out[0].Value[1].(float64) != 5 {
+		t.Errorf("sum+max = %v", out[0].Value)
+	}
+	dm := runReduce(DistinctMark("d", 0), key, vals)
+	if len(dm) != 1 || dm[0].Key[0].(int64) != 0 {
+		t.Errorf("distinct mark = %v", dm)
+	}
+}
+
+func TestSumCombinerIsAlgebraic(t *testing.T) {
+	// combiner(combiner(a,b), combiner(c)) must equal sum(a,b,c).
+	comb := SumCombiner("c", 0, 0)
+	key := keyval.T("g")
+	p1 := runReduce(comb, key, []keyval.Tuple{keyval.T(1.0), keyval.T(2.0)})
+	p2 := runReduce(comb, key, []keyval.Tuple{keyval.T(4.0)})
+	final := runReduce(Sum("s", 0, 0), key, []keyval.Tuple{p1[0].Value, p2[0].Value})
+	if final[0].Value[0].(float64) != 7 {
+		t.Errorf("combined sum = %v", final[0].Value)
+	}
+	// Extra value fields survive combining.
+	rich := runReduce(SumCombiner("c", 0, 1), key,
+		[]keyval.Tuple{keyval.T("x", 2.0), keyval.T("x", 3.0)})
+	if rich[0].Value[1].(float64) != 5 || rich[0].Value[0].(string) != "x" {
+		t.Errorf("rich combine = %v", rich[0].Value)
+	}
+}
+
+func TestTopKOperators(t *testing.T) {
+	vs := []keyval.Tuple{
+		keyval.T(3.0, "c"), keyval.T(9.0, "a"), keyval.T(1.0, "d"), keyval.T(7.0, "b"),
+	}
+	top := topK(vs, 2, 0)
+	if len(top) != 2 || top[0][1].(string) != "a" || top[1][1].(string) != "b" {
+		t.Fatalf("topK = %v", top)
+	}
+	// MergeTopK emits ranked output in decreasing order.
+	out := runReduce(MergeTopK("m", 0, 3, 0), keyval.T(int64(0)), vs)
+	if len(out) != 3 {
+		t.Fatalf("merge emitted %d", len(out))
+	}
+	if out[0].Key[0].(int64) != 1 || out[0].Value[0].(float64) != 9 {
+		t.Errorf("rank 1 = %v %v", out[0].Key, out[0].Value)
+	}
+	if out[2].Value[0].(float64) != 3 {
+		t.Errorf("rank 3 = %v", out[2].Value)
+	}
+	// Fewer values than k.
+	small := runReduce(MergeTopK("m", 0, 10, 0), keyval.T(int64(0)), vs[:2])
+	if len(small) != 2 {
+		t.Errorf("small merge = %d", len(small))
+	}
+}
+
+func TestLocalTopKStreams(t *testing.T) {
+	// LocalTopK groups the whole stream (empty group fields) and emits the
+	// task-local top k under a constant key.
+	st := LocalTopK("lt", 0, 2, 0)
+	var out []keyval.Pair
+	emit := func(k, v keyval.Tuple) { out = append(out, keyval.Pair{Key: k, Value: v}) }
+	st.Reduce(keyval.T(int64(1), int64(2)), []keyval.Tuple{
+		keyval.T(5.0), keyval.T(9.0), keyval.T(2.0),
+	}, emit)
+	if len(out) != 2 {
+		t.Fatalf("local top emitted %d", len(out))
+	}
+	if out[0].Key[0].(int64) != 0 {
+		t.Error("local top key should be constant 0")
+	}
+	if out[0].Value[0].(float64) != 9 || out[1].Value[0].(float64) != 5 {
+		t.Errorf("local top = %v", out)
+	}
+}
+
+func TestNumCoercion(t *testing.T) {
+	if num(int64(4)) != 4 || num(4.5) != 4.5 || num("x") != 0 || num(nil) != 0 {
+		t.Error("num coercion wrong")
+	}
+}

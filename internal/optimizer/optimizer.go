@@ -1,0 +1,321 @@
+// Package optimizer implements Stubby's enumeration and search strategy
+// (Section 4): a two-phase greedy traversal that generates optimization
+// units dynamically in topological sort order, exhaustively enumerates the
+// structural transformations applicable within each unit, searches the
+// configuration space of each enumerated subplan with Recursive Random
+// Search, and retains the subplan with the lowest What-if cost.
+package optimizer
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/wf"
+	"github.com/stubby-mr/stubby/internal/whatif"
+)
+
+// Groups selects which transformation groups the optimizer applies
+// (Section 4: the Vertical and Horizontal groups both include the partition
+// function and configuration transformations).
+type Groups int
+
+const (
+	// GroupVertical enables intra- and inter-job vertical packing (plus
+	// partition and configuration transformations).
+	GroupVertical Groups = 1 << iota
+	// GroupHorizontal enables horizontal packing (plus partition and
+	// configuration transformations).
+	GroupHorizontal
+	// GroupConfigOnly traverses the workflow applying only configuration
+	// transformations — the Starfish comparator's plan space (Section 7.3).
+	GroupConfigOnly
+	// GroupAll is full Stubby.
+	GroupAll = GroupVertical | GroupHorizontal
+)
+
+// Options tunes the search.
+type Options struct {
+	// Groups selects transformation groups (default GroupAll).
+	Groups Groups
+	// RRSEvals bounds configuration-search evaluations per subplan.
+	// Zero (the default) sizes the budget adaptively to the number of
+	// configuration dimensions, keeping tuning quality comparable across
+	// subplans of different shapes.
+	RRSEvals int
+	// MaxSubplans caps structural enumeration per optimization unit
+	// (default 64; the paper observes real units yield only a handful).
+	MaxSubplans int
+	// Seed drives deterministic search.
+	Seed int64
+	// KeepSubplans retains every enumerated subplan in the unit reports
+	// (used by the Figure 14 deep-dive).
+	KeepSubplans bool
+	// DisablePartition turns the partition function transformation off
+	// (comparators like MRShare do not consider it — Section 7.3).
+	DisablePartition bool
+	// DisableConfigSearch keeps job configurations as provided instead of
+	// searching them (rule-configured comparators).
+	DisableConfigSearch bool
+	// Custom registers additional structural transformations, extending
+	// the optimizer EXODUS-style (Section 1: "Stubby allows new
+	// transformations to be added to extend the optimizer's functionality
+	// easily"). Custom transformations participate in both structural
+	// phases and compete on estimated cost like the built-ins.
+	Custom []Transformation
+	// ConfigSearch selects the configuration-search strategy. The default
+	// is RRS; SearchRandom degrades to uniform sampling under the same
+	// evaluation budget (the ablation of RRS's recursion).
+	ConfigSearch SearchStrategy
+	// HorizontalFirst reverses the two structural phases, applying the
+	// Horizontal group before the Vertical group — the ablation of the
+	// paper's ordering argument (Section 4: horizontal packing first can
+	// prevent later vertical packing).
+	HorizontalFirst bool
+	// GlobalUnit optimizes the whole workflow as a single optimization
+	// unit instead of traversing dynamically generated units — the
+	// ablation of the divide-and-conquer strategy (Section 4.1). Raise
+	// MaxSubplans when enabling this on larger workflows.
+	GlobalUnit bool
+}
+
+// SearchStrategy selects how configuration transformations are searched.
+type SearchStrategy int
+
+const (
+	// SearchRRS is Recursive Random Search (the paper's choice).
+	SearchRRS SearchStrategy = iota
+	// SearchRandom is uniform random sampling with the same budget.
+	SearchRandom
+)
+
+// Transformation is a user-defined structural transformation. Like the
+// built-in transformations it must be semantics-preserving: every proposed
+// plan must produce the same results as the input plan, and must only be
+// proposed when its preconditions are verifiable from the annotations
+// present (the information-spectrum contract).
+type Transformation interface {
+	// Name labels the transformation in search traces.
+	Name() string
+	// Apply proposes zero or more rewritten plans. The input plan must not
+	// be modified; unitJobs lists the current job IDs of the optimization
+	// unit under search, and proposals should restructure only those jobs.
+	// Jobs merged by a proposal must union their Origin lists, as the
+	// built-in packing transformations do. Invalid proposals are discarded
+	// by the optimizer.
+	Apply(plan *wf.Workflow, unitJobs []string) []Proposal
+}
+
+// Proposal is one plan rewrite offered by a custom Transformation.
+type Proposal struct {
+	// Plan is the rewritten workflow.
+	Plan *wf.Workflow
+	// Desc describes this specific rewrite (defaults to the
+	// transformation's name in search traces).
+	Desc string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Groups == 0 {
+		o.Groups = GroupAll
+	}
+	if o.MaxSubplans <= 0 {
+		o.MaxSubplans = 64
+	}
+	return o
+}
+
+// Stubby is the transformation-based workflow optimizer.
+type Stubby struct {
+	cluster *mrsim.Cluster
+	est     *whatif.Estimator
+	opt     Options
+}
+
+// New builds an optimizer for the given cluster.
+func New(cluster *mrsim.Cluster, opt Options) *Stubby {
+	return &Stubby{cluster: cluster, est: whatif.New(cluster), opt: opt.withDefaults()}
+}
+
+// SubplanReport records one enumerated subplan of a unit.
+type SubplanReport struct {
+	// Description lists the structural transformations applied.
+	Description string
+	// Cost is the What-if estimate after configuration search.
+	Cost float64
+	// Fallback marks #jobs costing.
+	Fallback bool
+	// Plan is retained under Options.KeepSubplans, with its best
+	// configuration applied.
+	Plan *wf.Workflow
+}
+
+// UnitReport records one optimization unit's search.
+type UnitReport struct {
+	Phase     string
+	Producers []string
+	Consumers []string
+	Subplans  []SubplanReport
+	ChosenIdx int
+}
+
+// Result is the outcome of optimization.
+type Result struct {
+	// Plan is the optimized workflow.
+	Plan *wf.Workflow
+	// EstimatedCost is the What-if estimate of the final plan.
+	EstimatedCost float64
+	// Units traces the search, in traversal order.
+	Units []UnitReport
+	// Duration is the optimizer's own (real) running time.
+	Duration time.Duration
+}
+
+// Optimize runs the two-phase search and returns the optimized plan. The
+// input plan is not modified.
+func (s *Stubby) Optimize(w *wf.Workflow) (*Result, error) {
+	start := time.Now()
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("optimizer: %w", err)
+	}
+	plan := w.Clone()
+	res := &Result{}
+	var err error
+	phases := []phaseSpec{
+		{name: "vertical", vertical: true},
+		{name: "horizontal", horizontal: true},
+	}
+	if s.opt.HorizontalFirst {
+		phases[0], phases[1] = phases[1], phases[0]
+	}
+	for _, ph := range phases {
+		if ph.vertical && s.opt.Groups&GroupVertical == 0 {
+			continue
+		}
+		if ph.horizontal && s.opt.Groups&GroupHorizontal == 0 {
+			continue
+		}
+		plan, err = s.traverse(plan, ph, res)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if s.opt.Groups&GroupConfigOnly != 0 && s.opt.Groups&GroupAll == 0 {
+		plan, err = s.traverse(plan, phaseSpec{name: "config", configOnly: true}, res)
+		if err != nil {
+			return nil, err
+		}
+	}
+	est, err := s.est.Estimate(plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+	res.EstimatedCost = est.Makespan
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// phaseSpec selects which transformations a traversal pass applies.
+type phaseSpec struct {
+	name       string
+	vertical   bool
+	horizontal bool
+	configOnly bool
+}
+
+// traverse walks the workflow in topological order, generating optimization
+// units dynamically (Section 4.1) and optimizing each (Section 4.2). Each
+// unit holds the current frontier (concurrently-runnable producer jobs) and
+// every job consuming their outputs; the next frontier is wherever those
+// consumers ended up after the unit's transformations (Figure 9).
+func (s *Stubby) traverse(plan *wf.Workflow, ph phaseSpec, res *Result) (*wf.Workflow, error) {
+	if s.opt.GlobalUnit {
+		unit := make([]string, 0, len(plan.Jobs))
+		for _, j := range plan.Jobs {
+			unit = append(unit, j.ID)
+		}
+		newPlan, report, err := s.optimizeUnit(plan, unit, ph, len(res.Units))
+		if err != nil {
+			return nil, err
+		}
+		report.Phase = ph.name
+		report.Producers = unit
+		res.Units = append(res.Units, *report)
+		return newPlan, nil
+	}
+	frontier := initialFrontier(plan)
+	for iter := 0; len(frontier) > 0 && iter <= len(plan.Jobs)+len(res.Units)+4; iter++ {
+		consumers := unitConsumers(plan, frontier)
+		unit := append(append([]string{}, frontier...), consumers...)
+		var consOrigins []string
+		for _, id := range consumers {
+			consOrigins = append(consOrigins, plan.Job(id).Origin...)
+		}
+		newPlan, report, err := s.optimizeUnit(plan, unit, ph, len(res.Units))
+		if err != nil {
+			return nil, err
+		}
+		report.Phase = ph.name
+		report.Producers = frontier
+		report.Consumers = consumers
+		res.Units = append(res.Units, *report)
+		plan = newPlan
+		if len(consumers) == 0 {
+			break
+		}
+		frontier = jobsContainingOrigins(plan, consOrigins)
+	}
+	return plan, nil
+}
+
+// initialFrontier returns jobs with no producing jobs, in plan order.
+func initialFrontier(plan *wf.Workflow) []string {
+	var out []string
+	for _, j := range plan.Jobs {
+		if len(plan.JobProducers(j)) == 0 {
+			out = append(out, j.ID)
+		}
+	}
+	return out
+}
+
+// unitConsumers returns the jobs consuming the frontier's outputs (the
+// unit's consumer set), excluding frontier members themselves.
+func unitConsumers(plan *wf.Workflow, frontier []string) []string {
+	inFrontier := map[string]bool{}
+	for _, id := range frontier {
+		inFrontier[id] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, id := range frontier {
+		for _, jc := range plan.JobConsumers(plan.Job(id)) {
+			if seen[jc.ID] || inFrontier[jc.ID] {
+				continue
+			}
+			seen[jc.ID] = true
+			out = append(out, jc.ID)
+		}
+	}
+	return out
+}
+
+// jobsContainingOrigins returns current jobs holding any of the given
+// original job IDs.
+func jobsContainingOrigins(plan *wf.Workflow, origins []string) []string {
+	want := map[string]bool{}
+	for _, o := range origins {
+		want[o] = true
+	}
+	var out []string
+	for _, j := range plan.Jobs {
+		for _, o := range j.Origin {
+			if want[o] {
+				out = append(out, j.ID)
+				break
+			}
+		}
+	}
+	return out
+}

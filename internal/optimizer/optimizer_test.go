@@ -1,0 +1,420 @@
+package optimizer
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// Test workflow: the J5 -> J7 chain plus an optional sibling J6 (a
+// miniature of Figure 1's lower half, same schema conventions).
+
+func m5(key, value keyval.Tuple, emit wf.Emit) {
+	o := key[0].(int64)
+	if o >= 50 && o < 500 {
+		emit(keyval.T(o, value[1]), keyval.T(value[2]))
+	}
+}
+
+func m6(key, value keyval.Tuple, emit wf.Emit) {
+	o := key[0].(int64)
+	if o < 100 {
+		emit(keyval.T(value[0], value[1]), keyval.T(value[2]))
+	}
+}
+
+func m7(key, value keyval.Tuple, emit wf.Emit) { emit(keyval.T(key[0]), value) }
+
+func sumP(key keyval.Tuple, values []keyval.Tuple, emit wf.Emit) {
+	var s int64
+	for _, v := range values {
+		s += v[0].(int64)
+	}
+	emit(key, keyval.T(s))
+}
+
+func maxP(key keyval.Tuple, values []keyval.Tuple, emit wf.Emit) {
+	var m int64
+	for _, v := range values {
+		if v[0].(int64) > m {
+			m = v[0].(int64)
+		}
+	}
+	emit(key, keyval.T(m))
+}
+
+func buildChain(withJ6 bool) *wf.Workflow {
+	j5 := &wf.Job{
+		ID: "J5", Config: wf.DefaultConfig(), Origin: []string{"J5"},
+		MapBranches: []wf.MapBranch{{
+			Tag: 0, Input: "D4",
+			Stages: []wf.Stage{wf.MapStage("M5", m5, 1e-6)},
+			KeyIn:  []string{"O"}, ValIn: []string{"S", "Z", "P"},
+			KeyOut: []string{"O", "Z"}, ValOut: []string{"P"},
+		}},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "D5",
+			Stages: []wf.Stage{wf.ReduceStage("R5", sumP, nil, 1e-6)},
+			KeyIn:  []string{"O", "Z"}, ValIn: []string{"P"},
+			KeyOut: []string{"O", "Z"}, ValOut: []string{"sumP"},
+		}},
+	}
+	j7 := &wf.Job{
+		ID: "J7", Config: wf.DefaultConfig(), Origin: []string{"J7"},
+		MapBranches: []wf.MapBranch{{
+			Tag: 0, Input: "D5",
+			Stages: []wf.Stage{wf.MapStage("M7", m7, 1e-6)},
+			KeyIn:  []string{"O", "Z"}, ValIn: []string{"sumP"},
+			KeyOut: []string{"O"}, ValOut: []string{"sumP"},
+		}},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "D7",
+			Stages: []wf.Stage{wf.ReduceStage("R7", maxP, nil, 1e-6)},
+			KeyIn:  []string{"O"}, ValIn: []string{"sumP"},
+			KeyOut: []string{"O"}, ValOut: []string{"maxP"},
+		}},
+	}
+	w := &wf.Workflow{
+		Name: "chain",
+		Jobs: []*wf.Job{j5, j7},
+		Datasets: []*wf.Dataset{
+			{ID: "D4", Base: true, KeyFields: []string{"O"}, ValueFields: []string{"S", "Z", "P"}},
+			{ID: "D5", KeyFields: []string{"O", "Z"}, ValueFields: []string{"sumP"}},
+			{ID: "D7", KeyFields: []string{"O"}, ValueFields: []string{"maxP"}},
+		},
+	}
+	if withJ6 {
+		j6 := &wf.Job{
+			ID: "J6", Config: wf.DefaultConfig(), Origin: []string{"J6"},
+			MapBranches: []wf.MapBranch{{
+				Tag: 0, Input: "D4",
+				Stages: []wf.Stage{wf.MapStage("M6", m6, 1e-6)},
+				Filter: &wf.Filter{Field: "O", Interval: keyval.Interval{Hi: int64(100)}},
+				KeyIn:  []string{"O"}, ValIn: []string{"S", "Z", "P"},
+				KeyOut: []string{"S", "Z"}, ValOut: []string{"P"},
+			}},
+			ReduceGroups: []wf.ReduceGroup{{
+				Tag: 0, Output: "D6",
+				Stages: []wf.Stage{wf.ReduceStage("R6", sumP, nil, 1e-6)},
+				KeyIn:  []string{"S", "Z"}, ValIn: []string{"P"},
+				KeyOut: []string{"S", "Z"}, ValOut: []string{"sumP"},
+			}},
+		}
+		w.Jobs = append(w.Jobs, j6)
+		w.Datasets = append(w.Datasets, &wf.Dataset{ID: "D6", KeyFields: []string{"S", "Z"}, ValueFields: []string{"sumP"}})
+	}
+	return w
+}
+
+func genD4(n int, seed int64) []keyval.Pair {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]keyval.Pair, n)
+	for i := range out {
+		out[i] = keyval.Pair{
+			Key:   keyval.T(int64(r.Intn(600))),
+			Value: keyval.T(int64(r.Intn(20)), int64(r.Intn(10)), int64(r.Intn(100))),
+		}
+	}
+	return out
+}
+
+func newDFS(t *testing.T, pairs []keyval.Pair) *mrsim.DFS {
+	t.Helper()
+	dfs := mrsim.NewDFS()
+	if err := dfs.Ingest("D4", pairs, mrsim.IngestSpec{
+		NumPartitions: 6,
+		KeyFields:     []string{"O"},
+		Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"O"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return dfs
+}
+
+func testCluster() *mrsim.Cluster {
+	c := mrsim.DefaultCluster()
+	c.VirtualScale = 3000
+	return c
+}
+
+func annotated(t *testing.T, withJ6 bool, pairs []keyval.Pair) (*wf.Workflow, *mrsim.DFS, *mrsim.Cluster) {
+	t.Helper()
+	w := buildChain(withJ6)
+	dfs := newDFS(t, pairs)
+	cl := testCluster()
+	if err := profile.NewProfiler(cl, 1.0, 1).Annotate(w, dfs); err != nil {
+		t.Fatal(err)
+	}
+	return w, dfs, cl
+}
+
+func collectSinks(t *testing.T, w *wf.Workflow, dfs *mrsim.DFS) (map[string][]keyval.Pair, float64) {
+	t.Helper()
+	rep, err := mrsim.NewEngine(testCluster(), dfs).RunWorkflow(w)
+	if err != nil {
+		t.Fatalf("run %s: %v", w.Name, err)
+	}
+	out := map[string][]keyval.Pair{}
+	for _, d := range w.SinkDatasets() {
+		stored, _ := dfs.Get(d.ID)
+		pairs := stored.AllPairs()
+		sort.Slice(pairs, func(i, j int) bool {
+			if c := keyval.Compare(pairs[i].Key, pairs[j].Key); c != 0 {
+				return c < 0
+			}
+			return keyval.Compare(pairs[i].Value, pairs[j].Value) < 0
+		})
+		out[d.ID] = pairs
+	}
+	return out, rep.Makespan
+}
+
+func TestOptimizePacksChainToOneJob(t *testing.T) {
+	pairs := genD4(8000, 1)
+	w, _, cl := annotated(t, false, pairs)
+	res, err := New(cl, Options{Seed: 7}).Optimize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan.Jobs) != 1 {
+		t.Fatalf("optimized plan has %d jobs, want 1 (intra+inter packing): %s",
+			len(res.Plan.Jobs), res.Plan.Summary())
+	}
+	if res.EstimatedCost <= 0 {
+		t.Error("no estimated cost")
+	}
+	if res.Duration <= 0 {
+		t.Error("no duration recorded")
+	}
+	// Equivalence and actual improvement.
+	before, tBefore := collectSinks(t, w, newDFS(t, pairs))
+	after, tAfter := collectSinks(t, res.Plan, newDFS(t, pairs))
+	pa, pb := before["D7"], after["D7"]
+	if len(pa) == 0 || len(pa) != len(pb) {
+		t.Fatalf("results differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if keyval.Compare(pa[i].Key, pb[i].Key) != 0 || keyval.Compare(pa[i].Value, pb[i].Value) != 0 {
+			t.Fatalf("results differ at %d", i)
+		}
+	}
+	if tAfter >= tBefore {
+		t.Errorf("optimized plan slower: %v vs %v", tAfter, tBefore)
+	}
+}
+
+func TestOptimizeVerticalOnlyGroup(t *testing.T) {
+	pairs := genD4(6000, 2)
+	w, _, cl := annotated(t, true, pairs)
+	res, err := New(cl, Options{Groups: GroupVertical, Seed: 3}).Optimize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertical packs J5+J7; J6 stays separate (no horizontal pass).
+	if len(res.Plan.Jobs) != 2 {
+		t.Fatalf("vertical-only plan has %d jobs, want 2: %s", len(res.Plan.Jobs), res.Plan.Summary())
+	}
+	for _, j := range res.Plan.Jobs {
+		if len(j.ReduceGroups) > 1 {
+			t.Error("vertical-only plan contains horizontally packed job")
+		}
+	}
+}
+
+func TestOptimizeHorizontalOnlyGroup(t *testing.T) {
+	pairs := genD4(6000, 3)
+	w, _, cl := annotated(t, true, pairs)
+	res, err := New(cl, Options{Groups: GroupHorizontal, Seed: 4}).Optimize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No vertical packing may appear.
+	for _, j := range res.Plan.Jobs {
+		for _, g := range j.ReduceGroups {
+			if g.RunsMapSide {
+				t.Error("horizontal-only plan contains vertical packing")
+			}
+		}
+	}
+	// Equivalence still holds whatever was chosen.
+	before, _ := collectSinks(t, w, newDFS(t, pairs))
+	after, _ := collectSinks(t, res.Plan, newDFS(t, pairs))
+	for ds, pa := range before {
+		if len(after[ds]) != len(pa) {
+			t.Fatalf("sink %s differs", ds)
+		}
+	}
+}
+
+func TestOptimizeWithoutProfilesFallsBack(t *testing.T) {
+	// No annotations at all: cost model falls back to #jobs; the optimizer
+	// still packs (minimizing jobs) and does not crash.
+	w := buildChain(false)
+	cl := testCluster()
+	res, err := New(cl, Options{Seed: 5}).Optimize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan.Jobs) > 2 {
+		t.Errorf("fallback plan grew: %d jobs", len(res.Plan.Jobs))
+	}
+	foundFallback := false
+	for _, u := range res.Units {
+		for _, sp := range u.Subplans {
+			if sp.Fallback {
+				foundFallback = true
+			}
+		}
+	}
+	if !foundFallback {
+		t.Error("expected fallback costing in unit reports")
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	pairs := genD4(5000, 6)
+	run := func() string {
+		w, _, cl := annotated(t, true, pairs)
+		res, err := New(cl, Options{Seed: 11}).Optimize(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return signature(res.Plan) + res.Plan.Jobs[0].Config.String()
+	}
+	if run() != run() {
+		t.Error("optimization not deterministic")
+	}
+}
+
+func TestUnitReportsTraceSearch(t *testing.T) {
+	pairs := genD4(5000, 7)
+	w, _, cl := annotated(t, true, pairs)
+	res, err := New(cl, Options{Seed: 8, KeepSubplans: true}).Optimize(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Units) == 0 {
+		t.Fatal("no unit reports")
+	}
+	phases := map[string]bool{}
+	for _, u := range res.Units {
+		phases[u.Phase] = true
+		if len(u.Subplans) == 0 {
+			t.Error("unit with no subplans")
+		}
+		if u.ChosenIdx < 0 || u.ChosenIdx >= len(u.Subplans) {
+			t.Error("chosen index out of range")
+		}
+		for _, sp := range u.Subplans {
+			if sp.Plan == nil {
+				t.Error("KeepSubplans did not retain plans")
+			}
+			if sp.Description == "" {
+				t.Error("subplan without description")
+			}
+		}
+	}
+	if !phases["vertical"] || !phases["horizontal"] {
+		t.Errorf("phases covered: %v", phases)
+	}
+	// The first vertical unit of the chain should enumerate the identity,
+	// the intra packing, and the intra+inter packing (paper Figure 10
+	// style: a handful of unique subplans).
+	first := res.Units[0]
+	var descs []string
+	for _, sp := range first.Subplans {
+		descs = append(descs, sp.Description)
+	}
+	joined := strings.Join(descs, " | ")
+	if !strings.Contains(joined, "no structural change") {
+		t.Errorf("identity subplan missing: %s", joined)
+	}
+	if !strings.Contains(joined, "intra-vertical(J7)") {
+		t.Errorf("intra-vertical subplan missing: %s", joined)
+	}
+}
+
+func TestConfigSpaceShape(t *testing.T) {
+	w := buildChain(false)
+	s := New(testCluster(), Options{})
+	origins := map[string]bool{"J5": true, "J7": true}
+	dims := s.configSpace(w, origins)
+	names := map[string]bool{}
+	for _, d := range dims {
+		names[d.param.Name] = true
+	}
+	for _, want := range []string{"J5.reduce", "J5.split", "J5.sortbuf", "J5.outcomp", "J7.reduce"} {
+		if !names[want] {
+			t.Errorf("missing config dimension %s (have %v)", want, names)
+		}
+	}
+	if names["J5.combiner"] {
+		t.Error("combiner dimension offered without a combiner")
+	}
+	// Aligned jobs lose the split dimension; map-only jobs lose reduce dims.
+	w2 := w.Clone()
+	w2.Job("J7").AlignMapToInput = true
+	w2.Job("J7").ReduceGroups[0].RunsMapSide = true
+	dims2 := s.configSpace(w2, origins)
+	for _, d := range dims2 {
+		if d.param.Name == "J7.split" || d.param.Name == "J7.reduce" {
+			t.Errorf("dimension %s should be removed", d.param.Name)
+		}
+	}
+	// Tied reduce groups collapse to one dimension.
+	w3 := w.Clone()
+	w3.Job("J5").ReduceCountGroup = "tied-x"
+	w3.Job("J7").ReduceCountGroup = "tied-x"
+	dims3 := s.configSpace(w3, origins)
+	tiedCount := 0
+	for _, d := range dims3 {
+		if d.param.Name == "tied-x.reduce" {
+			tiedCount++
+			if len(d.jobs) != 2 {
+				t.Error("tied dimension should span both jobs")
+			}
+		}
+		if d.param.Name == "J5.reduce" || d.param.Name == "J7.reduce" {
+			t.Error("tied jobs should not keep individual reduce dims")
+		}
+	}
+	if tiedCount != 1 {
+		t.Errorf("tied dims = %d, want 1", tiedCount)
+	}
+}
+
+func TestSignatureDistinguishesStructure(t *testing.T) {
+	a := buildChain(false)
+	b := buildChain(false)
+	if signature(a) != signature(b) {
+		t.Error("identical plans have different signatures")
+	}
+	b.Job("J7").AlignMapToInput = true
+	if signature(a) == signature(b) {
+		t.Error("alignment change not reflected in signature")
+	}
+	c := buildChain(false)
+	c.Job("J5").Config.NumReduceTasks = 40
+	if signature(a) != signature(c) {
+		t.Error("configuration change should not affect the structural signature")
+	}
+}
+
+func TestInitialFrontierAndConsumers(t *testing.T) {
+	w := buildChain(true)
+	front := initialFrontier(w)
+	sort.Strings(front)
+	if len(front) != 2 || front[0] != "J5" || front[1] != "J6" {
+		t.Errorf("initial frontier = %v", front)
+	}
+	cons := unitConsumers(w, front)
+	if len(cons) != 1 || cons[0] != "J7" {
+		t.Errorf("unit consumers = %v", cons)
+	}
+}

@@ -1,0 +1,188 @@
+package optimizer
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// Information-spectrum tests: Stubby must "search selectively through the
+// subspace of the full plan space that can be enumerated correctly and
+// costed based on the information available in any given setting", and
+// must work correctly (if not optimally) when annotations are stripped.
+
+// stripSchemas removes every schema annotation from a plan.
+func stripSchemas(w *wf.Workflow) *wf.Workflow {
+	out := w.Clone()
+	for _, j := range out.Jobs {
+		for i := range j.MapBranches {
+			b := &j.MapBranches[i]
+			b.KeyIn, b.ValIn, b.KeyOut, b.ValOut = nil, nil, nil, nil
+		}
+		for i := range j.ReduceGroups {
+			g := &j.ReduceGroups[i]
+			g.KeyIn, g.ValIn, g.KeyOut, g.ValOut = nil, nil, nil, nil
+		}
+	}
+	for _, d := range out.Datasets {
+		d.KeyFields, d.ValueFields = nil, nil
+	}
+	return out
+}
+
+// stripFilters removes every filter annotation.
+func stripFilters(w *wf.Workflow) *wf.Workflow {
+	out := w.Clone()
+	for _, j := range out.Jobs {
+		for i := range j.MapBranches {
+			j.MapBranches[i].Filter = nil
+		}
+	}
+	return out
+}
+
+// stripProfiles removes every profile annotation and dataset size estimate.
+func stripProfiles(w *wf.Workflow) *wf.Workflow {
+	out := w.Clone()
+	for _, j := range out.Jobs {
+		j.Profile = nil
+	}
+	for _, d := range out.Datasets {
+		d.EstRecords, d.EstBytes, d.EstPartitions = 0, 0, 0
+	}
+	return out
+}
+
+func descriptions(res *Result) string {
+	var b strings.Builder
+	for _, u := range res.Units {
+		for _, sp := range u.Subplans {
+			b.WriteString(sp.Description)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func runSinks(t *testing.T, cl *mrsim.Cluster, dfs *mrsim.DFS, plan *wf.Workflow) map[string][]keyval.Pair {
+	t.Helper()
+	d := dfs.Clone()
+	if _, err := mrsim.NewEngine(cl, d).RunWorkflow(plan); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := map[string][]keyval.Pair{}
+	for _, ds := range plan.SinkDatasets() {
+		st, ok := d.Get(ds.ID)
+		if !ok {
+			t.Fatalf("sink %s missing", ds.ID)
+		}
+		pairs := st.AllPairs()
+		keyval.SortPairs(pairs, nil)
+		out[ds.ID] = pairs
+	}
+	return out
+}
+
+// TestSpectrumNoSchemasDisablesVerticalPacking: without schema annotations
+// the flow-unchanged precondition cannot be verified, so no intra-job
+// vertical packing may be enumerated — but optimization must still succeed
+// and preserve results (Section 8: "if schema annotations are not
+// available, then Stubby will not consider intra-job vertical packing").
+func TestSpectrumNoSchemasDisablesVerticalPacking(t *testing.T) {
+	full, dfs, cl := annotated(t, false, genD4(4000, 3))
+
+	resFull, err := New(cl, Options{Seed: 1}).Optimize(full)
+	if err != nil {
+		t.Fatalf("optimize full: %v", err)
+	}
+	if !strings.Contains(descriptions(resFull), "intra-vertical") {
+		t.Fatal("fixture lost its intra-vertical opportunity; test is vacuous")
+	}
+
+	bare := stripSchemas(full)
+	resBare, err := New(cl, Options{Seed: 1}).Optimize(bare)
+	if err != nil {
+		t.Fatalf("optimize without schemas: %v", err)
+	}
+	if d := descriptions(resBare); strings.Contains(d, "intra-vertical") {
+		t.Fatalf("intra-vertical packing enumerated without schema annotations:\n%s", d)
+	}
+	want := runSinks(t, cl, dfs, full)
+	got := runSinks(t, cl, dfs, resBare.Plan)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("schema-less optimization changed results")
+	}
+}
+
+// TestSpectrumNoFiltersDisablesPruningPartitions: filter annotations drive
+// the filter-aligned range partitioning proposals (Figure 7); stripping
+// them must remove those proposals but nothing else breaks.
+func TestSpectrumNoFiltersDisablesPruningPartitions(t *testing.T) {
+	full, dfs, cl := annotated(t, true, genD4(4000, 4))
+	resFull, err := New(cl, Options{Seed: 1, KeepSubplans: true}).Optimize(full)
+	if err != nil {
+		t.Fatalf("optimize full: %v", err)
+	}
+	_ = resFull
+
+	bare := stripFilters(full)
+	resBare, err := New(cl, Options{Seed: 1}).Optimize(bare)
+	if err != nil {
+		t.Fatalf("optimize without filters: %v", err)
+	}
+	want := runSinks(t, cl, dfs, full)
+	got := runSinks(t, cl, dfs, resBare.Plan)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("filter-less optimization changed results")
+	}
+}
+
+// TestSpectrumNoProfilesFallsBackEverywhere: without any profile or size
+// annotations, costing falls back to the #jobs model on every subplan and
+// the optimizer still returns a valid, equivalent plan (Section 5).
+func TestSpectrumNoProfilesFallsBackEverywhere(t *testing.T) {
+	full, dfs, cl := annotated(t, false, genD4(4000, 5))
+	bare := stripProfiles(full)
+	res, err := New(cl, Options{Seed: 1}).Optimize(bare)
+	if err != nil {
+		t.Fatalf("optimize without profiles: %v", err)
+	}
+	for _, u := range res.Units {
+		for _, sp := range u.Subplans {
+			if !sp.Fallback {
+				t.Fatalf("subplan %q costed without profiles", sp.Description)
+			}
+		}
+	}
+	want := runSinks(t, cl, dfs, full)
+	got := runSinks(t, cl, dfs, res.Plan)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("profile-less optimization changed results")
+	}
+	// The #jobs model still prefers packing: the chain must have shrunk.
+	if len(res.Plan.Jobs) >= len(bare.Jobs) {
+		t.Errorf("#jobs fallback did not pack: %d -> %d jobs", len(bare.Jobs), len(res.Plan.Jobs))
+	}
+}
+
+// TestSpectrumZeroAnnotations is the extreme end: no schemas, no filters,
+// no profiles, no dataset annotations. Stubby must degrade to correct
+// passthrough behaviour (#jobs-driven packing only where preconditions
+// hold without schemas — i.e. none) and never error.
+func TestSpectrumZeroAnnotations(t *testing.T) {
+	full, dfs, cl := annotated(t, true, genD4(4000, 6))
+	bare := stripProfiles(stripFilters(stripSchemas(full)))
+	res, err := New(cl, Options{Seed: 1}).Optimize(bare)
+	if err != nil {
+		t.Fatalf("optimize with zero annotations: %v", err)
+	}
+	want := runSinks(t, cl, dfs, full)
+	got := runSinks(t, cl, dfs, res.Plan)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("zero-annotation optimization changed results")
+	}
+}

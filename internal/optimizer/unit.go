@@ -1,0 +1,363 @@
+package optimizer
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/trans"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// subplan is one structural alternative for a unit.
+type subplan struct {
+	plan  *wf.Workflow
+	steps []string // transformation descriptions, in application order
+}
+
+// optimizeUnit enumerates all structural subplans for the unit (Figure 10),
+// searches configurations for each with RRS, and returns the plan with the
+// lowest estimated cost.
+func (s *Stubby) optimizeUnit(plan *wf.Workflow, unit []string, ph phaseSpec, unitIdx int) (*wf.Workflow, *UnitReport, error) {
+	unitOrigins := map[string]bool{}
+	for _, id := range unit {
+		for _, o := range plan.Job(id).Origin {
+			unitOrigins[o] = true
+		}
+	}
+	subplans := s.enumerate(plan, unitOrigins, ph)
+	report := &UnitReport{}
+	bestIdx, bestCost := -1, 0.0
+	baselineFallback := false
+	var bestPlan *wf.Workflow
+	for i, sp := range subplans {
+		// Stable per-subplan seed: derived from the structure, not the
+		// enumeration order, so equivalent subplans tune identically.
+		tuned, cost, fallback, err := s.tuneConfigs(sp.plan, unitOrigins, subplanSeed(unitIdx, sp.plan))
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			baselineFallback = fallback
+		}
+		rep := SubplanReport{
+			Description: strings.Join(sp.steps, "; "),
+			Cost:        cost,
+			Fallback:    fallback,
+		}
+		if rep.Description == "" {
+			rep.Description = "no structural change"
+		}
+		if s.opt.KeepSubplans {
+			rep.Plan = tuned
+		}
+		report.Subplans = append(report.Subplans, rep)
+		// Fallback (#jobs) costs are not comparable with time estimates:
+		// only compare within the baseline's costing regime.
+		if fallback != baselineFallback {
+			continue
+		}
+		// Hysteresis against estimator noise: a structural change must
+		// predict a meaningful gain over the incumbent structure (i == 0)
+		// to displace it.
+		threshold := bestCost
+		if bestIdx == 0 {
+			threshold = bestCost * 0.97
+		}
+		if bestIdx == -1 || cost < threshold {
+			bestIdx, bestCost, bestPlan = i, cost, tuned
+		}
+	}
+	if bestIdx == -1 {
+		return nil, nil, fmt.Errorf("optimizer: no viable subplan for unit %v", unit)
+	}
+	report.ChosenIdx = bestIdx
+	return bestPlan, report, nil
+}
+
+// enumerate exhaustively applies the phase's structural transformations
+// within the unit, collecting unique subplans (Section 4.2: "Stubby
+// exhaustively applies all transformations, except the configuration
+// transformation").
+func (s *Stubby) enumerate(plan *wf.Workflow, unitOrigins map[string]bool, ph phaseSpec) []subplan {
+	seen := map[string]bool{signature(plan): true}
+	queue := []subplan{{plan: plan}}
+	var out []subplan
+	for len(queue) > 0 && len(out) < s.opt.MaxSubplans {
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, cur)
+		for _, next := range s.neighbors(cur, unitOrigins, ph) {
+			sig := signature(next.plan)
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			// Defense in depth: a transformation bug must surface as a
+			// skipped subplan, not as a broken chosen plan (a cyclic
+			// proposal once slipped through costing unnoticed).
+			if err := next.plan.Validate(); err != nil {
+				continue
+			}
+			queue = append(queue, next)
+		}
+	}
+	return out
+}
+
+// neighbors generates all single-transformation successors of a subplan.
+func (s *Stubby) neighbors(cur subplan, unitOrigins map[string]bool, ph phaseSpec) []subplan {
+	var out []subplan
+	add := func(p *wf.Workflow, desc string) {
+		out = append(out, subplan{plan: p, steps: append(append([]string{}, cur.steps...), desc)})
+	}
+	unitJobs := jobsWithinOrigins(cur.plan, unitOrigins)
+
+	if ph.vertical {
+		for _, jc := range unitJobs {
+			if trans.CanIntraVertical(cur.plan, jc) == nil {
+				if producersWithin(cur.plan, jc, unitOrigins) {
+					if p, err := trans.IntraVertical(cur.plan, jc); err == nil {
+						add(p, "intra-vertical("+jc+")")
+					}
+				}
+			}
+		}
+		for _, jp := range unitJobs {
+			for _, jc := range unitJobs {
+				if jp == jc {
+					continue
+				}
+				if trans.CanInterVertical(cur.plan, jp, jc) == nil {
+					if p, err := trans.InterVertical(cur.plan, jp, jc); err == nil {
+						add(p, "inter-vertical("+jp+","+jc+")")
+					}
+				}
+			}
+		}
+		for _, jp := range unitJobs {
+			if trans.CanInterVerticalReplicate(cur.plan, jp) == nil && consumersWithin(cur.plan, jp, unitOrigins) {
+				if p, err := trans.InterVerticalReplicate(cur.plan, jp); err == nil {
+					add(p, "inter-vertical-replicate("+jp+")")
+				}
+			}
+		}
+		// One-to-many extension (ii): pack the map-only producer with one
+		// consumer, keeping its output materialized for the others.
+		for _, jp := range unitJobs {
+			for _, jc := range unitJobs {
+				if jp == jc {
+					continue
+				}
+				if trans.CanInterVerticalKeep(cur.plan, jp, jc) == nil {
+					if p, err := trans.InterVerticalKeep(cur.plan, jp, jc); err == nil {
+						add(p, "inter-vertical-keep("+jp+","+jc+")")
+					}
+				}
+			}
+		}
+	}
+	if ph.horizontal {
+		// Horizontal phase: same-input sibling groups, plus the
+		// concurrently-runnable extension over the whole unit.
+		for _, group := range horizontalGroups(cur.plan, unitJobs) {
+			if trans.CanHorizontal(cur.plan, group, false) == nil {
+				if p, err := trans.Horizontal(cur.plan, group, false); err == nil {
+					add(p, "horizontal("+strings.Join(group, ",")+")")
+				}
+			}
+		}
+	}
+
+	// Partition function transformations belong to both structural groups
+	// (Section 4); disabled for comparators that lack them and in the
+	// config-only (Starfish) mode.
+	if !s.opt.DisablePartition && !ph.configOnly {
+		for _, id := range unitJobs {
+			j := cur.plan.Job(id)
+			for gi := range j.ReduceGroups {
+				tag := j.ReduceGroups[gi].Tag
+				for _, spec := range trans.EnumeratePartitionSpecs(cur.plan, id, tag, s.cluster.TotalReduceSlots()) {
+					if p, err := trans.ApplyPartitionSpec(cur.plan, id, tag, spec); err == nil {
+						add(p, fmt.Sprintf("partition(%s#%d:%s)", id, tag, spec.Type))
+					}
+				}
+			}
+		}
+	}
+
+	// Registered custom transformations extend both structural phases.
+	// Their proposals compete on estimated cost exactly like built-ins;
+	// structurally invalid proposals are discarded defensively.
+	if !ph.configOnly {
+		for _, tr := range s.opt.Custom {
+			for _, prop := range tr.Apply(cur.plan, append([]string(nil), unitJobs...)) {
+				if prop.Plan == nil || prop.Plan.Validate() != nil {
+					continue
+				}
+				desc := prop.Desc
+				if desc == "" {
+					desc = tr.Name()
+				}
+				add(prop.Plan, "custom:"+desc)
+			}
+		}
+	}
+	return out
+}
+
+// horizontalGroups proposes candidate job sets to pack: for every dataset
+// read by two or more unit jobs, each subset of its readers (size >= 2),
+// plus the set of all concurrently-runnable unit jobs.
+func horizontalGroups(plan *wf.Workflow, unitJobs []string) [][]string {
+	byInput := map[string][]string{}
+	for _, id := range unitJobs {
+		for _, in := range plan.Job(id).Inputs() {
+			byInput[in] = append(byInput[in], id)
+		}
+	}
+	var out [][]string
+	seen := map[string]bool{}
+	addGroup := func(g []string) {
+		if len(g) < 2 {
+			return
+		}
+		g = append([]string(nil), g...)
+		sort.Strings(g)
+		key := strings.Join(g, "|")
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, g)
+		}
+	}
+	var inputs []string
+	for in := range byInput {
+		inputs = append(inputs, in)
+	}
+	sort.Strings(inputs)
+	for _, in := range inputs {
+		readers := byInput[in]
+		if len(readers) < 2 {
+			continue
+		}
+		// All subsets of size >= 2 (reader counts are small in practice).
+		n := len(readers)
+		if n > 5 {
+			addGroup(readers) // cap combinatorics: pack all
+			continue
+		}
+		for mask := 1; mask < 1<<n; mask++ {
+			var g []string
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					g = append(g, readers[b])
+				}
+			}
+			addGroup(g)
+		}
+	}
+	if len(unitJobs) >= 2 && len(unitJobs) <= 5 {
+		addGroup(unitJobs)
+	}
+	return out
+}
+
+// jobsWithinOrigins lists current jobs composed purely of unit originals.
+func jobsWithinOrigins(plan *wf.Workflow, unitOrigins map[string]bool) []string {
+	var out []string
+	for _, j := range plan.Jobs {
+		ok := true
+		for _, o := range j.Origin {
+			if !unitOrigins[o] {
+				ok = false
+				break
+			}
+		}
+		if ok && len(j.Origin) > 0 {
+			out = append(out, j.ID)
+		}
+	}
+	return out
+}
+
+// producersWithin reports whether every producing job of jc lies in the unit.
+func producersWithin(plan *wf.Workflow, jcID string, unitOrigins map[string]bool) bool {
+	for _, jp := range plan.JobProducers(plan.Job(jcID)) {
+		for _, o := range jp.Origin {
+			if !unitOrigins[o] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// consumersWithin reports whether every consumer of jp lies in the unit.
+func consumersWithin(plan *wf.Workflow, jpID string, unitOrigins map[string]bool) bool {
+	for _, jc := range plan.JobConsumers(plan.Job(jpID)) {
+		for _, o := range jc.Origin {
+			if !unitOrigins[o] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// signature canonically fingerprints a plan's structure: jobs (by sorted
+// origin), their branch wiring, partition specs, and packing flags.
+// Configurations are excluded — they are searched, not enumerated.
+func signature(plan *wf.Workflow) string {
+	var jobs []string
+	for _, j := range plan.Jobs {
+		var b strings.Builder
+		origins := append([]string(nil), j.Origin...)
+		sort.Strings(origins)
+		b.WriteString(strings.Join(origins, "+"))
+		b.WriteByte('{')
+		var branches []string
+		for _, br := range j.MapBranches {
+			branches = append(branches, fmt.Sprintf("%d<%s", br.Tag, br.Input))
+		}
+		sort.Strings(branches)
+		b.WriteString(strings.Join(branches, ","))
+		b.WriteByte('|')
+		var groups []string
+		for _, g := range j.ReduceGroups {
+			groups = append(groups, fmt.Sprintf("%d>%s:%s:%v:%v:%x:ms=%v",
+				g.Tag, g.Output, g.Part.Type, g.Part.KeyFields, g.Part.SortFields,
+				splitPointsHash(g.Part.SplitPoints), g.RunsMapSide))
+		}
+		sort.Strings(groups)
+		b.WriteString(strings.Join(groups, ","))
+		b.WriteByte('}')
+		if j.AlignMapToInput {
+			b.WriteString("@aligned")
+		}
+		if j.PinnedReducers {
+			b.WriteString("@pinned")
+		}
+		jobs = append(jobs, b.String())
+	}
+	sort.Strings(jobs)
+	return strings.Join(jobs, ";")
+}
+
+// subplanSeed derives a deterministic RRS seed from a subplan's structure.
+func subplanSeed(unitIdx int, plan *wf.Workflow) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(signature(plan)))
+	return int64(h.Sum64()&0x7fffffffffffffff) ^ int64(unitIdx)
+}
+
+// splitPointsHash distinguishes specs with different split points.
+func splitPointsHash(points []keyval.Tuple) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, p := range points {
+		h ^= keyval.Hash(p, nil)
+		h *= 1099511628211
+	}
+	return h
+}

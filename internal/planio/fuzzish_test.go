@@ -1,0 +1,75 @@
+package planio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeSurvivesCorruption decodes many randomly corrupted variants of
+// a valid plan document. Corruption may or may not produce a decodable
+// document; either way Decode must return normally (error or plan), never
+// panic — imported plans cross trust boundaries in the paper's Figure 2
+// deployment.
+func TestDecodeSurvivesCorruption(t *testing.T) {
+	w := fullWorkflow()
+	good, err := Encode(w)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	reg := registryFor(w)
+	mutations := []func(r *rand.Rand, b []byte) []byte{
+		// Flip one byte.
+		func(r *rand.Rand, b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[r.Intn(len(out))] ^= byte(1 + r.Intn(255))
+			return out
+		},
+		// Truncate.
+		func(r *rand.Rand, b []byte) []byte {
+			return append([]byte(nil), b[:r.Intn(len(b))]...)
+		},
+		// Duplicate a random chunk in place.
+		func(r *rand.Rand, b []byte) []byte {
+			i := r.Intn(len(b))
+			j := i + r.Intn(len(b)-i)
+			out := append([]byte(nil), b[:j]...)
+			out = append(out, b[i:j]...)
+			out = append(out, b[j:]...)
+			return out
+		},
+		// Delete a random chunk.
+		func(r *rand.Rand, b []byte) []byte {
+			i := r.Intn(len(b))
+			j := i + r.Intn(len(b)-i)
+			out := append([]byte(nil), b[:i]...)
+			return append(out, b[j:]...)
+		},
+	}
+	for trial := 0; trial < 500; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		data := mutations[trial%len(mutations)](r, good)
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: Decode panicked: %v", trial, p)
+				}
+			}()
+			plan, err := Decode(data, reg)
+			if err == nil && plan != nil {
+				// A mutation can legitimately leave a valid document; the
+				// decoded plan must then itself be valid.
+				if verr := plan.Validate(); verr != nil {
+					t.Fatalf("trial %d: Decode returned invalid plan without error: %v", trial, verr)
+				}
+			}
+		}()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: DecodeStructure panicked: %v", trial, p)
+				}
+			}()
+			_, _ = DecodeStructure(data)
+		}()
+	}
+}

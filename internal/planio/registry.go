@@ -1,0 +1,147 @@
+// Package planio serializes annotated MapReduce workflows — Stubby plans —
+// to a versioned JSON document and reconstructs them. It reproduces the
+// import/export feature the paper adds to Pig (Section 6: "exporting and
+// importing annotated MapReduce workflows used by Stubby"), generalized so
+// any workflow generator can hand plans to Stubby across a process or
+// machine boundary.
+//
+// MapReduce programs are black boxes to Stubby, so function bodies are
+// never serialized. A stage is exported as its name plus structural
+// metadata (kind, group fields, measured CPU rate); on import the function
+// is rebound through a Registry, mirroring how Pig plans reference classes
+// that must be present on the destination's classpath.
+//
+// Two import modes exist:
+//
+//   - Decode binds every stage to a registered function and yields an
+//     executable plan. It fails listing the missing names if the registry
+//     is incomplete.
+//   - DecodeStructure binds inert placeholder functions. The resulting
+//     plan carries all annotations, so it can be costed and optimized —
+//     Stubby sits above the execution engine and never invokes the
+//     functions — but executing it panics with a descriptive message.
+package planio
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// Registry maps stage names to their map/reduce function implementations so
+// imported plans can be made executable. Map and reduce functions live in
+// separate namespaces because a stage's kind disambiguates which is needed.
+type Registry struct {
+	maps    map[string]wf.MapFn
+	reduces map[string]wf.ReduceFn
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		maps:    make(map[string]wf.MapFn),
+		reduces: make(map[string]wf.ReduceFn),
+	}
+}
+
+// RegisterMap binds a map function to a stage name, replacing any previous
+// binding.
+func (r *Registry) RegisterMap(name string, fn wf.MapFn) {
+	r.maps[name] = fn
+}
+
+// RegisterReduce binds a reduce/combine function to a stage name, replacing
+// any previous binding.
+func (r *Registry) RegisterReduce(name string, fn wf.ReduceFn) {
+	r.reduces[name] = fn
+}
+
+// RegisterStage binds the stage's function under the stage's own name —
+// convenient when the exporter has the wf.Stage values at hand.
+func (r *Registry) RegisterStage(s wf.Stage) {
+	switch s.Kind {
+	case wf.MapKind:
+		if s.Map != nil {
+			r.RegisterMap(s.Name, s.Map)
+		}
+	case wf.ReduceKind:
+		if s.Reduce != nil {
+			r.RegisterReduce(s.Name, s.Reduce)
+		}
+	}
+}
+
+// RegisterWorkflow walks every stage (branch, group, and combiner) of the
+// workflow and registers its function. Use it to build a registry from an
+// in-memory plan that shares its function library with the plans being
+// imported.
+func (r *Registry) RegisterWorkflow(w *wf.Workflow) {
+	for _, j := range w.Jobs {
+		for _, b := range j.MapBranches {
+			for _, s := range b.Stages {
+				r.RegisterStage(s)
+			}
+		}
+		for _, g := range j.ReduceGroups {
+			for _, s := range g.Stages {
+				r.RegisterStage(s)
+			}
+			if g.Combiner != nil {
+				r.RegisterStage(*g.Combiner)
+			}
+		}
+	}
+}
+
+// lookup returns the function of the requested kind, or an error naming the
+// missing binding.
+func (r *Registry) lookup(name string, kind wf.StageKind) (wf.MapFn, wf.ReduceFn, error) {
+	switch kind {
+	case wf.MapKind:
+		if fn, ok := r.maps[name]; ok {
+			return fn, nil, nil
+		}
+	case wf.ReduceKind:
+		if fn, ok := r.reduces[name]; ok {
+			return nil, fn, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("no %s function registered for stage %q", kind, name)
+}
+
+// MissingError reports the stage functions an import could not bind.
+type MissingError struct {
+	// Names lists the unresolvable "kind:name" bindings, sorted.
+	Names []string
+}
+
+func (e *MissingError) Error() string {
+	return fmt.Sprintf("planio: %d stage function(s) not registered: %v", len(e.Names), e.Names)
+}
+
+// newMissingError builds a MissingError from a set of missing bindings.
+func newMissingError(missing map[string]bool) *MissingError {
+	names := make([]string, 0, len(missing))
+	for n := range missing {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return &MissingError{Names: names}
+}
+
+// placeholderMap is bound to map stages by DecodeStructure. Executing it
+// panics: structure-only plans are for costing and optimization, not runs.
+func placeholderMap(name string) wf.MapFn {
+	return func(_, _ keyval.Tuple, _ wf.Emit) {
+		panic(fmt.Sprintf("planio: stage %q was imported structure-only and cannot execute; bind it through a Registry", name))
+	}
+}
+
+// placeholderReduce is the reduce-side counterpart of placeholderMap.
+func placeholderReduce(name string) wf.ReduceFn {
+	return func(_ keyval.Tuple, _ []keyval.Tuple, _ wf.Emit) {
+		panic(fmt.Sprintf("planio: stage %q was imported structure-only and cannot execute; bind it through a Registry", name))
+	}
+}

@@ -1,0 +1,189 @@
+// Package profile generates and adjusts profile annotations.
+//
+// Profiles are collected the way Starfish collects them — by observing an
+// actual execution — except that the execution happens on the mrsim
+// substrate over a data sample instead of an instrumented Hadoop run
+// (Section 2.2, Section 6). The sampling step is what injects realistic
+// estimation error into the What-if engine, producing the
+// estimated-vs-actual scatter of Figure 14.
+//
+// The package also implements the paper's "adjustment" step (Section 5):
+// when a packing transformation builds new jobs out of old ones, new
+// profile annotations are derived from the old ones (record selectivities
+// multiply along a pipeline; CPU costs accumulate weighted by upstream
+// selectivity).
+package profile
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// Profiler runs workflows on sampled inputs to produce profile annotations.
+type Profiler struct {
+	// Cluster calibrates the simulated execution used for profiling.
+	Cluster *mrsim.Cluster
+	// SampleFraction is the fraction of each base partition profiled
+	// (0 < f <= 1). 1.0 profiles the full data (no estimation error).
+	SampleFraction float64
+	// Seed drives deterministic sampling.
+	Seed int64
+}
+
+// NewProfiler returns a profiler with the given sampling fraction.
+func NewProfiler(cluster *mrsim.Cluster, fraction float64, seed int64) *Profiler {
+	return &Profiler{Cluster: cluster, SampleFraction: fraction, Seed: seed}
+}
+
+// Annotate executes the workflow over a sampled copy of the base data and
+// attaches a JobProfile annotation to every job of w (in place). It also
+// fills in dataset size annotations (EstRecords, EstBytes, EstPartitions)
+// for base datasets from the real DFS contents.
+func (p *Profiler) Annotate(w *wf.Workflow, dfs *mrsim.DFS) error {
+	if p.SampleFraction <= 0 || p.SampleFraction > 1 {
+		return fmt.Errorf("profile: sample fraction %v out of (0,1]", p.SampleFraction)
+	}
+	sampled := p.sampleDFS(w, dfs)
+	// Profile with combiners enabled wherever one exists, so the combine
+	// reduction statistic is observed even if the submitted configuration
+	// leaves the combiner off — otherwise the What-if engine could never
+	// price combiner-enabled configurations.
+	wRun := w.Clone()
+	for _, job := range wRun.Jobs {
+		for _, g := range job.ReduceGroups {
+			if g.Combiner != nil {
+				job.Config.UseCombiner = true
+				break
+			}
+		}
+	}
+	eng := mrsim.NewEngine(p.Cluster, sampled)
+	rep, err := eng.RunWorkflow(wRun)
+	if err != nil {
+		return fmt.Errorf("profile: sample run failed: %w", err)
+	}
+	for _, job := range w.Jobs {
+		jr := rep.Job(job.ID)
+		if jr == nil {
+			return fmt.Errorf("profile: no report for job %s", job.ID)
+		}
+		job.Profile = FromReport(job, jr)
+	}
+	// Base dataset annotations come from the full (unsampled) data.
+	for _, d := range w.Datasets {
+		if !d.Base {
+			continue
+		}
+		stored, ok := dfs.Get(d.ID)
+		if !ok {
+			return fmt.Errorf("profile: base dataset %q not on DFS", d.ID)
+		}
+		d.EstRecords = float64(stored.Records())
+		d.EstBytes = float64(stored.Bytes())
+		d.EstPartitions = len(stored.Parts)
+		d.Layout = stored.Layout.Clone()
+	}
+	return nil
+}
+
+// sampleDFS builds a DFS holding a deterministic Bernoulli sample of each
+// base dataset used by w; other datasets are not copied (the run recreates
+// intermediates).
+func (p *Profiler) sampleDFS(w *wf.Workflow, dfs *mrsim.DFS) *mrsim.DFS {
+	out := mrsim.NewDFS()
+	for _, d := range w.Datasets {
+		if !d.Base {
+			continue
+		}
+		stored, ok := dfs.Get(d.ID)
+		if !ok {
+			continue // surfaced later as a run error
+		}
+		parts := make([]*mrsim.Partition, len(stored.Parts))
+		rng := rand.New(rand.NewSource(p.Seed ^ seedFor(d.ID)))
+		for i, part := range stored.Parts {
+			var kept []keyval.Pair
+			if p.SampleFraction >= 1 {
+				kept = part.Pairs
+			} else {
+				for _, pair := range part.Pairs {
+					if rng.Float64() < p.SampleFraction {
+						kept = append(kept, pair)
+					}
+				}
+			}
+			np := mrsim.NewPartition(kept)
+			np.Bounds = part.Bounds
+			parts[i] = np
+		}
+		out.Put(d.ID, parts, stored.Layout.Clone())
+	}
+	return out
+}
+
+// FromReport converts one job's observed execution statistics into a
+// profile annotation.
+func FromReport(job *wf.Job, jr *mrsim.JobReport) *wf.JobProfile {
+	prof := &wf.JobProfile{}
+	for tag, ts := range jr.Tags {
+		for input, ps := range ts.MapByInput {
+			prof.SetMapProfile(tag, input, pipelineProfile(ps, 0))
+		}
+		g := job.Group(tag)
+		if g != nil && len(g.Stages) > 0 {
+			rp := pipelineProfile(&ts.Reduce, ts.Reduce.Groups)
+			if ts.CombineIn > 0 {
+				rp.CombineReduction = float64(ts.CombineOut) / float64(ts.CombineIn)
+			} else {
+				rp.CombineReduction = 1
+			}
+			if pre := ts.MapTotals().OutRecords; pre > 0 && ts.Reduce.Groups > 0 {
+				rp.GroupsPerMapRecord = float64(ts.Reduce.Groups) / float64(pre)
+			}
+			prof.SetReduceProfile(tag, rp)
+		}
+		if mp := prof.MapSide[tag]; mp != nil {
+			mp.KeySample = ts.MapKeySample
+		}
+	}
+	return prof
+}
+
+func pipelineProfile(ps *mrsim.PipeStats, groups int64) *wf.PipelineProfile {
+	out := &wf.PipelineProfile{Selectivity: 1, CombineReduction: 1}
+	if ps.InRecords > 0 {
+		out.Selectivity = float64(ps.OutRecords) / float64(ps.InRecords)
+		out.CPUPerRecord = ps.CPU / float64(ps.InRecords)
+		out.InBytesPerRecord = float64(ps.InBytes) / float64(ps.InRecords)
+		if groups > 0 {
+			out.GroupsPerRecord = float64(groups) / float64(ps.InRecords)
+		}
+	}
+	if ps.OutRecords > 0 {
+		out.OutBytesPerRecord = float64(ps.OutBytes) / float64(ps.OutRecords)
+	}
+	return out
+}
+
+// HasFullProfiles reports whether every job of w carries a profile
+// annotation — the availability test the What-if engine uses before
+// falling back to the #jobs cost model (Section 5).
+func HasFullProfiles(w *wf.Workflow) bool {
+	for _, j := range w.Jobs {
+		if j.Profile == nil {
+			return false
+		}
+	}
+	return true
+}
+
+func seedFor(s string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}

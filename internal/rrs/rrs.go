@@ -1,0 +1,204 @@
+// Package rrs implements Recursive Random Search (Ye & Kalyanaraman,
+// SIGMETRICS 2003), the black-box optimizer Stubby uses to search the
+// high-dimensional job configuration space (Section 4.2).
+//
+// RRS alternates two phases: EXPLORE draws uniform samples to find a
+// promising region (a point whose value is in the best r-percentile with
+// confidence p), then EXPLOIT samples recursively inside a shrinking
+// neighborhood of the incumbent, re-centering on improvement and shrinking
+// on failure, until the neighborhood collapses; then exploration restarts.
+// The search is deterministic for a fixed seed.
+package rrs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param describes one search dimension.
+type Param struct {
+	// Name labels the dimension for diagnostics.
+	Name string
+	// Min and Max bound the dimension (inclusive).
+	Min, Max float64
+	// Integer rounds sampled values to integers (booleans are Integer
+	// dimensions over [0,1]).
+	Integer bool
+}
+
+// Clamp projects v into the parameter's domain.
+func (p Param) Clamp(v float64) float64 {
+	if v < p.Min {
+		v = p.Min
+	}
+	if v > p.Max {
+		v = p.Max
+	}
+	if p.Integer {
+		v = math.Round(v)
+		if v < p.Min {
+			v = math.Ceil(p.Min)
+		}
+		if v > p.Max {
+			v = math.Floor(p.Max)
+		}
+	}
+	return v
+}
+
+// Point is a position in the search space, one value per Param.
+type Point []float64
+
+// Objective evaluates a point; lower is better.
+type Objective func(Point) float64
+
+// Options tunes the search.
+type Options struct {
+	// MaxEvals bounds objective evaluations (default 100).
+	MaxEvals int
+	// Seed makes the search deterministic.
+	Seed int64
+	// Confidence p and Percentile r size the exploration phase:
+	// n = ln(1-p)/ln(1-r) samples (defaults 0.99 and 0.1 -> 44).
+	Confidence float64
+	Percentile float64
+	// ShrinkFactor contracts the exploit neighborhood on failed samples
+	// (default 0.5); MinRadius ends exploitation (default 0.01). Radii are
+	// in normalized [0,1] coordinates.
+	ShrinkFactor float64
+	MinRadius    float64
+	// ExploitSamples per radius level before shrinking (default 5).
+	ExploitSamples int
+	// ExploreOnly disables the recursive exploitation phase, degrading
+	// the search to pure uniform random sampling under the same
+	// evaluation budget — the ablation baseline isolating the value of
+	// RRS's recursion (Section 4.2).
+	ExploreOnly bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxEvals <= 0 {
+		o.MaxEvals = 100
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.99
+	}
+	if o.Percentile <= 0 || o.Percentile >= 1 {
+		o.Percentile = 0.1
+	}
+	if o.ShrinkFactor <= 0 || o.ShrinkFactor >= 1 {
+		o.ShrinkFactor = 0.5
+	}
+	if o.MinRadius <= 0 {
+		o.MinRadius = 0.01
+	}
+	if o.ExploitSamples <= 0 {
+		o.ExploitSamples = 5
+	}
+	return o
+}
+
+// Result reports the best point found and search statistics.
+type Result struct {
+	Best  Point
+	Value float64
+	Evals int
+}
+
+// Minimize runs RRS over the given parameter space. Initial, if non-nil, is
+// evaluated first so the search never returns something worse than the
+// incumbent configuration.
+func Minimize(params []Param, obj Objective, initial Point, opt Options) (Result, error) {
+	if len(params) == 0 {
+		return Result{}, fmt.Errorf("rrs: empty parameter space")
+	}
+	for _, p := range params {
+		if p.Min > p.Max {
+			return Result{}, fmt.Errorf("rrs: param %q has Min > Max", p.Name)
+		}
+	}
+	o := opt.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	evals := 0
+	best := Result{Value: math.Inf(1)}
+	eval := func(pt Point) float64 {
+		evals++
+		v := obj(pt)
+		if v < best.Value {
+			best.Value = v
+			best.Best = append(Point(nil), pt...)
+		}
+		return v
+	}
+	if initial != nil {
+		pt := make(Point, len(params))
+		for i, p := range params {
+			pt[i] = p.Clamp(initial[i])
+		}
+		eval(pt)
+	}
+
+	exploreN := int(math.Ceil(math.Log(1-o.Confidence) / math.Log(1-o.Percentile)))
+	if exploreN < 2 {
+		exploreN = 2
+	}
+
+	uniform := func() Point {
+		pt := make(Point, len(params))
+		for i, p := range params {
+			pt[i] = p.Clamp(p.Min + rng.Float64()*(p.Max-p.Min))
+		}
+		return pt
+	}
+	neighbor := func(center Point, radius float64) Point {
+		pt := make(Point, len(params))
+		for i, p := range params {
+			span := (p.Max - p.Min) * radius
+			v := center[i] + (rng.Float64()*2-1)*span
+			pt[i] = p.Clamp(v)
+		}
+		return pt
+	}
+
+	if o.ExploreOnly {
+		for evals < o.MaxEvals {
+			eval(uniform())
+		}
+		best.Evals = evals
+		return best, nil
+	}
+
+	for evals < o.MaxEvals {
+		// EXPLORE: uniform sampling to find a promising region.
+		regionCenter := uniform()
+		regionValue := eval(regionCenter)
+		for i := 1; i < exploreN && evals < o.MaxEvals; i++ {
+			pt := uniform()
+			if v := eval(pt); v < regionValue {
+				regionValue = v
+				regionCenter = pt
+			}
+		}
+		// EXPLOIT: recursive shrink-and-recenter around the region.
+		radius := o.Percentile // initial neighborhood size
+		center, centerVal := regionCenter, regionValue
+		for radius > o.MinRadius && evals < o.MaxEvals {
+			improved := false
+			for s := 0; s < o.ExploitSamples && evals < o.MaxEvals; s++ {
+				pt := neighbor(center, radius)
+				if v := eval(pt); v < centerVal {
+					center, centerVal = pt, v
+					improved = true // re-center, keep radius
+					break
+				}
+			}
+			if !improved {
+				radius *= o.ShrinkFactor
+			}
+		}
+	}
+	best.Evals = evals
+	return best, nil
+}

@@ -1,0 +1,171 @@
+package rrs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sphere(target Point) Objective {
+	return func(p Point) float64 {
+		var s float64
+		for i := range p {
+			d := p[i] - target[i]
+			s += d * d
+		}
+		return s
+	}
+}
+
+func TestMinimizeSphere(t *testing.T) {
+	params := []Param{
+		{Name: "x", Min: -10, Max: 10},
+		{Name: "y", Min: -10, Max: 10},
+	}
+	res, err := Minimize(params, sphere(Point{3, -4}), nil, Options{MaxEvals: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value > 0.5 {
+		t.Errorf("RRS ended at value %v, want near 0", res.Value)
+	}
+	if res.Evals > 400 {
+		t.Errorf("exceeded eval budget: %d", res.Evals)
+	}
+}
+
+func TestMinimizeRespectsBounds(t *testing.T) {
+	params := []Param{
+		{Name: "x", Min: 2, Max: 5},
+		{Name: "n", Min: 1, Max: 9, Integer: true},
+	}
+	seen := 0
+	obj := func(p Point) float64 {
+		seen++
+		if p[0] < 2 || p[0] > 5 {
+			t.Fatalf("x out of bounds: %v", p[0])
+		}
+		if p[1] != math.Round(p[1]) || p[1] < 1 || p[1] > 9 {
+			t.Fatalf("n not an in-range integer: %v", p[1])
+		}
+		return p[0] + p[1]
+	}
+	res, err := Minimize(params, obj, nil, Options{MaxEvals: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen == 0 {
+		t.Fatal("objective never evaluated")
+	}
+	if res.Best[0] != 2 || res.Best[1] != 1 {
+		t.Errorf("best = %v, want (2, 1)", res.Best)
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	params := []Param{{Name: "x", Min: 0, Max: 100}}
+	obj := sphere(Point{42})
+	a, _ := Minimize(params, obj, nil, Options{MaxEvals: 100, Seed: 7})
+	b, _ := Minimize(params, obj, nil, Options{MaxEvals: 100, Seed: 7})
+	if a.Value != b.Value || a.Best[0] != b.Best[0] {
+		t.Error("same seed produced different results")
+	}
+	c, _ := Minimize(params, obj, nil, Options{MaxEvals: 100, Seed: 8})
+	_ = c // different seed may differ; just must not crash
+}
+
+func TestMinimizeNeverWorseThanInitial(t *testing.T) {
+	params := []Param{
+		{Name: "x", Min: 0, Max: 1},
+		{Name: "y", Min: 0, Max: 1},
+	}
+	// Pathological objective: best exactly at the initial point.
+	initial := Point{0.123, 0.456}
+	obj := func(p Point) float64 {
+		if p[0] == initial[0] && p[1] == initial[1] {
+			return -1
+		}
+		return 1
+	}
+	res, err := Minimize(params, obj, initial, Options{MaxEvals: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != -1 {
+		t.Errorf("initial incumbent lost: %v", res.Value)
+	}
+}
+
+func TestMinimizeErrors(t *testing.T) {
+	if _, err := Minimize(nil, func(Point) float64 { return 0 }, nil, Options{}); err == nil {
+		t.Error("empty space accepted")
+	}
+	bad := []Param{{Name: "x", Min: 5, Max: 1}}
+	if _, err := Minimize(bad, func(Point) float64 { return 0 }, nil, Options{}); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	p := Param{Min: 2, Max: 8, Integer: true}
+	cases := []struct{ in, want float64 }{
+		{1, 2}, {9, 8}, {4.4, 4}, {4.6, 5}, {2, 2}, {8, 8},
+	}
+	for _, c := range cases {
+		if got := p.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Fractional bounds with Integer: rounding must stay inside.
+	f := Param{Min: 1.2, Max: 3.8, Integer: true}
+	if got := f.Clamp(1.2); got != 2 {
+		t.Errorf("Clamp(1.2) = %v, want 2", got)
+	}
+	if got := f.Clamp(3.8); got != 3 {
+		t.Errorf("Clamp(3.8) = %v, want 3", got)
+	}
+}
+
+func TestClampPropertyInDomain(t *testing.T) {
+	p := Param{Min: -3, Max: 7, Integer: true}
+	f := func(v float64) bool {
+		got := p.Clamp(v)
+		return got >= p.Min && got <= p.Max && got == math.Round(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	params := []Param{{Name: "x", Min: 0, Max: 1}}
+	count := 0
+	obj := func(p Point) float64 { count++; return p[0] }
+	res, _ := Minimize(params, obj, Point{0.5}, Options{MaxEvals: 17, Seed: 4})
+	if count > 17+1 { // +1 tolerance for the initial point
+		t.Errorf("evaluated %d times, budget 17", count)
+	}
+	if res.Evals != count {
+		t.Errorf("Evals=%d, actual %d", res.Evals, count)
+	}
+}
+
+func TestMultimodalFindsGoodBasin(t *testing.T) {
+	// Two basins; global optimum at x=80 (value -2), local at x=20 (-1).
+	params := []Param{{Name: "x", Min: 0, Max: 100}}
+	obj := func(p Point) float64 {
+		x := p[0]
+		v := 0.0
+		if x > 10 && x < 30 {
+			v = -1 * (1 - math.Abs(x-20)/10)
+		}
+		if x > 70 && x < 90 {
+			v = -2 * (1 - math.Abs(x-80)/10)
+		}
+		return v
+	}
+	res, _ := Minimize(params, obj, nil, Options{MaxEvals: 500, Seed: 5})
+	if res.Value > -1.8 {
+		t.Errorf("RRS missed the global basin: best %v at %v", res.Value, res.Best)
+	}
+}

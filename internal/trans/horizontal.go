@@ -1,0 +1,137 @@
+package trans
+
+import (
+	"fmt"
+
+	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// CanHorizontal checks the preconditions of the horizontal packing
+// transformation on the given jobs (Section 3.3): two or more
+// concurrently-runnable single-tag jobs. When requireSameInput is true the
+// classic precondition applies — all jobs must read the same dataset (scan
+// sharing); false enables the paper's extension to any concurrently
+// runnable set (used to pack J1 and J2 of the running example).
+func CanHorizontal(w *wf.Workflow, ids []string, requireSameInput bool) error {
+	if len(ids) < 2 {
+		return fmt.Errorf("trans: horizontal packing needs at least two jobs")
+	}
+	seen := map[string]bool{}
+	var sharedInput string
+	for i, id := range ids {
+		if seen[id] {
+			return fmt.Errorf("trans: duplicate job %q", id)
+		}
+		seen[id] = true
+		j := w.Job(id)
+		if j == nil {
+			return fmt.Errorf("trans: no job %q", id)
+		}
+		if _, err := singleGroup(j); err != nil {
+			return err
+		}
+		if j.AlignMapToInput {
+			return fmt.Errorf("trans: %s has aligned map tasks; cannot pack horizontally", id)
+		}
+		if j.PinnedReducers {
+			return fmt.Errorf("trans: %s has a pinned reducer count; cannot pack horizontally", id)
+		}
+		if requireSameInput {
+			ins := j.Inputs()
+			if len(ins) != 1 {
+				return fmt.Errorf("trans: %s reads %d datasets; same-input packing needs one", id, len(ins))
+			}
+			if i == 0 {
+				sharedInput = ins[0]
+			} else if ins[0] != sharedInput {
+				return fmt.Errorf("trans: %s reads %s, others read %s", id, ins[0], sharedInput)
+			}
+		}
+	}
+	if !ConcurrentlyRunnable(w, ids) {
+		return fmt.Errorf("trans: jobs %v are not concurrently runnable", ids)
+	}
+	// A job must not consume another packed job's output (covered by the
+	// concurrency check) nor share an output dataset (impossible: one
+	// producer per dataset).
+	return nil
+}
+
+// Horizontal applies horizontal packing: the jobs' map (reduce) pipelines
+// become parallel tagged branches (groups) of one job sharing a single
+// scan, configuration, and shuffle (Figure 6). Tags are assigned in the
+// given job order.
+func Horizontal(w *wf.Workflow, ids []string, requireSameInput bool) (*wf.Workflow, error) {
+	if err := CanHorizontal(w, ids, requireSameInput); err != nil {
+		return nil, err
+	}
+	out := w.Clone()
+	jobs := make([]*wf.Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = out.Job(id)
+	}
+	packed := &wf.Job{
+		ID:     mergeIDs(ids...),
+		Config: mergedConfig(jobs),
+		Origin: mergeOrigins(jobs...),
+	}
+	tagOf := make(map[string]int, len(jobs))
+	for i, j := range jobs {
+		tagOf[j.ID] = i
+		orig := j.ReduceGroups[0].Tag
+		for bi := range j.MapBranches {
+			b := j.MapBranches[bi].Clone()
+			b.Tag = b.Tag - orig + i
+			packed.MapBranches = append(packed.MapBranches, b)
+		}
+		g := j.ReduceGroups[0].Clone()
+		g.Tag = i
+		packed.ReduceGroups = append(packed.ReduceGroups, g)
+	}
+	// Adjustment: merge per-tag profiles; unknown inputs poison the merge.
+	packed.Profile = profile.MergeHorizontal(jobs, offsetsFromSingleTags(jobs, tagOf))
+	for _, id := range ids {
+		out.RemoveJob(id)
+	}
+	out.Jobs = append(out.Jobs, packed)
+	out.GC()
+	return out, nil
+}
+
+// offsetsFromSingleTags converts "new tag of job" into "offset added to the
+// job's original tag" as MergeHorizontal expects.
+func offsetsFromSingleTags(jobs []*wf.Job, tagOf map[string]int) map[string]int {
+	out := make(map[string]int, len(jobs))
+	for _, j := range jobs {
+		out[j.ID] = tagOf[j.ID] - j.ReduceGroups[0].Tag
+	}
+	return out
+}
+
+// mergedConfig builds the single configuration a horizontally packed job
+// must run with — the dependence the paper flags as a packing cost. The
+// merge takes the most generous setting per knob; cost-based configuration
+// search refines it afterwards.
+func mergedConfig(jobs []*wf.Job) wf.Config {
+	cfg := jobs[0].Config
+	for _, j := range jobs[1:] {
+		c := j.Config
+		if c.NumReduceTasks > cfg.NumReduceTasks {
+			cfg.NumReduceTasks = c.NumReduceTasks
+		}
+		if c.SplitSizeMB < cfg.SplitSizeMB {
+			cfg.SplitSizeMB = c.SplitSizeMB
+		}
+		if c.SortBufferMB > cfg.SortBufferMB {
+			cfg.SortBufferMB = c.SortBufferMB
+		}
+		if c.IOSortFactor > cfg.IOSortFactor {
+			cfg.IOSortFactor = c.IOSortFactor
+		}
+		cfg.UseCombiner = cfg.UseCombiner || c.UseCombiner
+		cfg.CompressMapOutput = cfg.CompressMapOutput || c.CompressMapOutput
+		cfg.CompressOutput = cfg.CompressOutput || c.CompressOutput
+	}
+	return cfg
+}

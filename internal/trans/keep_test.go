@@ -1,0 +1,272 @@
+package trans
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// keepFixture builds the one-to-many shape of Section 3.2's extension (ii):
+// a map-only producer P feeding two aggregating consumers C1 and C2.
+func keepFixture() *wf.Workflow {
+	filterHalf := wf.MapStage("M_p", func(k, v keyval.Tuple, emit wf.Emit) {
+		if v[0].(int64)%2 == 0 {
+			emit(k, v)
+		}
+	}, 0.5e-6)
+	count := func(name string) wf.Stage {
+		return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+			emit(k, keyval.T(int64(len(vs))))
+		}, nil, 0.5e-6)
+	}
+	sum := func(name string) wf.Stage {
+		return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+			var s int64
+			for _, v := range vs {
+				s += v[0].(int64)
+			}
+			emit(k, keyval.T(s))
+		}, nil, 0.5e-6)
+	}
+	identity := func(name string) wf.Stage {
+		return wf.MapStage(name, func(k, v keyval.Tuple, emit wf.Emit) { emit(k, v) }, 0.3e-6)
+	}
+	return &wf.Workflow{
+		Name: "keep",
+		Jobs: []*wf.Job{
+			{
+				ID: "P", Config: wf.DefaultConfig(), Origin: []string{"P"},
+				MapBranches: []wf.MapBranch{{
+					Tag: 0, Input: "src",
+					Stages: []wf.Stage{filterHalf},
+					KeyIn:  []string{"k"}, ValIn: []string{"x"},
+					KeyOut: []string{"k"}, ValOut: []string{"x"},
+				}},
+				ReduceGroups: []wf.ReduceGroup{{
+					Tag: 0, Output: "D",
+					KeyOut: []string{"k"}, ValOut: []string{"x"},
+				}},
+			},
+			{
+				ID: "C1", Config: wf.DefaultConfig(), Origin: []string{"C1"},
+				MapBranches: []wf.MapBranch{{
+					Tag: 0, Input: "D",
+					Stages: []wf.Stage{identity("M_c1")},
+					KeyIn:  []string{"k"}, ValIn: []string{"x"},
+					KeyOut: []string{"k"}, ValOut: []string{"x"},
+				}},
+				ReduceGroups: []wf.ReduceGroup{{
+					Tag: 0, Output: "out1",
+					Stages: []wf.Stage{count("R_c1")},
+					KeyIn:  []string{"k"}, ValIn: []string{"x"},
+					KeyOut: []string{"k"}, ValOut: []string{"n"},
+				}},
+			},
+			{
+				ID: "C2", Config: wf.DefaultConfig(), Origin: []string{"C2"},
+				MapBranches: []wf.MapBranch{{
+					Tag: 0, Input: "D",
+					Stages: []wf.Stage{identity("M_c2")},
+					KeyIn:  []string{"k"}, ValIn: []string{"x"},
+					KeyOut: []string{"k"}, ValOut: []string{"x"},
+				}},
+				ReduceGroups: []wf.ReduceGroup{{
+					Tag: 0, Output: "out2",
+					Stages: []wf.Stage{sum("R_c2")},
+					KeyIn:  []string{"k"}, ValIn: []string{"x"},
+					KeyOut: []string{"k"}, ValOut: []string{"s"},
+				}},
+			},
+		},
+		Datasets: []*wf.Dataset{
+			{ID: "src", Base: true, KeyFields: []string{"k"}, ValueFields: []string{"x"}},
+			{ID: "D", KeyFields: []string{"k"}, ValueFields: []string{"x"}},
+			{ID: "out1", KeyFields: []string{"k"}, ValueFields: []string{"n"}},
+			{ID: "out2", KeyFields: []string{"k"}, ValueFields: []string{"s"}},
+		},
+	}
+}
+
+func keepDFS(t *testing.T) *mrsim.DFS {
+	t.Helper()
+	var pairs []keyval.Pair
+	for i := 0; i < 900; i++ {
+		pairs = append(pairs, keyval.Pair{
+			Key:   keyval.T(int64(i % 31)),
+			Value: keyval.T(int64(i % 17)),
+		})
+	}
+	dfs := mrsim.NewDFS()
+	if err := dfs.Ingest("src", pairs, mrsim.IngestSpec{
+		NumPartitions: 5,
+		KeyFields:     []string{"k"},
+		Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"k"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return dfs
+}
+
+func TestInterVerticalKeepPreconditions(t *testing.T) {
+	w := keepFixture()
+	if err := CanInterVerticalKeep(w, "P", "C1"); err != nil {
+		t.Fatalf("preconditions should hold: %v", err)
+	}
+	if err := CanInterVerticalKeep(w, "C1", "C2"); err == nil {
+		t.Fatal("non-map-only producer accepted")
+	}
+	if err := CanInterVerticalKeep(w, "P", "P"); err == nil {
+		t.Fatal("self-packing accepted")
+	}
+	// Single-consumer case must defer to plain InterVertical.
+	single := keepFixture()
+	single.RemoveJob("C2")
+	single.GC()
+	if err := CanInterVerticalKeep(single, "P", "C1"); err == nil ||
+		!strings.Contains(err.Error(), "InterVertical") {
+		t.Fatalf("single-consumer case not redirected: %v", err)
+	}
+}
+
+func TestInterVerticalKeepPostconditions(t *testing.T) {
+	w := keepFixture()
+	after, err := InterVerticalKeep(w, "P", "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := after.Validate(); err != nil {
+		t.Fatalf("transformed plan invalid: %v", err)
+	}
+	if len(after.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2\n%s", len(after.Jobs), after.Summary())
+	}
+	merged := after.Job("P+C1")
+	if merged == nil {
+		t.Fatalf("merged job missing:\n%s", after.Summary())
+	}
+	// The merged job writes both the consumer's output and the original D.
+	outs := map[string]bool{}
+	for _, o := range merged.Outputs() {
+		outs[o] = true
+	}
+	if !outs["out1"] || !outs["D"] {
+		t.Fatalf("merged outputs = %v, want out1 and D", merged.Outputs())
+	}
+	// Both branches read the producer's input: one shared scan, no read of D.
+	for _, b := range merged.MapBranches {
+		if b.Input != "src" {
+			t.Fatalf("merged branch still reads %q", b.Input)
+		}
+	}
+	// The untouched consumer still reads the materialized D.
+	c2 := after.Job("C2")
+	if c2 == nil || c2.Inputs()[0] != "D" {
+		t.Fatalf("C2 rewired unexpectedly:\n%s", after.Summary())
+	}
+	if got := after.Producer("D"); got == nil || got.ID != "P+C1" {
+		t.Fatalf("D's producer = %v", got)
+	}
+}
+
+func TestInterVerticalKeepEquivalence(t *testing.T) {
+	w := keepFixture()
+	after, err := InterVerticalKeep(w, "P", "C1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := runAndCollect(t, w, keepDFS(t))
+	b := runAndCollect(t, after, keepDFS(t))
+	for ds, pa := range a {
+		pb := b[ds]
+		if len(pa) != len(pb) {
+			t.Fatalf("sink %s: %d vs %d records", ds, len(pa), len(pb))
+		}
+		for i := range pa {
+			if keyval.Compare(pa[i].Key, pb[i].Key) != 0 || keyval.Compare(pa[i].Value, pb[i].Value) != 0 {
+				t.Fatalf("sink %s differs at %d", ds, i)
+			}
+		}
+	}
+	// And the materialized D itself must be identical.
+	dfsA, dfsB := keepDFS(t), keepDFS(t)
+	if _, err := mrsim.NewEngine(testCluster(), dfsA).RunWorkflow(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mrsim.NewEngine(testCluster(), dfsB).RunWorkflow(after); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := dfsA.Get("D")
+	db, _ := dfsB.Get("D")
+	pa, pb := da.AllPairs(), db.AllPairs()
+	keyval.SortPairs(pa, nil)
+	keyval.SortPairs(pb, nil)
+	if len(pa) != len(pb) {
+		t.Fatalf("materialized D differs: %d vs %d records", len(pa), len(pb))
+	}
+	for i := range pa {
+		if keyval.Compare(pa[i].Key, pb[i].Key) != 0 || keyval.Compare(pa[i].Value, pb[i].Value) != 0 {
+			t.Fatalf("materialized D differs at %d", i)
+		}
+	}
+}
+
+func TestInterVerticalKeepBothConsumers(t *testing.T) {
+	// Packing into C2 instead of C1 must work symmetrically.
+	w := keepFixture()
+	after, err := InterVerticalKeep(w, "P", "C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := after.Job("P+C2")
+	if merged == nil {
+		t.Fatalf("merged job missing:\n%s", after.Summary())
+	}
+	a := runAndCollect(t, w, keepDFS(t))
+	b := runAndCollect(t, after, keepDFS(t))
+	for ds, pa := range a {
+		pb := b[ds]
+		if len(pa) != len(pb) {
+			t.Fatalf("sink %s: %d vs %d records", ds, len(pa), len(pb))
+		}
+	}
+}
+
+// TestInterVerticalKeepRefusesCycle is the regression test for the shape
+// that broke the BA workflow: D's other consumer C2 feeds a dataset the
+// chosen consumer C1 also reads (P -> D -> C2 -> E -> C1). Packing P into
+// C1 would make the merged job both the producer of D and a transitive
+// consumer of it.
+func TestInterVerticalKeepRefusesCycle(t *testing.T) {
+	w := keepFixture()
+	// Rewire: C2 emits E; C1 reads D and E.
+	c2 := w.Job("C2")
+	c2.ReduceGroups[0].Output = "E"
+	c1 := w.Job("C1")
+	c1.MapBranches = append(c1.MapBranches, wf.MapBranch{
+		Tag: 0, Input: "E",
+		Stages: []wf.Stage{wf.MapStage("M_e", func(k, v keyval.Tuple, emit wf.Emit) { emit(k, v) }, 0.3e-6)},
+	})
+	w.Datasets = append(w.Datasets, &wf.Dataset{ID: "E", KeyFields: []string{"k"}, ValueFields: []string{"s"}})
+	w.GC()
+	if err := w.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	err := CanInterVerticalKeep(w, "P", "C1")
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("upstream consumer not rejected: %v", err)
+	}
+	// Packing into C2 (which nothing downstream of D feeds) stays legal.
+	if err := CanInterVerticalKeep(w, "P", "C2"); err != nil {
+		t.Fatalf("legal direction rejected: %v", err)
+	}
+	after, err := InterVerticalKeep(w, "P", "C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := after.Validate(); err != nil {
+		t.Fatalf("transformed plan invalid: %v", err)
+	}
+}

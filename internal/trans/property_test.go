@@ -1,0 +1,107 @@
+package trans
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// TestTransformationSequencesPreserveResults is the repository's central
+// property test: for randomized inputs and randomized sequences of
+// applicable transformations, the transformed plan must produce sink
+// datasets identical to the original plan's. This is the paper's
+// correctness contract ("P- and P+ will produce the same result").
+func TestTransformationSequencesPreserveResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for trial := 0; trial < 12; trial++ {
+		trial := trial
+		rng := rand.New(rand.NewSource(int64(trial) * 7919))
+		w := exampleWorkflow(true)
+		pairs := genD4(3000+rng.Intn(3000), int64(trial)+100)
+
+		// Apply a random sequence of applicable transformations.
+		var applied []string
+		plan := w
+		for step := 0; step < 4; step++ {
+			type cand struct {
+				name  string
+				apply func() (*wf.Workflow, error)
+			}
+			var cands []cand
+			for _, j := range plan.Jobs {
+				id := j.ID
+				if CanIntraVertical(plan, id) == nil {
+					cands = append(cands, cand{"intra(" + id + ")",
+						func() (*wf.Workflow, error) { return IntraVertical(plan, id) }})
+				}
+				if CanInterVerticalReplicate(plan, id) == nil {
+					cands = append(cands, cand{"replicate(" + id + ")",
+						func() (*wf.Workflow, error) { return InterVerticalReplicate(plan, id) }})
+				}
+				for _, jc := range plan.JobConsumers(plan.Job(id)) {
+					jcID := jc.ID
+					if CanInterVertical(plan, id, jcID) == nil {
+						cands = append(cands, cand{"inter(" + id + "," + jcID + ")",
+							func() (*wf.Workflow, error) { return InterVertical(plan, id, jcID) }})
+					}
+					if CanInterVerticalKeep(plan, id, jcID) == nil {
+						cands = append(cands, cand{"keep(" + id + "," + jcID + ")",
+							func() (*wf.Workflow, error) { return InterVerticalKeep(plan, id, jcID) }})
+					}
+				}
+				for gi := range j.ReduceGroups {
+					tag := j.ReduceGroups[gi].Tag
+					specs := EnumeratePartitionSpecs(plan, id, tag, 2+rng.Intn(30))
+					if len(specs) > 0 {
+						spec := specs[rng.Intn(len(specs))]
+						cands = append(cands, cand{"partition(" + id + ")",
+							func() (*wf.Workflow, error) { return ApplyPartitionSpec(plan, id, tag, spec) }})
+					}
+				}
+			}
+			var ids []string
+			for _, j := range plan.Jobs {
+				ids = append(ids, j.ID)
+			}
+			if len(ids) >= 2 && CanHorizontal(plan, sortedIDs(ids), false) == nil {
+				group := sortedIDs(ids)
+				cands = append(cands, cand{"horizontal",
+					func() (*wf.Workflow, error) { return Horizontal(plan, group, false) }})
+			}
+			if len(cands) == 0 {
+				break
+			}
+			c := cands[rng.Intn(len(cands))]
+			next, err := c.apply()
+			if err != nil {
+				t.Fatalf("trial %d: %s failed after %v: %v", trial, c.name, applied, err)
+			}
+			if err := next.Validate(); err != nil {
+				t.Fatalf("trial %d: %s produced invalid plan after %v: %v", trial, c.name, applied, err)
+			}
+			plan = next
+			applied = append(applied, c.name)
+
+			// Random configuration mutation between transformations (the
+			// configuration transformation composes with all others).
+			for _, j := range plan.Jobs {
+				if rng.Intn(2) == 0 && !j.PinnedReducers {
+					j.Config.NumReduceTasks = 1 + rng.Intn(40)
+				}
+				if rng.Intn(3) == 0 {
+					j.Config.CompressMapOutput = !j.Config.CompressMapOutput
+				}
+			}
+			if err := plan.Validate(); err != nil {
+				t.Fatalf("trial %d: config mutation broke plan: %v", trial, err)
+			}
+		}
+		if len(applied) == 0 {
+			t.Fatalf("trial %d: no transformations applicable", trial)
+		}
+		assertEquivalent(t, w, plan, pairs)
+	}
+}

@@ -1,0 +1,145 @@
+package wf
+
+import "fmt"
+
+// Compose merges independently developed workflows into one plan, stitching
+// producer-consumer relationships by dataset ID — the composition style the
+// paper attributes to tools like Oozie and Amazon EMR Job Flow (Section 1),
+// where e.g. a hand-written cleaning workflow feeds a query-generated
+// report workflow. A dataset that is a base input of one component but is
+// produced by another component becomes an intermediate dataset of the
+// composition, with the producer's schema annotations taking precedence.
+//
+// Job IDs must be unique across components; use Namespace first when
+// composing workflows that reuse IDs. The result is validated.
+func Compose(name string, parts ...*Workflow) (*Workflow, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("wf: Compose needs at least one workflow")
+	}
+	out := &Workflow{Name: name}
+	seenJob := map[string]string{}
+	producers := map[string]string{}
+	datasets := map[string]*Dataset{}
+	for _, p := range parts {
+		for _, j := range p.Jobs {
+			if prev, ok := seenJob[j.ID]; ok {
+				return nil, fmt.Errorf("wf: Compose: job %q appears in both %q and %q; Namespace one of them", j.ID, prev, p.Name)
+			}
+			seenJob[j.ID] = p.Name
+			out.Jobs = append(out.Jobs, j.Clone())
+			for _, ds := range j.Outputs() {
+				producers[ds] = j.ID
+			}
+		}
+		for _, d := range p.Datasets {
+			cur, ok := datasets[d.ID]
+			if !ok {
+				datasets[d.ID] = d.Clone()
+				continue
+			}
+			merged, err := mergeDataset(cur, d)
+			if err != nil {
+				return nil, fmt.Errorf("wf: Compose: dataset %q: %w", d.ID, err)
+			}
+			datasets[d.ID] = merged
+		}
+	}
+	// A dataset produced by any component is an intermediate of the whole.
+	for id, d := range datasets {
+		if producers[id] != "" {
+			d.Base = false
+		}
+	}
+	// Preserve a deterministic dataset order: first appearance across parts.
+	seenDS := map[string]bool{}
+	for _, p := range parts {
+		for _, d := range p.Datasets {
+			if !seenDS[d.ID] {
+				seenDS[d.ID] = true
+				out.Datasets = append(out.Datasets, datasets[d.ID])
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("wf: Compose: %w", err)
+	}
+	return out, nil
+}
+
+// mergeDataset reconciles two descriptors of the same dataset coming from
+// different components. When exactly one side produces the dataset, that
+// side is authoritative for schema and layout (the consumer's view of a
+// base input yields to the producer's); unknown annotations are filled
+// from the other side either way. When neither side is authoritative and
+// both know a schema, the schemas must agree — otherwise the components do
+// not describe the same data and composition would be unsound.
+func mergeDataset(a, b *Dataset) (*Dataset, error) {
+	if a.Base && !b.Base {
+		a, b = b, a
+	}
+	authoritative := a.Base != b.Base // a produces what b consumes
+	out := a.Clone()
+	out.Base = a.Base && b.Base
+	if !authoritative {
+		if out.KeyFields != nil && b.KeyFields != nil && !FieldsEqual(out.KeyFields, b.KeyFields) {
+			return nil, fmt.Errorf("key schemas disagree: %v vs %v", out.KeyFields, b.KeyFields)
+		}
+		if out.ValueFields != nil && b.ValueFields != nil && !FieldsEqual(out.ValueFields, b.ValueFields) {
+			return nil, fmt.Errorf("value schemas disagree: %v vs %v", out.ValueFields, b.ValueFields)
+		}
+	}
+	if out.KeyFields == nil {
+		out.KeyFields = cloneStrings(b.KeyFields)
+	}
+	if out.ValueFields == nil {
+		out.ValueFields = cloneStrings(b.ValueFields)
+	}
+	if len(out.Layout.PartFields) == 0 && len(out.Layout.SortFields) == 0 && !out.Layout.Compressed {
+		out.Layout = b.Layout.Clone()
+	}
+	if out.EstRecords == 0 {
+		out.EstRecords = b.EstRecords
+	}
+	if out.EstBytes == 0 {
+		out.EstBytes = b.EstBytes
+	}
+	if out.EstPartitions == 0 {
+		out.EstPartitions = b.EstPartitions
+	}
+	return out, nil
+}
+
+// Namespace returns a copy of the workflow with every job ID and every
+// non-base dataset ID prefixed by "prefix/". Base dataset IDs are left
+// alone: they name shared inputs on the DFS, which is exactly what
+// composition stitches on.
+func (w *Workflow) Namespace(prefix string) *Workflow {
+	out := w.Clone()
+	rename := map[string]string{}
+	for _, d := range out.Datasets {
+		if !d.Base {
+			rename[d.ID] = prefix + "/" + d.ID
+			d.ID = rename[d.ID]
+		}
+	}
+	for _, j := range out.Jobs {
+		j.ID = prefix + "/" + j.ID
+		for i := range j.Origin {
+			j.Origin[i] = prefix + "/" + j.Origin[i]
+		}
+		for i := range j.MapBranches {
+			if n, ok := rename[j.MapBranches[i].Input]; ok {
+				j.MapBranches[i].Input = n
+			}
+		}
+		for i := range j.ReduceGroups {
+			if n, ok := rename[j.ReduceGroups[i].Output]; ok {
+				j.ReduceGroups[i].Output = n
+			}
+		}
+		if j.ReduceCountGroup != "" {
+			j.ReduceCountGroup = prefix + "/" + j.ReduceCountGroup
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package wf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+)
+
+// randomDAG builds a random layered workflow: jobs are arranged in layers,
+// every job reads one or more datasets from earlier layers (or a base
+// dataset) and writes one dataset. The result is always a valid DAG.
+func randomDAG(r *rand.Rand) *Workflow {
+	w := &Workflow{Name: "rand"}
+	nBases := 1 + r.Intn(3)
+	var available []string
+	for i := 0; i < nBases; i++ {
+		id := fmt.Sprintf("base%d", i)
+		w.Datasets = append(w.Datasets, &Dataset{
+			ID: id, Base: true,
+			KeyFields: []string{"k"}, ValueFields: []string{"v"},
+		})
+		available = append(available, id)
+	}
+	layers := 1 + r.Intn(4)
+	jobN := 0
+	for l := 0; l < layers; l++ {
+		width := 1 + r.Intn(3)
+		var produced []string
+		for j := 0; j < width; j++ {
+			jobN++
+			id := fmt.Sprintf("J%d", jobN)
+			out := fmt.Sprintf("d%d", jobN)
+			nIn := 1 + r.Intn(2)
+			job := &Job{ID: id, Config: DefaultConfig(), Origin: []string{id}}
+			seen := map[string]bool{}
+			for b := 0; b < nIn; b++ {
+				in := available[r.Intn(len(available))]
+				if seen[in] {
+					continue
+				}
+				seen[in] = true
+				job.MapBranches = append(job.MapBranches, MapBranch{
+					Tag: 0, Input: in,
+					Stages: []Stage{MapStage(fmt.Sprintf("M%d_%d", jobN, b), passMap, 1e-6)},
+				})
+			}
+			job.ReduceGroups = []ReduceGroup{{
+				Tag: 0, Output: out,
+				Stages: []Stage{ReduceStage(fmt.Sprintf("R%d", jobN), func(k keyval.Tuple, vs []keyval.Tuple, emit Emit) {
+					emit(k, vs[0])
+				}, nil, 1e-6)},
+			}}
+			w.Jobs = append(w.Jobs, job)
+			w.Datasets = append(w.Datasets, &Dataset{ID: out})
+			produced = append(produced, out)
+		}
+		available = append(available, produced...)
+	}
+	return w
+}
+
+func TestRandomDAGsValidate(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomDAG(rand.New(rand.NewSource(seed)))
+		return w.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopoSortIsLinearExtensionQuick: the order contains every job exactly
+// once and every producer precedes its consumers.
+func TestTopoSortIsLinearExtensionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomDAG(rand.New(rand.NewSource(seed)))
+		order, err := w.TopoSort()
+		if err != nil {
+			return false
+		}
+		if len(order) != len(w.Jobs) {
+			return false
+		}
+		pos := map[string]int{}
+		for i, j := range order {
+			if _, dup := pos[j.ID]; dup {
+				return false
+			}
+			pos[j.ID] = i
+		}
+		for _, j := range w.Jobs {
+			for _, p := range w.JobProducers(j) {
+				if pos[p.ID] >= pos[j.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneIsDeepQuick: mutating every mutable field of a clone leaves the
+// original untouched (checked through the canonical Summary and a stage
+// spot-check).
+func TestCloneIsDeepQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomDAG(rand.New(rand.NewSource(seed)))
+		before := w.Summary()
+		c := w.Clone()
+		for _, j := range c.Jobs {
+			j.ID = j.ID + "_mut"
+			j.Config.NumReduceTasks = 999
+			for i := range j.MapBranches {
+				j.MapBranches[i].Input = "mut"
+				j.MapBranches[i].KeyIn = []string{"mut"}
+				if len(j.MapBranches[i].Stages) > 0 {
+					j.MapBranches[i].Stages[0].Name = "mut"
+				}
+			}
+			for i := range j.ReduceGroups {
+				j.ReduceGroups[i].Output = "mut"
+			}
+		}
+		for _, d := range c.Datasets {
+			d.ID = "mut_" + d.ID
+			d.KeyFields = []string{"mut"}
+		}
+		if w.Summary() != before {
+			return false
+		}
+		for _, j := range w.Jobs {
+			if j.Config.NumReduceTasks == 999 {
+				return false
+			}
+			for _, b := range j.MapBranches {
+				if len(b.Stages) > 0 && b.Stages[0].Name == "mut" {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNamespaceComposeRoundTripQuick: namespacing two random workflows and
+// composing them always yields a valid workflow with all jobs present and
+// base datasets shared.
+func TestNamespaceComposeRoundTripQuick(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := randomDAG(rand.New(rand.NewSource(seedA)))
+		b := randomDAG(rand.New(rand.NewSource(seedB)))
+		combined, err := Compose("both", a.Namespace("a"), b.Namespace("b"))
+		if err != nil {
+			return false
+		}
+		if len(combined.Jobs) != len(a.Jobs)+len(b.Jobs) {
+			return false
+		}
+		return combined.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGCIdempotentQuick: GC removes nothing from a fully wired workflow
+// and is idempotent after a job removal.
+func TestGCIdempotentQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		w := randomDAG(rand.New(rand.NewSource(seed)))
+		n := len(w.Datasets)
+		w.GC()
+		if len(w.Datasets) != n {
+			return false
+		}
+		// Remove a sink job; its output dataset must be collected, bases
+		// and still-referenced intermediates kept.
+		var sinkJob *Job
+		for _, j := range w.Jobs {
+			if len(w.JobConsumers(j)) == 0 {
+				sinkJob = j
+			}
+		}
+		if sinkJob == nil {
+			return false
+		}
+		outs := sinkJob.Outputs()
+		w.RemoveJob(sinkJob.ID)
+		w.GC()
+		for _, out := range outs {
+			if w.Dataset(out) != nil {
+				return false
+			}
+		}
+		w.GC()
+		return w.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

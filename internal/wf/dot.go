@@ -1,0 +1,46 @@
+package wf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the workflow DAG in Graphviz format: jobs as boxes, datasets
+// as ellipses, with layout and packing provenance in the labels. Used by
+// the CLI and the examples to visualize plans before and after
+// optimization.
+func (w *Workflow) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n", w.Name)
+	for _, d := range w.Datasets {
+		shape := "ellipse"
+		style := ""
+		if d.Base {
+			style = ` style="filled" fillcolor="lightgray"`
+		}
+		label := d.ID
+		if l := d.Layout.String(); l != "unspecified" {
+			label += "\\n" + l
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s label=%q%s];\n", "ds_"+d.ID, shape, label, style)
+	}
+	for _, j := range w.Jobs {
+		kind := "map+reduce"
+		if j.MapOnly() {
+			kind = "map-only"
+		}
+		label := fmt.Sprintf("%s\\n%s", j.ID, kind)
+		if len(j.Origin) > 1 {
+			label += "\\npacked: " + strings.Join(j.Origin, "+")
+		}
+		fmt.Fprintf(&b, "  %q [shape=box style=\"rounded\" label=%q];\n", "job_"+j.ID, label)
+		for _, in := range j.Inputs() {
+			fmt.Fprintf(&b, "  %q -> %q;\n", "ds_"+in, "job_"+j.ID)
+		}
+		for _, out := range j.Outputs() {
+			fmt.Fprintf(&b, "  %q -> %q;\n", "job_"+j.ID, "ds_"+out)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

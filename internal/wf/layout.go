@@ -1,0 +1,90 @@
+package wf
+
+import "github.com/stubby-mr/stubby/internal/keyval"
+
+// DeriveGroupOutputLayout infers the physical layout of the dataset a
+// reduce group writes, from the group's partition spec, schema annotations,
+// and the job configuration. The inference is annotation-sound: partition
+// and sort field names are claimed only when those names flow unchanged
+// into the group's output key (same-name semantics of Section 2.2).
+// Unknown schemas (nil) yield an unclaimed layout.
+func DeriveGroupOutputLayout(g ReduceGroup, cfg Config) Layout {
+	layout := Layout{Compressed: cfg.CompressOutput, PartType: g.Part.Type}
+	if g.KeyIn == nil {
+		return layout
+	}
+	// Partition fields: the K2 names the spec partitions on, kept only if
+	// they all survive into K3.
+	partNames := keyval.Project(namesToTuple(g.KeyIn), g.Part.EffectiveKeyFields(len(g.KeyIn)))
+	pf := tupleToNames(partNames)
+	if len(pf) > 0 && FieldsSubset(pf, g.KeyOut) {
+		layout.PartFields = pf
+		if g.Part.Type == keyval.RangePartition {
+			layout.SplitPoints = make([]keyval.Tuple, len(g.Part.SplitPoints))
+			for i, sp := range g.Part.SplitPoints {
+				layout.SplitPoints[i] = keyval.Clone(sp)
+			}
+		}
+	}
+	// Sort fields: reduce tasks emit groups in per-partition sort order, so
+	// the output is clustered on the longest prefix of the sort names that
+	// survives into K3.
+	sortNames := keyval.Project(namesToTuple(g.KeyIn), g.Part.EffectiveSortFields(len(g.KeyIn)))
+	for _, f := range tupleToNames(sortNames) {
+		if FieldIndex(g.KeyOut, f) < 0 {
+			break
+		}
+		layout.SortFields = append(layout.SortFields, f)
+	}
+	return layout
+}
+
+// DeriveMapOnlyOutputLayout infers the layout of a map-only group's output
+// from the input dataset's layout: ordering and partitioning survive a
+// map-only pass only for field names that flow unchanged into the group
+// output, and co-grouped partitioning survives only when map tasks are
+// aligned one-to-one with input partitions (splitting a partition breaks
+// co-location of equal keys).
+func DeriveMapOnlyOutputLayout(in Layout, g ReduceGroup, aligned bool, cfg Config) Layout {
+	layout := Layout{Compressed: cfg.CompressOutput}
+	if g.KeyOut == nil {
+		return layout
+	}
+	if aligned && len(in.PartFields) > 0 && FieldsSubset(in.PartFields, g.KeyOut) {
+		layout.PartType = in.PartType
+		layout.PartFields = cloneStrings(in.PartFields)
+		if in.PartType == keyval.RangePartition {
+			layout.SplitPoints = make([]keyval.Tuple, len(in.SplitPoints))
+			for i, sp := range in.SplitPoints {
+				layout.SplitPoints[i] = keyval.Clone(sp)
+			}
+		}
+	}
+	for _, f := range in.SortFields {
+		if FieldIndex(g.KeyOut, f) < 0 {
+			break
+		}
+		layout.SortFields = append(layout.SortFields, f)
+	}
+	return layout
+}
+
+func namesToTuple(names []string) keyval.Tuple {
+	t := make(keyval.Tuple, len(names))
+	for i, n := range names {
+		t[i] = n
+	}
+	return t
+}
+
+func tupleToNames(t keyval.Tuple) []string {
+	out := make([]string, 0, len(t))
+	for _, f := range t {
+		s, ok := f.(string)
+		if !ok {
+			return nil
+		}
+		out = append(out, s)
+	}
+	return out
+}

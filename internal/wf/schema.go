@@ -1,0 +1,93 @@
+package wf
+
+// Schema helpers: annotations expose key/value composition as ordered lists
+// of field names ("identical field names indicate data that flows unchanged
+// through different functions", Section 2.2). These helpers implement the
+// set reasoning the transformation preconditions and postconditions need.
+
+// FieldIndex returns the position of name in fields, or -1.
+func FieldIndex(fields []string, name string) int {
+	for i, f := range fields {
+		if f == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FieldsSubset reports whether every name in sub appears in super.
+// An empty sub is a subset of anything; a nil super (unknown schema) is a
+// subset of nothing except the empty set.
+func FieldsSubset(sub, super []string) bool {
+	for _, s := range sub {
+		if FieldIndex(super, s) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FieldsIntersect returns the names present in both lists, in a's order.
+func FieldsIntersect(a, b []string) []string {
+	var out []string
+	for _, f := range a {
+		if FieldIndex(b, f) >= 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FieldsMinus returns the names of a not present in b, in a's order.
+func FieldsMinus(a, b []string) []string {
+	var out []string
+	for _, f := range a {
+		if FieldIndex(b, f) < 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FieldsEqual reports whether the two lists hold the same names in the same
+// order.
+func FieldsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IndicesOf maps field names to their positions in schema. It returns false
+// if any name is missing or the schema is unknown (nil).
+func IndicesOf(schema []string, names []string) ([]int, bool) {
+	if schema == nil {
+		return nil, false
+	}
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx := FieldIndex(schema, n)
+		if idx < 0 {
+			return nil, false
+		}
+		out[i] = idx
+	}
+	return out, true
+}
+
+// CombinedSortKey builds the sort order the intra-job vertical packing
+// postcondition prescribes: the intersection fields first, then the
+// remaining fields of the union — {Jp.K2 ∩ Jc.K2, (Jp.K2 ∪ Jc.K2) −
+// (Jp.K2 ∩ Jc.K2)} (Section 3.1, postcondition 1). Fields outside the
+// producer's own key schema cannot be sorted on by the producer and are
+// dropped; for valid packings Jc.K2 ⊆ Jp.K2 so nothing is lost.
+func CombinedSortKey(producerK2, consumerK2 []string) []string {
+	inter := FieldsIntersect(producerK2, consumerK2)
+	rest := FieldsMinus(producerK2, inter)
+	return append(append([]string{}, inter...), rest...)
+}

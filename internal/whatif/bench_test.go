@@ -1,0 +1,42 @@
+package whatif
+
+import (
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/profile"
+)
+
+// BenchmarkEstimate measures one What-if evaluation of a profiled two-job
+// workflow — the inner loop of Stubby's configuration search, invoked
+// hundreds of times per enumerated subplan.
+func BenchmarkEstimate(b *testing.B) {
+	t := &testing.T{}
+	w, _, cl := buildAnnotated(t, 500)
+	if t.Failed() {
+		b.Fatal("fixture failed")
+	}
+	est := New(cl)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileAnnotate measures the sampling profiler on the same
+// fixture (executed once per workload before optimization).
+func BenchmarkProfileAnnotate(b *testing.B) {
+	t := &testing.T{}
+	w, dfs, cl := buildAnnotated(t, 500)
+	if t.Failed() {
+		b.Fatal("fixture failed")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := profile.NewProfiler(cl, 0.3, int64(i)).Annotate(w, dfs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

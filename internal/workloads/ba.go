@@ -1,0 +1,207 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/ops"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// buildBA constructs the Business Analytics Query workflow: TPC-H Q17
+// ("average yearly revenue lost if small-quantity orders were no longer
+// filled"), a four-job plan over lineitem and part, both partitioned on
+// {partID} as Table 1 annotates (Section 7.1):
+//
+//	J1 scans and projects lineitem (map-only);
+//	J2 filters part by brand/container, joins with J1's output, and
+//	   computes 0.2 x avg(quantity) per part;
+//	J3 joins J1's and J2's outputs, keeping lineitem rows below the
+//	   threshold;
+//	J4 sums their price / 7.
+//
+// Both J2 and J3 group on {partID}, which flows unchanged end to end, and
+// the base tables are co-partitioned and sorted on partID — so intra-job
+// vertical packing cascades down the whole plan, and J2/J3's shared scan of
+// J1's output offers horizontal packing, matching the paper's description
+// of BA exercising both groups.
+func buildBA(opt Options) (*wf.Workflow, *mrsim.DFS, error) {
+	numParts := opt.n(6000)
+	numLines := opt.n(60000)
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0xba17))
+	var lineitem []keyval.Pair
+	for i := 0; i < numLines; i++ {
+		pk := int64(rng.Intn(numParts))
+		qty := float64(rng.Intn(50) + 1)
+		price := rng.Float64() * 1000
+		lineitem = append(lineitem, keyval.Pair{Key: keyval.T(pk), Value: keyval.T(qty, price)})
+	}
+	var part []keyval.Pair
+	for p := 0; p < numParts; p++ {
+		brand := int64(rng.Intn(25))
+		container := int64(rng.Intn(40))
+		part = append(part, keyval.Pair{Key: keyval.T(int64(p)), Value: keyval.T(brand, container)})
+	}
+	dfs := mrsim.NewDFS()
+	// Co-partitioned base tables: same partitioning, same file counts.
+	layout := wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"partkey"}, SortFields: []string{"partkey"}}
+	if err := dfs.Ingest("lineitem", lineitem, mrsim.IngestSpec{
+		NumPartitions: 24, KeyFields: []string{"partkey"}, Layout: layout,
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := dfs.Ingest("part", part, mrsim.IngestSpec{
+		NumPartitions: 24, KeyFields: []string{"partkey"}, Layout: layout,
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	brandFilter := keyval.Interval{Lo: int64(0), Hi: int64(5)} // ~20% of parts
+
+	// J1: map-only scan/projection of lineitem.
+	j1 := &wf.Job{
+		ID: "J1", Config: wf.DefaultConfig(), Origin: []string{"J1"},
+		MapBranches: []wf.MapBranch{{
+			Tag: 0, Input: "lineitem",
+			Stages: []wf.Stage{ops.Identity("M1", 0.5e-6)},
+			KeyIn:  []string{"partkey"}, ValIn: []string{"qty", "price"},
+			KeyOut: []string{"partkey"}, ValOut: []string{"qty", "price"},
+		}},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "lproj",
+			KeyOut: []string{"partkey"}, ValOut: []string{"qty", "price"},
+		}},
+	}
+
+	// J2: filtered join with part; 0.2 x avg quantity per part.
+	j2Join := wf.ReduceStage("R2", func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		match := false
+		var sum float64
+		var n int
+		for _, v := range vs {
+			switch v[0].(string) {
+			case "P":
+				match = true
+			case "L":
+				sum += asF(v[1])
+				n++
+			}
+		}
+		if match && n > 0 {
+			emit(k, keyval.T(0.2*sum/float64(n)))
+		}
+	}, nil, 0.9e-6)
+	j2 := &wf.Job{
+		ID: "J2", Config: wf.DefaultConfig(), Origin: []string{"J2"},
+		MapBranches: []wf.MapBranch{
+			{
+				Tag: 0, Input: "lproj",
+				Stages: []wf.Stage{ops.TagValue("M2l", 0.4e-6, "L")},
+				KeyIn:  []string{"partkey"}, ValIn: []string{"qty", "price"},
+				KeyOut: []string{"partkey"}, ValOut: []string{"tag", "qty", "price"},
+			},
+			{
+				Tag: 0, Input: "part",
+				Stages: []wf.Stage{wf.MapStage("M2p", func(k, v keyval.Tuple, emit wf.Emit) {
+					if brandFilter.Contains(v[0]) {
+						emit(keyval.T(k[0]), keyval.T("P"))
+					}
+				}, 0.4e-6)},
+				Filter: &wf.Filter{Field: "brand", Interval: brandFilter},
+				KeyIn:  []string{"partkey"}, ValIn: []string{"brand", "container"},
+				KeyOut: []string{"partkey"}, ValOut: []string{"tag"},
+			},
+		},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "threshold",
+			Stages: []wf.Stage{j2Join},
+			KeyIn:  []string{"partkey"}, ValIn: []string{"tag", "payload"},
+			KeyOut: []string{"partkey"}, ValOut: []string{"limit"},
+		}},
+	}
+
+	// J3: join lineitem rows with thresholds; keep below-threshold rows.
+	j3Join := wf.ReduceStage("R3", func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		limit := -1.0
+		for _, v := range vs {
+			if v[0].(string) == "T" {
+				limit = asF(v[1])
+				break
+			}
+		}
+		if limit < 0 {
+			return
+		}
+		for _, v := range vs {
+			if v[0].(string) == "L" && asF(v[1]) < limit {
+				emit(k, keyval.T(v[2]))
+			}
+		}
+	}, nil, 0.9e-6)
+	j3 := &wf.Job{
+		ID: "J3", Config: wf.DefaultConfig(), Origin: []string{"J3"},
+		MapBranches: []wf.MapBranch{
+			{
+				Tag: 0, Input: "lproj",
+				Stages: []wf.Stage{ops.TagValue("M3l", 0.4e-6, "L")},
+				KeyIn:  []string{"partkey"}, ValIn: []string{"qty", "price"},
+				KeyOut: []string{"partkey"}, ValOut: []string{"tag", "qty", "price"},
+			},
+			{
+				Tag: 0, Input: "threshold",
+				Stages: []wf.Stage{ops.TagValue("M3t", 0.4e-6, "T")},
+				KeyIn:  []string{"partkey"}, ValIn: []string{"limit"},
+				KeyOut: []string{"partkey"}, ValOut: []string{"tag", "limit"},
+			},
+		},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "losses",
+			Stages: []wf.Stage{j3Join},
+			KeyIn:  []string{"partkey"}, ValIn: []string{"tag", "payload"},
+			KeyOut: []string{"partkey"}, ValOut: []string{"price"},
+		}},
+	}
+
+	// J4: total yearly loss = sum(price) / 7.
+	j4Reduce := wf.ReduceStage("R4", func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		var s float64
+		for _, v := range vs {
+			s += asF(v[0])
+		}
+		emit(k, keyval.T(s/7))
+	}, nil, 0.5e-6)
+	j4 := &wf.Job{
+		ID: "J4", Config: wf.DefaultConfig(), Origin: []string{"J4"},
+		MapBranches: []wf.MapBranch{{
+			Tag: 0, Input: "losses",
+			Stages: []wf.Stage{ops.Rekey("M4", 0.4e-6, []ops.Src{}, []ops.Src{ops.V(0)}),
+				wf.MapStage("M4g", func(k, v keyval.Tuple, emit wf.Emit) {
+					emit(keyval.T(int64(0)), v)
+				}, 0.1e-6)},
+			KeyIn: []string{"partkey"}, ValIn: []string{"price"},
+			KeyOut: []string{"g"}, ValOut: []string{"price"},
+		}},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "avgloss",
+			Stages:   []wf.Stage{j4Reduce},
+			Combiner: stagePtr(ops.SumCombiner("C4", 0.4e-6, 0)),
+			KeyIn:    []string{"g"}, ValIn: []string{"price"},
+			KeyOut: []string{"g"}, ValOut: []string{"loss"},
+		}},
+	}
+
+	w := &wf.Workflow{
+		Name: "BA",
+		Jobs: []*wf.Job{j1, j2, j3, j4},
+		Datasets: []*wf.Dataset{
+			{ID: "lineitem", Base: true, KeyFields: []string{"partkey"}, ValueFields: []string{"qty", "price"}},
+			{ID: "part", Base: true, KeyFields: []string{"partkey"}, ValueFields: []string{"brand", "container"}},
+			{ID: "lproj", KeyFields: []string{"partkey"}, ValueFields: []string{"qty", "price"}},
+			{ID: "threshold", KeyFields: []string{"partkey"}, ValueFields: []string{"limit"}},
+			{ID: "losses", KeyFields: []string{"partkey"}, ValueFields: []string{"price"}},
+			{ID: "avgloss", KeyFields: []string{"g"}, ValueFields: []string{"loss"}},
+		},
+	}
+	return w, dfs, nil
+}

@@ -1,0 +1,147 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/ops"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// buildBR constructs the Business Report Generation workflow — the shape of
+// the paper's running example (Figure 1) and of Section 7.1's seven-job
+// description: an initial scan of a lineitem-like table (J1, map-only), two
+// filtered group-aggregates over {orderID, partID} and {orderID, suppID}
+// (J2, J3), per-{orderID} rollups of each (J4, J5), and distinct-count jobs
+// over the aggregated prices (J6, J7).
+//
+// The packing surface is rich: J1 replicates into J2/J3 (inter-vertical,
+// one-to-many), J4/J5 pack into J2/J3 (their {orderID} grouping flows
+// through {orderID, partID}/{orderID, suppID}), the two packed chains share
+// a scan (horizontal), and J6/J7 are concurrently runnable (extended
+// horizontal) — letting full Stubby collapse seven jobs to two.
+func buildBR(opt Options) (*wf.Workflow, *mrsim.DFS, error) {
+	numLines := opt.n(60000)
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0xb123))
+	var lineitem []keyval.Pair
+	for i := 0; i < numLines; i++ {
+		order := int64(rng.Intn(6000))
+		part := int64(rng.Intn(800))
+		supp := int64(rng.Intn(200))
+		price := rng.Float64() * 500
+		lineitem = append(lineitem, keyval.Pair{Key: keyval.T(order), Value: keyval.T(part, supp, price)})
+	}
+	dfs := mrsim.NewDFS()
+	if err := dfs.Ingest("lineitem", lineitem, mrsim.IngestSpec{
+		NumPartitions: 24,
+		KeyFields:     []string{"orderID"},
+		Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"orderID"}, SortFields: []string{"orderID"}},
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	priceFilter := keyval.Interval{Lo: 50.0} // drop cheap line items
+
+	// J1: map-only scan/initial processing.
+	j1 := &wf.Job{
+		ID: "J1", Config: wf.DefaultConfig(), Origin: []string{"J1"},
+		MapBranches: []wf.MapBranch{{
+			Tag: 0, Input: "lineitem",
+			Stages: []wf.Stage{ops.Identity("M1", 0.5e-6)},
+			KeyIn:  []string{"orderID"}, ValIn: []string{"partID", "suppID", "price"},
+			KeyOut: []string{"orderID"}, ValOut: []string{"partID", "suppID", "price"},
+		}},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "scanned",
+			KeyOut: []string{"orderID"}, ValOut: []string{"partID", "suppID", "price"},
+		}},
+	}
+
+	// groupAgg builds a filtered sum+max aggregate over (orderID, dim).
+	groupAgg := func(id, out, dim string, dimIdx int) *wf.Job {
+		return &wf.Job{
+			ID: id, Config: wf.DefaultConfig(), Origin: []string{id},
+			MapBranches: []wf.MapBranch{{
+				Tag: 0, Input: "scanned",
+				Stages: []wf.Stage{wf.MapStage("M_"+id, func(k, v keyval.Tuple, emit wf.Emit) {
+					if !priceFilter.Contains(v[2]) {
+						return
+					}
+					emit(keyval.T(k[0], v[dimIdx]), keyval.T(v[2]))
+				}, 0.6e-6)},
+				Filter: &wf.Filter{Field: "price", Interval: priceFilter},
+				KeyIn:  []string{"orderID"}, ValIn: []string{"partID", "suppID", "price"},
+				KeyOut: []string{"orderID", dim}, ValOut: []string{"price"},
+			}},
+			ReduceGroups: []wf.ReduceGroup{{
+				Tag: 0, Output: out,
+				Stages: []wf.Stage{ops.SumAndMax("R_"+id, 0.6e-6, 0)},
+				KeyIn:  []string{"orderID", dim}, ValIn: []string{"price"},
+				KeyOut: []string{"orderID", dim}, ValOut: []string{"sumP", "maxP"},
+			}},
+		}
+	}
+	j2 := groupAgg("J2", "bypart", "partID", 0)
+	j3 := groupAgg("J3", "bysupp", "suppID", 1)
+
+	// rollup builds the per-orderID rollup of a group-aggregate output.
+	rollup := func(id, in, dim, out string) *wf.Job {
+		return &wf.Job{
+			ID: id, Config: wf.DefaultConfig(), Origin: []string{id},
+			MapBranches: []wf.MapBranch{{
+				Tag: 0, Input: in,
+				Stages: []wf.Stage{ops.Rekey("M_"+id, 0.4e-6, []ops.Src{ops.K(0)}, []ops.Src{ops.V(0)})},
+				KeyIn:  []string{"orderID", dim}, ValIn: []string{"sumP", "maxP"},
+				KeyOut: []string{"orderID"}, ValOut: []string{"sumP"},
+			}},
+			ReduceGroups: []wf.ReduceGroup{{
+				Tag: 0, Output: out,
+				Stages: []wf.Stage{ops.SumAndMax("R_"+id, 0.5e-6, 0)},
+				KeyIn:  []string{"orderID"}, ValIn: []string{"sumP"},
+				KeyOut: []string{"orderID"}, ValOut: []string{"sumP", "maxP"},
+			}},
+		}
+	}
+	j4 := rollup("J4", "bypart", "partID", "orderpart")
+	j5 := rollup("J5", "bysupp", "suppID", "ordersupp")
+
+	// distinct builds the distinct-aggregated-price counter.
+	distinct := func(id, in, out string) *wf.Job {
+		return &wf.Job{
+			ID: id, Config: wf.DefaultConfig(), Origin: []string{id},
+			MapBranches: []wf.MapBranch{{
+				Tag: 0, Input: in,
+				Stages: []wf.Stage{wf.MapStage("M_"+id, func(k, v keyval.Tuple, emit wf.Emit) {
+					emit(keyval.T(float64(int64(asF(v[0])))), keyval.T(int64(1)))
+				}, 0.4e-6)},
+				KeyIn: []string{"orderID"}, ValIn: []string{"sumP", "maxP"},
+				KeyOut: []string{"bucket"}, ValOut: []string{"n"},
+			}},
+			ReduceGroups: []wf.ReduceGroup{{
+				Tag: 0, Output: out,
+				Stages: []wf.Stage{ops.DistinctMark("R_"+id, 0.4e-6)},
+				KeyIn:  []string{"bucket"}, ValIn: []string{"n"},
+				KeyOut: []string{"g"}, ValOut: []string{"one"},
+			}},
+		}
+	}
+	j6 := distinct("J6", "orderpart", "distinctpart")
+	j7 := distinct("J7", "ordersupp", "distinctsupp")
+
+	w := &wf.Workflow{
+		Name: "BR",
+		Jobs: []*wf.Job{j1, j2, j3, j4, j5, j6, j7},
+		Datasets: []*wf.Dataset{
+			{ID: "lineitem", Base: true, KeyFields: []string{"orderID"}, ValueFields: []string{"partID", "suppID", "price"}},
+			{ID: "scanned", KeyFields: []string{"orderID"}, ValueFields: []string{"partID", "suppID", "price"}},
+			{ID: "bypart", KeyFields: []string{"orderID", "partID"}, ValueFields: []string{"sumP", "maxP"}},
+			{ID: "bysupp", KeyFields: []string{"orderID", "suppID"}, ValueFields: []string{"sumP", "maxP"}},
+			{ID: "orderpart", KeyFields: []string{"orderID"}, ValueFields: []string{"sumP", "maxP"}},
+			{ID: "ordersupp", KeyFields: []string{"orderID"}, ValueFields: []string{"sumP", "maxP"}},
+			{ID: "distinctpart", KeyFields: []string{"g"}, ValueFields: []string{"one"}},
+			{ID: "distinctsupp", KeyFields: []string{"g"}, ValueFields: []string{"one"}},
+		},
+	}
+	return w, dfs, nil
+}

@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/ops"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// buildIR constructs the Information Retrieval workflow: TF-IDF over a
+// randomly generated corpus partitioned on the document name (Section 7.1).
+// Three jobs: (a) word frequency per document, (b) total words per
+// document, (c) document frequency per word and the TF-IDF weight of each
+// (word, document) pair.
+//
+// The vertical packing opportunity: J2 groups on {doc}, which flows
+// unchanged through J1's reduce (K2/K3 = {word, doc}), so J1 can partition
+// on {doc} and sort on (doc, word), turning J2 map-only and then packing it
+// into J1. J3 groups on {word}, which does not flow through J2's {doc}
+// grouping, so J3 keeps its shuffle.
+func buildIR(opt Options) (*wf.Workflow, *mrsim.DFS, error) {
+	numDocs := opt.n(300)
+	wordsPerDoc := 200
+	vocab := opt.n(2000)
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x1221))
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(vocab-1))
+	var pairs []keyval.Pair
+	for d := 0; d < numDocs; d++ {
+		for i := 0; i < wordsPerDoc; i++ {
+			w := fmt.Sprintf("w%05d", zipf.Uint64())
+			pairs = append(pairs, keyval.Pair{Key: keyval.T(int64(d)), Value: keyval.T(w)})
+		}
+	}
+	dfs := mrsim.NewDFS()
+	if err := dfs.Ingest("docs", pairs, mrsim.IngestSpec{
+		NumPartitions: 24,
+		KeyFields:     []string{"doc"},
+		Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"doc"}, SortFields: []string{"doc"}},
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	totalDocs := float64(numDocs)
+
+	// J1: word frequency n(word, doc).
+	j1 := &wf.Job{
+		ID: "J1", Config: wf.DefaultConfig(), Origin: []string{"J1"},
+		MapBranches: []wf.MapBranch{{
+			Tag: 0, Input: "docs",
+			Stages: []wf.Stage{wf.MapStage("M1", func(k, v keyval.Tuple, emit wf.Emit) {
+				emit(keyval.T(v[0], k[0]), keyval.T(int64(1)))
+			}, 0.8e-6)},
+			KeyIn: []string{"doc"}, ValIn: []string{"word"},
+			KeyOut: []string{"word", "doc"}, ValOut: []string{"n"},
+		}},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "freq",
+			Stages:   []wf.Stage{ops.Sum("R1", 0.5e-6, 0)},
+			Combiner: stagePtr(ops.SumCombiner("C1", 0.5e-6, 0)),
+			KeyIn:    []string{"word", "doc"}, ValIn: []string{"n"},
+			KeyOut: []string{"word", "doc"}, ValOut: []string{"n"},
+		}},
+	}
+
+	// J2: words per document; emits (word, doc) -> (n, N).
+	j2Reduce := wf.ReduceStage("R2", func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		var total float64
+		for _, v := range vs {
+			total += asF(v[1])
+		}
+		for _, v := range vs {
+			emit(keyval.T(v[0], k[0]), keyval.T(v[1], total))
+		}
+	}, nil, 0.7e-6)
+	j2 := &wf.Job{
+		ID: "J2", Config: wf.DefaultConfig(), Origin: []string{"J2"},
+		MapBranches: []wf.MapBranch{{
+			Tag: 0, Input: "freq",
+			Stages: []wf.Stage{ops.Rekey("M2", 0.5e-6, []ops.Src{ops.K(1)}, []ops.Src{ops.K(0), ops.V(0)})},
+			KeyIn:  []string{"word", "doc"}, ValIn: []string{"n"},
+			KeyOut: []string{"doc"}, ValOut: []string{"word", "n"},
+		}},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "perdoc",
+			Stages: []wf.Stage{j2Reduce},
+			KeyIn:  []string{"doc"}, ValIn: []string{"word", "n"},
+			KeyOut: []string{"word", "doc"}, ValOut: []string{"n", "N"},
+		}},
+	}
+
+	// J3: document frequency and TF-IDF weight per (word, doc).
+	j3Reduce := wf.ReduceStage("R3", func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		m := float64(len(vs))
+		idf := math.Log(totalDocs / m)
+		for _, v := range vs {
+			tf := asF(v[1]) / asF(v[2])
+			emit(keyval.T(k[0], v[0]), keyval.T(tf*idf))
+		}
+	}, nil, 0.9e-6)
+	j3 := &wf.Job{
+		ID: "J3", Config: wf.DefaultConfig(), Origin: []string{"J3"},
+		MapBranches: []wf.MapBranch{{
+			Tag: 0, Input: "perdoc",
+			Stages: []wf.Stage{ops.Rekey("M3", 0.5e-6, []ops.Src{ops.K(0)}, []ops.Src{ops.K(1), ops.V(0), ops.V(1)})},
+			KeyIn:  []string{"word", "doc"}, ValIn: []string{"n", "N"},
+			KeyOut: []string{"word"}, ValOut: []string{"doc", "n", "N"},
+		}},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "tfidf",
+			Stages: []wf.Stage{j3Reduce},
+			KeyIn:  []string{"word"}, ValIn: []string{"doc", "n", "N"},
+			KeyOut: []string{"word", "doc"}, ValOut: []string{"tfidf"},
+		}},
+	}
+
+	w := &wf.Workflow{
+		Name: "IR",
+		Jobs: []*wf.Job{j1, j2, j3},
+		Datasets: []*wf.Dataset{
+			{ID: "docs", Base: true, KeyFields: []string{"doc"}, ValueFields: []string{"word"}},
+			{ID: "freq", KeyFields: []string{"word", "doc"}, ValueFields: []string{"n"}},
+			{ID: "perdoc", KeyFields: []string{"word", "doc"}, ValueFields: []string{"n", "N"}},
+			{ID: "tfidf", KeyFields: []string{"word", "doc"}, ValueFields: []string{"tfidf"}},
+		},
+	}
+	return w, dfs, nil
+}
+
+func stagePtr(s wf.Stage) *wf.Stage { return &s }
+
+func asF(f keyval.Field) float64 {
+	switch x := f.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	default:
+		return 0
+	}
+}

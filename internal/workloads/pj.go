@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/ops"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// buildPJ constructs the Post-processing Jobs workflow: a three-job
+// pipeline over a small (~10 GB) dataset — an initial map-only scan, then
+// two compute-heavy group-aggregates (covariance and correlation) reading
+// its output (Section 7.1).
+//
+// This is the workload where horizontal packing is the wrong decision: the
+// cluster has slack to run both aggregates concurrently, so rule-based
+// optimizers that always pack (Baseline, YSmart) serialize compute that
+// cost-based ones (Stubby, MRShare) leave parallel.
+func buildPJ(opt Options) (*wf.Workflow, *mrsim.DFS, error) {
+	numRecords := opt.n(16000)
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x9191))
+	var events []keyval.Pair
+	for i := 0; i < numRecords; i++ {
+		g := int64(rng.Intn(40))
+		x := rng.NormFloat64()
+		y := 0.6*x + 0.4*rng.NormFloat64()
+		events = append(events, keyval.Pair{Key: keyval.T(g), Value: keyval.T(x, y)})
+	}
+	dfs := mrsim.NewDFS()
+	if err := dfs.Ingest("events", events, mrsim.IngestSpec{
+		NumPartitions: 8,
+		KeyFields:     []string{"g"},
+		Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"g"}},
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// J1: map-only scan / initial processing.
+	j1 := &wf.Job{
+		ID: "J1", Config: wf.DefaultConfig(), Origin: []string{"J1"},
+		MapBranches: []wf.MapBranch{{
+			Tag: 0, Input: "events",
+			Stages: []wf.Stage{ops.Identity("M1", 0.6e-6)},
+			KeyIn:  []string{"g"}, ValIn: []string{"x", "y"},
+			KeyOut: []string{"g"}, ValOut: []string{"x", "y"},
+		}},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "cleaned",
+			KeyOut: []string{"g"}, ValOut: []string{"x", "y"},
+		}},
+	}
+
+	// Compute-heavy per-group statistics: CPU dominates I/O here, which is
+	// what makes concurrent execution beat a packed job.
+	const statCPU = 24e-6
+	moments := func(vs []keyval.Tuple) (sx, sy, sxy, sxx, syy float64) {
+		for _, v := range vs {
+			x, y := asF(v[0]), asF(v[1])
+			sx += x
+			sy += y
+			sxy += x * y
+			sxx += x * x
+			syy += y * y
+		}
+		return
+	}
+	cov := wf.ReduceStage("R2", func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		n := float64(len(vs))
+		sx, sy, sxy, _, _ := moments(vs)
+		emit(k, keyval.T(sxy/n-(sx/n)*(sy/n)))
+	}, nil, statCPU)
+	corr := wf.ReduceStage("R3", func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		n := float64(len(vs))
+		sx, sy, sxy, sxx, syy := moments(vs)
+		c := sxy/n - (sx/n)*(sy/n)
+		vx := sxx/n - (sx/n)*(sx/n)
+		vy := syy/n - (sy/n)*(sy/n)
+		if vx <= 0 || vy <= 0 {
+			emit(k, keyval.T(0.0))
+			return
+		}
+		emit(k, keyval.T(c/math.Sqrt(vx*vy)))
+	}, nil, statCPU)
+
+	agg := func(id, out string, stage wf.Stage, mapCPU float64) *wf.Job {
+		return &wf.Job{
+			ID: id, Config: wf.DefaultConfig(), Origin: []string{id},
+			MapBranches: []wf.MapBranch{{
+				Tag: 0, Input: "cleaned",
+				Stages: []wf.Stage{ops.Identity("M_"+id, mapCPU)},
+				KeyIn:  []string{"g"}, ValIn: []string{"x", "y"},
+				KeyOut: []string{"g"}, ValOut: []string{"x", "y"},
+			}},
+			ReduceGroups: []wf.ReduceGroup{{
+				Tag: 0, Output: out,
+				Stages: []wf.Stage{stage},
+				KeyIn:  []string{"g"}, ValIn: []string{"x", "y"},
+				KeyOut: []string{"g"}, ValOut: []string{"stat"},
+			}},
+		}
+	}
+	j2 := agg("J2", "covariance", cov, 8e-6)
+	j3 := agg("J3", "correlation", corr, 8e-6)
+
+	w := &wf.Workflow{
+		Name: "PJ",
+		Jobs: []*wf.Job{j1, j2, j3},
+		Datasets: []*wf.Dataset{
+			{ID: "events", Base: true, KeyFields: []string{"g"}, ValueFields: []string{"x", "y"}},
+			{ID: "cleaned", KeyFields: []string{"g"}, ValueFields: []string{"x", "y"}},
+			{ID: "covariance", KeyFields: []string{"g"}, ValueFields: []string{"stat"}},
+			{ID: "correlation", KeyFields: []string{"g"}, ValueFields: []string{"stat"}},
+		},
+	}
+	return w, dfs, nil
+}

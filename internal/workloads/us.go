@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/ops"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// buildUS constructs the User-defined Logical Splits workflow: a
+// preprocessing producer whose output two consumers analyze over disjoint
+// record subsets — e.g. a Web-portal log analyzed per age group — each
+// consumer filtering in its map function (Section 7.1).
+//
+// This is the workload where the partition function transformation shines
+// (Figure 7's mechanism): Stubby can switch the producer to range
+// partitioning on {age} with split points at the filter boundaries, so each
+// consumer prunes the partitions outside its age group instead of scanning
+// everything.
+func buildUS(opt Options) (*wf.Workflow, *mrsim.DFS, error) {
+	numRecords := opt.n(60000)
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5511))
+	var logs []keyval.Pair
+	for i := 0; i < numRecords; i++ {
+		uid := int64(rng.Intn(10000))
+		age := int64(rng.Intn(100))
+		metric := rng.Float64() * 100
+		logs = append(logs, keyval.Pair{Key: keyval.T(uid), Value: keyval.T(age, metric)})
+	}
+	dfs := mrsim.NewDFS()
+	if err := dfs.Ingest("logs", logs, mrsim.IngestSpec{
+		NumPartitions: 24,
+		KeyFields:     []string{"uid"},
+		Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"uid"}},
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	young := keyval.Interval{Lo: int64(0), Hi: int64(40)}
+	old := keyval.Interval{Lo: int64(40), Hi: int64(100)}
+
+	// J1: preprocessing producer keyed by (age, uid).
+	j1Reduce := wf.ReduceStage("R1", func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		var s float64
+		for _, v := range vs {
+			s += asF(v[0])
+		}
+		emit(k, keyval.T(s))
+	}, nil, 0.6e-6)
+	j1 := &wf.Job{
+		ID: "J1", Config: wf.DefaultConfig(), Origin: []string{"J1"},
+		MapBranches: []wf.MapBranch{{
+			Tag: 0, Input: "logs",
+			Stages: []wf.Stage{ops.Rekey("M1", 0.5e-6, []ops.Src{ops.V(0), ops.K(0)}, []ops.Src{ops.V(1)})},
+			KeyIn:  []string{"uid"}, ValIn: []string{"age", "metric"},
+			KeyOut: []string{"age", "uid"}, ValOut: []string{"metric"},
+		}},
+		ReduceGroups: []wf.ReduceGroup{{
+			Tag: 0, Output: "byage",
+			Stages: []wf.Stage{j1Reduce},
+			KeyIn:  []string{"age", "uid"}, ValIn: []string{"metric"},
+			KeyOut: []string{"age", "uid"}, ValOut: []string{"total"},
+		}},
+	}
+
+	// consumer builds one per-age-group aggregate with a map-side filter.
+	consumer := func(id, out string, iv keyval.Interval) *wf.Job {
+		return &wf.Job{
+			ID: id, Config: wf.DefaultConfig(), Origin: []string{id},
+			MapBranches: []wf.MapBranch{{
+				Tag: 0, Input: "byage",
+				Stages: []wf.Stage{wf.MapStage("M_"+id, func(k, v keyval.Tuple, emit wf.Emit) {
+					if iv.Contains(k[0]) {
+						emit(keyval.T(k[0]), keyval.T(v[0]))
+					}
+				}, 0.5e-6)},
+				Filter: &wf.Filter{Field: "age", Interval: iv},
+				KeyIn:  []string{"age", "uid"}, ValIn: []string{"total"},
+				KeyOut: []string{"age"}, ValOut: []string{"total"},
+			}},
+			ReduceGroups: []wf.ReduceGroup{{
+				Tag: 0, Output: out,
+				Stages: []wf.Stage{ops.Avg("R_"+id, 0.6e-6, 0)},
+				KeyIn:  []string{"age"}, ValIn: []string{"total"},
+				KeyOut: []string{"age"}, ValOut: []string{"avg"},
+			}},
+		}
+	}
+	j2 := consumer("J2", "youngstats", young)
+	j3 := consumer("J3", "oldstats", old)
+
+	w := &wf.Workflow{
+		Name: "US",
+		Jobs: []*wf.Job{j1, j2, j3},
+		Datasets: []*wf.Dataset{
+			{ID: "logs", Base: true, KeyFields: []string{"uid"}, ValueFields: []string{"age", "metric"}},
+			{ID: "byage", KeyFields: []string{"age", "uid"}, ValueFields: []string{"total"}},
+			{ID: "youngstats", KeyFields: []string{"age"}, ValueFields: []string{"avg"}},
+			{ID: "oldstats", KeyFields: []string{"age"}, ValueFields: []string{"avg"}},
+		},
+	}
+	return w, dfs, nil
+}

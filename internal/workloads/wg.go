@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/ops"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// buildWG constructs the Web Graph Analysis workflow: two PageRank
+// iterations over a power-law adjacency list (Section 7.1). Each iteration
+// is two jobs: a join of the adjacency list with the current ranks on
+// {page} emitting per-link contributions, and a rank update summing
+// contributions per target page.
+//
+// As the paper observes, the rank-update computation dominates and the
+// iteration structure offers little packing opportunity (contribution keys
+// do not flow through the join's grouping key), so gains here come almost
+// entirely from cost-based configuration — the smallest bars of Figure 11.
+func buildWG(opt Options) (*wf.Workflow, *mrsim.DFS, error) {
+	numPages := opt.n(12000)
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x3636))
+	zipf := rand.NewZipf(rng, 1.4, 3, 14) // out-degree, power-law, <= 15
+	var adj []keyval.Pair
+	for p := 0; p < numPages; p++ {
+		k := int(zipf.Uint64()) + 1
+		outs := make(keyval.Tuple, 0, k)
+		for i := 0; i < k; i++ {
+			outs = append(outs, int64(rng.Intn(numPages)))
+		}
+		adj = append(adj, keyval.Pair{Key: keyval.T(int64(p)), Value: outs})
+	}
+	var ranks []keyval.Pair
+	for p := 0; p < numPages; p++ {
+		ranks = append(ranks, keyval.Pair{Key: keyval.T(int64(p)), Value: keyval.T(1.0 / float64(numPages))})
+	}
+	dfs := mrsim.NewDFS()
+	if err := dfs.Ingest("adj", adj, mrsim.IngestSpec{
+		NumPartitions: 24,
+		KeyFields:     []string{"page"},
+		Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"page"}},
+	}); err != nil {
+		return nil, nil, err
+	}
+	if err := dfs.Ingest("ranks0", ranks, mrsim.IngestSpec{
+		NumPartitions: 12,
+		KeyFields:     []string{"page"},
+		Layout:        wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"page"}},
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	w := &wf.Workflow{
+		Name: "WG",
+		Datasets: []*wf.Dataset{
+			{ID: "adj", Base: true, KeyFields: []string{"page"}, ValueFields: []string{"outs"}},
+			{ID: "ranks0", Base: true, KeyFields: []string{"page"}, ValueFields: []string{"rank"}},
+		},
+	}
+	for iter := 1; iter <= 2; iter++ {
+		in := "ranks0"
+		if iter > 1 {
+			in = "ranks1"
+		}
+		contrib := "contrib" + itoa(iter)
+		out := "ranks" + itoa(iter)
+		join := wf.ReduceStage("Rj"+itoa(iter), func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+			var rank float64
+			var outs keyval.Tuple
+			for _, v := range vs {
+				switch v[0].(string) {
+				case "R":
+					rank = asF(v[1])
+				case "A":
+					outs = v[1:]
+				}
+			}
+			if len(outs) == 0 {
+				emit(keyval.T(k[0]), keyval.T(0.0)) // dangling page keeps a row
+				return
+			}
+			share := rank / float64(len(outs))
+			emit(keyval.T(k[0]), keyval.T(0.0))
+			for _, o := range outs {
+				emit(keyval.T(o), keyval.T(share))
+			}
+		}, nil, 1.0e-6)
+		jJoin := &wf.Job{
+			ID: "Jj" + itoa(iter), Config: wf.DefaultConfig(), Origin: []string{"Jj" + itoa(iter)},
+			MapBranches: []wf.MapBranch{
+				{
+					Tag: 0, Input: "adj",
+					Stages: []wf.Stage{ops.TagValue("Ma"+itoa(iter), 0.5e-6, "A")},
+					KeyIn:  []string{"page"}, ValIn: []string{"outs"},
+					KeyOut: []string{"page"}, ValOut: []string{"tag", "outs"},
+				},
+				{
+					Tag: 0, Input: in,
+					Stages: []wf.Stage{ops.TagValue("Mr"+itoa(iter), 0.4e-6, "R")},
+					KeyIn:  []string{"page"}, ValIn: []string{"rank"},
+					KeyOut: []string{"page"}, ValOut: []string{"tag", "rank"},
+				},
+			},
+			ReduceGroups: []wf.ReduceGroup{{
+				Tag: 0, Output: contrib,
+				Stages: []wf.Stage{join},
+				KeyIn:  []string{"page"}, ValIn: []string{"tag", "payload"},
+				KeyOut: []string{"dpage"}, ValOut: []string{"share"},
+			}},
+		}
+		update := wf.ReduceStage("Ru"+itoa(iter), func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+			var sum float64
+			for _, v := range vs {
+				sum += asF(v[0])
+			}
+			emit(k, keyval.T(0.15/float64(numPages)+0.85*sum))
+		}, nil, 1.6e-6)
+		jRank := &wf.Job{
+			ID: "Jr" + itoa(iter), Config: wf.DefaultConfig(), Origin: []string{"Jr" + itoa(iter)},
+			MapBranches: []wf.MapBranch{{
+				Tag: 0, Input: contrib,
+				Stages: []wf.Stage{ops.Identity("Mu"+itoa(iter), 0.4e-6)},
+				KeyIn:  []string{"dpage"}, ValIn: []string{"share"},
+				KeyOut: []string{"dpage"}, ValOut: []string{"share"},
+			}},
+			ReduceGroups: []wf.ReduceGroup{{
+				Tag: 0, Output: out,
+				Stages:   []wf.Stage{update},
+				Combiner: stagePtr(ops.SumCombiner("Cu"+itoa(iter), 0.5e-6, 0)),
+				KeyIn:    []string{"dpage"}, ValIn: []string{"share"},
+				KeyOut: []string{"dpage"}, ValOut: []string{"rank"},
+			}},
+		}
+		w.Jobs = append(w.Jobs, jJoin, jRank)
+		w.Datasets = append(w.Datasets,
+			&wf.Dataset{ID: contrib, KeyFields: []string{"dpage"}, ValueFields: []string{"share"}},
+			&wf.Dataset{ID: out, KeyFields: []string{"page"}, ValueFields: []string{"rank"}},
+		)
+	}
+	return w, dfs, nil
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
