@@ -8,6 +8,7 @@
 //	stubby-bench -fig 5 | 11 | 12 | 13 | 14
 //	stubby-bench -fig 11 -size 0.5 -seed 7
 //	stubby-bench -ablation ordering | search | units | profile | all
+//	stubby-bench -list-optimizers
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/stubby-mr/stubby/internal/baselines"
 	"github.com/stubby-mr/stubby/internal/bench"
 	"github.com/stubby-mr/stubby/internal/workloads"
 )
@@ -25,10 +27,18 @@ func main() {
 		table    = flag.Int("table", 0, "table to regenerate (1)")
 		all      = flag.Bool("all", false, "regenerate everything")
 		ablation = flag.String("ablation", "", "ablation to run: ordering, search, units, profile, all")
+		listOpts = flag.Bool("list-optimizers", false, "list registered optimizers and exit")
 		size     = flag.Float64("size", 0.25, "workload size factor (records scale)")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
+	if *listOpts {
+		fmt.Println("Optimizers:")
+		for _, spec := range baselines.DefaultRegistry().Specs() {
+			fmt.Printf("  %-11s %s\n", spec.Name, spec.Description)
+		}
+		return
+	}
 	h := bench.New(bench.Config{SizeFactor: *size, Seed: *seed})
 	ran := false
 	fail := func(err error) {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	stubby -list
+//	stubby -list-optimizers
 //	stubby -workload BR
 //	stubby -workload BR -optimizer stubby -run
 //	stubby -workload LA -optimizer ysmart -dot
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,11 +28,13 @@ import (
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list available workloads")
+		listOpts = flag.Bool("list-optimizers", false, "list registered optimizers")
 		workload = flag.String("workload", "", "workload abbreviation (IR, SN, LA, WG, BA, BR, PJ, US)")
-		planner  = flag.String("optimizer", "stubby", "optimizer: stubby, vertical, horizontal, baseline, starfish, ysmart, mrshare, none")
+		planner  = flag.String("optimizer", "stubby", "optimizer name (see -list-optimizers) or none")
 		run      = flag.Bool("run", false, "execute the plans and report simulated runtimes")
 		compare  = flag.Bool("compare", false, "run every optimizer on the workload")
 		dot      = flag.Bool("dot", false, "print the optimized plan in Graphviz DOT format")
+		verbose  = flag.Bool("v", false, "report optimizer progress while searching")
 		size     = flag.Float64("size", 0.25, "workload size factor")
 		seed     = flag.Int64("seed", 1, "random seed")
 		fraction = flag.Float64("profile", 0.5, "profiling sample fraction")
@@ -38,12 +42,18 @@ func main() {
 		imprt    = flag.String("import", "", "read an annotated plan from this JSON file (structure-only) instead of building a workload")
 	)
 	flag.Parse()
+	ctx := context.Background()
+	// Registry lookups are case-insensitive; normalize so the "none"
+	// sentinel is too.
+	plannerName := strings.ToLower(*planner)
 
-	if *imprt != "" {
-		importAndOptimize(*imprt, strings.ToLower(*planner), *seed, *dot)
+	if *listOpts {
+		fmt.Println("Optimizers:")
+		for _, spec := range stubby.PlannerSpecs() {
+			fmt.Printf("  %-11s %s\n", spec.Name, spec.Description)
+		}
 		return
 	}
-
 	if *list {
 		fmt.Println("Workloads (Table 1):")
 		for _, abbr := range stubby.Workloads() {
@@ -51,6 +61,12 @@ func main() {
 		}
 		return
 	}
+
+	if *imprt != "" {
+		importAndOptimize(ctx, *imprt, plannerName, *seed, *dot)
+		return
+	}
+
 	if *workload == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -59,7 +75,23 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if err := stubby.Profile(wl.Cluster, wl.Workflow, wl.DFS, *fraction, *seed); err != nil {
+	opts := []stubby.SessionOption{
+		stubby.WithCluster(wl.Cluster),
+		stubby.WithSeed(*seed),
+		stubby.WithProfileFraction(*fraction),
+	}
+	if *verbose {
+		opts = append(opts, stubby.WithObserver(progressObserver{}))
+	}
+	if plannerName != "none" {
+		// Validated at construction; Profile/Run ignore the planner name.
+		opts = append(opts, stubby.WithPlanner(plannerName))
+	}
+	sess, err := stubby.NewSession(opts...)
+	if err != nil {
+		fail(err)
+	}
+	if err := sess.Profile(ctx, wl.Workflow, wl.DFS); err != nil {
 		fail(err)
 	}
 	if *export != "" {
@@ -81,35 +113,35 @@ func main() {
 	fmt.Print(wl.Workflow.Summary())
 
 	if *compare {
-		comparePlanners(wl, *seed)
+		comparePlanners(ctx, sess, opts, wl)
 		return
 	}
 
 	plan := wl.Workflow
-	switch strings.ToLower(*planner) {
-	case "none":
-	default:
-		p, err := makePlanner(wl, strings.ToLower(*planner), *seed)
+	if plannerName != "none" {
+		// Optimize through the session (not Planner.Plan directly) so the
+		// -v observer sees per-unit progress for Stubby variants.
+		p, err := sess.Planner(plannerName)
 		if err != nil {
 			fail(err)
 		}
-		t0 := time.Now()
-		plan, err = p.Plan(wl.Workflow)
+		res, err := sess.Optimize(ctx, wl.Workflow)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("-- %s plan (optimized in %v)\n", p.Name(), time.Since(t0).Round(time.Millisecond))
+		plan = res.Plan
+		fmt.Printf("-- %s plan (optimized in %v)\n", p.Name(), res.Duration.Round(time.Millisecond))
 		fmt.Print(plan.Summary())
 	}
 	if *dot {
 		fmt.Println(plan.DOT())
 	}
 	if *run {
-		before, err := stubby.Run(wl.Cluster, wl.DFS.Clone(), wl.Workflow)
+		before, err := sess.Run(ctx, wl.DFS.Clone(), wl.Workflow)
 		if err != nil {
 			fail(err)
 		}
-		after, err := stubby.Run(wl.Cluster, wl.DFS.Clone(), plan)
+		after, err := sess.Run(ctx, wl.DFS.Clone(), plan)
 		if err != nil {
 			fail(err)
 		}
@@ -118,43 +150,42 @@ func main() {
 	}
 }
 
-func makePlanner(wl *stubby.Workload, name string, seed int64) (stubby.Planner, error) {
-	c := wl.Cluster
-	switch name {
-	case "stubby":
-		return stubby.NewStubbyPlanner(c, stubby.GroupAll, seed, "Stubby"), nil
-	case "vertical":
-		return stubby.NewStubbyPlanner(c, stubby.GroupVertical, seed, "Vertical"), nil
-	case "horizontal":
-		return stubby.NewStubbyPlanner(c, stubby.GroupHorizontal, seed, "Horizontal"), nil
-	case "baseline":
-		return stubby.NewBaseline(c), nil
-	case "starfish":
-		return stubby.NewStarfish(c, seed), nil
-	case "ysmart":
-		return stubby.NewYSmart(c), nil
-	case "mrshare":
-		return stubby.NewMRShare(c, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown optimizer %q", name)
-	}
+// progressObserver streams optimizer and engine progress to stderr (-v).
+type progressObserver struct{ stubby.NopObserver }
+
+func (progressObserver) UnitStarted(workflow, phase string, unit int, jobs []string) {
+	fmt.Fprintf(os.Stderr, "[%s] unit %d (%s): %v\n", workflow, unit, phase, jobs)
 }
 
-func comparePlanners(wl *stubby.Workload, seed int64) {
-	names := []string{"baseline", "starfish", "ysmart", "mrshare", "vertical", "horizontal", "stubby"}
+func (progressObserver) BestCostImproved(workflow string, unit int, desc string, cost float64) {
+	fmt.Fprintf(os.Stderr, "[%s] unit %d: best <- %s (%.1f)\n", workflow, unit, desc, cost)
+}
+
+func comparePlanners(ctx context.Context, sess *stubby.Session, opts []stubby.SessionOption, wl *stubby.Workload) {
+	// Baseline goes first: it anchors the speedup column.
+	names := []string{"baseline"}
+	for _, n := range sess.Planners() {
+		if n != "baseline" {
+			names = append(names, n)
+		}
+	}
 	var baseTime float64
 	for _, name := range names {
-		p, err := makePlanner(wl, name, seed)
+		// One session per planner, optimized through Session.Optimize so
+		// -v progress and ctx cancellation apply to every search.
+		psess, err := stubby.NewSession(append(append([]stubby.SessionOption{}, opts...), stubby.WithPlanner(name))...)
 		if err != nil {
 			fail(err)
 		}
-		t0 := time.Now()
-		plan, err := p.Plan(wl.Workflow)
+		p, err := psess.Planner(name)
 		if err != nil {
 			fail(err)
 		}
-		optTime := time.Since(t0)
-		rep, err := stubby.Run(wl.Cluster, wl.DFS.Clone(), plan)
+		res, err := psess.Optimize(ctx, wl.Workflow)
+		if err != nil {
+			fail(err)
+		}
+		rep, err := sess.Run(ctx, wl.DFS.Clone(), res.Plan)
 		if err != nil {
 			fail(err)
 		}
@@ -162,15 +193,16 @@ func comparePlanners(wl *stubby.Workload, seed int64) {
 			baseTime = rep.Makespan
 		}
 		fmt.Printf("  %-11s %d jobs  %8.1fs simulated  %6.2fx vs baseline  (optimized in %v)\n",
-			p.Name(), len(plan.Jobs), rep.Makespan, baseTime/rep.Makespan, optTime.Round(time.Millisecond))
+			p.Name(), len(res.Plan.Jobs), rep.Makespan, baseTime/rep.Makespan, res.Duration.Round(time.Millisecond))
 	}
 }
 
 // importAndOptimize loads a structure-only plan (annotations but no function
 // bodies — the paper's Figure 2 deployment, where Stubby receives plans from
-// remote workflow generators) and optimizes it. Imported plans cannot be
+// remote workflow generators) and optimizes it. Planners never invoke stage
+// functions, so any registered optimizer applies; imported plans cannot be
 // executed, so -run is unavailable in this mode.
-func importAndOptimize(path, planner string, seed int64, dot bool) {
+func importAndOptimize(ctx context.Context, path, planner string, seed int64, dot bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fail(err)
@@ -182,30 +214,24 @@ func importAndOptimize(path, planner string, seed int64, dot bool) {
 	}
 	fmt.Printf("== imported plan %s\n-- original plan\n", plan.Name)
 	fmt.Print(plan.Summary())
-	if planner != "none" {
-		groups := stubby.GroupAll
-		switch planner {
-		case "vertical":
-			groups = stubby.GroupVertical
-		case "horizontal":
-			groups = stubby.GroupHorizontal
-		case "stubby":
-		default:
-			fail(fmt.Errorf("imported plans support -optimizer stubby, vertical, horizontal, or none; got %q", planner))
-		}
-		res, err := stubby.Optimize(stubby.DefaultCluster(), plan, stubby.Options{Seed: seed, Groups: groups})
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("-- optimized plan (estimated makespan %.1fs)\n", res.EstimatedCost)
-		fmt.Print(res.Plan.Summary())
+	if planner == "none" {
 		if dot {
-			fmt.Println(res.Plan.DOT())
+			fmt.Println(plan.DOT())
 		}
 		return
 	}
+	sess, err := stubby.NewSession(stubby.WithSeed(seed), stubby.WithPlanner(planner))
+	if err != nil {
+		fail(err)
+	}
+	res, err := sess.Optimize(ctx, plan)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("-- optimized plan (estimated makespan %.1f)\n", res.EstimatedCost)
+	fmt.Print(res.Plan.Summary())
 	if dot {
-		fmt.Println(plan.DOT())
+		fmt.Println(res.Plan.DOT())
 	}
 }
 

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -113,10 +114,21 @@ func main() {
 		j.Config.NumReduceTasks = cluster.TotalReduceSlots() * 9 / 10
 	}
 
-	if err := stubby.Profile(cluster, w, dfs, 0.5, 1); err != nil {
+	// A Session holds the cluster, planner registry, and defaults; its
+	// methods take a context so long searches and runs are cancellable.
+	ctx := context.Background()
+	sess, err := stubby.NewSession(
+		stubby.WithCluster(cluster),
+		stubby.WithSeed(1),
+		stubby.WithProfileFraction(0.5),
+	)
+	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := stubby.Optimize(cluster, w, stubby.Options{Seed: 1})
+	if err := sess.Profile(ctx, w, dfs); err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Optimize(ctx, w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -125,11 +137,11 @@ func main() {
 	fmt.Println("optimized plan:")
 	fmt.Print(res.Plan.Summary())
 
-	before, err := stubby.Run(cluster, dfs.Clone(), w)
+	before, err := sess.Run(ctx, dfs.Clone(), w)
 	if err != nil {
 		log.Fatal(err)
 	}
-	after, err := stubby.Run(cluster, dfs.Clone(), res.Plan)
+	after, err := sess.Run(ctx, dfs.Clone(), res.Plan)
 	if err != nil {
 		log.Fatal(err)
 	}

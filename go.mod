@@ -1,0 +1,3 @@
+module github.com/stubby-mr/stubby
+
+go 1.21

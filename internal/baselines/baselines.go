@@ -7,6 +7,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,6 +24,15 @@ type Planner interface {
 	Name() string
 	// Plan returns an optimized copy of the workflow.
 	Plan(w *wf.Workflow) (*wf.Workflow, error)
+}
+
+// ContextPlanner extends Planner with a cancellable variant. All built-in
+// planners implement it; callers holding a plain Planner can type-assert.
+type ContextPlanner interface {
+	Planner
+	// PlanContext is Plan under a context: long cost-based searches stop
+	// promptly with ctx.Err() when the context is cancelled.
+	PlanContext(ctx context.Context, w *wf.Workflow) (*wf.Workflow, error)
 }
 
 // RuleConfig applies rule-of-thumb configuration tuning in place, standing
@@ -127,6 +137,15 @@ func (b Baseline) Plan(w *wf.Workflow) (*wf.Workflow, error) {
 	return plan, nil
 }
 
+// PlanContext implements ContextPlanner. Baseline's rule pass is fast, so
+// only the entry is checked.
+func (b Baseline) PlanContext(ctx context.Context, w *wf.Workflow) (*wf.Workflow, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.Plan(w)
+}
+
 // Starfish is the cost-based configuration-only comparator [8]: it finds
 // good configuration parameter settings for each job but misses every
 // packing opportunity.
@@ -140,11 +159,16 @@ func (s Starfish) Name() string { return "Starfish" }
 
 // Plan implements Planner.
 func (s Starfish) Plan(w *wf.Workflow) (*wf.Workflow, error) {
+	return s.PlanContext(context.Background(), w)
+}
+
+// PlanContext implements ContextPlanner.
+func (s Starfish) PlanContext(ctx context.Context, w *wf.Workflow) (*wf.Workflow, error) {
 	opt := optimizer.New(s.Cluster, optimizer.Options{
 		Groups: optimizer.GroupConfigOnly,
 		Seed:   s.Seed,
 	})
-	res, err := opt.Optimize(w)
+	res, err := opt.OptimizeContext(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -164,8 +188,16 @@ func (y YSmart) Name() string { return "YSmart" }
 
 // Plan implements Planner.
 func (y YSmart) Plan(w *wf.Workflow) (*wf.Workflow, error) {
+	return y.PlanContext(context.Background(), w)
+}
+
+// PlanContext implements ContextPlanner, checking between packing rounds.
+func (y YSmart) PlanContext(ctx context.Context, w *wf.Workflow) (*wf.Workflow, error) {
 	plan := w.Clone()
 	for guard := 0; guard < 4*len(w.Jobs)+8; guard++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if next, ok := ySmartStep(plan); ok {
 			plan = next
 			continue
@@ -237,6 +269,11 @@ func (m MRShare) Name() string { return "MRShare" }
 
 // Plan implements Planner.
 func (m MRShare) Plan(w *wf.Workflow) (*wf.Workflow, error) {
+	return m.PlanContext(context.Background(), w)
+}
+
+// PlanContext implements ContextPlanner.
+func (m MRShare) PlanContext(ctx context.Context, w *wf.Workflow) (*wf.Workflow, error) {
 	plan := w.Clone()
 	RuleConfig(plan, m.Cluster)
 	opt := optimizer.New(m.Cluster, optimizer.Options{
@@ -245,7 +282,7 @@ func (m MRShare) Plan(w *wf.Workflow) (*wf.Workflow, error) {
 		DisableConfigSearch: true,
 		Seed:                m.Seed,
 	})
-	res, err := opt.Optimize(plan)
+	res, err := opt.OptimizeContext(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -271,9 +308,21 @@ func (s StubbyPlanner) Name() string {
 
 // Plan implements Planner.
 func (s StubbyPlanner) Plan(w *wf.Workflow) (*wf.Workflow, error) {
-	res, err := optimizer.New(s.Cluster, optimizer.Options{Groups: s.Groups, Seed: s.Seed}).Optimize(w)
+	return s.PlanContext(context.Background(), w)
+}
+
+// PlanContext implements ContextPlanner.
+func (s StubbyPlanner) PlanContext(ctx context.Context, w *wf.Workflow) (*wf.Workflow, error) {
+	res, err := optimizer.New(s.Cluster, s.Options()).OptimizeContext(ctx, w)
 	if err != nil {
 		return nil, err
 	}
 	return res.Plan, nil
+}
+
+// Options exposes the optimizer options this planner runs with, letting a
+// caller that wants the full search trace (or progress observation) drive
+// the optimizer directly with the same settings.
+func (s StubbyPlanner) Options() optimizer.Options {
+	return optimizer.Options{Groups: s.Groups, Seed: s.Seed}
 }

@@ -12,7 +12,6 @@ import (
 
 	"github.com/stubby-mr/stubby/internal/baselines"
 	"github.com/stubby-mr/stubby/internal/mrsim"
-	"github.com/stubby-mr/stubby/internal/optimizer"
 	"github.com/stubby-mr/stubby/internal/profile"
 	"github.com/stubby-mr/stubby/internal/wf"
 	"github.com/stubby-mr/stubby/internal/workloads"
@@ -96,23 +95,19 @@ type PlannerRun struct {
 	OptimizeMS float64
 }
 
-// planners returns the comparator set for a figure.
-func (h *Harness) planners(wl *workloads.Workload, which []string) []baselines.Planner {
-	c := wl.Cluster
-	all := map[string]baselines.Planner{
-		"Baseline":   baselines.Baseline{Cluster: c},
-		"Stubby":     baselines.StubbyPlanner{Cluster: c, Groups: optimizer.GroupAll, Seed: h.cfg.Seed, Label: "Stubby"},
-		"Vertical":   baselines.StubbyPlanner{Cluster: c, Groups: optimizer.GroupVertical, Seed: h.cfg.Seed, Label: "Vertical"},
-		"Horizontal": baselines.StubbyPlanner{Cluster: c, Groups: optimizer.GroupHorizontal, Seed: h.cfg.Seed, Label: "Horizontal"},
-		"Starfish":   baselines.Starfish{Cluster: c, Seed: h.cfg.Seed},
-		"YSmart":     baselines.YSmart{Cluster: c},
-		"MRShare":    baselines.MRShare{Cluster: c, Seed: h.cfg.Seed},
-	}
+// planners resolves the comparator set for a figure through the shared
+// planner registry (names are case-insensitive).
+func (h *Harness) planners(wl *workloads.Workload, which []string) ([]baselines.Planner, error) {
+	reg := baselines.DefaultRegistry()
 	out := make([]baselines.Planner, 0, len(which))
 	for _, name := range which {
-		out = append(out, all[name])
+		p, err := reg.New(name, wl.Cluster, h.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
 	}
-	return out
+	return out, nil
 }
 
 // ComparePlanners measures the given planners on one workload, reporting
@@ -131,8 +126,12 @@ func (h *Harness) ComparePlanners(abbr string, names []string) ([]PlannerRun, er
 	if err != nil {
 		return nil, fmt.Errorf("baseline run on %s: %w", abbr, err)
 	}
+	planners, err := h.planners(wl, names)
+	if err != nil {
+		return nil, err
+	}
 	var out []PlannerRun
-	for _, p := range h.planners(wl, names) {
+	for _, p := range planners {
 		t0 := time.Now()
 		plan, err := p.Plan(wl.Workflow)
 		optMS := float64(time.Since(t0).Microseconds()) / 1000

@@ -1,6 +1,7 @@
 package mrsim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -15,10 +16,19 @@ import (
 // partitioners sample thousands of keys).
 const keySampleSize = 1500
 
+// JobObserver receives engine progress events. Callbacks run synchronously
+// from the simulation loop, so implementations should return quickly.
+type JobObserver interface {
+	// JobFinished fires after each job completes, with its full report.
+	JobFinished(r *JobReport)
+}
+
 // Engine executes workflows on a simulated cluster over a simulated DFS.
 type Engine struct {
 	Cluster *Cluster
 	DFS     *DFS
+	// Observer, when non-nil, receives a callback after every job.
+	Observer JobObserver
 }
 
 // NewEngine builds an engine.
@@ -104,6 +114,14 @@ func (r *RunReport) TotalTaskSeconds() float64 {
 // RunWorkflow validates and executes the workflow, materializing every
 // job's outputs on the DFS and returning simulated timings.
 func (e *Engine) RunWorkflow(w *wf.Workflow) (*RunReport, error) {
+	return e.RunWorkflowContext(context.Background(), w)
+}
+
+// RunWorkflowContext is RunWorkflow under a context: cancellation is
+// checked between jobs and between task scheduling waves, so a long
+// simulated run stops promptly with ctx.Err(). Outputs of jobs completed
+// before cancellation remain on the DFS; the workflow is not modified.
+func (e *Engine) RunWorkflowContext(ctx context.Context, w *wf.Workflow) (*RunReport, error) {
 	if err := e.Cluster.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,13 +144,16 @@ func (e *Engine) RunWorkflow(w *wf.Workflow) (*RunReport, error) {
 	ready := make(map[string]float64)
 	report := &RunReport{Workflow: w.Name}
 	for _, job := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var jobReady float64
 		for _, in := range job.Inputs() {
 			if t := ready[in]; t > jobReady {
 				jobReady = t
 			}
 		}
-		jr, end, err := e.runJob(w, job, jobReady, mapPool, redPool)
+		jr, end, err := e.runJob(ctx, w, job, jobReady, mapPool, redPool)
 		if err != nil {
 			return nil, fmt.Errorf("mrsim: job %s: %w", job.ID, err)
 		}
@@ -142,6 +163,9 @@ func (e *Engine) RunWorkflow(w *wf.Workflow) (*RunReport, error) {
 		}
 		if end > report.Makespan {
 			report.Makespan = end
+		}
+		if e.Observer != nil {
+			e.Observer.JobFinished(jr)
 		}
 	}
 	return report, nil
@@ -171,7 +195,7 @@ type tagRuntime struct {
 	sample   *reservoir
 }
 
-func (e *Engine) runJob(w *wf.Workflow, job *wf.Job, jobReady float64, mapPool, redPool *SlotPool) (*JobReport, float64, error) {
+func (e *Engine) runJob(ctx context.Context, w *wf.Workflow, job *wf.Job, jobReady float64, mapPool, redPool *SlotPool) (*JobReport, float64, error) {
 	cfg := job.Config
 	jr := &JobReport{JobID: job.ID, Start: jobReady, Tags: make(map[int]*TagStats)}
 
@@ -224,6 +248,11 @@ func (e *Engine) runJob(w *wf.Workflow, job *wf.Job, jobReady float64, mapPool, 
 	taskOuts := make([]mapTaskOut, len(splits))
 	mapsDone := jobReady
 	for ti, sp := range splits {
+		// Cancellation between map scheduling waves: each iteration places
+		// one simulated task, so this bounds the wait to one task's work.
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		out := mapTaskOut{
 			buckets: make(map[int][][]keyval.Pair),
 			mapOnly: make(map[int][]keyval.Pair),
@@ -391,6 +420,9 @@ func (e *Engine) runJob(w *wf.Workflow, job *wf.Job, jobReady float64, mapPool, 
 		}
 		c := e.Cluster
 		for r := 0; r < numReduce; r++ {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
 			var shuffleBytes int64
 			var fetchRuns int
 			var taskCPU float64

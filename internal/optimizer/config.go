@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -31,8 +32,10 @@ type configDim struct {
 // the unit's completion time within the whole-plan estimate (Section 4.2:
 // the subplan minimizing "the total running time of the MapReduce jobs in
 // U(i)"), so effects on in-unit consumers are priced while unrelated
-// downstream noise is not.
-func (s *Stubby) tuneConfigs(plan *wf.Workflow, unitOrigins map[string]bool, seed int64) (*wf.Workflow, float64, bool, error) {
+// downstream noise is not. The estimator is passed in (rather than read
+// from s.est) so parallel subplan searches can use private memoization.
+// Cancellation is checked between RRS evaluations.
+func (s *Stubby) tuneConfigs(ctx context.Context, est *whatif.Estimator, plan *wf.Workflow, unitOrigins map[string]bool, seed int64) (*wf.Workflow, float64, bool, error) {
 	dims := s.configSpace(plan, unitOrigins)
 	unitJobs := jobsWithinOrigins(plan, unitOrigins)
 	unitCost := func(est *whatif.Estimate) float64 {
@@ -59,7 +62,10 @@ func (s *Stubby) tuneConfigs(plan *wf.Workflow, unitOrigins map[string]bool, see
 		}
 		return hi - lo
 	}
-	baseEst, err := s.est.Estimate(plan)
+	if err := ctx.Err(); err != nil {
+		return nil, 0, false, err
+	}
+	baseEst, err := est.Estimate(plan)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -86,12 +92,17 @@ func (s *Stubby) tuneConfigs(plan *wf.Workflow, unitOrigins map[string]bool, see
 	}
 	scratch := plan.Clone()
 	objective := func(pt rrs.Point) float64 {
+		// Cancellation between RRS evaluations: short-circuit the rest of
+		// the budget; the caller surfaces ctx.Err() after Minimize returns.
+		if ctx.Err() != nil {
+			return math.Inf(1)
+		}
 		applyPoint(scratch, pt)
-		est, err := s.est.Estimate(scratch)
+		e, err := est.Estimate(scratch)
 		if err != nil {
 			return 1e18
 		}
-		return unitCost(est)
+		return unitCost(e)
 	}
 	evals := s.opt.RRSEvals
 	if evals <= 0 {
@@ -108,6 +119,9 @@ func (s *Stubby) tuneConfigs(plan *wf.Workflow, unitOrigins map[string]bool, see
 		ExploreOnly: s.opt.ConfigSearch == SearchRandom,
 	})
 	if err != nil {
+		return nil, 0, false, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, 0, false, err
 	}
 	// Hysteresis: keep the incumbent configuration unless the search

@@ -1,0 +1,16 @@
+package optimizer
+
+// Observer receives progress events from the optimizer's search. Methods
+// are called synchronously from the search loop — in enumeration order even
+// when subplan tuning runs in parallel — so implementations should return
+// quickly. A nil observer disables reporting.
+type Observer interface {
+	// UnitStarted fires when the traversal opens optimization unit `unit`
+	// (a global index across phases) holding the given job IDs.
+	UnitStarted(phase string, unit int, jobs []string)
+	// SubplanEnumerated fires once per enumerated subplan after its
+	// configuration search, with its best estimated cost.
+	SubplanEnumerated(unit int, desc string, cost float64)
+	// BestCostImproved fires when a subplan displaces the unit's incumbent.
+	BestCostImproved(unit int, desc string, cost float64)
+}

@@ -7,6 +7,7 @@
 package optimizer
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -77,6 +78,13 @@ type Options struct {
 	// ablation of the divide-and-conquer strategy (Section 4.1). Raise
 	// MaxSubplans when enabling this on larger workflows.
 	GlobalUnit bool
+	// Observer receives search progress events (nil disables reporting).
+	Observer Observer
+	// Parallelism bounds concurrent configuration searches over a unit's
+	// enumerated subplans (<=1 searches serially). Results are identical
+	// at any parallelism: per-subplan seeds derive from structure, and
+	// selection replays in enumeration order.
+	Parallelism int
 }
 
 // SearchStrategy selects how configuration transformations are searched.
@@ -129,12 +137,24 @@ func (o Options) withDefaults() Options {
 type Stubby struct {
 	cluster *mrsim.Cluster
 	est     *whatif.Estimator
+	// estPool hands one private estimator to each concurrent subplan
+	// search (nil when Parallelism <= 1). Pool lifetime spans the whole
+	// search, so skew memoization persists across units and phases just
+	// as the serial path's single estimator does.
+	estPool chan *whatif.Estimator
 	opt     Options
 }
 
 // New builds an optimizer for the given cluster.
 func New(cluster *mrsim.Cluster, opt Options) *Stubby {
-	return &Stubby{cluster: cluster, est: whatif.New(cluster), opt: opt.withDefaults()}
+	s := &Stubby{cluster: cluster, est: whatif.New(cluster), opt: opt.withDefaults()}
+	if s.opt.Parallelism > 1 {
+		s.estPool = make(chan *whatif.Estimator, s.opt.Parallelism)
+		for i := 0; i < s.opt.Parallelism; i++ {
+			s.estPool <- whatif.New(cluster)
+		}
+	}
+	return s
 }
 
 // SubplanReport records one enumerated subplan of a unit.
@@ -174,6 +194,13 @@ type Result struct {
 // Optimize runs the two-phase search and returns the optimized plan. The
 // input plan is not modified.
 func (s *Stubby) Optimize(w *wf.Workflow) (*Result, error) {
+	return s.OptimizeContext(context.Background(), w)
+}
+
+// OptimizeContext is Optimize under a context: cancellation is checked
+// between optimization units and between RRS evaluations, so long searches
+// stop promptly with ctx.Err(). The input plan is not modified either way.
+func (s *Stubby) OptimizeContext(ctx context.Context, w *wf.Workflow) (*Result, error) {
 	start := time.Now()
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("optimizer: %w", err)
@@ -195,13 +222,13 @@ func (s *Stubby) Optimize(w *wf.Workflow) (*Result, error) {
 		if ph.horizontal && s.opt.Groups&GroupHorizontal == 0 {
 			continue
 		}
-		plan, err = s.traverse(plan, ph, res)
+		plan, err = s.traverse(ctx, plan, ph, res)
 		if err != nil {
 			return nil, err
 		}
 	}
 	if s.opt.Groups&GroupConfigOnly != 0 && s.opt.Groups&GroupAll == 0 {
-		plan, err = s.traverse(plan, phaseSpec{name: "config", configOnly: true}, res)
+		plan, err = s.traverse(ctx, plan, phaseSpec{name: "config", configOnly: true}, res)
 		if err != nil {
 			return nil, err
 		}
@@ -229,13 +256,13 @@ type phaseSpec struct {
 // unit holds the current frontier (concurrently-runnable producer jobs) and
 // every job consuming their outputs; the next frontier is wherever those
 // consumers ended up after the unit's transformations (Figure 9).
-func (s *Stubby) traverse(plan *wf.Workflow, ph phaseSpec, res *Result) (*wf.Workflow, error) {
+func (s *Stubby) traverse(ctx context.Context, plan *wf.Workflow, ph phaseSpec, res *Result) (*wf.Workflow, error) {
 	if s.opt.GlobalUnit {
 		unit := make([]string, 0, len(plan.Jobs))
 		for _, j := range plan.Jobs {
 			unit = append(unit, j.ID)
 		}
-		newPlan, report, err := s.optimizeUnit(plan, unit, ph, len(res.Units))
+		newPlan, report, err := s.optimizeUnit(ctx, plan, unit, ph, len(res.Units))
 		if err != nil {
 			return nil, err
 		}
@@ -246,13 +273,16 @@ func (s *Stubby) traverse(plan *wf.Workflow, ph phaseSpec, res *Result) (*wf.Wor
 	}
 	frontier := initialFrontier(plan)
 	for iter := 0; len(frontier) > 0 && iter <= len(plan.Jobs)+len(res.Units)+4; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		consumers := unitConsumers(plan, frontier)
 		unit := append(append([]string{}, frontier...), consumers...)
 		var consOrigins []string
 		for _, id := range consumers {
 			consOrigins = append(consOrigins, plan.Job(id).Origin...)
 		}
-		newPlan, report, err := s.optimizeUnit(plan, unit, ph, len(res.Units))
+		newPlan, report, err := s.optimizeUnit(ctx, plan, unit, ph, len(res.Units))
 		if err != nil {
 			return nil, err
 		}

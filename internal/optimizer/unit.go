@@ -1,15 +1,24 @@
 package optimizer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"github.com/stubby-mr/stubby/internal/keyval"
 	"github.com/stubby-mr/stubby/internal/trans"
 	"github.com/stubby-mr/stubby/internal/wf"
 )
+
+// errSearchAborted marks subplan slots whose configuration search was
+// skipped because a sibling already failed; the sibling's error is the one
+// reported.
+var errSearchAborted = errors.New("optimizer: subplan search aborted after earlier failure")
 
 // subplan is one structural alternative for a unit.
 type subplan struct {
@@ -17,46 +26,66 @@ type subplan struct {
 	steps []string // transformation descriptions, in application order
 }
 
+// tunedSubplan is the outcome of one subplan's configuration search.
+type tunedSubplan struct {
+	plan     *wf.Workflow
+	cost     float64
+	fallback bool
+	err      error
+}
+
 // optimizeUnit enumerates all structural subplans for the unit (Figure 10),
 // searches configurations for each with RRS, and returns the plan with the
-// lowest estimated cost.
-func (s *Stubby) optimizeUnit(plan *wf.Workflow, unit []string, ph phaseSpec, unitIdx int) (*wf.Workflow, *UnitReport, error) {
+// lowest estimated cost. Under Options.Parallelism the per-subplan searches
+// run concurrently; selection and observer events still replay in
+// enumeration order, so the chosen plan is identical to a serial search.
+func (s *Stubby) optimizeUnit(ctx context.Context, plan *wf.Workflow, unit []string, ph phaseSpec, unitIdx int) (*wf.Workflow, *UnitReport, error) {
 	unitOrigins := map[string]bool{}
 	for _, id := range unit {
 		for _, o := range plan.Job(id).Origin {
 			unitOrigins[o] = true
 		}
 	}
+	if obs := s.opt.Observer; obs != nil {
+		obs.UnitStarted(ph.name, unitIdx, append([]string(nil), unit...))
+	}
 	subplans := s.enumerate(plan, unitOrigins, ph)
+	tuned := s.tuneSubplans(ctx, subplans, unitOrigins, unitIdx)
+	// Surface the search failure that caused any abort, never the abort
+	// sentinel itself (slot order is unrelated to failure order; a
+	// sentinel is only ever written after its cause's real error).
+	for _, tn := range tuned {
+		if tn.err != nil && !errors.Is(tn.err, errSearchAborted) {
+			return nil, nil, tn.err
+		}
+	}
 	report := &UnitReport{}
 	bestIdx, bestCost := -1, 0.0
 	baselineFallback := false
 	var bestPlan *wf.Workflow
 	for i, sp := range subplans {
-		// Stable per-subplan seed: derived from the structure, not the
-		// enumeration order, so equivalent subplans tune identically.
-		tuned, cost, fallback, err := s.tuneConfigs(sp.plan, unitOrigins, subplanSeed(unitIdx, sp.plan))
-		if err != nil {
-			return nil, nil, err
-		}
+		tn := tuned[i]
 		if i == 0 {
-			baselineFallback = fallback
+			baselineFallback = tn.fallback
 		}
 		rep := SubplanReport{
 			Description: strings.Join(sp.steps, "; "),
-			Cost:        cost,
-			Fallback:    fallback,
+			Cost:        tn.cost,
+			Fallback:    tn.fallback,
 		}
 		if rep.Description == "" {
 			rep.Description = "no structural change"
 		}
 		if s.opt.KeepSubplans {
-			rep.Plan = tuned
+			rep.Plan = tn.plan
 		}
 		report.Subplans = append(report.Subplans, rep)
+		if obs := s.opt.Observer; obs != nil {
+			obs.SubplanEnumerated(unitIdx, rep.Description, tn.cost)
+		}
 		// Fallback (#jobs) costs are not comparable with time estimates:
 		// only compare within the baseline's costing regime.
-		if fallback != baselineFallback {
+		if tn.fallback != baselineFallback {
 			continue
 		}
 		// Hysteresis against estimator noise: a structural change must
@@ -66,8 +95,11 @@ func (s *Stubby) optimizeUnit(plan *wf.Workflow, unit []string, ph phaseSpec, un
 		if bestIdx == 0 {
 			threshold = bestCost * 0.97
 		}
-		if bestIdx == -1 || cost < threshold {
-			bestIdx, bestCost, bestPlan = i, cost, tuned
+		if bestIdx == -1 || tn.cost < threshold {
+			bestIdx, bestCost, bestPlan = i, tn.cost, tn.plan
+			if obs := s.opt.Observer; obs != nil {
+				obs.BestCostImproved(unitIdx, rep.Description, tn.cost)
+			}
 		}
 	}
 	if bestIdx == -1 {
@@ -75,6 +107,57 @@ func (s *Stubby) optimizeUnit(plan *wf.Workflow, unit []string, ph phaseSpec, un
 	}
 	report.ChosenIdx = bestIdx
 	return bestPlan, report, nil
+}
+
+// tuneSubplans runs the configuration search for every enumerated subplan,
+// serially or on a bounded worker pool. Per-subplan seeds derive from the
+// subplan's structure (not enumeration order), so results are identical at
+// any parallelism; parallel workers get private estimators because the
+// What-if engine's memoization is not concurrent-safe.
+func (s *Stubby) tuneSubplans(ctx context.Context, subplans []subplan, unitOrigins map[string]bool, unitIdx int) []tunedSubplan {
+	out := make([]tunedSubplan, len(subplans))
+	if s.estPool == nil || len(subplans) <= 1 {
+		for i, sp := range subplans {
+			plan, cost, fallback, err := s.tuneConfigs(ctx, s.est, sp.plan, unitOrigins, subplanSeed(unitIdx, sp.plan))
+			out[i] = tunedSubplan{plan: plan, cost: cost, fallback: fallback, err: err}
+			if err != nil {
+				break
+			}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	// The search-lifetime estimator pool doubles as the concurrency
+	// bound: one private estimator per in-flight search, no cache shared
+	// between goroutines.
+	ests := s.estPool
+	for i, sp := range subplans {
+		wg.Add(1)
+		go func(i int, sp subplan) {
+			defer wg.Done()
+			est := <-ests
+			defer func() { ests <- est }()
+			// Early stop, mirroring the serial break: once any search
+			// fails, skip the remaining budgets instead of burning them.
+			if failed.Load() {
+				out[i] = tunedSubplan{err: errSearchAborted}
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				failed.Store(true)
+				out[i] = tunedSubplan{err: err}
+				return
+			}
+			plan, cost, fallback, err := s.tuneConfigs(ctx, est, sp.plan, unitOrigins, subplanSeed(unitIdx, sp.plan))
+			if err != nil {
+				failed.Store(true)
+			}
+			out[i] = tunedSubplan{plan: plan, cost: cost, fallback: fallback, err: err}
+		}(i, sp)
+	}
+	wg.Wait()
+	return out
 }
 
 // enumerate exhaustively applies the phase's structural transformations

@@ -15,6 +15,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -45,6 +46,14 @@ func NewProfiler(cluster *mrsim.Cluster, fraction float64, seed int64) *Profiler
 // fills in dataset size annotations (EstRecords, EstBytes, EstPartitions)
 // for base datasets from the real DFS contents.
 func (p *Profiler) Annotate(w *wf.Workflow, dfs *mrsim.DFS) error {
+	return p.AnnotateContext(context.Background(), w, dfs)
+}
+
+// AnnotateContext is Annotate under a context. Cancellation is checked
+// throughout the sample execution; a cancelled profiling run returns
+// ctx.Err() and leaves w entirely unannotated (profiles and dataset sizes
+// are only attached after the sample run completes).
+func (p *Profiler) AnnotateContext(ctx context.Context, w *wf.Workflow, dfs *mrsim.DFS) error {
 	if p.SampleFraction <= 0 || p.SampleFraction > 1 {
 		return fmt.Errorf("profile: sample fraction %v out of (0,1]", p.SampleFraction)
 	}
@@ -63,8 +72,11 @@ func (p *Profiler) Annotate(w *wf.Workflow, dfs *mrsim.DFS) error {
 		}
 	}
 	eng := mrsim.NewEngine(p.Cluster, sampled)
-	rep, err := eng.RunWorkflow(wRun)
+	rep, err := eng.RunWorkflowContext(ctx, wRun)
 	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		return fmt.Errorf("profile: sample run failed: %w", err)
 	}
 	for _, job := range w.Jobs {

@@ -1,0 +1,437 @@
+package stubby
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/stubby-mr/stubby/internal/baselines"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/optimizer"
+	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/whatif"
+)
+
+// Observer receives progress events from a session's optimizations and
+// runs: the optimizer reports each optimization unit it opens, each subplan
+// it enumerates (with its post-configuration-search cost), and each time a
+// subplan displaces the unit's incumbent; the execution engine reports each
+// finished job. Every event carries the workflow name, so one observer can
+// watch a concurrent OptimizeAll fan-out. Callbacks run synchronously on
+// the optimizing/running goroutine — and concurrently across workflows
+// under OptimizeAll — so implementations must be fast and concurrent-safe.
+//
+// Embed NopObserver to implement only the events of interest.
+type Observer interface {
+	// UnitStarted fires when the optimizer opens an optimization unit.
+	UnitStarted(workflow, phase string, unit int, jobs []string)
+	// SubplanEnumerated fires per enumerated subplan with its best cost.
+	SubplanEnumerated(workflow string, unit int, desc string, cost float64)
+	// BestCostImproved fires when a subplan becomes the unit's incumbent.
+	BestCostImproved(workflow string, unit int, desc string, cost float64)
+	// JobFinished fires after the engine completes each job of a Run.
+	JobFinished(workflow, job string, start, end float64)
+}
+
+// NopObserver is an Observer that ignores every event. Embed it to
+// implement a subset of the interface.
+type NopObserver struct{}
+
+// UnitStarted implements Observer.
+func (NopObserver) UnitStarted(string, string, int, []string) {}
+
+// SubplanEnumerated implements Observer.
+func (NopObserver) SubplanEnumerated(string, int, string, float64) {}
+
+// BestCostImproved implements Observer.
+func (NopObserver) BestCostImproved(string, int, string, float64) {}
+
+// JobFinished implements Observer.
+func (NopObserver) JobFinished(string, string, float64, float64) {}
+
+// PlannerRegistry maps planner names to constructors (see Planners for the
+// built-in names). Sessions resolve WithPlanner and Session.Planner through
+// their registry; RegisterPlanner extends one.
+type PlannerRegistry = baselines.Registry
+
+// PlannerSpec describes one registered planner: name, description, and
+// constructor.
+type PlannerSpec = baselines.Spec
+
+// ContextPlanner is a Planner whose search can be cancelled. All built-in
+// planners implement it.
+type ContextPlanner = baselines.ContextPlanner
+
+// Planners lists the built-in planner names in registration order:
+// "stubby", "vertical", "horizontal", "baseline", "starfish", "ysmart",
+// "mrshare".
+func Planners() []string { return baselines.DefaultRegistry().Names() }
+
+// PlannerSpecs lists the built-in planner specs (names with descriptions).
+func PlannerSpecs() []PlannerSpec { return baselines.DefaultRegistry().Specs() }
+
+// Session is the top-level entry point to Stubby as a service (the role
+// the optimizer plays between workflow generators and the execution engine
+// in the paper's Figure 2): it owns a cluster description, a planner
+// registry, and default options, and exposes context-aware, observable
+// optimization, profiling, estimation, and execution.
+//
+// A Session is safe for concurrent use: methods share only the immutable
+// cluster and registry, and every optimization builds private search state.
+// The workflows and DFS instances passed in are NOT shared-state-safe —
+// Profile annotates its workflow in place and Run mutates its DFS — so
+// concurrent calls must operate on distinct workflow/DFS values (as
+// OptimizeAll's per-workflow fan-out does; Optimize never modifies its
+// input plan).
+type Session struct {
+	cluster     *Cluster
+	groups      Groups
+	seed        int64
+	plannerName string
+	parallelism int
+	observer    Observer
+	fraction    float64
+	baseOpts    Options
+	registry    *PlannerRegistry
+}
+
+// SessionOption configures a Session under construction.
+type SessionOption func(*Session) error
+
+// WithCluster sets the cluster the session optimizes for (default
+// DefaultCluster).
+func WithCluster(c *Cluster) SessionOption {
+	return func(s *Session) error {
+		if c == nil {
+			return fmt.Errorf("stubby: WithCluster(nil)")
+		}
+		s.cluster = c
+		return nil
+	}
+}
+
+// WithGroups restricts the transformation groups of the session's built-in
+// optimizer (default GroupAll).
+func WithGroups(g Groups) SessionOption {
+	return func(s *Session) error {
+		s.groups = g
+		return nil
+	}
+}
+
+// WithSeed fixes the seed driving deterministic search, profiling, and
+// sampling.
+func WithSeed(seed int64) SessionOption {
+	return func(s *Session) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithPlanner selects the named planner Optimize uses (default "stubby",
+// the full transformation-based optimizer). The name must exist in the
+// session's registry; see Planners for the built-ins.
+func WithPlanner(name string) SessionOption {
+	return func(s *Session) error {
+		s.plannerName = name
+		return nil
+	}
+}
+
+// WithParallelism bounds the session's concurrency: the OptimizeAll worker
+// pool, and concurrent per-subplan configuration searches inside the
+// built-in Stubby optimizer (and its group variants). n <= 0 restores the
+// default (GOMAXPROCS); n == 1 is fully serial. Plans are identical at any
+// parallelism. Other named planners (starfish, mrshare, ...) reproduce the
+// paper's comparators faithfully and always search serially.
+func WithParallelism(n int) SessionOption {
+	return func(s *Session) error {
+		s.parallelism = n
+		return nil
+	}
+}
+
+// WithObserver attaches a progress observer to the session: search events
+// fire from Optimize under the built-in Stubby optimizer (and its group
+// variants), and JobFinished events fire from every Run. Other named
+// planners are opaque comparators and report no search progress.
+func WithObserver(obs Observer) SessionOption {
+	return func(s *Session) error {
+		s.observer = obs
+		return nil
+	}
+}
+
+// WithProfileFraction sets the sampling fraction Profile uses, in (0, 1]
+// (default 0.5). 1.0 profiles the full data (no estimation error).
+func WithProfileFraction(f float64) SessionOption {
+	return func(s *Session) error {
+		if f <= 0 || f > 1 {
+			return fmt.Errorf("stubby: profile fraction %v out of (0,1]", f)
+		}
+		s.fraction = f
+		return nil
+	}
+}
+
+// WithOptimizerOptions sets the base optimizer Options (custom
+// transformations, search budgets, ablation knobs). Session-level options
+// (WithGroups, WithSeed, WithParallelism, WithObserver) are applied on top
+// when set.
+func WithOptimizerOptions(opt Options) SessionOption {
+	return func(s *Session) error {
+		s.baseOpts = opt
+		return nil
+	}
+}
+
+// WithPlannerRegistry replaces the session's planner registry (default: a
+// private clone of the built-in registry, so RegisterPlanner never leaks
+// into other sessions).
+func WithPlannerRegistry(r *PlannerRegistry) SessionOption {
+	return func(s *Session) error {
+		if r == nil {
+			return fmt.Errorf("stubby: WithPlannerRegistry(nil)")
+		}
+		s.registry = r
+		return nil
+	}
+}
+
+// NewSession builds a session from functional options. With no options it
+// serves the default evaluation cluster with the full Stubby optimizer.
+func NewSession(opts ...SessionOption) (*Session, error) {
+	s := &Session{fraction: 0.5}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if s.cluster == nil {
+		s.cluster = mrsim.DefaultCluster()
+	}
+	if err := s.cluster.Validate(); err != nil {
+		return nil, fmt.Errorf("stubby: %w", err)
+	}
+	if s.parallelism <= 0 {
+		s.parallelism = runtime.GOMAXPROCS(0)
+	}
+	if s.registry == nil {
+		s.registry = baselines.DefaultRegistry().Clone()
+	}
+	// Resolve the seed once so Session.Planner and Session.Optimize always
+	// search with the same seed regardless of whether it arrived through
+	// WithSeed or WithOptimizerOptions.
+	if s.seed == 0 {
+		s.seed = s.baseOpts.Seed
+	}
+	if s.plannerName != "" {
+		p, err := s.registry.New(s.plannerName, s.cluster, s.seed)
+		if err != nil {
+			return nil, fmt.Errorf("stubby: %w", err)
+		}
+		// A group-restricted Stubby variant and an explicit group
+		// restriction (WithGroups or WithOptimizerOptions) are two answers
+		// to the same question; silently preferring one would mislabel
+		// the result.
+		if sp, ok := p.(baselines.StubbyPlanner); ok {
+			groups := s.groups
+			if groups == 0 {
+				groups = s.baseOpts.Groups
+			}
+			if sp.Groups != GroupAll && groups != 0 && groups != sp.Groups {
+				return nil, fmt.Errorf("stubby: the Groups restriction conflicts with WithPlanner(%q); set one or the other", s.plannerName)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Cluster returns the session's cluster description.
+func (s *Session) Cluster() *Cluster { return s.cluster }
+
+// Planners lists the planner names registered with this session.
+func (s *Session) Planners() []string { return s.registry.Names() }
+
+// Planner constructs the named planner bound to the session's cluster and
+// seed. All built-in planners also implement ContextPlanner.
+func (s *Session) Planner(name string) (Planner, error) {
+	return s.registry.New(name, s.cluster, s.seed)
+}
+
+// RegisterPlanner adds a planner to this session's registry (shadowing a
+// built-in of the same name). It does not affect other sessions unless the
+// registry was shared via WithPlannerRegistry.
+func (s *Session) RegisterPlanner(spec PlannerSpec) error {
+	return s.registry.Register(spec)
+}
+
+// optimizerOptions merges the session's settings over the base options and
+// binds the observer to a workflow name.
+func (s *Session) optimizerOptions(workflow string) optimizer.Options {
+	o := s.baseOpts
+	if s.groups != 0 {
+		o.Groups = s.groups
+	}
+	o.Seed = s.seed // resolved at NewSession; matches Session.Planner
+	if o.Parallelism == 0 {
+		o.Parallelism = s.parallelism
+	}
+	if o.Observer == nil && s.observer != nil {
+		o.Observer = optimizerObserver{obs: s.observer, workflow: workflow}
+	}
+	return o
+}
+
+// Optimize optimizes the workflow with the session's planner (default: the
+// full Stubby optimizer) and returns the result. The input plan is never
+// modified; cancellation via ctx stops the search promptly with ctx.Err().
+// When the selected planner is one of Stubby's own variants the Result
+// carries the full per-unit search trace; for other planners it carries
+// the plan and its What-if cost estimate.
+func (s *Session) Optimize(ctx context.Context, w *Workflow) (*Result, error) {
+	name := s.plannerName
+	if name == "" {
+		name = "stubby"
+	}
+	p, err := s.Planner(name)
+	if err != nil {
+		return nil, err
+	}
+	// Stubby variants run through the optimizer directly so the Result
+	// keeps its search trace and the observer sees per-unit progress.
+	if sp, ok := p.(baselines.StubbyPlanner); ok {
+		o := s.optimizerOptions(w.Name)
+		if o.Groups == 0 {
+			o.Groups = sp.Groups
+		}
+		return optimizer.New(s.cluster, o).OptimizeContext(ctx, w)
+	}
+	start := time.Now()
+	var plan *Workflow
+	if cp, ok := p.(ContextPlanner); ok {
+		plan, err = cp.PlanContext(ctx, w)
+	} else {
+		plan, err = p.Plan(w)
+	}
+	if err != nil {
+		return nil, err
+	}
+	est, err := whatif.New(s.cluster).Estimate(plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Plan: plan, EstimatedCost: est.Makespan, Duration: time.Since(start)}, nil
+}
+
+// OptimizeAll optimizes independent workflows concurrently on a worker
+// pool bounded by WithParallelism, returning one Result per workflow in
+// input order. On the first failure the context handed to the remaining
+// work is cancelled and the first error (by input order) is returned
+// alongside the results completed so far; cancelled slots are nil.
+func (s *Session) OptimizeAll(ctx context.Context, ws ...*Workflow) ([]*Result, error) {
+	results := make([]*Result, len(ws))
+	errs := make([]error, len(ws))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := s.parallelism
+	if workers > len(ws) {
+		workers = len(ws)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		go func(i int, w *Workflow) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = s.Optimize(ctx, w)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	// Prefer the error that triggered the internal cancellation over the
+	// context.Canceled it induced in sibling slots, so callers see the
+	// real failure; order ties break by input order.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return results, err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return results, first
+}
+
+// Run executes the workflow on the session's cluster over the DFS,
+// materializing outputs and returning simulated timings. Cancellation via
+// ctx stops the simulation between task scheduling waves with ctx.Err();
+// the workflow itself is never modified (outputs of already-finished jobs
+// remain on the DFS).
+func (s *Session) Run(ctx context.Context, dfs *DFS, w *Workflow) (*RunReport, error) {
+	eng := mrsim.NewEngine(s.cluster, dfs)
+	if s.observer != nil {
+		eng.Observer = engineObserver{obs: s.observer, workflow: w.Name}
+	}
+	return eng.RunWorkflowContext(ctx, w)
+}
+
+// Profile attaches profile annotations to every job of w (in place) by
+// executing it over a deterministic sample of the base data on dfs, using
+// the session's profile fraction and seed. A cancelled profiling run
+// returns ctx.Err() and leaves w unannotated.
+func (s *Session) Profile(ctx context.Context, w *Workflow, dfs *DFS) error {
+	return profile.NewProfiler(s.cluster, s.fraction, s.seed).AnnotateContext(ctx, w, dfs)
+}
+
+// Estimate runs the What-if engine on an annotated plan.
+func (s *Session) Estimate(w *Workflow) (*Estimate, error) {
+	return whatif.New(s.cluster).Estimate(w)
+}
+
+// optimizerObserver adapts the public Observer to the optimizer's internal
+// observer, stamping the workflow name onto every event.
+type optimizerObserver struct {
+	obs      Observer
+	workflow string
+}
+
+func (a optimizerObserver) UnitStarted(phase string, unit int, jobs []string) {
+	a.obs.UnitStarted(a.workflow, phase, unit, jobs)
+}
+
+func (a optimizerObserver) SubplanEnumerated(unit int, desc string, cost float64) {
+	a.obs.SubplanEnumerated(a.workflow, unit, desc, cost)
+}
+
+func (a optimizerObserver) BestCostImproved(unit int, desc string, cost float64) {
+	a.obs.BestCostImproved(a.workflow, unit, desc, cost)
+}
+
+// engineObserver adapts the public Observer to the engine's job events.
+type engineObserver struct {
+	obs      Observer
+	workflow string
+}
+
+func (a engineObserver) JobFinished(r *mrsim.JobReport) {
+	a.obs.JobFinished(a.workflow, r.JobID, r.Start, r.End)
+}

@@ -11,17 +11,27 @@
 // # Quick start
 //
 //	wl, _ := stubby.BuildWorkload("BR", stubby.WorkloadOptions{})
-//	_ = stubby.Profile(wl.Cluster, wl.Workflow, wl.DFS, 0.5, 1)
-//	res, _ := stubby.Optimize(wl.Cluster, wl.Workflow, stubby.Options{})
-//	before, _ := stubby.Run(wl.Cluster, wl.DFS.Clone(), wl.Workflow)
-//	after, _ := stubby.Run(wl.Cluster, wl.DFS.Clone(), res.Plan)
+//	sess, _ := stubby.NewSession(stubby.WithCluster(wl.Cluster), stubby.WithSeed(1))
+//	ctx := context.Background()
+//	_ = sess.Profile(ctx, wl.Workflow, wl.DFS)
+//	res, _ := sess.Optimize(ctx, wl.Workflow)
+//	before, _ := sess.Run(ctx, wl.DFS.Clone(), wl.Workflow)
+//	after, _ := sess.Run(ctx, wl.DFS.Clone(), res.Plan)
 //	fmt.Printf("speedup: %.2fx\n", before.Makespan/after.Makespan)
+//
+// Session is the primary entry point: a reusable, concurrent-safe facade
+// holding the cluster, planner registry, and default options, with
+// context-aware (cancellable) and observable methods, plus concurrent
+// fan-out over independent workflows via OptimizeAll. The package-level
+// Optimize/Run/Profile/EstimateCost functions predate Session and survive
+// as thin deprecated wrappers.
 //
 // The exported identifiers below are aliases into the implementation
 // packages, so the whole system is scriptable through this one import.
 package stubby
 
 import (
+	"context"
 	"io"
 
 	"github.com/stubby-mr/stubby/internal/baselines"
@@ -30,7 +40,6 @@ import (
 	"github.com/stubby-mr/stubby/internal/mrsim"
 	"github.com/stubby-mr/stubby/internal/optimizer"
 	"github.com/stubby-mr/stubby/internal/planio"
-	"github.com/stubby-mr/stubby/internal/profile"
 	"github.com/stubby-mr/stubby/internal/rrs"
 	"github.com/stubby-mr/stubby/internal/wf"
 	"github.com/stubby-mr/stubby/internal/whatif"
@@ -160,26 +169,55 @@ type IngestSpec = mrsim.IngestSpec
 
 // Run executes the workflow on the cluster over the DFS, materializing all
 // outputs and returning simulated timings.
+//
+// Deprecated: use Session.Run, which supports cancellation and progress
+// observation. This wrapper delegates to a throwaway session.
 func Run(c *Cluster, dfs *DFS, w *Workflow) (*RunReport, error) {
-	return mrsim.NewEngine(c, dfs).RunWorkflow(w)
+	s, err := NewSession(WithCluster(c))
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(context.Background(), dfs, w)
 }
 
 // Profile attaches profile annotations to every job of w by executing it
 // over a deterministic sample (fraction in (0,1]) of the base data, and
 // fills dataset size/layout annotations from the DFS.
+//
+// Deprecated: use Session.Profile with WithProfileFraction and WithSeed.
+// This wrapper delegates to a throwaway session.
 func Profile(c *Cluster, w *Workflow, dfs *DFS, fraction float64, seed int64) error {
-	return profile.NewProfiler(c, fraction, seed).Annotate(w, dfs)
+	s, err := NewSession(WithCluster(c), WithProfileFraction(fraction), WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	return s.Profile(context.Background(), w, dfs)
 }
 
 // Optimize runs the Stubby optimizer and returns the optimized plan with
 // its search trace. The input plan is left unmodified.
+//
+// Deprecated: use Session.Optimize, which supports cancellation, progress
+// observation, named planners, and concurrent fan-out (OptimizeAll). This
+// wrapper delegates to a throwaway session.
 func Optimize(c *Cluster, w *Workflow, opt Options) (*Result, error) {
-	return optimizer.New(c, opt).Optimize(w)
+	s, err := NewSession(WithCluster(c), WithOptimizerOptions(opt))
+	if err != nil {
+		return nil, err
+	}
+	return s.Optimize(context.Background(), w)
 }
 
 // EstimateCost runs the What-if engine on an annotated plan.
+//
+// Deprecated: use Session.Estimate. This wrapper delegates to a throwaway
+// session.
 func EstimateCost(c *Cluster, w *Workflow) (*Estimate, error) {
-	return whatif.New(c).Estimate(w)
+	s, err := NewSession(WithCluster(c))
+	if err != nil {
+		return nil, err
+	}
+	return s.Estimate(w)
 }
 
 // BuildWorkload constructs one of the paper's eight evaluation workflows
