@@ -11,11 +11,13 @@
 package stubby_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"testing"
 
+	"github.com/stubby-mr/stubby"
 	"github.com/stubby-mr/stubby/internal/bench"
 	"github.com/stubby-mr/stubby/internal/workloads"
 )
@@ -282,5 +284,110 @@ func BenchmarkAblationProfileFraction(b *testing.B) {
 				b.Errorf("fraction %.2f chose a plan slower than unoptimized: %.2fx", r.Fraction, r.Speedup)
 			}
 		}
+	}
+}
+
+// --- estimate-cache benchmarks -----------------------------------------------
+//
+// These record What-if call counts per workload (so BENCH_*.json captures
+// the cache's effect) and time the OptimizeAll fan-out with the cache off
+// and on. "computed" counts full estimator runs; the difference between the
+// off and on pairs is the work the fingerprint-keyed cache absorbed.
+
+func BenchmarkWhatIfCallCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := bench.New(benchConfig)
+		rows, err := h.WhatIfCounts()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if printHeader(b, "whatif", "What-if call counts per workload (cache off vs on vs repeat)") {
+			for _, r := range rows {
+				fmt.Printf("%-3s uncached=%7d cached: requests=%7d computed=%7d (%.1f%% hit) repeat=%d identical=%v\n",
+					r.Workload, r.UncachedCalls, r.CachedRequests, r.CachedComputed,
+					r.HitRatePct, r.RepeatComputed, r.PlansIdentical)
+			}
+		}
+		var uncached, computed, repeat float64
+		for _, r := range rows {
+			if !r.PlansIdentical {
+				b.Fatalf("%s: cache changed the chosen plan", r.Workload)
+			}
+			uncached += float64(r.UncachedCalls)
+			computed += float64(r.CachedComputed)
+			repeat += float64(r.RepeatComputed)
+		}
+		b.ReportMetric(uncached, "whatif-uncached")
+		b.ReportMetric(computed, "whatif-cached-computed")
+		b.ReportMetric(repeat, "whatif-repeat-computed")
+		if uncached > 0 {
+			b.ReportMetric(100*(uncached-computed)/uncached, "first-pass-absorbed-%")
+		}
+	}
+}
+
+// optimizeWorkloadsBench optimizes every paper workload through the public
+// Session API — one session per workload, bound to that workload's
+// paper-scaled cluster, all sharing the given estimate cache (the
+// cross-session sharing WithEstimateCache advertises) — and returns total
+// What-if computations. Workload construction and profiling run with the
+// timer stopped, so ns/op measures only the optimizations.
+func optimizeWorkloadsBench(b *testing.B, cache *stubby.EstimateCache) float64 {
+	b.Helper()
+	b.StopTimer()
+	type prepared struct {
+		sess *stubby.Session
+		flow *stubby.Workflow
+	}
+	var preps []prepared
+	for _, abbr := range workloads.Abbrs() {
+		wl, err := stubby.BuildWorkload(abbr, stubby.WorkloadOptions{SizeFactor: benchConfig.SizeFactor, Seed: benchConfig.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := []stubby.SessionOption{
+			stubby.WithCluster(wl.Cluster),
+			stubby.WithSeed(benchConfig.Seed),
+			stubby.WithParallelism(4),
+		}
+		if cache != nil {
+			opts = append(opts, stubby.WithEstimateCache(cache))
+		}
+		sess, err := stubby.NewSession(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sess.Profile(context.Background(), wl.Workflow, wl.DFS); err != nil {
+			b.Fatal(err)
+		}
+		preps = append(preps, prepared{sess: sess, flow: wl.Workflow})
+	}
+	b.StartTimer()
+	var computed float64
+	for _, p := range preps {
+		res, err := p.sess.Optimize(context.Background(), p.flow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		computed += float64(res.WhatIfComputed)
+	}
+	return computed
+}
+
+func BenchmarkOptimizeWorkloadsCacheOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		computed := optimizeWorkloadsBench(b, nil)
+		b.ReportMetric(computed, "whatif-computed")
+	}
+}
+
+func BenchmarkOptimizeWorkloadsCacheOn(b *testing.B) {
+	// One cache across iterations: iteration 2+ replays entirely from it,
+	// which is exactly the repeated-workflow serving scenario.
+	cache := stubby.NewEstimateCache(1 << 18)
+	for i := 0; i < b.N; i++ {
+		computed := optimizeWorkloadsBench(b, cache)
+		b.ReportMetric(computed, "whatif-computed")
+		b.ReportMetric(float64(cache.Stats().Hits), "cache-hits-cum")
 	}
 }

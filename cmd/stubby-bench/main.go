@@ -8,6 +8,7 @@
 //	stubby-bench -fig 5 | 11 | 12 | 13 | 14
 //	stubby-bench -fig 11 -size 0.5 -seed 7
 //	stubby-bench -ablation ordering | search | units | profile | all
+//	stubby-bench -whatif
 //	stubby-bench -list-optimizers
 package main
 
@@ -27,6 +28,7 @@ func main() {
 		table    = flag.Int("table", 0, "table to regenerate (1)")
 		all      = flag.Bool("all", false, "regenerate everything")
 		ablation = flag.String("ablation", "", "ablation to run: ordering, search, units, profile, all")
+		whatif   = flag.Bool("whatif", false, "report what-if call counts per workload, estimate cache off vs on")
 		listOpts = flag.Bool("list-optimizers", false, "list registered optimizers and exit")
 		size     = flag.Float64("size", 0.25, "workload size factor (records scale)")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -84,6 +86,12 @@ func main() {
 	if *ablation != "" {
 		ran = true
 		if err := printAblations(h, *ablation); err != nil {
+			fail(err)
+		}
+	}
+	if *all || *whatif {
+		ran = true
+		if err := printWhatIf(h); err != nil {
 			fail(err)
 		}
 	}
@@ -160,6 +168,29 @@ func printAblationTable(runs map[string][]bench.AblationRun) {
 	}
 	fmt.Println(bench.FormatTable(
 		[]string{"Workflow", "Variant", "Jobs", "Makespan", "vs default", "Opt time"}, cells))
+}
+
+func printWhatIf(h *bench.Harness) error {
+	rows, err := h.WhatIfCounts()
+	if err != nil {
+		return err
+	}
+	fmt.Println("What-if call counts per workload: estimate cache off vs on, then a cached repeat")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Workload,
+			fmt.Sprintf("%d", r.UncachedCalls),
+			fmt.Sprintf("%d", r.CachedRequests),
+			fmt.Sprintf("%d", r.CachedComputed),
+			fmt.Sprintf("%.1f%%", r.HitRatePct),
+			fmt.Sprintf("%d", r.RepeatComputed),
+			fmt.Sprintf("%v", r.PlansIdentical),
+		})
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Workflow", "Uncached", "Requests", "Computed", "Hit rate", "Repeat", "Identical plans"}, cells))
+	return nil
 }
 
 func printTable1(h *bench.Harness) error {

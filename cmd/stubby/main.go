@@ -38,6 +38,7 @@ func main() {
 		size     = flag.Float64("size", 0.25, "workload size factor")
 		seed     = flag.Int64("seed", 1, "random seed")
 		fraction = flag.Float64("profile", 0.5, "profiling sample fraction")
+		useCache = flag.Bool("cache", true, "memoize what-if estimates under workflow fingerprints")
 		export   = flag.String("export", "", "write the annotated plan to this JSON file and exit")
 		imprt    = flag.String("import", "", "read an annotated plan from this JSON file (structure-only) instead of building a workload")
 	)
@@ -79,6 +80,11 @@ func main() {
 		stubby.WithCluster(wl.Cluster),
 		stubby.WithSeed(*seed),
 		stubby.WithProfileFraction(*fraction),
+	}
+	var cache *stubby.EstimateCache
+	if *useCache {
+		cache = stubby.NewEstimateCache(0)
+		opts = append(opts, stubby.WithEstimateCache(cache))
 	}
 	if *verbose {
 		opts = append(opts, stubby.WithObserver(progressObserver{}))
@@ -132,6 +138,7 @@ func main() {
 		plan = res.Plan
 		fmt.Printf("-- %s plan (optimized in %v)\n", p.Name(), res.Duration.Round(time.Millisecond))
 		fmt.Print(plan.Summary())
+		printWhatIf(res, cache)
 	}
 	if *dot {
 		fmt.Println(plan.DOT())
@@ -159,6 +166,20 @@ func (progressObserver) UnitStarted(workflow, phase string, unit int, jobs []str
 
 func (progressObserver) BestCostImproved(workflow string, unit int, desc string, cost float64) {
 	fmt.Fprintf(os.Stderr, "[%s] unit %d: best <- %s (%.1f)\n", workflow, unit, desc, cost)
+}
+
+// printWhatIf reports what-if activity for one optimization and, when a
+// cache is attached, its cumulative effectiveness.
+func printWhatIf(res *stubby.Result, cache *stubby.EstimateCache) {
+	if res.WhatIfCalls == 0 {
+		return
+	}
+	fmt.Printf("-- what-if calls: %d requested, %d computed\n", res.WhatIfCalls, res.WhatIfComputed)
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Printf("-- estimate cache: %d/%d hits (%.1f%%), %d entries, %d evictions\n",
+			st.Hits, st.Lookups(), 100*st.HitRate(), st.Entries, st.Evictions)
+	}
 }
 
 func comparePlanners(ctx context.Context, sess *stubby.Session, opts []stubby.SessionOption, wl *stubby.Workload) {
@@ -194,6 +215,12 @@ func comparePlanners(ctx context.Context, sess *stubby.Session, opts []stubby.Se
 		}
 		fmt.Printf("  %-11s %d jobs  %8.1fs simulated  %6.2fx vs baseline  (optimized in %v)\n",
 			p.Name(), len(res.Plan.Jobs), rep.Makespan, baseTime/rep.Makespan, res.Duration.Round(time.Millisecond))
+	}
+	// All per-planner sessions were built from opts, so they share any
+	// estimate cache configured there; report its aggregate effect.
+	if st, ok := sess.EstimateCacheStats(); ok {
+		fmt.Printf("  estimate cache: %d/%d hits (%.1f%%), %d entries, %d evictions\n",
+			st.Hits, st.Lookups(), 100*st.HitRate(), st.Entries, st.Evictions)
 	}
 }
 

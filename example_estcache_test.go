@@ -1,0 +1,75 @@
+package stubby_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/stubby-mr/stubby"
+)
+
+// ExampleWithEstimateCache attaches a shared estimate cache to a session:
+// the What-if estimates behind Optimize are memoized under canonical
+// workflow fingerprints, so re-optimizing the same (or an overlapping)
+// workflow reuses them instead of recomputing. Caching is transparent —
+// the chosen plan and cost are byte-identical with and without it.
+func ExampleWithEstimateCache() {
+	wl, err := stubby.BuildWorkload("IR", stubby.WorkloadOptions{SizeFactor: 0.1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	uncached, err := stubby.NewSession(stubby.WithCluster(wl.Cluster), stubby.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := uncached.Profile(ctx, wl.Workflow, wl.DFS); err != nil {
+		log.Fatal(err)
+	}
+	plain, err := uncached.Optimize(ctx, wl.Workflow)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One cache can back any number of sessions; pass it to each via
+	// WithEstimateCache and every search amortizes the others' estimates.
+	// Capacity bounds memory via LRU eviction (0 picks a default); size it
+	// to the working set when full replay matters, as it does here.
+	cache := stubby.NewEstimateCache(1 << 16)
+	cached, err := stubby.NewSession(
+		stubby.WithCluster(wl.Cluster),
+		stubby.WithSeed(1),
+		stubby.WithEstimateCache(cache),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	first, err := cached.Optimize(ctx, wl.Workflow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := cached.Optimize(ctx, wl.Workflow)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := stubby.ExportPlan(&a, plain.Plan); err != nil {
+		log.Fatal(err)
+	}
+	if err := stubby.ExportPlan(&b, first.Plan); err != nil {
+		log.Fatal(err)
+	}
+	stats, _ := cached.EstimateCacheStats()
+	fmt.Println("cached plan identical to uncached:", bytes.Equal(a.Bytes(), b.Bytes()))
+	fmt.Println("costs equal:", plain.EstimatedCost == first.EstimatedCost && first.EstimatedCost == again.EstimatedCost)
+	fmt.Println("re-optimization computed nothing new:", again.WhatIfComputed == 0)
+	fmt.Println("cache saw reuse:", stats.Hits > 0)
+	// Output:
+	// cached plan identical to uncached: true
+	// costs equal: true
+	// re-optimization computed nothing new: true
+	// cache saw reuse: true
+}

@@ -178,3 +178,45 @@ func TestHarnessCachesWorkloads(t *testing.T) {
 		t.Error("unknown workload accepted")
 	}
 }
+
+// TestWhatIfCounts locks in the estimate cache's headline property on the
+// bench harness: across the eight paper workloads, the cached search issues
+// the same requests but computes measurably fewer estimates, while choosing
+// byte-identical plans.
+func TestWhatIfCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver; skipped in -short")
+	}
+	h := testHarness()
+	rows, err := h.WhatIfCounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	var uncached, computed uint64
+	for _, r := range rows {
+		if !r.PlansIdentical {
+			t.Errorf("%s: cached and uncached searches chose different plans", r.Workload)
+		}
+		if r.CachedRequests != r.UncachedCalls {
+			t.Errorf("%s: cached search issued %d requests, uncached computed %d — the search itself changed",
+				r.Workload, r.CachedRequests, r.UncachedCalls)
+		}
+		if r.CachedComputed >= r.UncachedCalls {
+			t.Errorf("%s: cache absorbed nothing (%d computed of %d)",
+				r.Workload, r.CachedComputed, r.UncachedCalls)
+		}
+		if r.RepeatComputed != 0 {
+			t.Errorf("%s: repeat optimization recomputed %d estimates, want 0", r.Workload, r.RepeatComputed)
+		}
+		uncached += r.UncachedCalls
+		computed += r.CachedComputed
+	}
+	if computed >= uncached {
+		t.Fatalf("no aggregate saving: %d computed of %d uncached", computed, uncached)
+	}
+	t.Logf("what-if computations: %d uncached -> %d cached (%.1f%% absorbed)",
+		uncached, computed, 100*float64(uncached-computed)/float64(uncached))
+}

@@ -128,11 +128,15 @@ func (s PartitionSpec) Validate() error {
 // Clone deep-copies the spec.
 func (s PartitionSpec) Clone() PartitionSpec {
 	out := s
+	// Nil means "all key fields" while empty means "none": preserve
+	// nil-ness exactly (append([]int(nil), empty...) would collapse it).
 	if s.KeyFields != nil {
-		out.KeyFields = append([]int(nil), s.KeyFields...)
+		out.KeyFields = make([]int, len(s.KeyFields))
+		copy(out.KeyFields, s.KeyFields)
 	}
 	if s.SortFields != nil {
-		out.SortFields = append([]int(nil), s.SortFields...)
+		out.SortFields = make([]int, len(s.SortFields))
+		copy(out.SortFields, s.SortFields)
 	}
 	if s.SplitPoints != nil {
 		out.SplitPoints = make([]Tuple, len(s.SplitPoints))

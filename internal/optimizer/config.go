@@ -35,7 +35,7 @@ type configDim struct {
 // downstream noise is not. The estimator is passed in (rather than read
 // from s.est) so parallel subplan searches can use private memoization.
 // Cancellation is checked between RRS evaluations.
-func (s *Stubby) tuneConfigs(ctx context.Context, est *whatif.Estimator, plan *wf.Workflow, unitOrigins map[string]bool, seed int64) (*wf.Workflow, float64, bool, error) {
+func (s *Stubby) tuneConfigs(ctx context.Context, est searchEstimator, plan *wf.Workflow, unitOrigins map[string]bool, seed int64) (*wf.Workflow, float64, bool, error) {
 	dims := s.configSpace(plan, unitOrigins)
 	unitJobs := jobsWithinOrigins(plan, unitOrigins)
 	unitCost := func(est *whatif.Estimate) float64 {

@@ -14,6 +14,7 @@ import (
 	"github.com/stubby-mr/stubby/internal/mrsim"
 	"github.com/stubby-mr/stubby/internal/wf"
 	"github.com/stubby-mr/stubby/internal/whatif"
+	"github.com/stubby-mr/stubby/internal/whatif/estcache"
 )
 
 // Groups selects which transformation groups the optimizer applies
@@ -85,6 +86,14 @@ type Options struct {
 	// at any parallelism: per-subplan seeds derive from structure, and
 	// selection replays in enumeration order.
 	Parallelism int
+	// EstimateCache, when non-nil, memoizes What-if estimates under
+	// canonical workflow fingerprints: revisited cost-equivalent plans
+	// (duplicate RRS samples, phase-boundary re-estimates, repeated or
+	// shared workflows when the cache is shared across optimizers) reuse
+	// the cached answer. Caching is transparent — estimates are pure
+	// functions of (plan, cluster), so plans and costs are identical with
+	// or without it; the differential test suite enforces this.
+	EstimateCache *estcache.Cache
 }
 
 // SearchStrategy selects how configuration transformations are searched.
@@ -133,28 +142,64 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// searchEstimator is what the search needs from a cost estimator: the
+// What-if answer plus activity counters. Implemented by whatif.Estimator
+// (direct) and estcache.Estimator (memoized through a shared cache).
+type searchEstimator interface {
+	Estimate(w *wf.Workflow) (*whatif.Estimate, error)
+	Counts() (requests, computed uint64)
+}
+
 // Stubby is the transformation-based workflow optimizer.
 type Stubby struct {
 	cluster *mrsim.Cluster
-	est     *whatif.Estimator
+	est     searchEstimator
 	// estPool hands one private estimator to each concurrent subplan
 	// search (nil when Parallelism <= 1). Pool lifetime spans the whole
-	// search, so skew memoization persists across units and phases just
-	// as the serial path's single estimator does.
-	estPool chan *whatif.Estimator
+	// search, so per-estimator memoization (skew, fingerprints) persists
+	// across units and phases just as the serial path's single estimator
+	// does. With Options.EstimateCache the pool estimators additionally
+	// share the concurrent-safe estimate cache.
+	estPool chan searchEstimator
+	// allEsts lists every estimator ever handed out, for counter sums.
+	allEsts []searchEstimator
 	opt     Options
 }
 
 // New builds an optimizer for the given cluster.
 func New(cluster *mrsim.Cluster, opt Options) *Stubby {
-	s := &Stubby{cluster: cluster, est: whatif.New(cluster), opt: opt.withDefaults()}
+	s := &Stubby{cluster: cluster, opt: opt.withDefaults()}
+	s.est = s.newEstimator()
 	if s.opt.Parallelism > 1 {
-		s.estPool = make(chan *whatif.Estimator, s.opt.Parallelism)
+		s.estPool = make(chan searchEstimator, s.opt.Parallelism)
 		for i := 0; i < s.opt.Parallelism; i++ {
-			s.estPool <- whatif.New(cluster)
+			s.estPool <- s.newEstimator()
 		}
 	}
 	return s
+}
+
+// newEstimator builds one private (not concurrent-safe) estimator, fronted
+// by the shared estimate cache when one is configured.
+func (s *Stubby) newEstimator() searchEstimator {
+	inner := whatif.New(s.cluster)
+	var est searchEstimator = inner
+	if s.opt.EstimateCache != nil {
+		est = estcache.NewEstimator(s.opt.EstimateCache, inner)
+	}
+	s.allEsts = append(s.allEsts, est)
+	return est
+}
+
+// whatIfCounts sums what-if activity across every estimator of the search.
+// Only call while no search goroutines are running (between optimizations).
+func (s *Stubby) whatIfCounts() (requests, computed uint64) {
+	for _, e := range s.allEsts {
+		r, c := e.Counts()
+		requests += r
+		computed += c
+	}
+	return requests, computed
 }
 
 // SubplanReport records one enumerated subplan of a unit.
@@ -189,6 +234,14 @@ type Result struct {
 	Units []UnitReport
 	// Duration is the optimizer's own (real) running time.
 	Duration time.Duration
+	// WhatIfCalls is the number of What-if estimate requests the search
+	// issued (candidate subplans × configuration samples, plus the final
+	// plan estimate).
+	WhatIfCalls uint64
+	// WhatIfComputed is how many of those requests ran the full estimator.
+	// Without Options.EstimateCache it equals WhatIfCalls; with a cache,
+	// the difference is the work the cache absorbed.
+	WhatIfComputed uint64
 }
 
 // Optimize runs the two-phase search and returns the optimized plan. The
@@ -202,6 +255,7 @@ func (s *Stubby) Optimize(w *wf.Workflow) (*Result, error) {
 // stop promptly with ctx.Err(). The input plan is not modified either way.
 func (s *Stubby) OptimizeContext(ctx context.Context, w *wf.Workflow) (*Result, error) {
 	start := time.Now()
+	req0, comp0 := s.whatIfCounts()
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("optimizer: %w", err)
 	}
@@ -240,6 +294,9 @@ func (s *Stubby) OptimizeContext(ctx context.Context, w *wf.Workflow) (*Result, 
 	res.Plan = plan
 	res.EstimatedCost = est.Makespan
 	res.Duration = time.Since(start)
+	req1, comp1 := s.whatIfCounts()
+	res.WhatIfCalls = req1 - req0
+	res.WhatIfComputed = comp1 - comp0
 	return res, nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"sort"
 
 	"github.com/stubby-mr/stubby/internal/keyval"
 	"github.com/stubby-mr/stubby/internal/mrsim"
@@ -143,8 +144,32 @@ func (p *Profiler) sampleDFS(w *wf.Workflow, dfs *mrsim.DFS) *mrsim.DFS {
 func FromReport(job *wf.Job, jr *mrsim.JobReport) *wf.JobProfile {
 	prof := &wf.JobProfile{}
 	for tag, ts := range jr.Tags {
-		for input, ps := range ts.MapByInput {
-			prof.SetMapProfile(tag, input, pipelineProfile(ps, 0))
+		// SetMapProfile's per-tag slot is last-writer-wins, and MapByInput
+		// is a Go map: iterating it directly would let map order pick which
+		// input's statistics represent a multi-input (join) tag, varying
+		// per process. Walk inputs in the job's branch order instead (any
+		// leftovers sorted), so profiles — and everything estimated from
+		// them — are deterministic.
+		seen := map[string]bool{}
+		var inputs []string
+		for _, b := range job.MapBranches {
+			if b.Tag == tag && !seen[b.Input] {
+				if _, ok := ts.MapByInput[b.Input]; ok {
+					seen[b.Input] = true
+					inputs = append(inputs, b.Input)
+				}
+			}
+		}
+		var rest []string
+		for input := range ts.MapByInput {
+			if !seen[input] {
+				rest = append(rest, input)
+			}
+		}
+		sort.Strings(rest)
+		inputs = append(inputs, rest...)
+		for _, input := range inputs {
+			prof.SetMapProfile(tag, input, pipelineProfile(ts.MapByInput[input], 0))
 		}
 		g := job.Group(tag)
 		if g != nil && len(g.Stages) > 0 {

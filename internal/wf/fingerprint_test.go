@@ -1,0 +1,357 @@
+package wf_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/wf"
+	"github.com/stubby-mr/stubby/internal/workloads"
+)
+
+// fpWorkflow builds a small annotated two-job workflow with every
+// fingerprint-relevant feature populated: schemas, filters, a combiner, a
+// range-partitioned group, profiles with key samples, and a reduce-count
+// tie, so the sensitivity properties below exercise each component.
+func fpWorkflow() *wf.Workflow {
+	mapFn := func(k, v keyval.Tuple, emit wf.Emit) { emit(k, v) }
+	redFn := func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) { emit(k, vs[0]) }
+	prof := func(sel float64) *wf.JobProfile {
+		p := &wf.JobProfile{}
+		pp := &wf.PipelineProfile{
+			Selectivity: sel, CPUPerRecord: 1e-6, OutBytesPerRecord: 20,
+			InBytesPerRecord: 24, GroupsPerRecord: 0.5, GroupsPerMapRecord: 0.25,
+			CombineReduction: 0.4,
+			KeySample:        []keyval.Tuple{keyval.T("a", 1), keyval.T("b", 2), keyval.T("c", 3)},
+		}
+		p.SetMapProfile(0, "base", pp)
+		p.SetReduceProfile(0, &wf.PipelineProfile{
+			Selectivity: 0.8, CPUPerRecord: 2e-6, OutBytesPerRecord: 16, InBytesPerRecord: 20,
+			GroupsPerRecord: 1, GroupsPerMapRecord: 0.5, CombineReduction: 1,
+		})
+		return p
+	}
+	combiner := wf.ReduceStage("C1", redFn, nil, 1e-7)
+	return &wf.Workflow{
+		Name: "fp-test",
+		Datasets: []*wf.Dataset{
+			{ID: "base", Base: true, KeyFields: []string{"k"}, ValueFields: []string{"v"},
+				EstRecords: 1000, EstBytes: 64000, EstPartitions: 4,
+				Layout: wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"k"}}},
+			{ID: "mid", KeyFields: []string{"k"}, ValueFields: []string{"v"}},
+			{ID: "out"},
+		},
+		Jobs: []*wf.Job{
+			{
+				ID: "j1",
+				MapBranches: []wf.MapBranch{{
+					Tag: 0, Input: "base",
+					Stages: []wf.Stage{wf.MapStage("M1", mapFn, 1e-6)},
+					Filter: &wf.Filter{Field: "k", Interval: keyval.Interval{Lo: int64(1), Hi: int64(50)}},
+					KeyIn:  []string{"k"}, ValIn: []string{"v"},
+					KeyOut: []string{"k"}, ValOut: []string{"v"},
+				}},
+				ReduceGroups: []wf.ReduceGroup{{
+					Tag:      0,
+					Stages:   []wf.Stage{wf.ReduceStage("R1", redFn, nil, 2e-6)},
+					Combiner: &combiner,
+					Output:   "mid",
+					Part:     keyval.PartitionSpec{Type: keyval.HashPartition, KeyFields: []int{0}},
+					KeyIn:    []string{"k"}, ValIn: []string{"v"},
+					KeyOut: []string{"k"}, ValOut: []string{"v"},
+				}},
+				Config:           wf.DefaultConfig(),
+				Profile:          prof(0.9),
+				ReduceCountGroup: "tieA",
+			},
+			{
+				ID: "j2",
+				MapBranches: []wf.MapBranch{{
+					Tag: 0, Input: "mid",
+					Stages: []wf.Stage{wf.MapStage("M2", mapFn, 1e-6)},
+					KeyIn:  []string{"k"}, ValIn: []string{"v"},
+					KeyOut: []string{"k"}, ValOut: []string{"v"},
+				}},
+				ReduceGroups: []wf.ReduceGroup{{
+					Tag:    0,
+					Stages: []wf.Stage{wf.ReduceStage("R2", redFn, []int{0}, 2e-6)},
+					Output: "out",
+					Part: keyval.PartitionSpec{Type: keyval.RangePartition,
+						KeyFields: []int{0}, SortFields: []int{0},
+						SplitPoints: []keyval.Tuple{keyval.T("m")}},
+					Constraints: []wf.PartitionConstraint{{CoGroup: []string{"k"}, Reason: "test"}},
+					KeyIn:       []string{"k"}, ValIn: []string{"v"},
+					KeyOut: []string{"k"}, ValOut: []string{"v"},
+				}},
+				Config:           wf.DefaultConfig(),
+				Profile:          prof(0.7),
+				ReduceCountGroup: "tieA",
+				AlignMapToInput:  true,
+			},
+		},
+	}
+}
+
+// TestFingerprintRenameInvariance: identity that carries no cost
+// information — workflow name, job IDs, Origin bookkeeping, reduce-count
+// tie labels — must not move the fingerprint.
+func TestFingerprintRenameInvariance(t *testing.T) {
+	w := fpWorkflow()
+	base := wf.FingerprintWorkflow(w)
+
+	r := w.Clone()
+	r.Name = "renamed-workflow"
+	for i, j := range r.Jobs {
+		j.ID = fmt.Sprintf("packed-%c", 'x'+i)
+		j.Origin = []string{"origA", "origB"}
+		if j.ReduceCountGroup != "" {
+			j.ReduceCountGroup = "someOtherLabel"
+		}
+	}
+	if got := wf.FingerprintWorkflow(r); got != base {
+		t.Fatalf("job-ID/name/origin/tie-label rename moved the fingerprint: %s -> %s", base, got)
+	}
+}
+
+// TestFingerprintMapOrderInvariance: profile maps are hashed in sorted key
+// order, so rebuilding them with a different insertion order (and hence a
+// different Go map layout) must not move the fingerprint. Dataset slice
+// order is presentation-only and must not move it either.
+func TestFingerprintMapOrderInvariance(t *testing.T) {
+	w := fpWorkflow()
+	base := wf.FingerprintWorkflow(w)
+
+	r := w.Clone()
+	for _, j := range r.Jobs {
+		// Rebuild each profile map in reverse insertion order.
+		p := j.Profile
+		rebuilt := &wf.JobProfile{
+			MapSide:        map[int]*wf.PipelineProfile{},
+			MapSideByInput: map[string]*wf.PipelineProfile{},
+			ReduceSide:     map[int]*wf.PipelineProfile{},
+		}
+		var mapKeys []int
+		for k := range p.MapSide {
+			mapKeys = append(mapKeys, k)
+		}
+		for i := len(mapKeys) - 1; i >= 0; i-- {
+			rebuilt.MapSide[mapKeys[i]] = p.MapSide[mapKeys[i]]
+		}
+		var inKeys []string
+		for k := range p.MapSideByInput {
+			inKeys = append(inKeys, k)
+		}
+		for i := len(inKeys) - 1; i >= 0; i-- {
+			rebuilt.MapSideByInput[inKeys[i]] = p.MapSideByInput[inKeys[i]]
+		}
+		var redKeys []int
+		for k := range p.ReduceSide {
+			redKeys = append(redKeys, k)
+		}
+		for i := len(redKeys) - 1; i >= 0; i-- {
+			rebuilt.ReduceSide[redKeys[i]] = p.ReduceSide[redKeys[i]]
+		}
+		j.Profile = rebuilt
+	}
+	// Reverse the dataset slice (estimation reads datasets through maps).
+	for i, jj := 0, len(r.Datasets)-1; i < jj; i, jj = i+1, jj-1 {
+		r.Datasets[i], r.Datasets[jj] = r.Datasets[jj], r.Datasets[i]
+	}
+	if got := wf.FingerprintWorkflow(r); got != base {
+		t.Fatalf("map/dataset iteration order moved the fingerprint: %s -> %s", base, got)
+	}
+}
+
+// TestFingerprintJobOrderSensitivity: job slice order feeds topological
+// tie-breaking and slot-pool interleaving in the estimator, so it must be
+// part of the identity (this is also what makes positional job-ID remapping
+// on cache hits sound).
+func TestFingerprintJobOrderSensitivity(t *testing.T) {
+	w := fpWorkflow()
+	base := wf.FingerprintWorkflow(w)
+	r := w.Clone()
+	r.Jobs[0], r.Jobs[1] = r.Jobs[1], r.Jobs[0]
+	if got := wf.FingerprintWorkflow(r); got == base {
+		t.Fatal("reordering jobs did not move the fingerprint")
+	}
+}
+
+// fpMutation is one targeted change that must move the fingerprint.
+type fpMutation struct {
+	name   string
+	mutate func(w *wf.Workflow)
+}
+
+func fpMutations() []fpMutation {
+	return []fpMutation{
+		{"config.NumReduceTasks", func(w *wf.Workflow) { w.Jobs[0].Config.NumReduceTasks += 7 }},
+		{"config.SplitSizeMB", func(w *wf.Workflow) { w.Jobs[0].Config.SplitSizeMB *= 2 }},
+		{"config.SortBufferMB", func(w *wf.Workflow) { w.Jobs[1].Config.SortBufferMB += 32 }},
+		{"config.IOSortFactor", func(w *wf.Workflow) { w.Jobs[1].Config.IOSortFactor += 5 }},
+		{"config.UseCombiner", func(w *wf.Workflow) { w.Jobs[0].Config.UseCombiner = !w.Jobs[0].Config.UseCombiner }},
+		{"config.CompressMapOutput", func(w *wf.Workflow) { w.Jobs[0].Config.CompressMapOutput = true }},
+		{"config.CompressOutput", func(w *wf.Workflow) { w.Jobs[1].Config.CompressOutput = true }},
+		{"profile.Selectivity", func(w *wf.Workflow) { w.Jobs[0].Profile.MapSide[0].Selectivity *= 1.01 }},
+		{"profile.CPUPerRecord", func(w *wf.Workflow) { w.Jobs[0].Profile.ReduceSide[0].CPUPerRecord *= 2 }},
+		{"profile.OutBytesPerRecord", func(w *wf.Workflow) { w.Jobs[1].Profile.MapSide[0].OutBytesPerRecord++ }},
+		{"profile.GroupsPerMapRecord", func(w *wf.Workflow) { w.Jobs[0].Profile.ReduceSide[0].GroupsPerMapRecord *= 3 }},
+		{"profile.CombineReduction", func(w *wf.Workflow) { w.Jobs[0].Profile.MapSide[0].CombineReduction = 0.9 }},
+		{"profile.KeySample value", func(w *wf.Workflow) {
+			w.Jobs[0].Profile.MapSide[0].KeySample[1] = keyval.T("mutated", 99)
+		}},
+		{"profile.KeySample dropped", func(w *wf.Workflow) {
+			p := w.Jobs[0].Profile.MapSide[0]
+			p.KeySample = p.KeySample[:len(p.KeySample)-1]
+		}},
+		{"profile removed", func(w *wf.Workflow) { w.Jobs[1].Profile = nil }},
+		{"partition.Type", func(w *wf.Workflow) {
+			w.Jobs[0].ReduceGroups[0].Part = keyval.PartitionSpec{Type: keyval.RangePartition,
+				KeyFields: []int{0}, SplitPoints: []keyval.Tuple{keyval.T("q")}}
+		}},
+		{"partition.KeyFields", func(w *wf.Workflow) { w.Jobs[0].ReduceGroups[0].Part.KeyFields = nil }},
+		{"partition.SortFields", func(w *wf.Workflow) { w.Jobs[1].ReduceGroups[0].Part.SortFields = []int{0, 1} }},
+		{"partition.SplitPoints", func(w *wf.Workflow) {
+			w.Jobs[1].ReduceGroups[0].Part.SplitPoints = []keyval.Tuple{keyval.T("m"), keyval.T("t")}
+		}},
+		{"edge: branch input", func(w *wf.Workflow) { w.Jobs[1].MapBranches[0].Input = "base" }},
+		{"edge: group output", func(w *wf.Workflow) { w.Jobs[1].ReduceGroups[0].Output = "out2" }},
+		{"branch filter", func(w *wf.Workflow) { w.Jobs[0].MapBranches[0].Filter = nil }},
+		{"filter interval", func(w *wf.Workflow) {
+			w.Jobs[0].MapBranches[0].Filter.Interval.Hi = int64(60)
+		}},
+		{"stage CPU", func(w *wf.Workflow) { w.Jobs[0].MapBranches[0].Stages[0].CPUPerRecord *= 2 }},
+		{"stage name", func(w *wf.Workflow) { w.Jobs[0].ReduceGroups[0].Stages[0].Name = "R1x" }},
+		{"stage added", func(w *wf.Workflow) {
+			w.Jobs[1].MapBranches[0].Stages = append(w.Jobs[1].MapBranches[0].Stages,
+				wf.MapStage("M9", func(k, v keyval.Tuple, emit wf.Emit) { emit(k, v) }, 1e-9))
+		}},
+		{"group RunsMapSide", func(w *wf.Workflow) { w.Jobs[1].ReduceGroups[0].RunsMapSide = true }},
+		{"combiner removed", func(w *wf.Workflow) { w.Jobs[0].ReduceGroups[0].Combiner = nil }},
+		{"schema KeyOut", func(w *wf.Workflow) { w.Jobs[0].ReduceGroups[0].KeyOut = []string{"k2"} }},
+		{"schema nil vs empty", func(w *wf.Workflow) { w.Jobs[0].MapBranches[0].ValOut = []string{} }},
+		{"job AlignMapToInput", func(w *wf.Workflow) { w.Jobs[1].AlignMapToInput = false }},
+		{"job PinnedReducers", func(w *wf.Workflow) { w.Jobs[0].PinnedReducers = true }},
+		{"tie structure", func(w *wf.Workflow) { w.Jobs[1].ReduceCountGroup = "" }},
+		{"dataset EstRecords", func(w *wf.Workflow) { w.Datasets[0].EstRecords *= 2 }},
+		{"dataset EstBytes", func(w *wf.Workflow) { w.Datasets[0].EstBytes++ }},
+		{"dataset EstPartitions", func(w *wf.Workflow) { w.Datasets[0].EstPartitions = 9 }},
+		{"dataset Base flag", func(w *wf.Workflow) { w.Datasets[1].Base = true }},
+		{"dataset layout partition", func(w *wf.Workflow) { w.Datasets[0].Layout.PartFields = nil }},
+		{"dataset layout sort", func(w *wf.Workflow) { w.Datasets[0].Layout.SortFields = []string{"k"} }},
+		{"dataset layout compression", func(w *wf.Workflow) { w.Datasets[0].Layout.Compressed = true }},
+		{"dataset added", func(w *wf.Workflow) {
+			w.Datasets = append(w.Datasets, &wf.Dataset{ID: "extra", Base: true})
+		}},
+		{"job added", func(w *wf.Workflow) { w.Jobs = append(w.Jobs, w.Jobs[0].Clone()) }},
+	}
+}
+
+// TestFingerprintSensitivity: every cost-relevant mutation — config knobs,
+// profile fields, partition specs, edges, schemas, layouts — must move the
+// fingerprint, and a fresh Hasher must agree with the shared (memoizing)
+// one.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := wf.FingerprintWorkflow(fpWorkflow())
+	shared := wf.NewHasher()
+	for _, m := range fpMutations() {
+		w := fpWorkflow().Clone()
+		m.mutate(w)
+		got := wf.FingerprintWorkflow(w)
+		if got == base {
+			t.Errorf("%s: mutation did not move the fingerprint", m.name)
+		}
+		if s := shared.Workflow(w); s != got {
+			t.Errorf("%s: shared hasher disagrees with fresh hasher", m.name)
+		}
+	}
+}
+
+// TestFingerprintPairwiseDistinct: all mutations produce distinct
+// fingerprints (no two different mutations collide), a cheap birthday check
+// on digest quality.
+func TestFingerprintPairwiseDistinct(t *testing.T) {
+	seen := map[wf.Fingerprint]string{wf.FingerprintWorkflow(fpWorkflow()): "unmutated"}
+	for _, m := range fpMutations() {
+		w := fpWorkflow().Clone()
+		m.mutate(w)
+		fp := wf.FingerprintWorkflow(w)
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("%s collides with %s", m.name, prev)
+		}
+		seen[fp] = m.name
+	}
+}
+
+// TestFingerprintRandomizedStability: random rename/reorder-equivalent
+// transformations composed in random order never move the fingerprint,
+// while a random mutation from the sensitivity table always does — the
+// property-based sweep tying the two suites together.
+func TestFingerprintRandomizedStability(t *testing.T) {
+	muts := fpMutations()
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := fpWorkflow()
+		base := wf.FingerprintWorkflow(w)
+		r := w.Clone()
+		// Compose 1-4 random equivalence-preserving rewrites.
+		for n := 1 + rng.Intn(4); n > 0; n-- {
+			switch rng.Intn(4) {
+			case 0:
+				for i, j := range r.Jobs {
+					j.ID = fmt.Sprintf("rnd-%d-%d", seed, i)
+				}
+			case 1:
+				r.Name = fmt.Sprintf("wf-%d", rng.Int63())
+			case 2:
+				rng.Shuffle(len(r.Datasets), func(i, j int) {
+					r.Datasets[i], r.Datasets[j] = r.Datasets[j], r.Datasets[i]
+				})
+			case 3:
+				for _, j := range r.Jobs {
+					j.Origin = append(j.Origin, fmt.Sprintf("o%d", rng.Intn(100)))
+				}
+			}
+		}
+		if got := wf.FingerprintWorkflow(r); got != base {
+			t.Fatalf("seed %d: equivalence-preserving rewrites moved the fingerprint", seed)
+		}
+		// Mutations index into the un-shuffled layout, so apply one to a
+		// fresh clone of the original.
+		m := muts[rng.Intn(len(muts))]
+		mutated := w.Clone()
+		m.mutate(mutated)
+		if got := wf.FingerprintWorkflow(mutated); got == base {
+			t.Fatalf("seed %d: mutation %s did not move the fingerprint", seed, m.name)
+		}
+	}
+}
+
+// TestFingerprintRealWorkload anchors the properties on a real profiled
+// workload: clone-stability, rename-invariance, and a config sensitivity.
+func TestFingerprintRealWorkload(t *testing.T) {
+	wl, err := workloads.Build("SN", workloads.Options{SizeFactor: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := profile.NewProfiler(wl.Cluster, 0.5, 3).Annotate(wl.Workflow, wl.DFS); err != nil {
+		t.Fatal(err)
+	}
+	base := wf.FingerprintWorkflow(wl.Workflow)
+	if clone := wf.FingerprintWorkflow(wl.Workflow.Clone()); clone != base {
+		t.Fatal("deep clone moved the fingerprint")
+	}
+	renamed := wl.Workflow.Clone()
+	for i, j := range renamed.Jobs {
+		j.ID = fmt.Sprintf("merge-%d", i)
+	}
+	if got := wf.FingerprintWorkflow(renamed); got != base {
+		t.Fatal("job renames on a real workload moved the fingerprint")
+	}
+	tweaked := wl.Workflow.Clone()
+	tweaked.Jobs[0].Config.NumReduceTasks++
+	if got := wf.FingerprintWorkflow(tweaked); got == base {
+		t.Fatal("config knob change on a real workload did not move the fingerprint")
+	}
+}

@@ -77,11 +77,14 @@ func ReduceStage(name string, fn ReduceFn, groupFields []int, cpuPerRecord float
 	return Stage{Name: name, Kind: ReduceKind, Reduce: fn, GroupFields: groupFields, CPUPerRecord: cpuPerRecord}
 }
 
-// Clone copies a stage. Function values are immutable and shared.
+// Clone copies a stage. Function values are immutable and shared. Nil and
+// empty GroupFields are distinct (whole-key vs per-stream grouping), so the
+// copy preserves nil-ness exactly.
 func (s Stage) Clone() Stage {
 	out := s
 	if s.GroupFields != nil {
-		out.GroupFields = append([]int(nil), s.GroupFields...)
+		out.GroupFields = make([]int, len(s.GroupFields))
+		copy(out.GroupFields, s.GroupFields)
 	}
 	return out
 }
@@ -244,9 +247,14 @@ func cloneStages(in []Stage) []Stage {
 	return out
 }
 
+// cloneStrings copies a string slice, preserving nil-ness exactly: nil
+// schemas mean "unknown" while empty ones are known-empty, and clones must
+// not blur that distinction (append([]string(nil), empty...) would).
 func cloneStrings(in []string) []string {
 	if in == nil {
 		return nil
 	}
-	return append([]string(nil), in...)
+	out := make([]string, len(in))
+	copy(out, in)
+	return out
 }

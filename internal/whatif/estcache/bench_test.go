@@ -1,0 +1,64 @@
+package estcache
+
+import (
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/wf"
+	"github.com/stubby-mr/stubby/internal/whatif"
+	"github.com/stubby-mr/stubby/internal/workloads"
+)
+
+func benchWorkflow(b *testing.B) (*wf.Workflow, *workloads.Workload) {
+	wl, err := workloads.Build("BA", workloads.Options{SizeFactor: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := profile.NewProfiler(wl.Cluster, 0.5, 1).Annotate(wl.Workflow, wl.DFS); err != nil {
+		b.Fatal(err)
+	}
+	return wl.Workflow, wl
+}
+
+// BenchmarkFingerprint measures one workflow fingerprint with a warm Hasher
+// — the per-request overhead the cache adds on top of a lookup.
+func BenchmarkFingerprint(b *testing.B) {
+	w, _ := benchWorkflow(b)
+	h := wf.NewHasher()
+	h.Workflow(w) // warm the profile memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Workflow(w)
+	}
+}
+
+// BenchmarkEstimateUncached is the baseline the cache competes with.
+func BenchmarkEstimateUncached(b *testing.B) {
+	w, wl := benchWorkflow(b)
+	est := whatif.New(wl.Cluster)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateCacheHit measures the full cached path on a hit:
+// fingerprint + sharded lookup.
+func BenchmarkEstimateCacheHit(b *testing.B) {
+	w, wl := benchWorkflow(b)
+	est := NewEstimator(New(0), whatif.New(wl.Cluster))
+	if _, err := est.Estimate(w); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package estcache memoizes What-if cost estimates under canonical workflow
+// fingerprints (package wf), so a search that revisits a cost-equivalent
+// plan — the same structure, configurations, profiles, and layouts,
+// regardless of job-ID renaming — reuses the earlier answer instead of
+// re-running the estimator. The cache is sharded and concurrent-safe, bounds
+// memory with per-shard LRU eviction, deduplicates concurrent computations
+// of the same plan with a single-flight guard, and counts hits, misses, and
+// evictions for observability.
+//
+// Cached *whatif.Estimate values are shared between callers and MUST be
+// treated as immutable; every consumer in this repository only reads them.
+package estcache
+
+import (
+	"container/list"
+	"slices"
+	"sync"
+
+	"github.com/stubby-mr/stubby/internal/wf"
+	"github.com/stubby-mr/stubby/internal/whatif"
+)
+
+// DefaultCapacity bounds a cache built with New(0). Estimates are small
+// (per-job aggregates, not per-task data), so thousands of entries cost a
+// few MB at most.
+const DefaultCapacity = 8192
+
+const numShards = 16 // power of two; key[0] low bits select the shard
+
+// Key identifies one (workflow, cluster) estimation question.
+type Key struct {
+	// Plan is the canonical workflow fingerprint.
+	Plan wf.Fingerprint
+	// Cluster digests the cluster description, so one cache shared across
+	// sessions with different clusters never cross-pollinates.
+	Cluster uint64
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits counts lookups answered from the cache, including lookups that
+	// waited on another caller's in-flight computation instead of starting
+	// their own.
+	Hits uint64
+	// Misses counts lookups that had to run the estimator.
+	Misses uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+	// Entries is the current number of cached estimates.
+	Entries int
+	// Capacity is the maximum number of cached estimates.
+	Capacity int
+}
+
+// Lookups returns the total number of cache consultations.
+func (s Stats) Lookups() uint64 { return s.Hits + s.Misses }
+
+// HitRate returns Hits over Lookups in [0, 1] (zero when empty).
+func (s Stats) HitRate() float64 {
+	if l := s.Lookups(); l > 0 {
+		return float64(s.Hits) / float64(l)
+	}
+	return 0
+}
+
+// entry is one cached estimate plus the job-ID vector of the workflow that
+// computed it (in Jobs slice order), so a hit from a fingerprint-equal
+// workflow with renamed jobs can be re-keyed before use.
+type entry struct {
+	key    Key
+	jobIDs []string
+	est    *whatif.Estimate
+}
+
+// flight tracks one in-progress computation other callers can wait on.
+type flight struct {
+	done chan struct{}
+	ent  *entry
+	err  error
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*list.Element // of *entry
+	lru     *list.List            // front = most recently used
+	flights map[Key]*flight
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+// Cache is a sharded, LRU-bounded, single-flight memo of What-if estimates.
+// It is safe for concurrent use and may be shared across estimators,
+// optimizers, and sessions (that is the point: an OptimizeAll fan-out over
+// workflows sharing plans amortizes estimates through one shared cache).
+type Cache struct {
+	shards      [numShards]*shard
+	capPerShard int
+}
+
+// New builds a cache bounded to roughly capacity entries (<= 0 uses
+// DefaultCapacity). The bound is enforced per shard, so the effective
+// capacity is capacity rounded up to a multiple of the shard count.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	per := (capacity + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{capPerShard: per}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			entries: make(map[Key]*list.Element),
+			lru:     list.New(),
+			flights: make(map[Key]*flight),
+		}
+	}
+	return c
+}
+
+// Capacity returns the total entry bound.
+func (c *Cache) Capacity() int { return c.capPerShard * numShards }
+
+func (c *Cache) shard(k Key) *shard {
+	return c.shards[k.Plan[0]&(numShards-1)]
+}
+
+// GetOrCompute returns the estimate for key, running compute on a miss.
+// Concurrent callers with the same key share one computation (single
+// flight); errors are returned to every waiter and never cached. jobIDs is
+// the calling workflow's job-ID vector in Jobs slice order: on a hit whose
+// cached vector differs (fingerprint-equal workflow with renamed jobs), the
+// returned estimate is re-keyed position-for-position, which the
+// fingerprint's job-order sensitivity makes sound.
+func (c *Cache) GetOrCompute(key Key, jobIDs []string,
+	compute func() (*whatif.Estimate, error)) (*whatif.Estimate, error) {
+
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		sh.lru.MoveToFront(el)
+		sh.hits++
+		ent := el.Value.(*entry)
+		sh.mu.Unlock()
+		return remap(ent, jobIDs), nil
+	}
+	if fl, ok := sh.flights[key]; ok {
+		sh.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			// The flight's owner failed. Other waiters surface the same
+			// error; nothing was cached.
+			return nil, fl.err
+		}
+		sh.mu.Lock()
+		sh.hits++
+		sh.mu.Unlock()
+		return remap(fl.ent, jobIDs), nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.flights[key] = fl
+	sh.misses++
+	sh.mu.Unlock()
+
+	est, err := compute()
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	if err != nil {
+		sh.mu.Unlock()
+		fl.err = err
+		close(fl.done)
+		return nil, err
+	}
+	ent := &entry{key: key, jobIDs: append([]string(nil), jobIDs...), est: est}
+	el := sh.lru.PushFront(ent)
+	sh.entries[key] = el
+	for sh.lru.Len() > c.capPerShard {
+		old := sh.lru.Back()
+		sh.lru.Remove(old)
+		delete(sh.entries, old.Value.(*entry).key)
+		sh.evicted++
+	}
+	sh.mu.Unlock()
+	fl.ent = ent
+	close(fl.done)
+	return est, nil
+}
+
+// Stats snapshots the cache counters, summed across shards.
+func (c *Cache) Stats() Stats {
+	out := Stats{Capacity: c.Capacity()}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		out.Hits += sh.hits
+		out.Misses += sh.misses
+		out.Evictions += sh.evicted
+		out.Entries += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Reset drops every entry and zeroes the counters. In-flight computations
+// complete but their results land in the cleared maps as usual.
+func (c *Cache) Reset() {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.entries = make(map[Key]*list.Element)
+		sh.lru = list.New()
+		sh.hits, sh.misses, sh.evicted = 0, 0, 0
+		sh.mu.Unlock()
+	}
+}
+
+// remap returns the cached estimate re-keyed to the caller's job IDs. When
+// the vectors already agree (the overwhelmingly common case) the cached
+// value is returned as-is; otherwise the Jobs map is rebuilt with the
+// caller's IDs, sharing the per-job and per-dataset values.
+func remap(ent *entry, jobIDs []string) *whatif.Estimate {
+	if slices.Equal(ent.jobIDs, jobIDs) {
+		return ent.est
+	}
+	out := &whatif.Estimate{
+		Makespan: ent.est.Makespan,
+		Fallback: ent.est.Fallback,
+		Jobs:     make(map[string]*whatif.JobEstimate, len(ent.est.Jobs)),
+		Datasets: ent.est.Datasets,
+	}
+	for i, old := range ent.jobIDs {
+		if i >= len(jobIDs) {
+			break
+		}
+		if je, ok := ent.est.Jobs[old]; ok {
+			out.Jobs[jobIDs[i]] = je
+		}
+	}
+	return out
+}

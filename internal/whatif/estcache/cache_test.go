@@ -1,0 +1,271 @@
+package estcache
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/wf"
+	"github.com/stubby-mr/stubby/internal/whatif"
+	"github.com/stubby-mr/stubby/internal/workloads"
+)
+
+func key(n uint64) Key {
+	return Key{Plan: wf.Fingerprint{n, n ^ 0x9e3779b97f4a7c15}}
+}
+
+func estimate(makespan float64) *whatif.Estimate {
+	return &whatif.Estimate{
+		Makespan: makespan,
+		Jobs:     map[string]*whatif.JobEstimate{},
+		Datasets: map[string]*whatif.DatasetEstimate{},
+	}
+}
+
+func TestCacheGetOrCompute(t *testing.T) {
+	c := New(64)
+	computes := 0
+	get := func() (*whatif.Estimate, error) {
+		est, err := c.GetOrCompute(key(1), []string{"j1"}, func() (*whatif.Estimate, error) {
+			computes++
+			return estimate(42), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est, nil
+	}
+	first, _ := get()
+	second, _ := get()
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	if first != second {
+		t.Fatal("hit did not return the cached estimate")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := New(64)
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute(key(2), nil, func() (*whatif.Estimate, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failure must not poison the key: the next call recomputes.
+	est, err := c.GetOrCompute(key(2), nil, func() (*whatif.Estimate, error) {
+		return estimate(7), nil
+	})
+	if err != nil || est.Makespan != 7 {
+		t.Fatalf("recompute after error: est=%v err=%v", est, err)
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2", st.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(numShards) // one entry per shard
+	// Fill one shard (fixed low bits select the shard) beyond capacity.
+	k1, k2 := key(16), key(32) // same shard: low bits zero
+	if c.shard(k1) != c.shard(k2) {
+		t.Fatal("test keys landed in different shards")
+	}
+	for i, k := range []Key{k1, k2} {
+		c.GetOrCompute(k, nil, func() (*whatif.Estimate, error) {
+			return estimate(float64(i)), nil
+		})
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// k2 survives (hit, no recompute); k1 was evicted (recomputes).
+	recomputed := false
+	c.GetOrCompute(k2, nil, func() (*whatif.Estimate, error) {
+		recomputed = true
+		return estimate(9), nil
+	})
+	if recomputed {
+		t.Fatal("most recent entry evicted")
+	}
+	c.GetOrCompute(k1, nil, func() (*whatif.Estimate, error) {
+		recomputed = true
+		return estimate(9), nil
+	})
+	if !recomputed {
+		t.Fatal("oldest entry not evicted")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := New(64)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	const callers = 8
+	results := make([]*whatif.Estimate, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			est, err := c.GetOrCompute(key(3), nil, func() (*whatif.Estimate, error) {
+				computes.Add(1)
+				<-release
+				return estimate(9), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = est
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times under concurrency, want 1 (single flight)", n)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers got different estimate pointers")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 {
+		t.Fatalf("stats = %+v, want 1 miss / %d hits", st, callers-1)
+	}
+}
+
+func TestCacheConcurrentMixedKeys(t *testing.T) {
+	c := New(32) // small: force evictions under concurrency
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(uint64(i % 50))
+				want := float64(i % 50)
+				est, err := c.GetOrCompute(k, nil, func() (*whatif.Estimate, error) {
+					return estimate(want), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if est.Makespan != want {
+					t.Errorf("key %d returned makespan %v, want %v", i%50, est.Makespan, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCacheReset(t *testing.T) {
+	c := New(64)
+	c.GetOrCompute(key(5), nil, func() (*whatif.Estimate, error) { return estimate(1), nil })
+	c.Reset()
+	st := c.Stats()
+	if st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("stats after reset = %+v, want zeroes", st)
+	}
+}
+
+// TestEstimatorTransparency is the package-level core guarantee: a cached
+// estimator returns the exact estimate of an uncached one — on first
+// computation, on a hit, and on a hit from a job-renamed clone of the plan.
+func TestEstimatorTransparency(t *testing.T) {
+	wl, err := workloads.Build("IR", workloads.Options{SizeFactor: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := profile.NewProfiler(wl.Cluster, 0.5, 1).Annotate(wl.Workflow, wl.DFS); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := whatif.New(wl.Cluster).Estimate(wl.Workflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := New(0)
+	cached := NewEstimator(cache, whatif.New(wl.Cluster))
+	first, err := cached.Estimate(wl.Workflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cached.Estimate(wl.Workflow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Fatal("second estimate was not the cached value")
+	}
+	if first.Makespan != plain.Makespan || first.Fallback != plain.Fallback {
+		t.Fatalf("cached makespan %v != plain %v", first.Makespan, plain.Makespan)
+	}
+	for id, je := range plain.Jobs {
+		cj, ok := first.Jobs[id]
+		if !ok {
+			t.Fatalf("cached estimate missing job %s", id)
+		}
+		if *cj != *je {
+			t.Fatalf("job %s: cached %+v != plain %+v", id, *cj, *je)
+		}
+	}
+
+	// Renamed jobs: same fingerprint, remapped job keys, shared values.
+	renamed := wl.Workflow.Clone()
+	for i, j := range renamed.Jobs {
+		j.ID = fmt.Sprintf("renamed-%d", i)
+	}
+	re, err := cached.Estimate(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Makespan != plain.Makespan {
+		t.Fatalf("renamed makespan %v != plain %v", re.Makespan, plain.Makespan)
+	}
+	if len(re.Jobs) != len(plain.Jobs) {
+		t.Fatalf("renamed estimate has %d jobs, want %d", len(re.Jobs), len(plain.Jobs))
+	}
+	for i, j := range renamed.Jobs {
+		if _, ok := re.Jobs[j.ID]; !ok {
+			t.Fatalf("renamed estimate missing job %d (%s)", i, j.ID)
+		}
+	}
+	if st := cache.Stats(); st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+	if req, comp := cached.Counts(); req != 3 || comp != 1 {
+		t.Fatalf("counts = (%d, %d), want (3, 1)", req, comp)
+	}
+}
+
+func TestClusterFingerprintDistinguishesClusters(t *testing.T) {
+	a := mrsim.DefaultCluster()
+	b := mrsim.DefaultCluster()
+	if ClusterFingerprint(a) != ClusterFingerprint(b) {
+		t.Fatal("identical clusters fingerprint differently")
+	}
+	b.VirtualScale *= 2
+	if ClusterFingerprint(a) == ClusterFingerprint(b) {
+		t.Fatal("different clusters share a fingerprint")
+	}
+	// Drift guard: ClusterFingerprint hand-enumerates every Cluster field.
+	// A new cost-relevant field that it misses would let sessions with
+	// different clusters share cache entries silently; fail loudly instead.
+	if n := reflect.TypeOf(mrsim.Cluster{}).NumField(); n != 10 {
+		t.Fatalf("mrsim.Cluster has %d fields; update ClusterFingerprint to cover the new ones, then this count", n)
+	}
+}

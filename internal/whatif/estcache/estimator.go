@@ -1,0 +1,85 @@
+package estcache
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/wf"
+	"github.com/stubby-mr/stubby/internal/whatif"
+)
+
+// Estimator is a memoizing front to one whatif.Estimator: Estimate
+// fingerprints the workflow and answers from the shared Cache, falling back
+// to the wrapped estimator on a miss. Like whatif.Estimator it is NOT safe
+// for concurrent use (fingerprint memoization is private state); concurrent
+// searches each hold their own Estimator around one shared Cache, which is
+// concurrent-safe and deduplicates in-flight work across them.
+type Estimator struct {
+	cache     *Cache
+	inner     *whatif.Estimator
+	hasher    *wf.Hasher
+	clusterFP uint64
+	requests  uint64
+}
+
+// NewEstimator wraps inner with the shared cache.
+func NewEstimator(cache *Cache, inner *whatif.Estimator) *Estimator {
+	return &Estimator{
+		cache:     cache,
+		inner:     inner,
+		hasher:    wf.NewHasher(),
+		clusterFP: ClusterFingerprint(inner.Cluster),
+	}
+}
+
+// Estimate predicts the execution of w, reusing a cached estimate when a
+// cost-equivalent workflow was estimated before (by any estimator sharing
+// the cache). The returned estimate is shared and must be treated as
+// immutable. Errors are never cached.
+func (e *Estimator) Estimate(w *wf.Workflow) (*whatif.Estimate, error) {
+	e.requests++
+	key := Key{Plan: e.hasher.Workflow(w), Cluster: e.clusterFP}
+	jobIDs := make([]string, len(w.Jobs))
+	for i, j := range w.Jobs {
+		jobIDs[i] = j.ID
+	}
+	return e.cache.GetOrCompute(key, jobIDs, func() (*whatif.Estimate, error) {
+		return e.inner.Estimate(w)
+	})
+}
+
+// Counts reports what-if activity through this estimator: requests is every
+// Estimate call; computed is how many ran the full estimator (misses this
+// estimator computed itself — cache hits and waits on other estimators'
+// flights are excluded).
+func (e *Estimator) Counts() (requests, computed uint64) {
+	_, inner := e.inner.Counts()
+	return e.requests, inner
+}
+
+// Cache returns the shared cache backing this estimator.
+func (e *Estimator) Cache() *Cache { return e.cache }
+
+// ClusterFingerprint digests the cluster description for cache keying. The
+// cluster is a flat struct of scalars, hashed field by field.
+func ClusterFingerprint(c *mrsim.Cluster) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wu(uint64(c.Nodes))
+	wu(uint64(c.MapSlotsPerNode))
+	wu(uint64(c.ReduceSlotsPerNode))
+	wu(math.Float64bits(c.DiskMBps))
+	wu(math.Float64bits(c.NetMBps))
+	wu(math.Float64bits(c.TaskSetupSec))
+	wu(math.Float64bits(c.SortCPUPerRecord))
+	wu(math.Float64bits(c.CompressRatio))
+	wu(math.Float64bits(c.CompressCPUSecPerMB))
+	wu(math.Float64bits(c.VirtualScale))
+	return h.Sum64()
+}

@@ -67,11 +67,47 @@ type Estimate struct {
 type Estimator struct {
 	Cluster   *mrsim.Cluster
 	skewCache map[string]float64
+	// sampleHashes memoizes key-sample content digests by the address of
+	// the sample's first tuple. The pointer map key pins the backing array,
+	// so an address uniquely identifies one sample for the estimator's
+	// lifetime. (A formatted "%p" inside a string key — the previous
+	// scheme — pins nothing: a freed sample's address could be reused by a
+	// different sample, resurrecting stale skew entries nondeterministically
+	// with GC timing.)
+	sampleHashes map[*keyval.Tuple]uint64
+	calls        uint64
 }
 
 // New builds an estimator.
 func New(c *mrsim.Cluster) *Estimator {
-	return &Estimator{Cluster: c, skewCache: make(map[string]float64)}
+	return &Estimator{
+		Cluster:      c,
+		skewCache:    make(map[string]float64),
+		sampleHashes: make(map[*keyval.Tuple]uint64),
+	}
+}
+
+// sampleHash digests a key sample's contents, memoized by (pinned) address.
+func (e *Estimator) sampleHash(sample []keyval.Tuple) uint64 {
+	p := &sample[0]
+	if h, ok := e.sampleHashes[p]; ok {
+		return h
+	}
+	var h uint64 = 1469598103934665603
+	for _, k := range sample {
+		h ^= keyval.Hash(k, nil)
+		h *= 1099511628211
+	}
+	e.sampleHashes[p] = h
+	return h
+}
+
+// Counts reports what-if activity: both values are the number of full
+// estimations this estimator has run (requests equal computations when no
+// cache fronts the estimator; package estcache's wrapper reports them
+// separately).
+func (e *Estimator) Counts() (requests, computed uint64) {
+	return e.calls, e.calls
 }
 
 // Estimate predicts the execution of w. Base datasets must carry size
@@ -79,6 +115,7 @@ func New(c *mrsim.Cluster) *Estimator {
 // #jobs model is returned (never an error, mirroring Stubby's tolerance of
 // missing information).
 func (e *Estimator) Estimate(w *wf.Workflow) (*Estimate, error) {
+	e.calls++
 	order, err := w.TopoSort()
 	if err != nil {
 		return nil, err
@@ -474,9 +511,13 @@ func (e *Estimator) skewShare(job *wf.Job, tag int, te *tagEst) float64 {
 	var share float64
 	if te.group.Part.Type == keyval.RangePartition {
 		// Split points are fixed, so counting sampled keys per partition
-		// is an unbiased load estimate.
-		key := fmt.Sprintf("r|%s|%d|%d|%x|%p", job.ID, tag, te.numParts,
-			splitPointsHash(te.group.Part.SplitPoints), &mp.KeySample[0])
+		// is an unbiased load estimate. Keys are content-based (sample
+		// digest, not identity), so equal samples hit across plan clones.
+		// Partition projects the key through the spec's key fields before
+		// comparing to split points, so the fields are part of the identity.
+		fields := te.group.Part.EffectiveKeyFields(len(mp.KeySample[0]))
+		key := fmt.Sprintf("r|%d|%v|%x|%x", te.numParts, fields,
+			splitPointsHash(te.group.Part.SplitPoints), e.sampleHash(mp.KeySample))
 		if v, ok := e.skewCache[key]; ok {
 			share = v
 		} else {
@@ -499,7 +540,7 @@ func (e *Estimator) skewShare(job *wf.Job, tag int, te *tagEst) float64 {
 		// stragglers at high reducer counts. Independent of the reducer
 		// count, so cacheable across configuration search.
 		fields := te.group.Part.EffectiveKeyFields(len(mp.KeySample[0]))
-		key := fmt.Sprintf("h|%s|%d|%v|%p", job.ID, tag, fields, &mp.KeySample[0])
+		key := fmt.Sprintf("h|%v|%x", fields, e.sampleHash(mp.KeySample))
 		if v, ok := e.skewCache[key]; ok {
 			share = v
 		} else {

@@ -1,0 +1,134 @@
+package stubby_test
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/stubby-mr/stubby"
+)
+
+// update regenerates the golden plan snapshots instead of checking them:
+//
+//	go test -run TestPlanSnapshots -update .
+//
+// CI runs with update forbidden, so any change to the optimizer's chosen
+// plans — new transformations, cost-model tweaks, search changes — fails
+// until the refreshed snapshots are reviewed and committed alongside it.
+var update = flag.Bool("update", false, "rewrite golden plan snapshot files")
+
+// TestPlanSnapshots locks the optimized plan of every paper workload into a
+// reviewable golden file: DAG shape (jobs, wiring, partitioning), final
+// configurations, and the estimated makespan. The workloads and seed match
+// the differential suite, so one profiling pass serves both.
+func TestPlanSnapshots(t *testing.T) {
+	if *update && os.Getenv("CI") != "" {
+		t.Fatal("-update is forbidden in CI: regenerate snapshots locally and commit the diff")
+	}
+	wls := differentialWorkloads(t)
+	for _, abbr := range stubby.Workloads() {
+		t.Run(abbr, func(t *testing.T) {
+			wl := wls[abbr]
+			sess, err := stubby.NewSession(
+				stubby.WithCluster(wl.Cluster),
+				stubby.WithSeed(1),
+				stubby.WithParallelism(1),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sess.Optimize(context.Background(), wl.Workflow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderPlanSnapshot(t, abbr, res)
+			path := filepath.Join("testdata", "plans", abbr+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			if string(want) != got {
+				t.Errorf("optimized plan drifted from golden snapshot %s.\n"+
+					"If the change is intended, regenerate with:\n"+
+					"\tgo test -run TestPlanSnapshots -update .\n"+
+					"and commit the diff.\n--- want\n%s\n--- got\n%s", abbr, want, got)
+			}
+		})
+	}
+}
+
+// renderPlanSnapshot serializes the result deterministically and
+// human-reviewably. The makespan is rounded to 3 decimals so reviewers see
+// real cost movement, not cross-architecture floating-point jitter.
+func renderPlanSnapshot(t *testing.T, abbr string, res *stubby.Result) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Golden snapshot of the optimized %s plan (size=%g seed=1 planner=stubby).\n",
+		abbr, differentialSize)
+	b.WriteString("# Regenerate with: go test -run TestPlanSnapshots -update .\n")
+	fmt.Fprintf(&b, "estimated makespan: %.3f\n", res.EstimatedCost)
+	fmt.Fprintf(&b, "jobs: %d\n", len(res.Plan.Jobs))
+	order, err := res.Plan.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range order {
+		origins := append([]string(nil), j.Origin...)
+		sort.Strings(origins)
+		fmt.Fprintf(&b, "job %s origin=%v\n", j.ID, origins)
+		for _, br := range j.MapBranches {
+			filter := ""
+			if br.Filter != nil {
+				filter = " filter=" + br.Filter.String()
+			}
+			fmt.Fprintf(&b, "  branch tag=%d in=%s stages=%s%s\n",
+				br.Tag, br.Input, stageNames(br.Stages), filter)
+		}
+		for _, g := range j.ReduceGroups {
+			part := g.Part.Type.String()
+			if g.MapOnly() {
+				part = "none"
+			}
+			extra := ""
+			if g.RunsMapSide {
+				extra = " map-side"
+			}
+			if g.Part.SplitPoints != nil {
+				extra += fmt.Sprintf(" splits=%d", len(g.Part.SplitPoints))
+			}
+			fmt.Fprintf(&b, "  group tag=%d out=%s stages=%s part=%s key=%v sort=%v%s\n",
+				g.Tag, g.Output, stageNames(g.Stages), part, g.Part.KeyFields, g.Part.SortFields, extra)
+		}
+		fmt.Fprintf(&b, "  config %s\n", j.Config)
+		if j.AlignMapToInput || j.PinnedReducers || j.ReduceCountGroup != "" {
+			fmt.Fprintf(&b, "  flags aligned=%v pinned=%v tie=%q\n",
+				j.AlignMapToInput, j.PinnedReducers, j.ReduceCountGroup)
+		}
+	}
+	return b.String()
+}
+
+func stageNames(stages []stubby.Stage) string {
+	if len(stages) == 0 {
+		return "[]"
+	}
+	names := make([]string, len(stages))
+	for i, s := range stages {
+		names[i] = s.Name
+	}
+	return "[" + strings.Join(names, " ") + "]"
+}

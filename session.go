@@ -13,7 +13,26 @@ import (
 	"github.com/stubby-mr/stubby/internal/optimizer"
 	"github.com/stubby-mr/stubby/internal/profile"
 	"github.com/stubby-mr/stubby/internal/whatif"
+	"github.com/stubby-mr/stubby/internal/whatif/estcache"
 )
+
+// EstimateCache memoizes What-if cost estimates under canonical workflow
+// fingerprints (structure + configurations + profiles + layouts, insensitive
+// to job-ID renaming). It is concurrent-safe, LRU-bounded, deduplicates
+// in-flight estimates, and may be shared across sessions via
+// WithEstimateCache so fan-outs over repeated or overlapping workflows
+// amortize estimation work. Caching is transparent: optimization returns
+// byte-identical plans and equal costs with or without it.
+type EstimateCache = estcache.Cache
+
+// EstimateCacheStats snapshots an EstimateCache's hit/miss/eviction
+// counters; see Session.EstimateCacheStats and Observer.EstimateCacheReport.
+type EstimateCacheStats = estcache.Stats
+
+// NewEstimateCache builds an estimate cache bounded to roughly capacity
+// entries (<= 0 uses a default of a few thousand). Attach it to one session
+// — or several, to share — with WithEstimateCache.
+func NewEstimateCache(capacity int) *EstimateCache { return estcache.New(capacity) }
 
 // Observer receives progress events from a session's optimizations and
 // runs: the optimizer reports each optimization unit it opens, each subplan
@@ -34,6 +53,10 @@ type Observer interface {
 	BestCostImproved(workflow string, unit int, desc string, cost float64)
 	// JobFinished fires after the engine completes each job of a Run.
 	JobFinished(workflow, job string, start, end float64)
+	// EstimateCacheReport fires after each Optimize on a session with an
+	// estimate cache attached, carrying the cache's cumulative statistics
+	// (shared caches accumulate across sessions and workflows).
+	EstimateCacheReport(workflow string, stats EstimateCacheStats)
 }
 
 // NopObserver is an Observer that ignores every event. Embed it to
@@ -51,6 +74,9 @@ func (NopObserver) BestCostImproved(string, int, string, float64) {}
 
 // JobFinished implements Observer.
 func (NopObserver) JobFinished(string, string, float64, float64) {}
+
+// EstimateCacheReport implements Observer.
+func (NopObserver) EstimateCacheReport(string, EstimateCacheStats) {}
 
 // PlannerRegistry maps planner names to constructors (see Planners for the
 // built-in names). Sessions resolve WithPlanner and Session.Planner through
@@ -96,6 +122,7 @@ type Session struct {
 	fraction    float64
 	baseOpts    Options
 	registry    *PlannerRegistry
+	estCache    *EstimateCache
 }
 
 // SessionOption configures a Session under construction.
@@ -184,6 +211,24 @@ func WithProfileFraction(f float64) SessionOption {
 func WithOptimizerOptions(opt Options) SessionOption {
 	return func(s *Session) error {
 		s.baseOpts = opt
+		return nil
+	}
+}
+
+// WithEstimateCache attaches an estimate cache to the session: What-if
+// estimates issued by the built-in Stubby optimizer (and its group
+// variants), by Session.Estimate, and by the post-plan costing of other
+// named planners are memoized under canonical workflow fingerprints. Pass
+// the same cache to several sessions to share it — the cache is
+// concurrent-safe, so an OptimizeAll fan-out (or many sessions) amortizes
+// estimates of repeated or overlapping workflows. Caching never changes
+// results: plans and costs are byte-identical with and without it.
+func WithEstimateCache(c *EstimateCache) SessionOption {
+	return func(s *Session) error {
+		if c == nil {
+			return fmt.Errorf("stubby: WithEstimateCache(nil)")
+		}
+		s.estCache = c
 		return nil
 	}
 }
@@ -283,7 +328,46 @@ func (s *Session) optimizerOptions(workflow string) optimizer.Options {
 	if o.Observer == nil && s.observer != nil {
 		o.Observer = optimizerObserver{obs: s.observer, workflow: workflow}
 	}
+	if o.EstimateCache == nil {
+		o.EstimateCache = s.estCache
+	}
 	return o
+}
+
+// EstimateCache returns the cache attached via WithEstimateCache, or nil.
+func (s *Session) EstimateCache() *EstimateCache { return s.estCache }
+
+// EstimateCacheStats snapshots the attached cache's counters. ok is false
+// when the session has no estimate cache.
+func (s *Session) EstimateCacheStats() (stats EstimateCacheStats, ok bool) {
+	if s.estCache == nil {
+		return EstimateCacheStats{}, false
+	}
+	return s.estCache.Stats(), true
+}
+
+// sessionEstimator is the estimator surface Session methods need: the
+// estimate plus activity counters (for Result.WhatIfCalls/WhatIfComputed).
+type sessionEstimator interface {
+	Estimate(w *Workflow) (*Estimate, error)
+	Counts() (requests, computed uint64)
+}
+
+// estimator builds a fresh what-if estimator, fronted by the session's
+// estimate cache when one is attached.
+func (s *Session) estimator() sessionEstimator {
+	inner := whatif.New(s.cluster)
+	if s.estCache != nil {
+		return estcache.NewEstimator(s.estCache, inner)
+	}
+	return inner
+}
+
+// reportCacheStats emits the cache-stats observer event after an optimize.
+func (s *Session) reportCacheStats(workflow string) {
+	if s.estCache != nil && s.observer != nil {
+		s.observer.EstimateCacheReport(workflow, s.estCache.Stats())
+	}
 }
 
 // Optimize optimizes the workflow with the session's planner (default: the
@@ -308,7 +392,11 @@ func (s *Session) Optimize(ctx context.Context, w *Workflow) (*Result, error) {
 		if o.Groups == 0 {
 			o.Groups = sp.Groups
 		}
-		return optimizer.New(s.cluster, o).OptimizeContext(ctx, w)
+		res, err := optimizer.New(s.cluster, o).OptimizeContext(ctx, w)
+		if err == nil {
+			s.reportCacheStats(w.Name)
+		}
+		return res, err
 	}
 	start := time.Now()
 	var plan *Workflow
@@ -320,11 +408,15 @@ func (s *Session) Optimize(ctx context.Context, w *Workflow) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	est, err := whatif.New(s.cluster).Estimate(plan)
+	costEst := s.estimator()
+	est, err := costEst.Estimate(plan)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Plan: plan, EstimatedCost: est.Makespan, Duration: time.Since(start)}, nil
+	s.reportCacheStats(w.Name)
+	req, comp := costEst.Counts()
+	return &Result{Plan: plan, EstimatedCost: est.Makespan, Duration: time.Since(start),
+		WhatIfCalls: req, WhatIfComputed: comp}, nil
 }
 
 // OptimizeAll optimizes independent workflows concurrently on a worker
@@ -402,9 +494,11 @@ func (s *Session) Profile(ctx context.Context, w *Workflow, dfs *DFS) error {
 	return profile.NewProfiler(s.cluster, s.fraction, s.seed).AnnotateContext(ctx, w, dfs)
 }
 
-// Estimate runs the What-if engine on an annotated plan.
+// Estimate runs the What-if engine on an annotated plan, consulting the
+// session's estimate cache when one is attached. Cached estimates are
+// shared; treat the result as immutable.
 func (s *Session) Estimate(w *Workflow) (*Estimate, error) {
-	return whatif.New(s.cluster).Estimate(w)
+	return s.estimator().Estimate(w)
 }
 
 // optimizerObserver adapts the public Observer to the optimizer's internal

@@ -177,13 +177,16 @@ func TestRunCancellation(t *testing.T) {
 // countingObserver tallies events across concurrent optimizations; it must
 // be concurrent-safe because OptimizeAll calls it from several goroutines.
 type countingObserver struct {
-	units, subplans, improved, jobs atomic.Int64
+	units, subplans, improved, jobs, cacheReports atomic.Int64
 }
 
 func (c *countingObserver) UnitStarted(string, string, int, []string)      { c.units.Add(1) }
 func (c *countingObserver) SubplanEnumerated(string, int, string, float64) { c.subplans.Add(1) }
 func (c *countingObserver) BestCostImproved(string, int, string, float64)  { c.improved.Add(1) }
 func (c *countingObserver) JobFinished(string, string, float64, float64)   { c.jobs.Add(1) }
+func (c *countingObserver) EstimateCacheReport(string, stubby.EstimateCacheStats) {
+	c.cacheReports.Add(1)
+}
 
 // TestSessionOptimizeAllConcurrent locks in concurrent-safety of a shared
 // session: four workloads optimized on one session's worker pool (run under
