@@ -9,6 +9,8 @@
 //	stubby-bench -fig 11 -size 0.5 -seed 7
 //	stubby-bench -ablation ordering | search | units | profile | all
 //	stubby-bench -whatif
+//	stubby-bench -bench-optimizer -bench-out BENCH_optimizer.json
+//	stubby-bench -fig 12 -cpuprofile cpu.prof -memprofile mem.prof
 //	stubby-bench -list-optimizers
 package main
 
@@ -16,6 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 
 	"github.com/stubby-mr/stubby/internal/baselines"
 	"github.com/stubby-mr/stubby/internal/bench"
@@ -24,14 +29,18 @@ import (
 
 func main() {
 	var (
-		fig      = flag.Int("fig", 0, "figure to regenerate (5, 11, 12, 13, 14)")
-		table    = flag.Int("table", 0, "table to regenerate (1)")
-		all      = flag.Bool("all", false, "regenerate everything")
-		ablation = flag.String("ablation", "", "ablation to run: ordering, search, units, profile, all")
-		whatif   = flag.Bool("whatif", false, "report what-if call counts per workload, estimate cache off vs on")
-		listOpts = flag.Bool("list-optimizers", false, "list registered optimizers and exit")
-		size     = flag.Float64("size", 0.25, "workload size factor (records scale)")
-		seed     = flag.Int64("seed", 1, "random seed")
+		fig        = flag.Int("fig", 0, "figure to regenerate (5, 11, 12, 13, 14)")
+		table      = flag.Int("table", 0, "table to regenerate (1)")
+		all        = flag.Bool("all", false, "regenerate everything")
+		ablation   = flag.String("ablation", "", "ablation to run: ordering, search, units, profile, all")
+		whatif     = flag.Bool("whatif", false, "report what-if call counts per workload, estimate cache off vs on")
+		benchOpt   = flag.Bool("bench-optimizer", false, "benchmark the optimizer hot path: incremental vs monolithic what-if estimation")
+		benchOut   = flag.String("bench-out", "BENCH_optimizer.json", "where -bench-optimizer writes its JSON report")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
+		listOpts   = flag.Bool("list-optimizers", false, "list registered optimizers and exit")
+		size       = flag.Float64("size", 0.25, "workload size factor (records scale)")
+		seed       = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
 	if *listOpts {
@@ -43,9 +52,52 @@ func main() {
 	}
 	h := bench.New(bench.Config{SizeFactor: *size, Seed: *seed})
 	ran := false
+	// Profile teardown must also run on the error paths below: os.Exit
+	// skips defers, so fail() and the usage exit flush explicitly (a CPU
+	// profile missing its trailing records is unreadable, and the heap
+	// profile of a failing run is often exactly the one wanted).
+	var profOnce sync.Once
+	stopProfiles := func() {}
+	exit := func(code int) {
+		profOnce.Do(stopProfiles)
+		os.Exit(code)
+	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "stubby-bench:", err)
-		os.Exit(1)
+		exit(1)
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		var cpuOut *os.File
+		if *cpuProfile != "" {
+			f, err := os.Create(*cpuProfile)
+			if err != nil {
+				fail(err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fail(err)
+			}
+			cpuOut = f
+		}
+		memPath := *memProfile
+		stopProfiles = func() {
+			if cpuOut != nil {
+				pprof.StopCPUProfile()
+				cpuOut.Close()
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "stubby-bench:", err)
+					return
+				}
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "stubby-bench:", err)
+				}
+				f.Close()
+			}
+		}
+		defer profOnce.Do(stopProfiles)
 	}
 	if *all || *table == 1 {
 		ran = true
@@ -95,9 +147,15 @@ func main() {
 			fail(err)
 		}
 	}
+	if *all || *benchOpt {
+		ran = true
+		if err := runOptimizerBench(h, *benchOut, *size, *seed); err != nil {
+			fail(err)
+		}
+	}
 	if !ran {
 		flag.Usage()
-		os.Exit(2)
+		exit(2)
 	}
 }
 
@@ -181,6 +239,7 @@ func printWhatIf(h *bench.Harness) error {
 		cells = append(cells, []string{
 			r.Workload,
 			fmt.Sprintf("%d", r.UncachedCalls),
+			fmt.Sprintf("%d", r.UncachedComputed),
 			fmt.Sprintf("%d", r.CachedRequests),
 			fmt.Sprintf("%d", r.CachedComputed),
 			fmt.Sprintf("%.1f%%", r.HitRatePct),
@@ -189,7 +248,47 @@ func printWhatIf(h *bench.Harness) error {
 		})
 	}
 	fmt.Println(bench.FormatTable(
-		[]string{"Workflow", "Uncached", "Requests", "Computed", "Hit rate", "Repeat", "Identical plans"}, cells))
+		[]string{"Workflow", "Uncached req", "Uncached comp", "Cached req", "Cached comp",
+			"Absorbed", "Repeat", "Identical plans"}, cells))
+	return nil
+}
+
+// runOptimizerBench measures the incremental estimator against the
+// monolithic path over the paper workloads plus the deep synthetic
+// pipelines, prints the table, and writes the JSON perf trajectory.
+func runOptimizerBench(h *bench.Harness, out string, size float64, seed int64) error {
+	abbrs := append(append([]string{}, workloads.Abbrs()...), bench.DeepPipelineAbbrs()...)
+	rows, err := h.OptimizerBench(abbrs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Optimizer hot path: incremental vs monolithic what-if estimation (plans are byte-identical)")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Workload,
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%.0f ms", r.MonolithicMS),
+			fmt.Sprintf("%.0f ms", r.IncrementalMS),
+			fmt.Sprintf("%.2fx", r.WallSpeedup),
+			fmt.Sprintf("%d", r.MonolithicFlowCards),
+			fmt.Sprintf("%d", r.IncrementalFlowCards),
+			fmt.Sprintf("%.2fx", r.FlowCardRatio),
+			fmt.Sprintf("%v", r.PlansIdentical),
+		})
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Workflow", "Jobs", "Monolithic", "Incremental", "Speedup",
+			"Cards (mono)", "Cards (inc)", "Card ratio", "Identical"}, cells))
+	report := bench.OptimizerBenchReport(rows, size, seed)
+	fmt.Printf("multi-job (>=%d jobs): wall %.2fx, flow cards %.2fx\n",
+		bench.MultiJobThreshold, report.MultiJob.WallSpeedup, report.MultiJob.FlowCardRatio)
+	if out != "" {
+		if err := bench.WriteOptimizerBenchJSON(out, report); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
 	return nil
 }
 

@@ -39,6 +39,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		fraction = flag.Float64("profile", 0.5, "profiling sample fraction")
 		useCache = flag.Bool("cache", true, "memoize what-if estimates under workflow fingerprints")
+		incr     = flag.Bool("incremental", true, "delta-estimate configuration-search probes (bit-transparent; disable to benchmark the monolithic estimator)")
 		export   = flag.String("export", "", "write the annotated plan to this JSON file and exit")
 		imprt    = flag.String("import", "", "read an annotated plan from this JSON file (structure-only) instead of building a workload")
 	)
@@ -80,6 +81,7 @@ func main() {
 		stubby.WithCluster(wl.Cluster),
 		stubby.WithSeed(*seed),
 		stubby.WithProfileFraction(*fraction),
+		stubby.WithIncrementalEstimation(*incr),
 	}
 	var cache *stubby.EstimateCache
 	if *useCache {
@@ -174,7 +176,8 @@ func printWhatIf(res *stubby.Result, cache *stubby.EstimateCache) {
 	if res.WhatIfCalls == 0 {
 		return
 	}
-	fmt.Printf("-- what-if calls: %d requested, %d computed\n", res.WhatIfCalls, res.WhatIfComputed)
+	fmt.Printf("-- what-if calls: %d requested, %d full computations, %d flow cards\n",
+		res.WhatIfCalls, res.WhatIfComputed, res.FlowCards)
 	if cache != nil {
 		st := cache.Stats()
 		fmt.Printf("-- estimate cache: %d/%d hits (%.1f%%), %d entries, %d evictions\n",

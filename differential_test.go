@@ -3,6 +3,7 @@ package stubby_test
 import (
 	"bytes"
 	"context"
+	"os"
 	"sync"
 	"testing"
 
@@ -51,6 +52,14 @@ func differentialWorkloads(t *testing.T) map[string]*stubby.Workload {
 	return diffWls
 }
 
+// disableIncremental lets CI run the whole differential suite under both
+// estimation modes: unset, searches delta-estimate incrementally (the
+// default); with STUBBY_DISABLE_INCREMENTAL set, every probe goes through
+// the monolithic estimator. Transparency must hold either way.
+func disableIncremental() bool {
+	return os.Getenv("STUBBY_DISABLE_INCREMENTAL") != ""
+}
+
 // optimizeWith runs one Optimize for the differential pair. parallelism > 1
 // engages the concurrent subplan search on the cached side.
 func optimizeWith(t *testing.T, wl *stubby.Workload, planner string,
@@ -61,6 +70,7 @@ func optimizeWith(t *testing.T, wl *stubby.Workload, planner string,
 		stubby.WithSeed(1),
 		stubby.WithPlanner(planner),
 		stubby.WithParallelism(parallelism),
+		stubby.WithIncrementalEstimation(!disableIncremental()),
 		stubby.WithOptimizerOptions(stubby.Options{RRSEvals: differentialRRSEvals}),
 	}
 	if cache != nil {
@@ -173,6 +183,50 @@ func TestDifferentialOptimizeAllSharedCache(t *testing.T) {
 	}
 	assertSamePlan(t, results[0], repeats[0])
 	assertSamePlan(t, results[4], repeats[1])
+}
+
+// TestDifferentialIncrementalVsMonolithic pins the incremental estimator's
+// end-to-end transparency directly: for every workload, a search whose
+// probes delta-estimate through whatif.Prepared must choose a byte-identical
+// plan at an equal cost to a search re-estimating every probe monolithically
+// — the optimizer-level witness of the estimator's bitwise-equivalence
+// contract (the flow/scheduling split, slot-pool snapshots, card
+// memoization, and tail truncation all sit under this test).
+func TestDifferentialIncrementalVsMonolithic(t *testing.T) {
+	wls := differentialWorkloads(t)
+	for _, abbr := range stubby.Workloads() {
+		wl := wls[abbr]
+		t.Run(abbr, func(t *testing.T) {
+			run := func(incremental bool) *stubby.Result {
+				sess, err := stubby.NewSession(
+					stubby.WithCluster(wl.Cluster),
+					stubby.WithSeed(1),
+					stubby.WithParallelism(1),
+					stubby.WithIncrementalEstimation(incremental),
+					stubby.WithOptimizerOptions(stubby.Options{RRSEvals: differentialRRSEvals}),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sess.Optimize(context.Background(), wl.Workflow)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			mono := run(false)
+			incr := run(true)
+			assertSamePlan(t, mono, incr)
+			if mono.WhatIfCalls != incr.WhatIfCalls {
+				t.Errorf("incremental estimation changed the search itself: %d vs %d requests",
+					mono.WhatIfCalls, incr.WhatIfCalls)
+			}
+			if incr.FlowCards >= mono.FlowCards {
+				t.Errorf("incremental path saved no flow work: %d vs %d cards",
+					incr.FlowCards, mono.FlowCards)
+			}
+		})
+	}
 }
 
 // assertSamePlan requires byte-identical exported plans and equal costs.

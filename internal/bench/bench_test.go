@@ -201,17 +201,17 @@ func TestWhatIfCounts(t *testing.T) {
 			t.Errorf("%s: cached and uncached searches chose different plans", r.Workload)
 		}
 		if r.CachedRequests != r.UncachedCalls {
-			t.Errorf("%s: cached search issued %d requests, uncached computed %d — the search itself changed",
+			t.Errorf("%s: cached search issued %d requests, uncached issued %d — the search itself changed",
 				r.Workload, r.CachedRequests, r.UncachedCalls)
 		}
-		if r.CachedComputed >= r.UncachedCalls {
+		if r.CachedComputed >= r.UncachedComputed {
 			t.Errorf("%s: cache absorbed nothing (%d computed of %d)",
-				r.Workload, r.CachedComputed, r.UncachedCalls)
+				r.Workload, r.CachedComputed, r.UncachedComputed)
 		}
 		if r.RepeatComputed != 0 {
 			t.Errorf("%s: repeat optimization recomputed %d estimates, want 0", r.Workload, r.RepeatComputed)
 		}
-		uncached += r.UncachedCalls
+		uncached += r.UncachedComputed
 		computed += r.CachedComputed
 	}
 	if computed >= uncached {

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"github.com/stubby-mr/stubby/internal/optimizer"
+	"github.com/stubby-mr/stubby/internal/planio"
+	"github.com/stubby-mr/stubby/internal/workloads"
+)
+
+// OptimizerBenchRow measures the incremental What-if estimator's effect on
+// one workload: the full Stubby search runs with incremental estimation
+// forced off (every configuration probe re-estimates the whole workflow
+// monolithically) and on (probes delta-estimate only the affected cone),
+// recording wall-clock and estimator activity both ways and checking the
+// equivalence contract (identical plans, equal costs) as it goes.
+type OptimizerBenchRow struct {
+	Workload string `json:"workload"`
+	// Jobs is the input workflow's job count.
+	Jobs int `json:"jobs"`
+	// MonolithicMS / IncrementalMS are optimize wall-clock times (best of
+	// OptimizerBenchRuns attempts, to damp scheduler noise).
+	MonolithicMS  float64 `json:"monolithic_ms"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	// Calls / Computed / FlowCards pairs split estimator activity per mode:
+	// requests issued, full monolithic estimates run, and per-job flow
+	// computations performed.
+	MonolithicCalls      uint64 `json:"monolithic_whatif_calls"`
+	MonolithicComputed   uint64 `json:"monolithic_whatif_computed"`
+	MonolithicFlowCards  uint64 `json:"monolithic_flow_cards"`
+	IncrementalCalls     uint64 `json:"incremental_whatif_calls"`
+	IncrementalComputed  uint64 `json:"incremental_whatif_computed"`
+	IncrementalFlowCards uint64 `json:"incremental_flow_cards"`
+	// WallSpeedup is MonolithicMS / IncrementalMS; FlowCardRatio is
+	// MonolithicFlowCards / IncrementalFlowCards.
+	WallSpeedup   float64 `json:"wall_speedup"`
+	FlowCardRatio float64 `json:"flow_card_ratio"`
+	// PlansIdentical reports whether both modes chose byte-identical plans
+	// with equal estimated costs (they must — incremental estimation is
+	// bit-transparent).
+	PlansIdentical bool `json:"plans_identical"`
+}
+
+// OptimizerBenchRuns is how many times each (workload, mode) optimization
+// repeats; rows report the fastest attempt.
+const OptimizerBenchRuns = 3
+
+// OptimizerBench runs the incremental-vs-monolithic comparison over the
+// given workloads (nil means every paper workload).
+func (h *Harness) OptimizerBench(abbrs []string) ([]OptimizerBenchRow, error) {
+	if abbrs == nil {
+		abbrs = workloads.Abbrs()
+	}
+	var out []OptimizerBenchRow
+	for _, abbr := range abbrs {
+		var wl *workloads.Workload
+		var err error
+		if _, deep := deepPipelineStages(abbr); deep {
+			wl, err = h.deepWorkload(abbr)
+		} else {
+			wl, err = h.workload(abbr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		run := func(disable bool) (*optimizer.Result, float64, error) {
+			best := 0.0
+			var res *optimizer.Result
+			for i := 0; i < OptimizerBenchRuns; i++ {
+				opt := optimizer.New(wl.Cluster, optimizer.Options{
+					Seed: h.cfg.Seed, DisableIncremental: disable,
+				})
+				t0 := time.Now()
+				r, err := opt.Optimize(wl.Workflow)
+				ms := float64(time.Since(t0).Microseconds()) / 1000
+				if err != nil {
+					return nil, 0, err
+				}
+				if res == nil || ms < best {
+					best = ms
+					res = r
+				}
+			}
+			return res, best, nil
+		}
+		mono, monoMS, err := run(true)
+		if err != nil {
+			return nil, fmt.Errorf("monolithic %s: %w", abbr, err)
+		}
+		inc, incMS, err := run(false)
+		if err != nil {
+			return nil, fmt.Errorf("incremental %s: %w", abbr, err)
+		}
+		mb, err := planio.Encode(mono.Plan)
+		if err != nil {
+			return nil, err
+		}
+		ib, err := planio.Encode(inc.Plan)
+		if err != nil {
+			return nil, err
+		}
+		row := OptimizerBenchRow{
+			Workload:             abbr,
+			Jobs:                 len(wl.Workflow.Jobs),
+			MonolithicMS:         monoMS,
+			IncrementalMS:        incMS,
+			MonolithicCalls:      mono.WhatIfCalls,
+			MonolithicComputed:   mono.WhatIfComputed,
+			MonolithicFlowCards:  mono.FlowCards,
+			IncrementalCalls:     inc.WhatIfCalls,
+			IncrementalComputed:  inc.WhatIfComputed,
+			IncrementalFlowCards: inc.FlowCards,
+			PlansIdentical: bytes.Equal(mb, ib) &&
+				mono.EstimatedCost == inc.EstimatedCost,
+		}
+		if incMS > 0 {
+			row.WallSpeedup = monoMS / incMS
+		}
+		if inc.FlowCards > 0 {
+			row.FlowCardRatio = float64(mono.FlowCards) / float64(inc.FlowCards)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// MultiJobThreshold is the job count at which a workload counts as
+// multi-job for the optimizer benchmark's aggregate (the regime incremental
+// estimation targets: optimization units are proper subsets of the plan).
+const MultiJobThreshold = 4
+
+// OptBenchAggregate summarizes a set of OptimizerBenchRows.
+type OptBenchAggregate struct {
+	Workloads []string `json:"workloads"`
+	// WallSpeedup is total monolithic wall-clock over total incremental
+	// wall-clock; GeomeanWallSpeedup is the per-workload geometric mean.
+	WallSpeedup        float64 `json:"wall_speedup"`
+	GeomeanWallSpeedup float64 `json:"geomean_wall_speedup"`
+	// FlowCardRatio is total monolithic flow computations over total
+	// incremental flow computations.
+	FlowCardRatio float64 `json:"flow_card_ratio"`
+	// PlansIdentical is the conjunction of the rows' equivalence checks.
+	PlansIdentical bool `json:"plans_identical"`
+}
+
+// OptBenchReport is the JSON document stubby-bench -bench-optimizer emits
+// (BENCH_optimizer.json) so future changes have a perf trajectory to
+// compare against.
+type OptBenchReport struct {
+	SizeFactor float64             `json:"size_factor"`
+	Seed       int64               `json:"seed"`
+	Rows       []OptimizerBenchRow `json:"rows"`
+	All        OptBenchAggregate   `json:"all"`
+	// MultiJob aggregates the workloads with >= MultiJobThreshold jobs.
+	MultiJob OptBenchAggregate `json:"multi_job"`
+}
+
+func aggregate(rows []OptimizerBenchRow) OptBenchAggregate {
+	agg := OptBenchAggregate{PlansIdentical: true}
+	var monoMS, incMS float64
+	var monoCards, incCards uint64
+	logSum := 0.0
+	for _, r := range rows {
+		agg.Workloads = append(agg.Workloads, r.Workload)
+		monoMS += r.MonolithicMS
+		incMS += r.IncrementalMS
+		monoCards += r.MonolithicFlowCards
+		incCards += r.IncrementalFlowCards
+		if r.WallSpeedup > 0 {
+			logSum += math.Log(r.WallSpeedup)
+		}
+		agg.PlansIdentical = agg.PlansIdentical && r.PlansIdentical
+	}
+	if incMS > 0 {
+		agg.WallSpeedup = monoMS / incMS
+	}
+	if incCards > 0 {
+		agg.FlowCardRatio = float64(monoCards) / float64(incCards)
+	}
+	if len(rows) > 0 {
+		agg.GeomeanWallSpeedup = math.Exp(logSum / float64(len(rows)))
+	}
+	return agg
+}
+
+// OptimizerBenchReport assembles the JSON report from measured rows.
+func OptimizerBenchReport(rows []OptimizerBenchRow, sizeFactor float64, seed int64) OptBenchReport {
+	rep := OptBenchReport{SizeFactor: sizeFactor, Seed: seed, Rows: rows, All: aggregate(rows)}
+	var multi []OptimizerBenchRow
+	for _, r := range rows {
+		if r.Jobs >= MultiJobThreshold {
+			multi = append(multi, r)
+		}
+	}
+	rep.MultiJob = aggregate(multi)
+	return rep
+}
+
+// WriteOptimizerBenchJSON writes the report, indented, to path.
+func WriteOptimizerBenchJSON(path string, rep OptBenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -16,15 +16,21 @@ import (
 // the transparency contract (identical plans, equal costs) as it goes.
 type WhatIfRun struct {
 	Workload string
-	// UncachedCalls is the number of full What-if computations without a
-	// cache (requests == computations there).
-	UncachedCalls uint64
-	// CachedRequests / CachedComputed split the cached search's activity:
-	// requests issued vs full computations performed. The difference is
-	// the work the cache absorbed.
+	// UncachedCalls / UncachedComputed are the What-if requests issued and
+	// the full monolithic computations run by the cache-off search.
+	// Incremental delta estimates count as requests but not computations,
+	// so requests exceed computations even without a cache.
+	UncachedCalls    uint64
+	UncachedComputed uint64
+	// CachedRequests / CachedComputed are the same split for the cached
+	// search. Requests must equal the uncached search's (caching cannot
+	// change the search); the computation difference is the full-estimate
+	// work the cache absorbed.
 	CachedRequests uint64
 	CachedComputed uint64
-	// HitRatePct is 100 * (CachedRequests - CachedComputed) / CachedRequests.
+	// HitRatePct is the share of the uncached search's full computations
+	// the cache absorbed: 100 * (UncachedComputed - CachedComputed) /
+	// UncachedComputed.
 	HitRatePct float64
 	// RepeatComputed is the number of full computations when the same
 	// workload is optimized a second time against the shared cache — the
@@ -82,18 +88,19 @@ func (h *Harness) WhatIfCounts() ([]WhatIfRun, error) {
 			return nil, err
 		}
 		run := WhatIfRun{
-			Workload:       abbr,
-			UncachedCalls:  uncached.WhatIfComputed,
-			CachedRequests: cached.WhatIfCalls,
-			CachedComputed: cached.WhatIfComputed,
-			RepeatComputed: repeat.WhatIfComputed,
+			Workload:         abbr,
+			UncachedCalls:    uncached.WhatIfCalls,
+			UncachedComputed: uncached.WhatIfComputed,
+			CachedRequests:   cached.WhatIfCalls,
+			CachedComputed:   cached.WhatIfComputed,
+			RepeatComputed:   repeat.WhatIfComputed,
 			PlansIdentical: bytes.Equal(ub, cb) && bytes.Equal(ub, rb) &&
 				uncached.EstimatedCost == cached.EstimatedCost &&
 				uncached.EstimatedCost == repeat.EstimatedCost,
 			Makespan: cached.EstimatedCost,
 		}
-		if run.CachedRequests > 0 {
-			run.HitRatePct = 100 * float64(run.CachedRequests-run.CachedComputed) / float64(run.CachedRequests)
+		if run.UncachedComputed > 0 {
+			run.HitRatePct = 100 * float64(run.UncachedComputed-run.CachedComputed) / float64(run.UncachedComputed)
 		}
 		out = append(out, run)
 	}

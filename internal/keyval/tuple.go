@@ -263,6 +263,34 @@ func Hash(t Tuple, fields []int) uint64 {
 	return h.Sum64()
 }
 
+// HashTuples fingerprints an ordered list of tuples: FNV-1a-style folding
+// of the per-tuple hashes. Used to key split-point lists (plan signatures,
+// skew caches) without materializing a string. The offset basis matches the
+// historical in-tree copies — plan signatures derive search seeds from it,
+// so the value is load-bearing for reproducibility.
+func HashTuples(ts []Tuple) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, t := range ts {
+		h ^= Hash(t, nil)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// HashInts fingerprints an int slice (FNV-1a-style over the values, length
+// folded in as a terminator), giving comparable-key consumers a fixed-size
+// stand-in for a field-index list.
+func HashInts(xs []int) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, x := range xs {
+		h ^= uint64(x)
+		h *= 1099511628211
+	}
+	h ^= uint64(len(xs)) | 1<<63
+	h *= 1099511628211
+	return h
+}
+
 func putUint64(b []byte, v uint64) {
 	for i := 0; i < 8; i++ {
 		b[i] = byte(v >> (8 * (7 - i)))

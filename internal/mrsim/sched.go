@@ -39,6 +39,32 @@ func (p *SlotPool) Schedule(ready, dur float64) (start, end float64) {
 // EarliestFree reports the earliest time any slot is available.
 func (p *SlotPool) EarliestFree() float64 { return p.free[0] }
 
+// PoolSnapshot is a saved SlotPool state (see Snapshot/Restore).
+type PoolSnapshot struct {
+	free []float64
+}
+
+// Snapshot captures the pool's exact internal state. The copy preserves the
+// heap's slice layout, not just the multiset of free times: ScheduleUniform
+// breaks ties in slice order, so replaying the same schedule from a restored
+// snapshot is bit-for-bit identical to never having diverged — the property
+// the incremental What-if estimator depends on.
+func (p *SlotPool) Snapshot() PoolSnapshot {
+	s := PoolSnapshot{free: make([]float64, len(p.free))}
+	copy(s.free, p.free)
+	return s
+}
+
+// Restore rewinds the pool to a snapshot taken from a pool of the same
+// size. It reuses the pool's backing storage, so restoring on a hot path
+// allocates nothing.
+func (p *SlotPool) Restore(s PoolSnapshot) {
+	if len(p.free) != len(s.free) {
+		p.free = make(timeHeap, len(s.free))
+	}
+	copy(p.free, s.free)
+}
+
 // ScheduleUniform places count equal-duration tasks, all ready at `ready`,
 // with greedy earliest-slot assignment, and returns the time the last task
 // ends. It is equivalent to calling Schedule count times but costs

@@ -1,0 +1,91 @@
+package mrsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// replaySchedule drives a pool through a deterministic mixed workload of
+// Schedule and ScheduleUniform calls (including counts large enough to take
+// ScheduleUniform's analytic water-level path) and returns every value the
+// pool produced.
+func replaySchedule(p *SlotPool, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var out []float64
+	ready := 0.0
+	for i := 0; i < 40; i++ {
+		switch i % 3 {
+		case 0:
+			s, e := p.Schedule(ready, 1+rng.Float64()*5)
+			out = append(out, s, e)
+			ready = e * 0.75
+		case 1:
+			e := p.ScheduleUniform(ready, 0.5+rng.Float64()*2, rng.Intn(8))
+			out = append(out, e)
+		default:
+			// Large count: exercises the binary-search assignment whose
+			// per-slot trimming is sensitive to the heap's slice layout.
+			e := p.ScheduleUniform(ready, 0.1+rng.Float64(), 40+rng.Intn(100))
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestSlotPoolSnapshotRestoreExactReplay is the property the incremental
+// What-if estimator depends on: restoring a snapshot and replaying the same
+// operations must yield bit-identical results, every time, including through
+// ScheduleUniform's layout-sensitive analytic path.
+func TestSlotPoolSnapshotRestoreExactReplay(t *testing.T) {
+	pool := NewSlotPool(12)
+	// Put the pool in a non-trivial state first.
+	replaySchedule(pool, 1)
+	snap := pool.Snapshot()
+
+	want := replaySchedule(pool, 2)
+	for round := 0; round < 3; round++ {
+		pool.Restore(snap)
+		got := replaySchedule(pool, 2)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: %d results, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: result %d = %.17g, want %.17g", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSlotPoolSnapshotIsolated: mutating the pool after Snapshot must not
+// corrupt the snapshot (and Restore must not alias it either).
+func TestSlotPoolSnapshotIsolated(t *testing.T) {
+	pool := NewSlotPool(4)
+	pool.Schedule(0, 5)
+	snap := pool.Snapshot()
+	free := pool.EarliestFree()
+	pool.ScheduleUniform(0, 3, 50)
+	pool.Restore(snap)
+	if got := pool.EarliestFree(); got != free {
+		t.Fatalf("restored earliest-free = %v, want %v", got, free)
+	}
+	// Mutating after restore must not write through into the snapshot.
+	pool.Schedule(0, 100)
+	pool.Restore(snap)
+	if got := pool.EarliestFree(); got != free {
+		t.Fatalf("snapshot corrupted by post-restore mutation: %v, want %v", got, free)
+	}
+}
+
+// TestSlotPoolRestoreResizes: restoring onto a pool whose heap length
+// diverged (defensive path) reallocates correctly.
+func TestSlotPoolRestoreResizes(t *testing.T) {
+	a := NewSlotPool(8)
+	a.Schedule(0, 2)
+	snap := a.Snapshot()
+	b := NewSlotPool(3)
+	b.Restore(snap)
+	if b.EarliestFree() != a.EarliestFree() {
+		t.Fatalf("resized restore: earliest-free %v, want %v", b.EarliestFree(), a.EarliestFree())
+	}
+}

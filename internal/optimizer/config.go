@@ -91,6 +91,29 @@ func (s *Stubby) tuneConfigs(ctx context.Context, est searchEstimator, plan *wf.
 		}
 	}
 	scratch := plan.Clone()
+	// The RRS objective mutates only the dims' jobs' configurations, so an
+	// incremental (prepared) estimator can delta-estimate each probe: the
+	// plan is split at the first changeable job, the prefix is estimated
+	// once, and per-probe work shrinks to the affected cone plus a cheap
+	// scheduling replay. Estimates are bit-identical to the monolithic
+	// path, so the search trajectory — and therefore the chosen plan — is
+	// unchanged (Options.DisableIncremental escape-hatches back).
+	estimateScratch := func() (*whatif.Estimate, error) { return est.Estimate(scratch) }
+	if !s.opt.DisableIncremental {
+		if ip, ok := est.(incrementalPreparer); ok {
+			if prep, err := ip.Prepare(scratch, dimJobs(dims)); err == nil {
+				estimateScratch = prep.Estimate
+				// unitCost reads only the unit jobs' start/end times — plus
+				// whole-plan makespan in one degenerate branch that requires
+				// a job with predicted End == 0, impossible once task setup
+				// costs anything. On such clusters the tail scheduled after
+				// the last unit job can be skipped outright.
+				if s.cluster.TaskSetupSec > 0 {
+					estimateScratch = prep.EstimateChanged
+				}
+			}
+		}
+	}
 	objective := func(pt rrs.Point) float64 {
 		// Cancellation between RRS evaluations: short-circuit the rest of
 		// the budget; the caller surfaces ctx.Err() after Minimize returns.
@@ -98,7 +121,7 @@ func (s *Stubby) tuneConfigs(ctx context.Context, est searchEstimator, plan *wf.
 			return math.Inf(1)
 		}
 		applyPoint(scratch, pt)
-		e, err := est.Estimate(scratch)
+		e, err := estimateScratch()
 		if err != nil {
 			return 1e18
 		}
@@ -136,6 +159,22 @@ func (s *Stubby) tuneConfigs(ctx context.Context, est searchEstimator, plan *wf.
 	tuned := plan.Clone()
 	applyPoint(tuned, res.Best)
 	return tuned, res.Value, false, nil
+}
+
+// dimJobs collects the distinct job IDs any dimension applies to — the set
+// of jobs a configuration probe may reconfigure.
+func dimJobs(dims []configDim) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, d := range dims {
+		for _, id := range d.jobs {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
 }
 
 // configSpace builds the joint parameter space for jobs within the unit.

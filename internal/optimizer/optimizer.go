@@ -94,6 +94,14 @@ type Options struct {
 	// functions of (plan, cluster), so plans and costs are identical with
 	// or without it; the differential test suite enforces this.
 	EstimateCache *estcache.Cache
+	// DisableIncremental forces every configuration-search probe through
+	// the monolithic What-if estimator instead of the incremental
+	// (prepared) path that delta-estimates only the jobs a probe affects.
+	// Incremental estimation is bit-transparent — plans and costs are
+	// identical either way (the differential suite and equivalence fuzz
+	// tests enforce it) — so this is an escape hatch for debugging and for
+	// measuring the incremental path's speedup, not a semantic knob.
+	DisableIncremental bool
 }
 
 // SearchStrategy selects how configuration transformations are searched.
@@ -144,10 +152,19 @@ func (o Options) withDefaults() Options {
 
 // searchEstimator is what the search needs from a cost estimator: the
 // What-if answer plus activity counters. Implemented by whatif.Estimator
-// (direct) and estcache.Estimator (memoized through a shared cache).
+// (direct) and estcache.Estimator (memoized through a shared cache). Both
+// also implement incrementalPreparer; the interfaces are split so custom
+// estimators without an incremental path still plug in.
 type searchEstimator interface {
 	Estimate(w *wf.Workflow) (*whatif.Estimate, error)
-	Counts() (requests, computed uint64)
+	Counts() whatif.Counts
+}
+
+// incrementalPreparer is the optional fast path of a searchEstimator:
+// prepare one plan for repeated re-estimation under configuration probes
+// that mutate only the declared jobs.
+type incrementalPreparer interface {
+	Prepare(w *wf.Workflow, changedJobIDs []string) (*whatif.Prepared, error)
 }
 
 // Stubby is the transformation-based workflow optimizer.
@@ -193,13 +210,12 @@ func (s *Stubby) newEstimator() searchEstimator {
 
 // whatIfCounts sums what-if activity across every estimator of the search.
 // Only call while no search goroutines are running (between optimizations).
-func (s *Stubby) whatIfCounts() (requests, computed uint64) {
+func (s *Stubby) whatIfCounts() whatif.Counts {
+	var total whatif.Counts
 	for _, e := range s.allEsts {
-		r, c := e.Counts()
-		requests += r
-		computed += c
+		total.Add(e.Counts())
 	}
-	return requests, computed
+	return total
 }
 
 // SubplanReport records one enumerated subplan of a unit.
@@ -236,12 +252,18 @@ type Result struct {
 	Duration time.Duration
 	// WhatIfCalls is the number of What-if estimate requests the search
 	// issued (candidate subplans × configuration samples, plus the final
-	// plan estimate).
+	// plan estimate). Incremental delta estimates count as requests.
 	WhatIfCalls uint64
-	// WhatIfComputed is how many of those requests ran the full estimator.
-	// Without Options.EstimateCache it equals WhatIfCalls; with a cache,
-	// the difference is the work the cache absorbed.
+	// WhatIfComputed is how many of those requests ran the full monolithic
+	// estimator. Delta estimates are partial computations and are excluded
+	// — their cost shows up in FlowCards; with Options.EstimateCache the
+	// difference additionally reflects the work the cache absorbed.
 	WhatIfComputed uint64
+	// FlowCards is the number of per-job flow computations the search
+	// performed — the estimator's expensive unit of work, and the number
+	// incremental estimation drives down (a full estimate of an n-job plan
+	// costs n cards; a delta estimate costs only the affected cone).
+	FlowCards uint64
 }
 
 // Optimize runs the two-phase search and returns the optimized plan. The
@@ -255,7 +277,7 @@ func (s *Stubby) Optimize(w *wf.Workflow) (*Result, error) {
 // stop promptly with ctx.Err(). The input plan is not modified either way.
 func (s *Stubby) OptimizeContext(ctx context.Context, w *wf.Workflow) (*Result, error) {
 	start := time.Now()
-	req0, comp0 := s.whatIfCounts()
+	counts0 := s.whatIfCounts()
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("optimizer: %w", err)
 	}
@@ -294,9 +316,10 @@ func (s *Stubby) OptimizeContext(ctx context.Context, w *wf.Workflow) (*Result, 
 	res.Plan = plan
 	res.EstimatedCost = est.Makespan
 	res.Duration = time.Since(start)
-	req1, comp1 := s.whatIfCounts()
-	res.WhatIfCalls = req1 - req0
-	res.WhatIfComputed = comp1 - comp0
+	counts1 := s.whatIfCounts()
+	res.WhatIfCalls = counts1.Requests - counts0.Requests
+	res.WhatIfComputed = counts1.Computed - counts0.Computed
+	res.FlowCards = counts1.FlowCards - counts0.FlowCards
 	return res, nil
 }
 

@@ -411,7 +411,7 @@ func signature(plan *wf.Workflow) string {
 		for _, g := range j.ReduceGroups {
 			groups = append(groups, fmt.Sprintf("%d>%s:%s:%v:%v:%x:ms=%v",
 				g.Tag, g.Output, g.Part.Type, g.Part.KeyFields, g.Part.SortFields,
-				splitPointsHash(g.Part.SplitPoints), g.RunsMapSide))
+				keyval.HashTuples(g.Part.SplitPoints), g.RunsMapSide))
 		}
 		sort.Strings(groups)
 		b.WriteString(strings.Join(groups, ","))
@@ -433,14 +433,4 @@ func subplanSeed(unitIdx int, plan *wf.Workflow) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(signature(plan)))
 	return int64(h.Sum64()&0x7fffffffffffffff) ^ int64(unitIdx)
-}
-
-// splitPointsHash distinguishes specs with different split points.
-func splitPointsHash(points []keyval.Tuple) uint64 {
-	var h uint64 = 1469598103934665603
-	for _, p := range points {
-		h ^= keyval.Hash(p, nil)
-		h *= 1099511628211
-	}
-	return h
 }

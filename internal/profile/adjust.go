@@ -34,11 +34,13 @@ func ComposeSerial(a, b *wf.PipelineProfile) *wf.PipelineProfile {
 		out.CombineReduction = 1
 	}
 	// The composed pipeline emits b's keys: downstream decisions (split
-	// points, skew) should see b's sample.
+	// points, skew) should see b's sample. Samples are immutable once
+	// attached (see wf.PipelineProfile), so the composed profile shares
+	// the backing slice.
 	if b.KeySample != nil {
-		out.KeySample = b.Clone().KeySample
+		out.KeySample = b.KeySample
 	} else if a.KeySample != nil {
-		out.KeySample = a.Clone().KeySample
+		out.KeySample = a.KeySample
 	}
 	return out
 }

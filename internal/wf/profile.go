@@ -7,6 +7,15 @@ import "github.com/stubby-mr/stubby/internal/keyval"
 // families, dataflow statistics (record/byte distributions through the
 // phases) and cost statistics (time spent per phase), reduced to the
 // per-record rates the What-if engine consumes (Sections 2.2 and 5).
+//
+// A PipelineProfile is write-once: it is populated by the profiler or by a
+// packing adjustment (package profile's Compose/Adjust helpers, which build
+// fresh values) and must never be mutated after being attached to a job.
+// JobProfile.Clone relies on that to share pipeline profiles across plan
+// clones — configuration search clones plans thousands of times, and
+// copying key-sample reservoirs each time would dominate its allocation
+// profile — and pointer-keyed memoizers (sample digests, fingerprint
+// hashers) rely on it to hit across clones.
 type PipelineProfile struct {
 	// Selectivity is output records per input record for the whole
 	// pipeline (the paper's "record selectivity").
@@ -65,7 +74,10 @@ type JobProfile struct {
 	ReduceSide map[int]*PipelineProfile
 }
 
-// Clone deep-copies the job profile.
+// Clone copies the job profile. The maps are copied (Set*Profile mutates
+// them), but the pipeline profiles themselves are shared: they are
+// write-once (see PipelineProfile), so clones alias the same statistics and
+// key samples.
 func (p *JobProfile) Clone() *JobProfile {
 	if p == nil {
 		return nil
@@ -74,19 +86,19 @@ func (p *JobProfile) Clone() *JobProfile {
 	if p.MapSide != nil {
 		out.MapSide = make(map[int]*PipelineProfile, len(p.MapSide))
 		for k, v := range p.MapSide {
-			out.MapSide[k] = v.Clone()
+			out.MapSide[k] = v
 		}
 	}
 	if p.MapSideByInput != nil {
 		out.MapSideByInput = make(map[string]*PipelineProfile, len(p.MapSideByInput))
 		for k, v := range p.MapSideByInput {
-			out.MapSideByInput[k] = v.Clone()
+			out.MapSideByInput[k] = v
 		}
 	}
 	if p.ReduceSide != nil {
 		out.ReduceSide = make(map[int]*PipelineProfile, len(p.ReduceSide))
 		for k, v := range p.ReduceSide {
-			out.ReduceSide[k] = v.Clone()
+			out.ReduceSide[k] = v
 		}
 	}
 	return out

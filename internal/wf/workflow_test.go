@@ -211,7 +211,13 @@ func TestCloneIsDeep(t *testing.T) {
 	c.Jobs[0].ID = "Jx"
 	c.Jobs[1].MapBranches[0].Input = "mutated"
 	c.Datasets[0].KeyFields = []string{"mutated"}
-	c.Jobs[0].Profile.MapSide[0].Selectivity = 99
+	// Pipeline profiles are write-once and shared by Clone (cloning a plan
+	// must not copy key-sample reservoirs), but the profile MAPS are
+	// copied: replacing a clone's entry must not leak into the original.
+	if c.Jobs[0].Profile.MapSide[0] != w.Jobs[0].Profile.MapSide[0] {
+		t.Error("clone should share the write-once pipeline profile")
+	}
+	c.Jobs[0].Profile.SetMapProfile(0, "base", &PipelineProfile{Selectivity: 99})
 	c.Jobs[0].ReduceGroups[0].Constraints[0].CoGroup[0] = "mutated"
 	if w.Jobs[0].ID != "J1" || w.Jobs[1].MapBranches[0].Input != "d1" {
 		t.Error("clone aliases job state")
@@ -220,7 +226,7 @@ func TestCloneIsDeep(t *testing.T) {
 		t.Error("clone aliases dataset state")
 	}
 	if w.Jobs[0].Profile.MapSide[0].Selectivity == 99 {
-		t.Error("clone aliases profile")
+		t.Error("clone aliases profile maps")
 	}
 	if w.Jobs[0].ReduceGroups[0].Constraints[0].CoGroup[0] == "mutated" {
 		t.Error("clone aliases constraints")

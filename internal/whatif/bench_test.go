@@ -25,6 +25,74 @@ func BenchmarkEstimate(b *testing.B) {
 	}
 }
 
+// BenchmarkPreparedEstimate measures one delta estimate on the same
+// fixture with J2's configuration perturbed per iteration — the incremental
+// probe the configuration search issues hundreds of times per subplan.
+// ReportAllocs guards the hot path: skew-cache lookups use comparable
+// struct keys and the probe buffers are reused, so steady-state allocations
+// stay flat regardless of plan size.
+func BenchmarkPreparedEstimate(b *testing.B) {
+	t := &testing.T{}
+	w, _, cl := buildAnnotated(t, 500)
+	if t.Failed() {
+		b.Fatal("fixture failed")
+	}
+	prep, err := New(cl).Prepare(w, []string{"J2"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Job("J2").Config.NumReduceTasks = 1 + i%16
+		if _, err := prep.Estimate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreparedEstimateChanged is the truncated probe path the RRS
+// objective actually calls (reused buffers, tail skipped).
+func BenchmarkPreparedEstimateChanged(b *testing.B) {
+	t := &testing.T{}
+	w, _, cl := buildAnnotated(t, 500)
+	if t.Failed() {
+		b.Fatal("fixture failed")
+	}
+	prep, err := New(cl).Prepare(w, []string{"J1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Job("J1").Config.SortBufferMB = 16 + i%256
+		if _, err := prep.EstimateChanged(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSkewShare isolates the skew-cache lookup on a hot sample: after
+// the first computation every iteration must be a cache hit, and with
+// comparable struct keys a hit performs zero allocations.
+func BenchmarkSkewShare(b *testing.B) {
+	t := &testing.T{}
+	w, _, cl := buildAnnotated(t, 5000)
+	if t.Failed() {
+		b.Fatal("fixture failed")
+	}
+	est := New(cl)
+	job := w.Job("J1")
+	te := &tagEst{group: &job.ReduceGroups[0], numParts: 8, maxShare: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		te.numParts = 2 + i%8
+		est.skewShare(job, 0, te)
+	}
+}
+
 // BenchmarkProfileAnnotate measures the sampling profiler on the same
 // fixture (executed once per workload before optimization).
 func BenchmarkProfileAnnotate(b *testing.B) {
@@ -33,6 +101,7 @@ func BenchmarkProfileAnnotate(b *testing.B) {
 	if t.Failed() {
 		b.Fatal("fixture failed")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := profile.NewProfiler(cl, 0.3, int64(i)).Annotate(w, dfs); err != nil {

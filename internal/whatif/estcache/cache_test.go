@@ -247,8 +247,8 @@ func TestEstimatorTransparency(t *testing.T) {
 	if st := cache.Stats(); st.Hits != 2 || st.Misses != 1 {
 		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
 	}
-	if req, comp := cached.Counts(); req != 3 || comp != 1 {
-		t.Fatalf("counts = (%d, %d), want (3, 1)", req, comp)
+	if c := cached.Counts(); c.Requests != 3 || c.Computed != 1 {
+		t.Fatalf("counts = (%d, %d), want (3, 1)", c.Requests, c.Computed)
 	}
 }
 

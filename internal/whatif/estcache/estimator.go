@@ -50,13 +50,30 @@ func (e *Estimator) Estimate(w *wf.Workflow) (*whatif.Estimate, error) {
 	})
 }
 
-// Counts reports what-if activity through this estimator: requests is every
-// Estimate call; computed is how many ran the full estimator (misses this
-// estimator computed itself — cache hits and waits on other estimators'
-// flights are excluded).
-func (e *Estimator) Counts() (requests, computed uint64) {
-	_, inner := e.inner.Counts()
-	return e.requests, inner
+// Counts reports what-if activity through this estimator: Requests is every
+// Estimate call plus every incremental (Prepared) delta estimate; Computed
+// is how many ran the full estimator (misses this estimator computed itself
+// — cache hits, delta estimates, and waits on other estimators' flights are
+// excluded); FlowCards counts the wrapped estimator's per-job flow
+// computations.
+func (e *Estimator) Counts() whatif.Counts {
+	ic := e.inner.Counts()
+	return whatif.Counts{
+		// Every full computation of the inner estimator happened on a miss
+		// of this cache, so the inner requests beyond Computed are exactly
+		// its delta estimates.
+		Requests:  e.requests + (ic.Requests - ic.Computed),
+		Computed:  ic.Computed,
+		FlowCards: ic.FlowCards,
+	}
+}
+
+// Prepare builds an incremental estimator on the wrapped What-if engine.
+// Delta estimates bypass the cache — their whole point is that consecutive
+// search probes are cheaper to re-derive than to fingerprint — but they
+// share the inner estimator's memoization and are counted in Counts.
+func (e *Estimator) Prepare(w *wf.Workflow, changedJobIDs []string) (*whatif.Prepared, error) {
+	return e.inner.Prepare(w, changedJobIDs)
 }
 
 // Cache returns the shared cache backing this estimator.

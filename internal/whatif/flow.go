@@ -1,0 +1,577 @@
+package whatif
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// This file is the flow layer of the estimator: everything about one job
+// that does not depend on when the cluster can run it — input pruning, tag
+// flow, the combiner model, skew, task counts, average and straggler task
+// durations, and output dataset estimates. The result is an immutable
+// jobCard; the scheduling layer (schedule.go) turns cards into start/end
+// times. Keeping this layer pure (a function of the job and its input
+// dataset estimates only) is what lets Prepared reuse cards across
+// configuration-search probes.
+
+// jobCard is the flow layer's answer for one job: the task counts and
+// durations scheduling needs, plus the output dataset estimates downstream
+// jobs consume. Cards are immutable once built.
+type jobCard struct {
+	mapTasks    int
+	reduceTasks int
+	hasReduce   bool
+	// avgMapDur / maxMapDur are mean and straggler (input-skew-adjusted)
+	// map task durations; avgRedDur / maxRedDur the reduce equivalents.
+	avgMapDur, maxMapDur float64
+	avgRedDur, maxRedDur float64
+	// shuffleWire is the predicted on-wire shuffle volume.
+	shuffleWire float64
+	// inputs snapshots the input dataset estimates the card was computed
+	// from, in job input order — Prepared's invalidation check.
+	inputs []cardInput
+	// outputs are the job's output dataset estimates, in tag order.
+	outputs []cardOutput
+}
+
+type cardInput struct {
+	id  string
+	est DatasetEstimate
+}
+
+type cardOutput struct {
+	id  string
+	est DatasetEstimate
+}
+
+// jobEstimate assembles the public per-job estimate from the card and the
+// scheduling layer's start/end times.
+func (cd *jobCard) jobEstimate(start, end float64) *JobEstimate {
+	je := &JobEstimate{}
+	cd.fillJobEstimate(je, start, end)
+	return je
+}
+
+// fillJobEstimate is jobEstimate into a caller-owned value (the probe path
+// reuses one JobEstimate per job across estimates).
+func (cd *jobCard) fillJobEstimate(je *JobEstimate, start, end float64) {
+	*je = JobEstimate{
+		MapTasks:      cd.mapTasks,
+		ReduceTasks:   cd.reduceTasks,
+		AvgMapTaskSec: cd.avgMapDur,
+		Start:         start,
+		End:           end,
+	}
+	if cd.hasReduce {
+		je.AvgReduceTaskSec = cd.avgRedDur
+		je.MaxReduceTaskSec = cd.maxRedDur
+		je.ShuffleBytesVirtual = cd.shuffleWire
+	}
+}
+
+// applyOutputs publishes the card's output dataset estimates as fresh
+// value copies. Scalar fields are therefore caller-independent; the Layout
+// slice fields still alias the card's (layouts are treated as immutable
+// throughout the estimator).
+func (cd *jobCard) applyOutputs(datasets map[string]*DatasetEstimate) {
+	for i := range cd.outputs {
+		de := cd.outputs[i].est
+		datasets[cd.outputs[i].id] = &de
+	}
+}
+
+// inputsMatch reports whether the card's captured input estimates equal the
+// current ones — if so, the card (a pure function of job and inputs) is
+// reusable as-is for an unchanged job.
+func (cd *jobCard) inputsMatch(datasets map[string]*DatasetEstimate) bool {
+	for i := range cd.inputs {
+		cur := datasets[cd.inputs[i].id]
+		if cur == nil || !datasetEstimateEqual(*cur, cd.inputs[i].est) {
+			return false
+		}
+	}
+	return true
+}
+
+func datasetEstimateEqual(a, b DatasetEstimate) bool {
+	return a.Records == b.Records && a.Bytes == b.Bytes &&
+		a.Partitions == b.Partitions && a.MaxPartShare == b.MaxPartShare &&
+		layoutEqual(a.Layout, b.Layout)
+}
+
+func layoutEqual(a, b wf.Layout) bool {
+	if a.PartType != b.PartType || a.Compressed != b.Compressed ||
+		!wf.FieldsEqual(a.PartFields, b.PartFields) ||
+		!wf.FieldsEqual(a.SortFields, b.SortFields) ||
+		len(a.SplitPoints) != len(b.SplitPoints) {
+		return false
+	}
+	for i := range a.SplitPoints {
+		if keyval.Compare(a.SplitPoints[i], b.SplitPoints[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// tagEst carries per-tag flow predictions while estimating one job.
+type tagEst struct {
+	group         *wf.ReduceGroup
+	numParts      int
+	mapOutRecords float64
+	mapOutBytes   float64
+	outRecords    float64 // final pipeline output
+	outBytes      float64
+	maxShare      float64 // largest reduce-partition share (skew)
+}
+
+// flowJob runs the flow layer for one job against the current dataset
+// estimates and returns its duration card. It performs no slot-pool
+// operations; the arithmetic and its order are shared with the historical
+// monolithic estimator, so card-based estimates are bit-identical to it.
+func (e *Estimator) flowJob(job *wf.Job, datasets map[string]*DatasetEstimate) (*jobCard, error) {
+	e.flowCards++
+	c := e.Cluster
+	cfg := job.Config
+	card := &jobCard{}
+
+	// --- input volumes, with pruning-fraction estimation ---
+	type inEst struct {
+		records, bytes float64
+		compressed     bool
+		parts          int
+		layout         wf.Layout
+		maxShare       float64
+	}
+	inIDs := job.Inputs()
+	ins := make(map[string]*inEst, len(inIDs))
+	for _, in := range inIDs {
+		de, ok := datasets[in]
+		if !ok {
+			return nil, fmt.Errorf("no estimate for input %q", in)
+		}
+		card.inputs = append(card.inputs, cardInput{id: in, est: *de})
+		frac := 1.0
+		if !job.AlignMapToInput {
+			frac = e.pruneKeepFraction(job, in, de.Layout)
+		}
+		parts := maxInt(de.Partitions, 1)
+		if frac < 1 {
+			parts = maxInt(1, int(frac*float64(parts)+0.5))
+		}
+		share := de.MaxPartShare
+		if share <= 0 {
+			share = 1 / float64(parts)
+		}
+		ins[in] = &inEst{
+			records:    de.Records * frac,
+			bytes:      de.Bytes * frac,
+			compressed: de.Layout.Compressed,
+			parts:      parts,
+			layout:     de.Layout,
+			maxShare:   share,
+		}
+	}
+
+	// --- map-side flow per tag ---
+	tags := make(map[int]*tagEst)
+	var tagOrder []int
+	for i := range job.ReduceGroups {
+		g := &job.ReduceGroups[i]
+		tags[g.Tag] = &tagEst{group: g, maxShare: 1}
+		tagOrder = append(tagOrder, g.Tag)
+	}
+	sort.Ints(tagOrder)
+
+	var totalMapCPU float64 // real seconds basis, scaled later
+	for bi := range job.MapBranches {
+		b := &job.MapBranches[bi]
+		mp := job.Profile.MapProfile(*b)
+		if mp == nil {
+			return nil, fmt.Errorf("missing map profile for tag %d input %s", b.Tag, b.Input)
+		}
+		in := ins[b.Input]
+		te := tags[b.Tag]
+		outRecs := in.records * mp.Selectivity
+		te.mapOutRecords += outRecs
+		te.mapOutBytes += outRecs * mp.OutBytesPerRecord
+		totalMapCPU += in.records * mp.CPUPerRecord
+	}
+
+	// --- task counts ---
+	numMapTasks := 0
+	if job.AlignMapToInput {
+		for _, in := range inIDs {
+			if p := ins[in].parts; p > numMapTasks {
+				numMapTasks = p
+			}
+		}
+	} else {
+		// Splits never cross partition boundaries (matching the executor):
+		// each partition chunks independently into ceil(partBytes/split).
+		// Iteration follows job input order — a deterministic order keeps
+		// flow a pure function of (job, inputs), which card reuse and the
+		// bitwise-equivalence bar both rely on.
+		for _, id := range inIDs {
+			in := ins[id]
+			perPart := c.Scale(in.bytes) / float64(in.parts)
+			numMapTasks += in.parts * int(ceilDiv(perPart, float64(cfg.SplitSizeMB)*mrsim.MB))
+		}
+	}
+	if numMapTasks < 1 {
+		numMapTasks = 1
+	}
+	card.mapTasks = numMapTasks
+
+	numReduce := 0
+	hasReduce := false
+	for _, tag := range tagOrder {
+		te := tags[tag]
+		if te.group.MapOnly() {
+			continue
+		}
+		hasReduce = true
+		n := te.group.Part.NumPartitions(cfg.NumReduceTasks)
+		te.numParts = n
+		if n > numReduce {
+			numReduce = n
+		}
+	}
+	if hasReduce {
+		for _, te := range tags {
+			if !te.group.MapOnly() && te.group.Part.Type == keyval.HashPartition {
+				te.numParts = numReduce
+			}
+		}
+	}
+	card.hasReduce = hasReduce
+	if hasReduce {
+		card.reduceTasks = numReduce
+	}
+
+	// --- combiner, skew, reduce flow ---
+	var mapWriteOnly float64 // map-only output bytes written by map tasks
+	var combineCPU float64
+	for _, tag := range tagOrder {
+		te := tags[tag]
+		g := te.group
+		if g.MapOnly() {
+			te.outRecords = te.mapOutRecords
+			te.outBytes = te.mapOutBytes
+			if g.RunsMapSide && len(g.Stages) > 0 {
+				// Intra-packed pipeline: the grouped stages run map-side.
+				rp := job.Profile.ReduceProfile(tag)
+				if rp == nil {
+					return nil, fmt.Errorf("missing map-side group profile for tag %d", tag)
+				}
+				totalMapCPU += te.mapOutRecords * rp.CPUPerRecord
+				te.outRecords = te.mapOutRecords * rp.Selectivity
+				te.outBytes = te.outRecords * rp.OutBytesPerRecord
+			}
+			mapWriteOnly += te.outBytes
+			continue
+		}
+		rp := job.Profile.ReduceProfile(tag)
+		if rp == nil {
+			return nil, fmt.Errorf("missing reduce profile for tag %d", tag)
+		}
+		if cfg.UseCombiner && g.Combiner != nil && rp.CombineReduction > 0 && rp.CombineReduction < 1 {
+			combineCPU += te.mapOutRecords * g.Combiner.CPUPerRecord
+			reduction := combinerReduction(rp, te, numMapTasks)
+			te.mapOutBytes *= reduction
+			te.mapOutRecords *= reduction
+		}
+		te.maxShare = e.skewShare(job, tag, te)
+		te.outRecords = te.mapOutRecords * rp.Selectivity
+		te.outBytes = te.outRecords * rp.OutBytesPerRecord
+	}
+
+	// --- map task duration ---
+	var readTime float64
+	for _, id := range inIDs {
+		in := ins[id]
+		readTime += c.ReadTime(c.Scale(in.bytes), in.compressed)
+	}
+	var shuffledBytes, shuffledRecords float64
+	for _, tag := range tagOrder {
+		te := tags[tag]
+		if !te.group.MapOnly() {
+			shuffledBytes += te.mapOutBytes
+			shuffledRecords += te.mapOutRecords
+		}
+	}
+	perTaskOutBytes := c.Scale(shuffledBytes) / float64(numMapTasks)
+	perTaskOutRecords := c.Scale(shuffledRecords) / float64(numMapTasks)
+	mapDur := c.TaskSetupSec +
+		readTime/float64(numMapTasks) +
+		c.Scale(totalMapCPU+combineCPU)/float64(numMapTasks) +
+		c.SortCPU(perTaskOutRecords) +
+		c.SpillIOTime(perTaskOutBytes, cfg.SortBufferMB, cfg.IOSortFactor, cfg.CompressMapOutput) +
+		c.WriteTime(c.Scale(mapWriteOnly)/float64(numMapTasks), cfg.CompressOutput)
+	card.avgMapDur = mapDur
+	// Aligned map tasks inherit the input partitioning's load skew: the
+	// biggest partition becomes the straggler map task.
+	mapSkew := 1.0
+	if job.AlignMapToInput {
+		for _, id := range inIDs {
+			if s := ins[id].maxShare * float64(numMapTasks); s > mapSkew {
+				mapSkew = s
+			}
+		}
+	}
+	card.maxMapDur = c.TaskSetupSec + (mapDur-c.TaskSetupSec)*mapSkew
+
+	if hasReduce {
+		card.avgRedDur, card.maxRedDur = e.reduceDurations(job, tags, tagOrder, numReduce, numMapTasks)
+		wire := c.Scale(shuffledBytes)
+		if cfg.CompressMapOutput {
+			wire *= c.CompressRatio
+		}
+		card.shuffleWire = wire
+	}
+
+	// --- output dataset estimates ---
+	for _, tag := range tagOrder {
+		te := tags[tag]
+		g := te.group
+		de := DatasetEstimate{Records: te.outRecords, Bytes: te.outBytes}
+		if g.MapOnly() {
+			de.Partitions = numMapTasks
+			de.MaxPartShare = 1 / float64(maxInt(numMapTasks, 1))
+			var inLayout wf.Layout
+			for bi := range job.MapBranches {
+				if job.MapBranches[bi].Tag == tag {
+					in := ins[job.MapBranches[bi].Input]
+					inLayout = in.layout
+					if job.AlignMapToInput && in.maxShare > de.MaxPartShare {
+						de.MaxPartShare = in.maxShare
+					}
+					break
+				}
+			}
+			de.Layout = wf.DeriveMapOnlyOutputLayout(inLayout, *g, job.AlignMapToInput, cfg)
+		} else {
+			de.Partitions = te.numParts
+			de.MaxPartShare = te.maxShare
+			de.Layout = wf.DeriveGroupOutputLayout(*g, cfg)
+		}
+		card.outputs = append(card.outputs, cardOutput{id: g.Output, est: de})
+	}
+	return card, nil
+}
+
+// combinerReduction models combiner effectiveness at the configured task
+// granularity. The combiner runs per (map task, reduce partition) bucket
+// and can only merge duplicate keys landing in the same bucket, so its
+// output is the expected number of distinct keys per bucket: with Dp keys
+// per partition and nb records per bucket, Dp*(1-(1-1/Dp)^nb). Spreading
+// the same data over more tasks leaves fewer duplicates per bucket, which
+// is why a constant profiled ratio would mislead the search.
+func combinerReduction(rp *wf.PipelineProfile, te *tagEst, numMapTasks int) float64 {
+	pre := te.mapOutRecords
+	if pre <= 0 {
+		return 1
+	}
+	reduction := rp.CombineReduction
+	if rp.GroupsPerMapRecord > 0 && te.numParts > 0 && numMapTasks > 0 {
+		d := pre * rp.GroupsPerMapRecord // distinct groups overall
+		buckets := float64(numMapTasks * te.numParts)
+		dp := d / float64(te.numParts) // distinct keys per partition
+		nb := pre / buckets            // records per bucket
+		var outPerBucket float64
+		if dp <= 1 {
+			outPerBucket = dp
+			if nb < dp {
+				outPerBucket = nb
+			}
+		} else {
+			outPerBucket = dp * (1 - math.Pow(1-1/dp, nb))
+		}
+		if est := outPerBucket * buckets; est < pre {
+			reduction = est / pre
+		} else {
+			reduction = 1
+		}
+	}
+	if reduction > 1 {
+		reduction = 1
+	}
+	if reduction < 1e-4 {
+		reduction = 1e-4
+	}
+	return reduction
+}
+
+// reduceDurations computes average and straggler (skew-adjusted) reduce
+// task durations.
+func (e *Estimator) reduceDurations(job *wf.Job, tags map[int]*tagEst, tagOrder []int, numReduce, numMapTasks int) (avg, max float64) {
+	c := e.Cluster
+	cfg := job.Config
+	var avgContent, maxContent float64
+	for _, tag := range tagOrder {
+		te := tags[tag]
+		g := te.group
+		if g.MapOnly() {
+			continue
+		}
+		rp := job.Profile.ReduceProfile(tag)
+		inBytesAvg := c.Scale(te.mapOutBytes) / float64(te.numParts)
+		inRecsAvg := c.Scale(te.mapOutRecords) / float64(te.numParts)
+		outBytesAvg := c.Scale(te.outBytes) / float64(te.numParts)
+		scale := te.maxShare * float64(te.numParts) // >= 1
+		for i, f := range []float64{1, scale} {
+			inBytes := inBytesAvg * f
+			inRecs := inRecsAvg * f
+			outBytes := outBytesAvg * f
+			wire := inBytes
+			var decomp float64
+			if cfg.CompressMapOutput {
+				decomp = wire / mrsim.MB * c.CompressCPUSecPerMB
+				wire *= c.CompressRatio
+			}
+			d := c.NetTime(wire) + decomp +
+				c.MergeIOTime(inBytes, numMapTasks, cfg.IOSortFactor) +
+				inRecs*rp.CPUPerRecord +
+				c.WriteTime(outBytes, cfg.CompressOutput)
+			if i == 0 {
+				avgContent += d
+			} else {
+				maxContent += d
+			}
+		}
+	}
+	return c.TaskSetupSec + avgContent, c.TaskSetupSec + maxContent
+}
+
+// skewShare estimates the largest partition share for a tag from the
+// profile's map-output key sample: the frequency of the hottest projected
+// partition key. Counting per projected key (rather than per partition)
+// keeps the estimate free of the sampling-collision noise that would
+// otherwise fabricate stragglers at high reducer counts, while still
+// catching both hot-key skew and coarse partition fields with few distinct
+// values (the limited-parallelism degradation of Section 3.1).
+func (e *Estimator) skewShare(job *wf.Job, tag int, te *tagEst) float64 {
+	mp := job.Profile.MapSide[tag]
+	uniform := 1.0 / float64(maxInt(te.numParts, 1))
+	if mp == nil || len(mp.KeySample) == 0 || te.numParts <= 1 {
+		return uniform
+	}
+	var share float64
+	if te.group.Part.Type == keyval.RangePartition {
+		// Split points are fixed, so counting sampled keys per partition
+		// is an unbiased load estimate. Keys are content-based (sample
+		// digest, not identity), so equal samples hit across plan clones.
+		// Partition projects the key through the spec's key fields before
+		// comparing to split points, so the fields are part of the identity.
+		key := skewKey{
+			ranged:   true,
+			numParts: te.numParts,
+			fields:   specFieldsHash(te.group.Part, len(mp.KeySample[0])),
+			splits:   keyval.HashTuples(te.group.Part.SplitPoints),
+			sample:   e.sampleHash(mp.KeySample),
+		}
+		if v, ok := e.skewCache[key]; ok {
+			share = v
+		} else {
+			counts := make([]int, te.numParts)
+			best := 0
+			for _, k := range mp.KeySample {
+				counts[te.group.Part.Partition(k, te.numParts)]++
+			}
+			for _, n := range counts {
+				if n > best {
+					best = n
+				}
+			}
+			share = float64(best) / float64(len(mp.KeySample))
+			e.skewCache[key] = share
+		}
+	} else {
+		// Hash partitioning: count per projected key, not per partition —
+		// partition-collision counting in a small sample would fabricate
+		// stragglers at high reducer counts. Independent of the reducer
+		// count, so cacheable across configuration search.
+		key := skewKey{
+			fields: specFieldsHash(te.group.Part, len(mp.KeySample[0])),
+			sample: e.sampleHash(mp.KeySample),
+		}
+		if v, ok := e.skewCache[key]; ok {
+			share = v
+		} else {
+			fields := te.group.Part.EffectiveKeyFields(len(mp.KeySample[0]))
+			counts := make(map[uint64]int, len(mp.KeySample))
+			best := 0
+			for _, k := range mp.KeySample {
+				h := keyval.Hash(k, fields)
+				counts[h]++
+				if counts[h] > best {
+					best = counts[h]
+				}
+			}
+			share = float64(best) / float64(len(mp.KeySample))
+			e.skewCache[key] = share
+		}
+	}
+	if share < uniform {
+		share = uniform
+	}
+	return share
+}
+
+// specFieldsHash digests the partition spec's effective key fields for the
+// skew cache without materializing the identity projection (nil KeyFields
+// means "all key fields of the sample's width"): cache-hit lookups on the
+// per-sample search path must not allocate.
+func specFieldsHash(spec keyval.PartitionSpec, width int) uint64 {
+	if spec.KeyFields != nil {
+		return keyval.HashInts(spec.KeyFields)
+	}
+	// Distinct-by-construction marker for the identity projection of this
+	// width (explicit [0..width) specs recompute into their own entry; the
+	// computed share is identical either way).
+	return uint64(width)<<1 | 1
+}
+
+// pruneKeepFraction estimates the fraction of a dataset the job must read
+// after partition pruning: the share of range partitions whose bounds
+// overlap every filter annotation over that input.
+func (e *Estimator) pruneKeepFraction(job *wf.Job, dsID string, layout wf.Layout) float64 {
+	if layout.PartType != keyval.RangePartition || len(layout.PartFields) == 0 || len(layout.SplitPoints) == 0 {
+		return 1
+	}
+	field := layout.PartFields[0]
+	var filters []keyval.Interval
+	for i := range job.MapBranches {
+		b := &job.MapBranches[i]
+		if b.Input != dsID {
+			continue
+		}
+		if b.Filter == nil || b.Filter.Field != field {
+			return 1 // some branch reads everything
+		}
+		filters = append(filters, b.Filter.Interval)
+	}
+	if len(filters) == 0 {
+		return 1
+	}
+	bounds := keyval.RangeBounds(layout.SplitPoints)
+	kept := 0
+	for _, pb := range bounds {
+		needed := false
+		for _, f := range filters {
+			if pb.FieldRangeOverlaps(f) {
+				needed = true
+				break
+			}
+		}
+		if needed {
+			kept++
+		}
+	}
+	return float64(kept) / float64(len(bounds))
+}

@@ -1,0 +1,257 @@
+package whatif
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/wf"
+	"github.com/stubby-mr/stubby/internal/workloads"
+)
+
+// The incremental estimator's contract is bitwise equivalence: for any plan,
+// any declared changed-job set, and any sequence of configuration mutations
+// to those jobs, Prepared.Estimate must return exactly the estimate the
+// monolithic Estimator.Estimate returns — same Makespan bits, same per-job
+// and per-dataset fields. These tests fuzz that contract across the eight
+// paper workloads × randomized changed sets × randomized configuration
+// points, mirroring how the optimizer's RRS objective drives it.
+
+var (
+	equivOnce sync.Once
+	equivWls  map[string]*workloads.Workload
+	equivErr  error
+)
+
+// equivWorkloads builds and profiles every paper workload once (profiling
+// dominates runtime; every test in this file starts from the same plans).
+func equivWorkloads(t *testing.T) map[string]*workloads.Workload {
+	t.Helper()
+	equivOnce.Do(func() {
+		equivWls = make(map[string]*workloads.Workload)
+		for _, abbr := range workloads.Abbrs() {
+			wl, err := workloads.Build(abbr, workloads.Options{SizeFactor: 0.1, Seed: 1})
+			if err != nil {
+				equivErr = err
+				return
+			}
+			if err := profile.NewProfiler(wl.Cluster, 0.5, 18).Annotate(wl.Workflow, wl.DFS); err != nil {
+				equivErr = err
+				return
+			}
+			equivWls[abbr] = wl
+		}
+	})
+	if equivErr != nil {
+		t.Fatal(equivErr)
+	}
+	return equivWls
+}
+
+// randomizeConfig draws a configuration the way the optimizer's search
+// space does (internal/optimizer.configSpace ranges).
+func randomizeConfig(rng *rand.Rand, c *wf.Config) {
+	c.NumReduceTasks = 1 + rng.Intn(300)
+	c.SplitSizeMB = 8 + rng.Intn(505)
+	c.SortBufferMB = 16 + rng.Intn(497)
+	c.IOSortFactor = 5 + rng.Intn(96)
+	c.UseCombiner = rng.Intn(2) == 1
+	c.CompressMapOutput = rng.Intn(2) == 1
+	c.CompressOutput = rng.Intn(2) == 1
+}
+
+// requireEqualEstimates asserts exact (bitwise, == on every float) equality.
+func requireEqualEstimates(t *testing.T, want, got *Estimate, ctx string) {
+	t.Helper()
+	if want.Fallback != got.Fallback {
+		t.Fatalf("%s: Fallback %v vs %v", ctx, want.Fallback, got.Fallback)
+	}
+	if want.Makespan != got.Makespan {
+		t.Fatalf("%s: Makespan %.17g vs %.17g", ctx, want.Makespan, got.Makespan)
+	}
+	if len(want.Jobs) != len(got.Jobs) {
+		t.Fatalf("%s: %d jobs vs %d", ctx, len(want.Jobs), len(got.Jobs))
+	}
+	for id, wj := range want.Jobs {
+		gj := got.Jobs[id]
+		if gj == nil {
+			t.Fatalf("%s: job %s missing", ctx, id)
+		}
+		if *wj != *gj {
+			t.Fatalf("%s: job %s diverged:\n  mono %+v\n  incr %+v", ctx, id, *wj, *gj)
+		}
+	}
+	if len(want.Datasets) != len(got.Datasets) {
+		t.Fatalf("%s: %d datasets vs %d", ctx, len(want.Datasets), len(got.Datasets))
+	}
+	for id, wd := range want.Datasets {
+		gd := got.Datasets[id]
+		if gd == nil {
+			t.Fatalf("%s: dataset %s missing", ctx, id)
+		}
+		if !datasetEstimateEqual(*wd, *gd) {
+			t.Fatalf("%s: dataset %s diverged:\n  mono %+v\n  incr %+v", ctx, id, *wd, *gd)
+		}
+	}
+}
+
+// TestPreparedMatchesMonolithic is the core equivalence fuzz: for every
+// paper workload, random changed-job subsets × random configuration points,
+// delta estimates must be bitwise-identical to full monolithic estimates
+// computed by an independent estimator.
+func TestPreparedMatchesMonolithic(t *testing.T) {
+	wls := equivWorkloads(t)
+	rng := rand.New(rand.NewSource(7))
+	for _, abbr := range workloads.Abbrs() {
+		wl := wls[abbr]
+		t.Run(abbr, func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				plan := wl.Workflow.Clone()
+				var ids []string
+				for _, j := range plan.Jobs {
+					ids = append(ids, j.ID)
+				}
+				// Random non-empty changed subset.
+				rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+				changed := ids[:1+rng.Intn(len(ids))]
+				inc := New(wl.Cluster)
+				mono := New(wl.Cluster)
+				prep, err := inc.Prepare(plan, changed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for sample := 0; sample < 6; sample++ {
+					for _, id := range changed {
+						randomizeConfig(rng, &plan.Job(id).Config)
+					}
+					got, err := prep.Estimate()
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := mono.Estimate(plan)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireEqualEstimates(t, want, got,
+						abbr+" full")
+					// The truncated probe path: every job and dataset it
+					// reports must carry exactly the full estimate's values.
+					probe, err := prep.EstimateChanged()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if probe.Fallback != want.Fallback {
+						t.Fatal("probe fallback diverged")
+					}
+					for id, pj := range probe.Jobs {
+						if *pj != *want.Jobs[id] {
+							t.Fatalf("%s: probe job %s diverged:\n  mono %+v\n  probe %+v",
+								abbr, id, *want.Jobs[id], *pj)
+						}
+					}
+					for id, pd := range probe.Datasets {
+						if !datasetEstimateEqual(*pd, *want.Datasets[id]) {
+							t.Fatalf("%s: probe dataset %s diverged", abbr, id)
+						}
+					}
+					for _, id := range changed {
+						if probe.Jobs[id] == nil {
+							t.Fatalf("%s: probe estimate missing changed job %s", abbr, id)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPreparedNoChangedJobs: an empty changed set makes every estimate a
+// pure replay of the prefix — still bitwise-identical to the monolithic
+// answer.
+func TestPreparedNoChangedJobs(t *testing.T) {
+	wl := equivWorkloads(t)["IR"]
+	plan := wl.Workflow.Clone()
+	prep, err := New(wl.Cluster).Prepare(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(wl.Cluster).Estimate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := prep.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualEstimates(t, want, got, "no-changed")
+	}
+}
+
+// TestPreparedFallback: plans without full profiles fall back to #jobs
+// costing through the incremental path exactly as through the monolithic
+// one.
+func TestPreparedFallback(t *testing.T) {
+	wl := equivWorkloads(t)["SN"]
+	plan := wl.Workflow.Clone()
+	plan.Jobs[0].Profile = nil
+	est := New(wl.Cluster)
+	prep, err := est.Prepare(plan, []string{plan.Jobs[0].ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(wl.Cluster).Estimate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Fallback {
+		t.Fatal("fixture should fall back")
+	}
+	got, err := prep.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualEstimates(t, want, got, "fallback")
+	probe, err := prep.EstimateChanged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualEstimates(t, want, probe, "fallback probe")
+}
+
+// TestPreparedCountsFlowCards: delta estimates must register as requests
+// (not full computations) and reuse must show up as fewer flow cards than
+// jobs × estimates.
+func TestPreparedCountsFlowCards(t *testing.T) {
+	wl := equivWorkloads(t)["BR"]
+	plan := wl.Workflow.Clone()
+	est := New(wl.Cluster)
+	changed := []string{plan.Jobs[len(plan.Jobs)-1].ID}
+	prep, err := est.Prepare(plan, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const samples = 20
+	for i := 0; i < samples; i++ {
+		randomizeConfig(rng, &plan.Job(changed[0]).Config)
+		if _, err := prep.Estimate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := est.Counts()
+	if c.Computed != 0 {
+		t.Errorf("delta estimates counted as full computations: %d", c.Computed)
+	}
+	if c.Requests != samples {
+		t.Errorf("requests = %d, want %d", c.Requests, samples)
+	}
+	full := uint64(samples * len(plan.Jobs))
+	if c.FlowCards >= full {
+		t.Errorf("flow cards %d not below monolithic bound %d", c.FlowCards, full)
+	}
+	if c.FlowCards == 0 {
+		t.Error("flow cards never counted")
+	}
+}

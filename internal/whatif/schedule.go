@@ -1,0 +1,27 @@
+package whatif
+
+import "github.com/stubby-mr/stubby/internal/mrsim"
+
+// This file is the scheduling layer of the estimator: replaying a job's
+// duration card against the workflow's shared map and reduce slot pools.
+// The pool operations — their order and arguments — are the contract shared
+// by the monolithic and incremental paths: as long as cards are identical
+// and the pools start from identical states, the predicted start/end times
+// are bit-for-bit identical.
+
+// scheduleJob places the card's tasks on the pools and returns the job's
+// predicted end time.
+func scheduleJob(card *jobCard, jobReady float64, mapPool, redPool *mrsim.SlotPool) float64 {
+	mapsDone := mapPool.ScheduleUniform(jobReady, card.avgMapDur, card.mapTasks-1)
+	if _, e := mapPool.Schedule(jobReady, card.maxMapDur); e > mapsDone {
+		mapsDone = e
+	}
+	end := mapsDone
+	if card.hasReduce {
+		end = redPool.ScheduleUniform(mapsDone, card.avgRedDur, card.reduceTasks-1)
+		if _, tend := redPool.Schedule(mapsDone, card.maxRedDur); tend > end {
+			end = tend
+		}
+	}
+	return end
+}

@@ -9,12 +9,22 @@
 // When profile or dataset annotations are missing, estimation falls back to
 // the simpler #jobs cost model, as the paper prescribes for the information
 // spectrum.
+//
+// # Architecture
+//
+// Estimation is split into two layers. The flow layer (flow.go) is the pure
+// per-job computation — input pruning, tag flow, the combiner model, skew,
+// task counts, average and straggler task durations, and output dataset
+// estimates — producing an immutable per-job duration card. The scheduling
+// layer (schedule.go) replays cards against the workflow's shared map and
+// reduce slot pools, which is cheap arithmetic. Estimate composes the two;
+// Prepare (prepared.go) exploits the split to answer configuration-search
+// probes incrementally, recomputing flow only for jobs a probe actually
+// affects while replaying scheduling from a slot-pool snapshot.
 package whatif
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"github.com/stubby-mr/stubby/internal/keyval"
 	"github.com/stubby-mr/stubby/internal/mrsim"
@@ -61,12 +71,36 @@ type Estimate struct {
 	Datasets map[string]*DatasetEstimate
 }
 
+// Counts reports what-if activity through an estimator (or a stack of
+// estimators — package estcache's wrapper fills the same struct).
+type Counts struct {
+	// Requests is every estimate request issued: full workflow estimates
+	// plus incremental (Prepared) delta estimates.
+	Requests uint64
+	// Computed is how many requests ran the full monolithic estimator.
+	// Delta estimates and cache hits are excluded — their cost shows up in
+	// FlowCards instead.
+	Computed uint64
+	// FlowCards is the number of per-job flow computations performed — the
+	// expensive unit of estimation work. A full estimate of an n-job
+	// workflow computes n cards; a delta estimate computes cards only for
+	// the affected cone.
+	FlowCards uint64
+}
+
+// Add accumulates another estimator's counters.
+func (c *Counts) Add(o Counts) {
+	c.Requests += o.Requests
+	c.Computed += o.Computed
+	c.FlowCards += o.FlowCards
+}
+
 // Estimator predicts workflow cost on a given cluster. It memoizes skew
 // computations across calls (configuration search evaluates thousands of
-// plans whose key samples are identical).
+// plans whose key samples are identical). It is not safe for concurrent use.
 type Estimator struct {
 	Cluster   *mrsim.Cluster
-	skewCache map[string]float64
+	skewCache map[skewKey]float64
 	// sampleHashes memoizes key-sample content digests by the address of
 	// the sample's first tuple. The pointer map key pins the backing array,
 	// so an address uniquely identifies one sample for the estimator's
@@ -75,14 +109,28 @@ type Estimator struct {
 	// different sample, resurrecting stale skew entries nondeterministically
 	// with GC timing.)
 	sampleHashes map[*keyval.Tuple]uint64
-	calls        uint64
+	fullCalls    uint64
+	deltaCalls   uint64
+	flowCards    uint64
+}
+
+// skewKey identifies one skew-cache entry without allocating: the partition
+// scheme, the projected key fields and split points (hashed), and the key
+// sample's content digest. Comparable struct keys keep per-sample lookups
+// on the configuration-search hot path allocation-free.
+type skewKey struct {
+	ranged   bool
+	numParts int // 0 for hash partitioning (sample count is parts-free there)
+	fields   uint64
+	splits   uint64
+	sample   uint64
 }
 
 // New builds an estimator.
 func New(c *mrsim.Cluster) *Estimator {
 	return &Estimator{
 		Cluster:      c,
-		skewCache:    make(map[string]float64),
+		skewCache:    make(map[skewKey]float64),
 		sampleHashes: make(map[*keyval.Tuple]uint64),
 	}
 }
@@ -93,21 +141,19 @@ func (e *Estimator) sampleHash(sample []keyval.Tuple) uint64 {
 	if h, ok := e.sampleHashes[p]; ok {
 		return h
 	}
-	var h uint64 = 1469598103934665603
-	for _, k := range sample {
-		h ^= keyval.Hash(k, nil)
-		h *= 1099511628211
-	}
+	h := keyval.HashTuples(sample)
 	e.sampleHashes[p] = h
 	return h
 }
 
-// Counts reports what-if activity: both values are the number of full
-// estimations this estimator has run (requests equal computations when no
-// cache fronts the estimator; package estcache's wrapper reports them
-// separately).
-func (e *Estimator) Counts() (requests, computed uint64) {
-	return e.calls, e.calls
+// Counts reports what-if activity: full estimates, delta estimates issued
+// through Prepare, and per-job flow computations.
+func (e *Estimator) Counts() Counts {
+	return Counts{
+		Requests:  e.fullCalls + e.deltaCalls,
+		Computed:  e.fullCalls,
+		FlowCards: e.flowCards,
+	}
 }
 
 // Estimate predicts the execution of w. Base datasets must carry size
@@ -115,46 +161,32 @@ func (e *Estimator) Counts() (requests, computed uint64) {
 // #jobs model is returned (never an error, mirroring Stubby's tolerance of
 // missing information).
 func (e *Estimator) Estimate(w *wf.Workflow) (*Estimate, error) {
-	e.calls++
+	e.fullCalls++
 	order, err := w.TopoSort()
 	if err != nil {
 		return nil, err
 	}
 	if !profile.HasFullProfiles(w) || !hasBaseSizes(w) {
-		return &Estimate{Makespan: float64(len(w.Jobs)), Fallback: true,
-			Jobs: map[string]*JobEstimate{}, Datasets: map[string]*DatasetEstimate{}}, nil
+		return fallbackEstimate(w), nil
 	}
 	est := &Estimate{
 		Jobs:     make(map[string]*JobEstimate, len(w.Jobs)),
 		Datasets: make(map[string]*DatasetEstimate, len(w.Datasets)),
 	}
-	for _, d := range w.Datasets {
-		if d.Base {
-			parts := maxInt(d.EstPartitions, 1)
-			est.Datasets[d.ID] = &DatasetEstimate{
-				Records:      d.EstRecords,
-				Bytes:        d.EstBytes,
-				Partitions:   parts,
-				Layout:       d.Layout.Clone(),
-				MaxPartShare: 1 / float64(parts),
-			}
-		}
-	}
+	seedBaseDatasets(w, est.Datasets)
 	mapPool := mrsim.NewSlotPool(e.Cluster.TotalMapSlots())
 	redPool := mrsim.NewSlotPool(e.Cluster.TotalReduceSlots())
 	ready := make(map[string]float64)
 	for _, job := range order {
-		jobReady := 0.0
-		for _, in := range job.Inputs() {
-			if t := ready[in]; t > jobReady {
-				jobReady = t
-			}
-		}
-		je, err := e.estimateJob(w, job, jobReady, mapPool, redPool, est)
+		jobReady := readyTime(job, ready)
+		card, err := e.flowJob(job, est.Datasets)
 		if err != nil {
 			return nil, fmt.Errorf("whatif: job %s: %w", job.ID, err)
 		}
+		end := scheduleJob(card, jobReady, mapPool, redPool)
+		je := card.jobEstimate(jobReady, end)
 		est.Jobs[job.ID] = je
+		card.applyOutputs(est.Datasets)
 		for _, out := range job.Outputs() {
 			ready[out] = je.End
 		}
@@ -165,451 +197,38 @@ func (e *Estimator) Estimate(w *wf.Workflow) (*Estimate, error) {
 	return est, nil
 }
 
-// tagEst carries per-tag flow predictions while estimating one job.
-type tagEst struct {
-	group         *wf.ReduceGroup
-	numParts      int
-	mapOutRecords float64
-	mapOutBytes   float64
-	outRecords    float64 // final pipeline output
-	outBytes      float64
-	maxShare      float64 // largest reduce-partition share (skew)
+// fallbackEstimate is the #jobs cost model used when annotations are
+// insufficient for cost-based estimation.
+func fallbackEstimate(w *wf.Workflow) *Estimate {
+	return &Estimate{Makespan: float64(len(w.Jobs)), Fallback: true,
+		Jobs: map[string]*JobEstimate{}, Datasets: map[string]*DatasetEstimate{}}
 }
 
-func (e *Estimator) estimateJob(w *wf.Workflow, job *wf.Job, jobReady float64,
-	mapPool, redPool *mrsim.SlotPool, est *Estimate) (*JobEstimate, error) {
-
-	c := e.Cluster
-	cfg := job.Config
-	je := &JobEstimate{Start: jobReady}
-
-	// --- input volumes, with pruning-fraction estimation ---
-	type inEst struct {
-		records, bytes float64
-		compressed     bool
-		parts          int
-		layout         wf.Layout
-		maxShare       float64
+// seedBaseDatasets fills dst with estimates for the workflow's base inputs.
+func seedBaseDatasets(w *wf.Workflow, dst map[string]*DatasetEstimate) {
+	for _, d := range w.Datasets {
+		if d.Base {
+			parts := maxInt(d.EstPartitions, 1)
+			dst[d.ID] = &DatasetEstimate{
+				Records:      d.EstRecords,
+				Bytes:        d.EstBytes,
+				Partitions:   parts,
+				Layout:       d.Layout.Clone(),
+				MaxPartShare: 1 / float64(parts),
+			}
+		}
 	}
-	ins := make(map[string]*inEst)
+}
+
+// readyTime is the earliest time every input of the job is materialized.
+func readyTime(job *wf.Job, ready map[string]float64) float64 {
+	jobReady := 0.0
 	for _, in := range job.Inputs() {
-		de, ok := est.Datasets[in]
-		if !ok {
-			return nil, fmt.Errorf("no estimate for input %q", in)
-		}
-		frac := 1.0
-		if !job.AlignMapToInput {
-			frac = e.pruneKeepFraction(job, in, de.Layout)
-		}
-		parts := maxInt(de.Partitions, 1)
-		if frac < 1 {
-			parts = maxInt(1, int(frac*float64(parts)+0.5))
-		}
-		share := de.MaxPartShare
-		if share <= 0 {
-			share = 1 / float64(parts)
-		}
-		ins[in] = &inEst{
-			records:    de.Records * frac,
-			bytes:      de.Bytes * frac,
-			compressed: de.Layout.Compressed,
-			parts:      parts,
-			layout:     de.Layout,
-			maxShare:   share,
+		if t := ready[in]; t > jobReady {
+			jobReady = t
 		}
 	}
-
-	// --- map-side flow per tag ---
-	tags := make(map[int]*tagEst)
-	var tagOrder []int
-	for i := range job.ReduceGroups {
-		g := &job.ReduceGroups[i]
-		tags[g.Tag] = &tagEst{group: g, maxShare: 1}
-		tagOrder = append(tagOrder, g.Tag)
-	}
-	sort.Ints(tagOrder)
-
-	var totalMapCPU float64 // real seconds basis, scaled later
-	for bi := range job.MapBranches {
-		b := &job.MapBranches[bi]
-		mp := job.Profile.MapProfile(*b)
-		if mp == nil {
-			return nil, fmt.Errorf("missing map profile for tag %d input %s", b.Tag, b.Input)
-		}
-		in := ins[b.Input]
-		te := tags[b.Tag]
-		outRecs := in.records * mp.Selectivity
-		te.mapOutRecords += outRecs
-		te.mapOutBytes += outRecs * mp.OutBytesPerRecord
-		totalMapCPU += in.records * mp.CPUPerRecord
-	}
-
-	// --- task counts ---
-	numMapTasks := 0
-	if job.AlignMapToInput {
-		for _, in := range job.Inputs() {
-			if p := ins[in].parts; p > numMapTasks {
-				numMapTasks = p
-			}
-		}
-	} else {
-		// Splits never cross partition boundaries (matching the executor):
-		// each partition chunks independently into ceil(partBytes/split).
-		for _, in := range ins {
-			perPart := c.Scale(in.bytes) / float64(in.parts)
-			numMapTasks += in.parts * int(ceilDiv(perPart, float64(cfg.SplitSizeMB)*mrsim.MB))
-		}
-	}
-	if numMapTasks < 1 {
-		numMapTasks = 1
-	}
-	je.MapTasks = numMapTasks
-
-	numReduce := 0
-	hasReduce := false
-	for _, tag := range tagOrder {
-		te := tags[tag]
-		if te.group.MapOnly() {
-			continue
-		}
-		hasReduce = true
-		n := te.group.Part.NumPartitions(cfg.NumReduceTasks)
-		te.numParts = n
-		if n > numReduce {
-			numReduce = n
-		}
-	}
-	if hasReduce {
-		for _, te := range tags {
-			if !te.group.MapOnly() && te.group.Part.Type == keyval.HashPartition {
-				te.numParts = numReduce
-			}
-		}
-	}
-	je.ReduceTasks = 0
-	if hasReduce {
-		je.ReduceTasks = numReduce
-	}
-
-	// --- combiner, skew, reduce flow ---
-	var mapWriteOnly float64 // map-only output bytes written by map tasks
-	var combineCPU float64
-	for _, tag := range tagOrder {
-		te := tags[tag]
-		g := te.group
-		if g.MapOnly() {
-			te.outRecords = te.mapOutRecords
-			te.outBytes = te.mapOutBytes
-			if g.RunsMapSide && len(g.Stages) > 0 {
-				// Intra-packed pipeline: the grouped stages run map-side.
-				rp := job.Profile.ReduceProfile(tag)
-				if rp == nil {
-					return nil, fmt.Errorf("missing map-side group profile for tag %d", tag)
-				}
-				totalMapCPU += te.mapOutRecords * rp.CPUPerRecord
-				te.outRecords = te.mapOutRecords * rp.Selectivity
-				te.outBytes = te.outRecords * rp.OutBytesPerRecord
-			}
-			mapWriteOnly += te.outBytes
-			continue
-		}
-		rp := job.Profile.ReduceProfile(tag)
-		if rp == nil {
-			return nil, fmt.Errorf("missing reduce profile for tag %d", tag)
-		}
-		if cfg.UseCombiner && g.Combiner != nil && rp.CombineReduction > 0 && rp.CombineReduction < 1 {
-			combineCPU += te.mapOutRecords * g.Combiner.CPUPerRecord
-			te.mapOutBytes *= combinerReduction(rp, te, numMapTasks)
-			te.mapOutRecords *= combinerReduction(rp, te, numMapTasks)
-		}
-		te.maxShare = e.skewShare(job, tag, te)
-		te.outRecords = te.mapOutRecords * rp.Selectivity
-		te.outBytes = te.outRecords * rp.OutBytesPerRecord
-	}
-
-	// --- map task duration ---
-	var readTime float64
-	for _, in := range ins {
-		readTime += c.ReadTime(c.Scale(in.bytes), in.compressed)
-	}
-	var shuffledBytes, shuffledRecords float64
-	for _, tag := range tagOrder {
-		te := tags[tag]
-		if !te.group.MapOnly() {
-			shuffledBytes += te.mapOutBytes
-			shuffledRecords += te.mapOutRecords
-		}
-	}
-	perTaskOutBytes := c.Scale(shuffledBytes) / float64(numMapTasks)
-	perTaskOutRecords := c.Scale(shuffledRecords) / float64(numMapTasks)
-	mapDur := c.TaskSetupSec +
-		readTime/float64(numMapTasks) +
-		c.Scale(totalMapCPU+combineCPU)/float64(numMapTasks) +
-		c.SortCPU(perTaskOutRecords) +
-		c.SpillIOTime(perTaskOutBytes, cfg.SortBufferMB, cfg.IOSortFactor, cfg.CompressMapOutput) +
-		c.WriteTime(c.Scale(mapWriteOnly)/float64(numMapTasks), cfg.CompressOutput)
-	je.AvgMapTaskSec = mapDur
-	// Aligned map tasks inherit the input partitioning's load skew: the
-	// biggest partition becomes the straggler map task.
-	mapSkew := 1.0
-	if job.AlignMapToInput {
-		for _, in := range ins {
-			if s := in.maxShare * float64(numMapTasks); s > mapSkew {
-				mapSkew = s
-			}
-		}
-	}
-	mapsDone := mapPool.ScheduleUniform(jobReady, mapDur, numMapTasks-1)
-	maxMapDur := c.TaskSetupSec + (mapDur-c.TaskSetupSec)*mapSkew
-	if _, e := mapPool.Schedule(jobReady, maxMapDur); e > mapsDone {
-		mapsDone = e
-	}
-
-	end := mapsDone
-	if hasReduce {
-		avgDur, maxDur := e.reduceDurations(job, tags, tagOrder, numReduce, numMapTasks)
-		je.AvgReduceTaskSec = avgDur
-		je.MaxReduceTaskSec = maxDur
-		wire := c.Scale(shuffledBytes)
-		if cfg.CompressMapOutput {
-			wire *= c.CompressRatio
-		}
-		je.ShuffleBytesVirtual = wire
-		end = redPool.ScheduleUniform(mapsDone, avgDur, numReduce-1)
-		if _, tend := redPool.Schedule(mapsDone, maxDur); tend > end {
-			end = tend
-		}
-	}
-	je.End = end
-
-	// --- output dataset estimates ---
-	for _, tag := range tagOrder {
-		te := tags[tag]
-		g := te.group
-		de := &DatasetEstimate{Records: te.outRecords, Bytes: te.outBytes}
-		if g.MapOnly() {
-			de.Partitions = numMapTasks
-			de.MaxPartShare = 1 / float64(maxInt(numMapTasks, 1))
-			var inLayout wf.Layout
-			for bi := range job.MapBranches {
-				if job.MapBranches[bi].Tag == tag {
-					in := ins[job.MapBranches[bi].Input]
-					inLayout = in.layout
-					if job.AlignMapToInput && in.maxShare > de.MaxPartShare {
-						de.MaxPartShare = in.maxShare
-					}
-					break
-				}
-			}
-			de.Layout = wf.DeriveMapOnlyOutputLayout(inLayout, *g, job.AlignMapToInput, cfg)
-		} else {
-			de.Partitions = te.numParts
-			de.MaxPartShare = te.maxShare
-			de.Layout = wf.DeriveGroupOutputLayout(*g, cfg)
-		}
-		est.Datasets[g.Output] = de
-	}
-	return je, nil
-}
-
-// combinerReduction models combiner effectiveness at the configured task
-// granularity. The combiner runs per (map task, reduce partition) bucket
-// and can only merge duplicate keys landing in the same bucket, so its
-// output is the expected number of distinct keys per bucket: with Dp keys
-// per partition and nb records per bucket, Dp*(1-(1-1/Dp)^nb). Spreading
-// the same data over more tasks leaves fewer duplicates per bucket, which
-// is why a constant profiled ratio would mislead the search.
-func combinerReduction(rp *wf.PipelineProfile, te *tagEst, numMapTasks int) float64 {
-	pre := te.mapOutRecords
-	if pre <= 0 {
-		return 1
-	}
-	reduction := rp.CombineReduction
-	if rp.GroupsPerMapRecord > 0 && te.numParts > 0 && numMapTasks > 0 {
-		d := pre * rp.GroupsPerMapRecord // distinct groups overall
-		buckets := float64(numMapTasks * te.numParts)
-		dp := d / float64(te.numParts) // distinct keys per partition
-		nb := pre / buckets            // records per bucket
-		var outPerBucket float64
-		if dp <= 1 {
-			outPerBucket = dp
-			if nb < dp {
-				outPerBucket = nb
-			}
-		} else {
-			outPerBucket = dp * (1 - math.Pow(1-1/dp, nb))
-		}
-		if est := outPerBucket * buckets; est < pre {
-			reduction = est / pre
-		} else {
-			reduction = 1
-		}
-	}
-	if reduction > 1 {
-		reduction = 1
-	}
-	if reduction < 1e-4 {
-		reduction = 1e-4
-	}
-	return reduction
-}
-
-// reduceDurations computes average and straggler (skew-adjusted) reduce
-// task durations.
-func (e *Estimator) reduceDurations(job *wf.Job, tags map[int]*tagEst, tagOrder []int, numReduce, numMapTasks int) (avg, max float64) {
-	c := e.Cluster
-	cfg := job.Config
-	var avgContent, maxContent float64
-	for _, tag := range tagOrder {
-		te := tags[tag]
-		g := te.group
-		if g.MapOnly() {
-			continue
-		}
-		rp := job.Profile.ReduceProfile(tag)
-		inBytesAvg := c.Scale(te.mapOutBytes) / float64(te.numParts)
-		inRecsAvg := c.Scale(te.mapOutRecords) / float64(te.numParts)
-		outBytesAvg := c.Scale(te.outBytes) / float64(te.numParts)
-		scale := te.maxShare * float64(te.numParts) // >= 1
-		for i, f := range []float64{1, scale} {
-			inBytes := inBytesAvg * f
-			inRecs := inRecsAvg * f
-			outBytes := outBytesAvg * f
-			wire := inBytes
-			var decomp float64
-			if cfg.CompressMapOutput {
-				decomp = wire / mrsim.MB * c.CompressCPUSecPerMB
-				wire *= c.CompressRatio
-			}
-			d := c.NetTime(wire) + decomp +
-				c.MergeIOTime(inBytes, numMapTasks, cfg.IOSortFactor) +
-				inRecs*rp.CPUPerRecord +
-				c.WriteTime(outBytes, cfg.CompressOutput)
-			if i == 0 {
-				avgContent += d
-			} else {
-				maxContent += d
-			}
-		}
-	}
-	return c.TaskSetupSec + avgContent, c.TaskSetupSec + maxContent
-}
-
-// skewShare estimates the largest partition share for a tag from the
-// profile's map-output key sample: the frequency of the hottest projected
-// partition key. Counting per projected key (rather than per partition)
-// keeps the estimate free of the sampling-collision noise that would
-// otherwise fabricate stragglers at high reducer counts, while still
-// catching both hot-key skew and coarse partition fields with few distinct
-// values (the limited-parallelism degradation of Section 3.1).
-func (e *Estimator) skewShare(job *wf.Job, tag int, te *tagEst) float64 {
-	mp := job.Profile.MapSide[tag]
-	uniform := 1.0 / float64(maxInt(te.numParts, 1))
-	if mp == nil || len(mp.KeySample) == 0 || te.numParts <= 1 {
-		return uniform
-	}
-	var share float64
-	if te.group.Part.Type == keyval.RangePartition {
-		// Split points are fixed, so counting sampled keys per partition
-		// is an unbiased load estimate. Keys are content-based (sample
-		// digest, not identity), so equal samples hit across plan clones.
-		// Partition projects the key through the spec's key fields before
-		// comparing to split points, so the fields are part of the identity.
-		fields := te.group.Part.EffectiveKeyFields(len(mp.KeySample[0]))
-		key := fmt.Sprintf("r|%d|%v|%x|%x", te.numParts, fields,
-			splitPointsHash(te.group.Part.SplitPoints), e.sampleHash(mp.KeySample))
-		if v, ok := e.skewCache[key]; ok {
-			share = v
-		} else {
-			counts := make([]int, te.numParts)
-			best := 0
-			for _, k := range mp.KeySample {
-				counts[te.group.Part.Partition(k, te.numParts)]++
-			}
-			for _, n := range counts {
-				if n > best {
-					best = n
-				}
-			}
-			share = float64(best) / float64(len(mp.KeySample))
-			e.skewCache[key] = share
-		}
-	} else {
-		// Hash partitioning: count per projected key, not per partition —
-		// partition-collision counting in a small sample would fabricate
-		// stragglers at high reducer counts. Independent of the reducer
-		// count, so cacheable across configuration search.
-		fields := te.group.Part.EffectiveKeyFields(len(mp.KeySample[0]))
-		key := fmt.Sprintf("h|%v|%x", fields, e.sampleHash(mp.KeySample))
-		if v, ok := e.skewCache[key]; ok {
-			share = v
-		} else {
-			counts := make(map[uint64]int, len(mp.KeySample))
-			best := 0
-			for _, k := range mp.KeySample {
-				h := keyval.Hash(k, fields)
-				counts[h]++
-				if counts[h] > best {
-					best = counts[h]
-				}
-			}
-			share = float64(best) / float64(len(mp.KeySample))
-			e.skewCache[key] = share
-		}
-	}
-	if share < uniform {
-		share = uniform
-	}
-	return share
-}
-
-// splitPointsHash fingerprints range boundaries for the skew cache.
-func splitPointsHash(points []keyval.Tuple) uint64 {
-	var h uint64 = 1469598103934665603
-	for _, p := range points {
-		h ^= keyval.Hash(p, nil)
-		h *= 1099511628211
-	}
-	return h
-}
-
-// pruneKeepFraction estimates the fraction of a dataset the job must read
-// after partition pruning: the share of range partitions whose bounds
-// overlap every filter annotation over that input.
-func (e *Estimator) pruneKeepFraction(job *wf.Job, dsID string, layout wf.Layout) float64 {
-	if layout.PartType != keyval.RangePartition || len(layout.PartFields) == 0 || len(layout.SplitPoints) == 0 {
-		return 1
-	}
-	field := layout.PartFields[0]
-	var filters []keyval.Interval
-	for i := range job.MapBranches {
-		b := &job.MapBranches[i]
-		if b.Input != dsID {
-			continue
-		}
-		if b.Filter == nil || b.Filter.Field != field {
-			return 1 // some branch reads everything
-		}
-		filters = append(filters, b.Filter.Interval)
-	}
-	if len(filters) == 0 {
-		return 1
-	}
-	bounds := keyval.RangeBounds(layout.SplitPoints)
-	kept := 0
-	for _, pb := range bounds {
-		needed := false
-		for _, f := range filters {
-			if pb.FieldRangeOverlaps(f) {
-				needed = true
-				break
-			}
-		}
-		if needed {
-			kept++
-		}
-	}
-	return float64(kept) / float64(len(bounds))
+	return jobReady
 }
 
 func hasBaseSizes(w *wf.Workflow) bool {

@@ -123,6 +123,10 @@ type Session struct {
 	baseOpts    Options
 	registry    *PlannerRegistry
 	estCache    *EstimateCache
+	// incrementalSet/disableIncremental record WithIncrementalEstimation:
+	// tri-state so an unset option defers to WithOptimizerOptions.
+	incrementalSet     bool
+	disableIncremental bool
 }
 
 // SessionOption configures a Session under construction.
@@ -233,6 +237,22 @@ func WithEstimateCache(c *EstimateCache) SessionOption {
 	}
 }
 
+// WithIncrementalEstimation enables or disables incremental What-if
+// estimation during configuration search (default: enabled). When enabled,
+// the built-in Stubby optimizer delta-estimates each search probe —
+// recomputing per-job flow only for the jobs the probe affects and
+// replaying scheduling from a slot-pool snapshot — instead of re-estimating
+// the whole workflow. Incremental estimation is bit-transparent: plans and
+// costs are identical either way, so disabling it is only useful for
+// debugging and benchmarking the estimator itself.
+func WithIncrementalEstimation(enabled bool) SessionOption {
+	return func(s *Session) error {
+		s.incrementalSet = true
+		s.disableIncremental = !enabled
+		return nil
+	}
+}
+
 // WithPlannerRegistry replaces the session's planner registry (default: a
 // private clone of the built-in registry, so RegisterPlanner never leaks
 // into other sessions).
@@ -331,6 +351,9 @@ func (s *Session) optimizerOptions(workflow string) optimizer.Options {
 	if o.EstimateCache == nil {
 		o.EstimateCache = s.estCache
 	}
+	if s.incrementalSet {
+		o.DisableIncremental = s.disableIncremental
+	}
 	return o
 }
 
@@ -347,10 +370,11 @@ func (s *Session) EstimateCacheStats() (stats EstimateCacheStats, ok bool) {
 }
 
 // sessionEstimator is the estimator surface Session methods need: the
-// estimate plus activity counters (for Result.WhatIfCalls/WhatIfComputed).
+// estimate plus activity counters (for Result.WhatIfCalls/WhatIfComputed/
+// FlowCards).
 type sessionEstimator interface {
 	Estimate(w *Workflow) (*Estimate, error)
-	Counts() (requests, computed uint64)
+	Counts() whatif.Counts
 }
 
 // estimator builds a fresh what-if estimator, fronted by the session's
@@ -414,9 +438,9 @@ func (s *Session) Optimize(ctx context.Context, w *Workflow) (*Result, error) {
 		return nil, err
 	}
 	s.reportCacheStats(w.Name)
-	req, comp := costEst.Counts()
+	counts := costEst.Counts()
 	return &Result{Plan: plan, EstimatedCost: est.Makespan, Duration: time.Since(start),
-		WhatIfCalls: req, WhatIfComputed: comp}, nil
+		WhatIfCalls: counts.Requests, WhatIfComputed: counts.Computed, FlowCards: counts.FlowCards}, nil
 }
 
 // OptimizeAll optimizes independent workflows concurrently on a worker
