@@ -12,6 +12,8 @@
 //	stubby-bench -bench-optimizer -bench-out BENCH_optimizer.json
 //	stubby-bench -fig 12 -cpuprofile cpu.prof -memprofile mem.prof
 //	stubby-bench -list-optimizers
+//	stubby-bench -gen -seed 42            # reproduce one generated case
+//	stubby-bench -gen -seed 1 -gen-count 20 -gen-desc
 package main
 
 import (
@@ -39,6 +41,9 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 		listOpts   = flag.Bool("list-optimizers", false, "list registered optimizers and exit")
+		genMode    = flag.Bool("gen", false, "generate random workflow(s) from -seed and verify every registered planner against the semantic-equivalence oracle")
+		genCount   = flag.Int("gen-count", 1, "how many consecutive seeds -gen checks")
+		genDesc    = flag.Bool("gen-desc", false, "with -gen, print each generated case's full descriptor")
 		size       = flag.Float64("size", 0.25, "workload size factor (records scale)")
 		seed       = flag.Int64("seed", 1, "random seed")
 	)
@@ -151,6 +156,16 @@ func main() {
 		ran = true
 		if err := runOptimizerBench(h, *benchOut, *size, *seed); err != nil {
 			fail(err)
+		}
+	}
+	if *genMode {
+		ran = true
+		ok, err := runGenCheck(h, *seed, *genCount, *genDesc)
+		if err != nil {
+			fail(err)
+		}
+		if !ok {
+			exit(1)
 		}
 	}
 	if !ran {
@@ -290,6 +305,50 @@ func runOptimizerBench(h *bench.Harness, out string, size float64, seed int64) e
 		fmt.Printf("wrote %s\n", out)
 	}
 	return nil
+}
+
+// runGenCheck is the reproduction entry point for the generated-workflow
+// equivalence suites: it regenerates the case(s) for the given seed(s),
+// runs every registered planner, and prints the oracle's verdicts —
+// including, on failure, the reproducing seed and the offending plan's
+// DOT exactly as the test suites report them.
+func runGenCheck(h *bench.Harness, seed int64, count int, withDesc bool) (bool, error) {
+	if count < 1 {
+		count = 1
+	}
+	rows, failures, descriptors, err := h.GenCheck(seed, count)
+	if err != nil {
+		return false, err
+	}
+	if withDesc {
+		for _, d := range descriptors {
+			fmt.Println(d)
+		}
+	}
+	fmt.Printf("Generated-workflow equivalence: seeds %d..%d, every registered planner\n", seed, seed+int64(count)-1)
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.Seed),
+			r.Planner,
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%d", r.PlanJobs),
+			fmt.Sprintf("%.1f s", r.EstCost),
+			fmt.Sprintf("%v", r.Equivalent),
+			fmt.Sprintf("%.0f ms", r.OptimizeMS),
+		})
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Seed", "Planner", "Jobs in", "Jobs out", "Est. cost", "Equivalent", "Opt time"}, cells))
+	for _, f := range failures {
+		fmt.Println("FAILURE:", f)
+	}
+	if len(failures) > 0 {
+		fmt.Printf("%d failures\n", len(failures))
+		return false, nil
+	}
+	fmt.Println("all plans semantically equivalent to their unoptimized workflows")
+	return true, nil
 }
 
 func printTable1(h *bench.Harness) error {

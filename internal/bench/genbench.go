@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/stubby-mr/stubby/internal/baselines"
+	"github.com/stubby-mr/stubby/internal/gen"
+	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/whatif"
+)
+
+// GenRow is one (generated workflow, planner) equivalence check — the CLI
+// face of the semantic-equivalence oracle, used to reproduce any failing
+// seed a test suite or fuzzer reports (`stubby-bench -gen -seed=N`).
+type GenRow struct {
+	Seed     int64
+	Planner  string
+	Jobs     int // input job count
+	PlanJobs int // optimized plan's job count
+	// EstCost is the What-if estimate of the optimized plan.
+	EstCost float64
+	// Equivalent is the oracle's verdict: the optimized plan computed the
+	// same canonicalized sink outputs as the identity plan.
+	Equivalent bool
+	// OptimizeMS is the planner's own (real) running time.
+	OptimizeMS float64
+}
+
+// GenCheck generates `count` cases starting at seed, runs every registered
+// planner over each, and applies the equivalence oracle. Failure messages
+// (with the reproducing seed and the offending plan's DOT) are returned as
+// a separate list so the CLI can print the table first and the forensics
+// after; descriptors lists each case's full descriptor for -gen -v style
+// inspection by the caller.
+func (h *Harness) GenCheck(seed int64, count int) (rows []GenRow, failures []string, descriptors []string, err error) {
+	reg := baselines.DefaultRegistry()
+	for i := 0; i < count; i++ {
+		s := seed + int64(i)
+		c := gen.Generate(s, gen.Options{})
+		descriptors = append(descriptors, c.Descriptor())
+		if err := profile.NewProfiler(c.Cluster, h.cfg.ProfileFraction, s).Annotate(c.Workflow, c.DFS); err != nil {
+			return nil, nil, nil, fmt.Errorf("gen seed %d: profiling: %w", s, err)
+		}
+		subject := c.Subject()
+		ref, err := subject.Reference()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		est := whatif.New(c.Cluster)
+		for _, spec := range reg.Specs() {
+			p := spec.New(c.Cluster, s)
+			t0 := time.Now()
+			plan, perr := p.Plan(c.Workflow)
+			optMS := float64(time.Since(t0).Microseconds()) / 1000
+			row := GenRow{Seed: s, Planner: spec.Name, Jobs: len(c.Workflow.Jobs), OptimizeMS: optMS}
+			if perr != nil {
+				failures = append(failures, fmt.Sprintf("seed %d: planner %s failed: %v", s, spec.Name, perr))
+				rows = append(rows, row)
+				continue
+			}
+			row.PlanJobs = len(plan.Jobs)
+			if e, eerr := est.Estimate(plan); eerr == nil {
+				row.EstCost = e.Makespan
+			}
+			if oerr := subject.CheckPlan(ref, spec.Name, plan); oerr != nil {
+				failures = append(failures, oerr.Error())
+			} else {
+				row.Equivalent = true
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, failures, descriptors, nil
+}

@@ -1,0 +1,88 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// Descriptor renders the generated case as a stable, human-reviewable
+// text document: the cluster, every dataset (base datasets with record
+// counts, layouts, and a content hash over the materialized pairs), every
+// job with its pipelines, partition specs, schemas, and configuration,
+// and the per-sink canonicalization specs. The corpus under testdata/gen/
+// commits one descriptor per seed, so any change to the generator's
+// output — shapes, data, annotations — is an explicit, reviewed diff
+// rather than silent drift.
+func (c *Case) Descriptor() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gen-case seed=%d jobs=%d datasets=%d\n", c.Seed, len(c.Workflow.Jobs), len(c.Workflow.Datasets))
+	cl := c.Cluster
+	fmt.Fprintf(&b, "cluster nodes=%d slots=%dx%d setup=%.1fs scale=%.6g\n",
+		cl.Nodes, cl.MapSlotsPerNode, cl.ReduceSlotsPerNode, cl.TaskSetupSec, cl.VirtualScale)
+	for _, d := range c.Workflow.Datasets {
+		fmt.Fprintf(&b, "dataset %s", d.ID)
+		if d.Base {
+			if stored, ok := c.DFS.Get(d.ID); ok {
+				fmt.Fprintf(&b, " base records=%d bytes=%d parts=%d hash=%016x",
+					stored.Records(), stored.Bytes(), len(stored.Parts), dataHash(stored.Parts))
+			}
+		}
+		fmt.Fprintf(&b, " layout=%q key=%v val=%v\n", d.Layout.String(), d.KeyFields, d.ValueFields)
+	}
+	for _, j := range c.Workflow.Jobs {
+		fmt.Fprintf(&b, "job %s config=%q\n", j.ID, j.Config.String())
+		for _, br := range j.MapBranches {
+			fmt.Fprintf(&b, "  branch tag=%d in=%s stages=%s filter=%q keyout=%v valout=%v\n",
+				br.Tag, br.Input, stageList(br.Stages), br.Filter.String(), br.KeyOut, br.ValOut)
+		}
+		for _, g := range j.ReduceGroups {
+			comb := "-"
+			if g.Combiner != nil {
+				comb = g.Combiner.Name
+			}
+			fmt.Fprintf(&b, "  group tag=%d out=%s stages=%s combiner=%s part=%q keyin=%v keyout=%v valout=%v\n",
+				g.Tag, g.Output, stageList(g.Stages), comb, g.Part.String(), g.KeyIn, g.KeyOut, g.ValOut)
+		}
+	}
+	var sinks []string
+	for id := range c.Canon {
+		sinks = append(sinks, id)
+	}
+	sort.Strings(sinks)
+	for _, id := range sinks {
+		fmt.Fprintf(&b, "canon %s labelkey=%v\n", id, c.Canon[id].LabelKeyFields)
+	}
+	return b.String()
+}
+
+func stageList(stages []wf.Stage) string {
+	if len(stages) == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(stages))
+	for i, s := range stages {
+		parts[i] = fmt.Sprintf("%s/%s", s.Name, s.Kind)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// dataHash folds every pair of every partition (in on-disk order) into one
+// 64-bit fingerprint, so base-data drift shows in the descriptor without
+// dumping records.
+func dataHash(parts []*mrsim.Partition) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, p := range parts {
+		for _, pair := range p.Pairs {
+			h ^= keyval.Hash(pair.Key, nil)
+			h *= 1099511628211
+			h ^= keyval.Hash(pair.Value, nil)
+			h *= 1099511628211
+		}
+	}
+	return h
+}

@@ -1,0 +1,60 @@
+package gen_test
+
+import (
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/baselines"
+	"github.com/stubby-mr/stubby/internal/gen"
+)
+
+// FuzzGenerate hunts for seeds where the generator breaks its own
+// contract: the workflow must validate, execute on its materialized data,
+// and regenerate byte-identically.
+func FuzzGenerate(f *testing.F) {
+	// The fuzz targets start from the exact seeds whose descriptors are
+	// golden under testdata/gen/, then let the fuzzer mutate beyond them.
+	for seed := int64(1); seed <= gen.CorpusSeeds; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := gen.Generate(seed, gen.Options{Records: 120})
+		if err := c.Workflow.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid workflow: %v", seed, err)
+		}
+		if gen.Generate(seed, gen.Options{Records: 120}).Descriptor() != c.Descriptor() {
+			t.Fatalf("seed %d: nondeterministic generation", seed)
+		}
+		if _, err := c.Subject().Reference(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	})
+}
+
+// FuzzRuleEquivalence hunts for seeds where a rule-based planner (no
+// profiling required, so each iteration stays cheap) rewrites a generated
+// workflow into one that computes different answers.
+func FuzzRuleEquivalence(f *testing.F) {
+	for seed := int64(1); seed <= gen.CorpusSeeds; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := gen.Generate(seed, gen.Options{Records: 120})
+		s := c.Subject()
+		ref, err := s.Reference()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, p := range []baselines.Planner{
+			baselines.Baseline{Cluster: c.Cluster},
+			baselines.YSmart{Cluster: c.Cluster},
+		} {
+			plan, err := p.Plan(c.Workflow)
+			if err != nil {
+				t.Fatalf("seed %d: %s failed: %v", seed, p.Name(), err)
+			}
+			if err := s.CheckPlan(ref, p.Name(), plan); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,97 @@
+// Operators the generator needs beyond the ops library. Every generated
+// workflow must compute the same final answer under any plan in Stubby's
+// transformation space, so these stages are written to be insensitive to
+// the two things plans legitimately change: the order values arrive in
+// (within one group the runtime sorts on the partition spec's sort fields
+// first, so the suffix order can vary between plans) and which record
+// happens to lead a group (its full key is what a reduce function is
+// handed). Order-independent aggregation plus emitting only the grouped
+// key projection makes both irrelevant.
+package gen
+
+import (
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+func num(f keyval.Field) float64 {
+	switch x := f.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	default:
+		return 0
+	}
+}
+
+// identityInts returns [0..n).
+func identityInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// projSum groups on the first gw key fields and emits (projected group key,
+// sum of value field idx). Unlike ops.Sum it never exposes the group
+// leader's ungrouped key fields, so a plan that reorders the within-group
+// stream (a partition-function transformation is free to) cannot change
+// its output.
+func projSum(name string, cpu float64, gw, idx int) wf.Stage {
+	gf := identityInts(gw)
+	return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		var s float64
+		for _, v := range vs {
+			s += num(v[idx])
+		}
+		emit(keyval.Project(k, gf), keyval.T(s))
+	}, gf, cpu)
+}
+
+// projCount is projSum's counting sibling: (projected group key, |group|).
+func projCount(name string, cpu float64, gw int) wf.Stage {
+	gf := identityInts(gw)
+	return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		emit(keyval.Project(k, gf), keyval.T(int64(len(vs))))
+	}, gf, cpu)
+}
+
+// joinStage is an order-insensitive repartition join: values carry a side
+// marker in field 0 (ops.TagValue), and each group emits the cross product
+// of left and right payloads under the group key, truncated to the first
+// maxPairs combinations (a per-group LIMIT, so zipf-hot join keys cannot
+// blow the output up). Both sides arrive in a deterministic order (the
+// runtime breaks sort ties on the full value), so both the emission order
+// and the truncation point are deterministic.
+func joinStage(name string, cpu float64, leftMark string, maxPairs int) wf.Stage {
+	return wf.ReduceStage(name, func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) {
+		var lefts, rights []keyval.Tuple
+		for _, v := range vs {
+			if len(v) == 0 {
+				continue
+			}
+			if v[0] == leftMark {
+				lefts = append(lefts, v[1:])
+			} else {
+				rights = append(rights, v[1:])
+			}
+		}
+		emitted := 0
+		for _, l := range lefts {
+			for _, r := range rights {
+				if emitted >= maxPairs {
+					return
+				}
+				out := make(keyval.Tuple, 0, len(l)+len(r))
+				out = append(out, l...)
+				out = append(out, r...)
+				emit(k, out)
+				emitted++
+			}
+		}
+	}, nil, cpu)
+}
+
+func stagePtr(s wf.Stage) *wf.Stage { return &s }

@@ -3,6 +3,7 @@ package keyval
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // PartitionType identifies how map-output keys are assigned to reduce tasks
@@ -123,6 +124,38 @@ func (s PartitionSpec) Validate() error {
 		}
 	}
 	return nil
+}
+
+// String renders the spec compactly, e.g. "hash(0,1) sort(1,0)" or
+// "range(0) splits=3". Nil field lists (meaning "all key fields") render
+// as "*".
+func (s PartitionSpec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Type.String())
+	b.WriteByte('(')
+	b.WriteString(fmtFields(s.KeyFields))
+	b.WriteByte(')')
+	b.WriteString(" sort(")
+	b.WriteString(fmtFields(s.SortFields))
+	b.WriteByte(')')
+	if len(s.SplitPoints) > 0 {
+		fmt.Fprintf(&b, " splits=%d", len(s.SplitPoints))
+	}
+	return b.String()
+}
+
+func fmtFields(idx []int) string {
+	if idx == nil {
+		return "*"
+	}
+	var b strings.Builder
+	for i, f := range idx {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", f)
+	}
+	return b.String()
 }
 
 // Clone deep-copies the spec.

@@ -1,0 +1,121 @@
+package mrsim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+)
+
+// CanonSpec controls how a dataset's materialized output is canonicalized
+// before semantic comparison. The zero value compares everything exactly.
+type CanonSpec struct {
+	// LabelKeyFields are key positions whose values are labels an execution
+	// assigns rather than data it computes — e.g. the rank a top-K merge
+	// emits when several records tie on the ranking score. Two correct
+	// executions may permute such labels among the tied records, so they
+	// are cleared before comparison and the remaining fields decide
+	// equivalence.
+	LabelKeyFields []int
+	// LabelValueFields are the same for value positions.
+	LabelValueFields []int
+}
+
+// CanonicalPairs returns the order- and partition-insensitive canonical
+// form of a dataset's records: label fields are cleared per the spec, and
+// the pairs are sorted by the full tuple — key first, then value.
+//
+// Sorting by the full tuple (not the key alone) is what makes the form
+// deterministic for reduce outputs with duplicate keys: distinct jobs
+// routinely emit several records under one key (per-group fan-out,
+// constant-key marks), and those records arrive concatenated in partition
+// order, which legitimately differs between plans. A key-only sort would
+// leave the value order of such duplicates plan-dependent and flag
+// equivalent executions as divergent.
+//
+// The input is not modified.
+func CanonicalPairs(pairs []keyval.Pair, spec CanonSpec) []keyval.Pair {
+	out := make([]keyval.Pair, len(pairs))
+	for i, p := range pairs {
+		k, v := keyval.Clone(p.Key), keyval.Clone(p.Value)
+		for _, f := range spec.LabelKeyFields {
+			if f >= 0 && f < len(k) {
+				k[f] = nil
+			}
+		}
+		for _, f := range spec.LabelValueFields {
+			if f >= 0 && f < len(v) {
+				v[f] = nil
+			}
+		}
+		out[i] = keyval.Pair{Key: k, Value: v}
+	}
+	keyval.SortPairs(out, nil) // full key, ties broken on the full value
+	return out
+}
+
+// CanonicalOutput canonicalizes a stored dataset's records across all of
+// its partitions.
+func (s *Stored) CanonicalOutput(spec CanonSpec) []keyval.Pair {
+	return CanonicalPairs(s.AllPairs(), spec)
+}
+
+// DiffPairs compares two canonicalized outputs tuple-for-tuple and returns
+// "" when they are equivalent, or a description of the first difference.
+// floatTol is a relative tolerance applied when both fields are numeric
+// (0 demands exact equality) — workflows that legitimately accumulate
+// non-integer floating point can absorb reassociation noise without
+// weakening the comparison of integer and string fields.
+//
+// Known limitation of non-zero tolerances: pairing is positional after an
+// exact full-tuple sort, so two records under one key whose leading float
+// fields are within tolerance of *each other* can sort crosswise between
+// the two sides and be compared against the wrong partner. Keep exact
+// (int/string) fields ahead of tolerant floats in such outputs — true for
+// every current subject, whose keys are exact — or use tolerance 0.
+func DiffPairs(a, b []keyval.Pair, floatTol float64) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if d := diffTuple(a[i].Key, b[i].Key, floatTol); d != "" {
+			return fmt.Sprintf("record %d key: %s (%v vs %v)", i, d, a[i].Key, b[i].Key)
+		}
+		if d := diffTuple(a[i].Value, b[i].Value, floatTol); d != "" {
+			return fmt.Sprintf("record %d value: %s (%v=%v vs %v=%v)",
+				i, d, a[i].Key, a[i].Value, b[i].Key, b[i].Value)
+		}
+	}
+	return ""
+}
+
+func diffTuple(a, b keyval.Tuple, floatTol float64) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("widths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if keyval.CompareFields(a[i], b[i]) == 0 {
+			continue
+		}
+		if floatTol > 0 {
+			x, xok := numeric(a[i])
+			y, yok := numeric(b[i])
+			if xok && yok && math.Abs(x-y) <= floatTol*math.Max(1, math.Max(math.Abs(x), math.Abs(y))) {
+				continue
+			}
+		}
+		return fmt.Sprintf("field %d differs", i)
+	}
+	return ""
+}
+
+func numeric(f keyval.Field) (float64, bool) {
+	switch v := f.(type) {
+	case int64:
+		return float64(v), true
+	case float64:
+		return v, true
+	default:
+		return 0, false
+	}
+}

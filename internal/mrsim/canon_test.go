@@ -1,0 +1,105 @@
+package mrsim
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+)
+
+func pr(key any, val ...any) keyval.Pair {
+	return keyval.Pair{Key: keyval.T(key), Value: keyval.T(val...)}
+}
+
+// TestCanonicalPairsDuplicateKeysAcrossPartitions is the regression test
+// for the canonicalization determinism fix: reduce outputs routinely hold
+// several records under one key (per-group fan-out, constant-key marks),
+// and different plans concatenate partitions in different orders. The
+// canonical form must sort by the FULL tuple — a key-only sort leaves the
+// value order of duplicate keys plan-dependent and two equivalent
+// executions would compare as divergent.
+func TestCanonicalPairsDuplicateKeysAcrossPartitions(t *testing.T) {
+	// The same multiset as two plans would materialize it: partition
+	// boundaries (and so concatenation order) differ.
+	planA := []keyval.Pair{ // partition 0 then partition 1
+		pr(int64(1), "x", int64(10)),
+		pr(int64(1), "y", int64(20)),
+		pr(int64(2), "z", int64(30)),
+	}
+	planB := []keyval.Pair{ // same records, other partitioning
+		pr(int64(1), "y", int64(20)),
+		pr(int64(2), "z", int64(30)),
+		pr(int64(1), "x", int64(10)),
+	}
+	ca := CanonicalPairs(planA, CanonSpec{})
+	cb := CanonicalPairs(planB, CanonSpec{})
+	if d := DiffPairs(ca, cb, 0); d != "" {
+		t.Fatalf("equivalent outputs compared as divergent: %s", d)
+	}
+
+	// Demonstrate why key-only ordering is insufficient: a stable key-only
+	// sort of the two arrival orders leaves the duplicate-key records in
+	// different relative positions.
+	keyOnly := func(in []keyval.Pair) []keyval.Pair {
+		out := append([]keyval.Pair(nil), in...)
+		sort.SliceStable(out, func(i, j int) bool {
+			return keyval.Compare(out[i].Key, out[j].Key) < 0
+		})
+		return out
+	}
+	ka, kb := keyOnly(planA), keyOnly(planB)
+	if DiffPairs(ka, kb, 0) == "" {
+		t.Fatal("key-only sort unexpectedly canonicalized duplicate keys; the regression scenario no longer exercises the fix")
+	}
+}
+
+// TestCanonicalPairsLabels: label fields are cleared before comparison, so
+// executions that permute assigned labels (tie ranks) among otherwise
+// equal records still compare equal — and a difference in a non-label
+// field still fails.
+func TestCanonicalPairsLabels(t *testing.T) {
+	spec := CanonSpec{LabelKeyFields: []int{0}}
+	a := []keyval.Pair{pr(int64(1), "alpha"), pr(int64(2), "beta")}
+	b := []keyval.Pair{pr(int64(2), "alpha"), pr(int64(1), "beta")} // ranks swapped among ties
+	if d := DiffPairs(CanonicalPairs(a, spec), CanonicalPairs(b, spec), 0); d != "" {
+		t.Fatalf("tie-label permutation flagged as divergence: %s", d)
+	}
+	cMut := []keyval.Pair{pr(int64(1), "alpha"), pr(int64(2), "gamma")}
+	if DiffPairs(CanonicalPairs(a, spec), CanonicalPairs(cMut, spec), 0) == "" {
+		t.Fatal("payload mutation hidden by label clearing")
+	}
+	// Without the spec the swap is a real difference.
+	if DiffPairs(CanonicalPairs(a, CanonSpec{}), CanonicalPairs(b, CanonSpec{}), 0) == "" {
+		t.Fatal("label swap compared equal without a label spec")
+	}
+}
+
+// TestCanonicalPairsDoesNotMutateInput: canonicalization must clone.
+func TestCanonicalPairsDoesNotMutateInput(t *testing.T) {
+	in := []keyval.Pair{pr(int64(3), "v"), pr(int64(1), "w")}
+	_ = CanonicalPairs(in, CanonSpec{LabelKeyFields: []int{0}})
+	if in[0].Key[0] != int64(3) || in[1].Key[0] != int64(1) {
+		t.Fatal("input mutated")
+	}
+}
+
+// TestDiffPairsFloatTolerance: numeric fields compare under the relative
+// tolerance; integer and string fields stay exact regardless.
+func TestDiffPairsFloatTolerance(t *testing.T) {
+	a := []keyval.Pair{pr("k", 1.0000000001)}
+	b := []keyval.Pair{pr("k", 1.0)}
+	if d := DiffPairs(a, b, 0); d == "" {
+		t.Fatal("exact mode ignored a float difference")
+	}
+	if d := DiffPairs(a, b, 1e-9); d != "" {
+		t.Fatalf("tolerance failed to absorb reassociation noise: %s", d)
+	}
+	sa := []keyval.Pair{pr("k", "x")}
+	sb := []keyval.Pair{pr("k", "y")}
+	if DiffPairs(sa, sb, 1e-3) == "" {
+		t.Fatal("tolerance leaked into string comparison")
+	}
+	if DiffPairs(a, []keyval.Pair{}, 1e-9) == "" {
+		t.Fatal("length mismatch not reported")
+	}
+}

@@ -227,7 +227,8 @@ func (e *Engine) runJob(ctx context.Context, w *wf.Workflow, job *wf.Job, jobRea
 	sort.Ints(tagOrder)
 	if hasReduce {
 		// Hash-partitioned tags span the full reduce task count.
-		for _, rt := range tags {
+		for _, tag := range tagOrder {
+			rt := tags[tag]
 			if !rt.group.MapOnly() && rt.group.Part.Type == keyval.HashPartition {
 				rt.numParts = numReduce
 			}
@@ -257,16 +258,16 @@ func (e *Engine) runJob(ctx context.Context, w *wf.Workflow, job *wf.Job, jobRea
 			buckets: make(map[int][][]keyval.Pair),
 			mapOnly: make(map[int][]keyval.Pair),
 		}
-		for tag, rt := range tags {
-			if !rt.group.MapOnly() {
+		for _, tag := range tagOrder {
+			if rt := tags[tag]; !rt.group.MapOnly() {
 				out.buckets[tag] = make([][]keyval.Pair, rt.numParts)
 			}
 		}
 		// Map-side group chains: intra-packed reduce pipelines that run
 		// inside the map task on the merged branch output stream.
 		groupChains := make(map[int]*chain)
-		for tag, rt := range tags {
-			if rt.group.RunsMapSide && len(rt.group.Stages) > 0 {
+		for _, tag := range tagOrder {
+			if rt := tags[tag]; rt.group.RunsMapSide && len(rt.group.Stages) > 0 {
 				t := tag
 				groupChains[tag] = newChain(rt.group.Stages, func(p keyval.Pair) {
 					out.mapOnly[t] = append(out.mapOnly[t], p)
@@ -337,9 +338,13 @@ func (e *Engine) runJob(ctx context.Context, w *wf.Workflow, job *wf.Job, jobRea
 			tags[tag].stats.Reduce.Add(gc.stats)
 		}
 
-		// Sort, combine, and size the map output.
+		// Sort, combine, and size the map output. Tags iterate in sorted
+		// order so the combiner CPU folded into taskCPU accumulates in a
+		// fixed float order — map-order iteration left multi-tag task
+		// durations (and so reported makespans) varying per process.
 		var outRecords, outBytes int64
-		for tag, rt := range tags {
+		for _, tag := range tagOrder {
+			rt := tags[tag]
 			g := rt.group
 			if g.MapOnly() {
 				continue
@@ -375,8 +380,10 @@ func (e *Engine) runJob(ctx context.Context, w *wf.Workflow, job *wf.Job, jobRea
 			dur += c.SortCPU(c.Scale(float64(outRecords)))
 			dur += c.SpillIOTime(c.Scale(float64(outBytes)), cfg.SortBufferMB, cfg.IOSortFactor, cfg.CompressMapOutput)
 		}
-		for _, pairs := range out.mapOnly {
-			dur += c.WriteTime(c.Scale(float64(keyval.PairsSize(pairs))), cfg.CompressOutput)
+		for _, tag := range tagOrder {
+			if pairs := out.mapOnly[tag]; len(pairs) > 0 {
+				dur += c.WriteTime(c.Scale(float64(keyval.PairsSize(pairs))), cfg.CompressOutput)
+			}
 		}
 		_, end := mapPool.Schedule(jobReady, dur)
 		if end > mapsDone {

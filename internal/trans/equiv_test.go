@@ -1,0 +1,170 @@
+package trans_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/gen"
+	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/trans"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// The metamorphic equivalence suite: every transformation whose
+// preconditions hold on a generated workflow must yield a plan that
+// computes identical final answers when actually executed. Plan/cost
+// checks elsewhere prove the optimizer is deterministic; this suite is
+// what proves the transformations are *sound* — the property the paper
+// asserts and the repo previously never executed.
+
+// equivSeeds is the generated-case budget. Each case tries every
+// applicable transformation (plus one intra→inter composition), so the
+// candidate count is a multiple of this.
+const equivSeeds = 14
+
+type candidate struct {
+	desc string
+	plan *wf.Workflow
+}
+
+// enumerate lists every single-step transformation applicable to w, plus
+// intra→inter compositions (the packing sequence Figure 4 performs).
+func enumerate(t *testing.T, w *wf.Workflow, targetParts int) ([]candidate, map[string]int) {
+	t.Helper()
+	var out []candidate
+	applied := map[string]int{}
+	add := func(kind, desc string, plan *wf.Workflow, err error) {
+		if err != nil {
+			t.Fatalf("%s (%s): transformation failed after preconditions passed: %v", desc, kind, err)
+		}
+		out = append(out, candidate{desc: desc, plan: plan})
+		applied[kind]++
+	}
+
+	for _, jc := range w.Jobs {
+		if trans.CanIntraVertical(w, jc.ID) == nil {
+			mid, err := trans.IntraVertical(w, jc.ID)
+			add("intra", "intra("+jc.ID+")", mid, err)
+			if err == nil {
+				// Composition: the now map-only consumer packs into its
+				// producers where the one-to-one precondition holds.
+				for _, jp := range mid.JobProducers(mid.Job(jc.ID)) {
+					if trans.CanInterVertical(mid, jp.ID, jc.ID) == nil {
+						next, err := trans.InterVertical(mid, jp.ID, jc.ID)
+						add("intra+inter", fmt.Sprintf("intra(%s)+inter(%s,%s)", jc.ID, jp.ID, jc.ID), next, err)
+					}
+				}
+			}
+		}
+	}
+	for _, jp := range w.Jobs {
+		for _, jc := range w.JobConsumers(jp) {
+			if trans.CanInterVertical(w, jp.ID, jc.ID) == nil {
+				next, err := trans.InterVertical(w, jp.ID, jc.ID)
+				add("inter", fmt.Sprintf("inter(%s,%s)", jp.ID, jc.ID), next, err)
+			}
+			if trans.CanInterVerticalKeep(w, jp.ID, jc.ID) == nil {
+				next, err := trans.InterVerticalKeep(w, jp.ID, jc.ID)
+				add("inter-keep", fmt.Sprintf("inter-keep(%s,%s)", jp.ID, jc.ID), next, err)
+			}
+		}
+		if trans.CanInterVerticalReplicate(w, jp.ID) == nil {
+			next, err := trans.InterVerticalReplicate(w, jp.ID)
+			add("inter-replicate", "inter-replicate("+jp.ID+")", next, err)
+		}
+	}
+
+	// Horizontal: same-input sibling sets (the classic precondition), then
+	// arbitrary concurrently-runnable pairs (the paper's extension).
+	for _, ids := range sameInputSets(w) {
+		if trans.CanHorizontal(w, ids, true) == nil {
+			next, err := trans.Horizontal(w, ids, true)
+			add("horizontal", fmt.Sprintf("horizontal%v", ids), next, err)
+		}
+	}
+	for i := range w.Jobs {
+		for j := i + 1; j < len(w.Jobs); j++ {
+			ids := []string{w.Jobs[i].ID, w.Jobs[j].ID}
+			if trans.CanHorizontal(w, ids, false) == nil {
+				next, err := trans.Horizontal(w, ids, false)
+				add("horizontal-ext", fmt.Sprintf("horizontal-ext%v", ids), next, err)
+			}
+		}
+	}
+
+	// Partition function transformation, on every grouped tag.
+	for _, j := range w.Jobs {
+		for _, g := range j.ReduceGroups {
+			for i, spec := range trans.EnumeratePartitionSpecs(w, j.ID, g.Tag, targetParts) {
+				next, err := trans.ApplyPartitionSpec(w, j.ID, g.Tag, spec)
+				add("partition", fmt.Sprintf("partition(%s,%d,#%d)", j.ID, g.Tag, i), next, err)
+			}
+		}
+	}
+	return out, applied
+}
+
+// sameInputSets lists maximal sets of single-input jobs sharing an input.
+func sameInputSets(w *wf.Workflow) [][]string {
+	byInput := map[string][]string{}
+	for _, j := range w.Jobs {
+		if ins := j.Inputs(); len(ins) == 1 {
+			byInput[ins[0]] = append(byInput[ins[0]], j.ID)
+		}
+	}
+	var inputs []string
+	for in, ids := range byInput {
+		if len(ids) >= 2 {
+			inputs = append(inputs, in)
+		}
+	}
+	sort.Strings(inputs)
+	var out [][]string
+	for _, in := range inputs {
+		ids := byInput[in]
+		sort.Strings(ids)
+		out = append(out, ids)
+	}
+	return out
+}
+
+func TestGeneratedTransformationEquivalence(t *testing.T) {
+	totals := map[string]int{}
+	candidates := 0
+	for seed := int64(1); seed <= equivSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			c := gen.Generate(seed, gen.Options{})
+			// Full-fraction profiles give EnumeratePartitionSpecs real key
+			// samples without injecting sampling error.
+			if err := profile.NewProfiler(c.Cluster, 1.0, seed).Annotate(c.Workflow, c.DFS); err != nil {
+				t.Fatalf("seed %d: profiling failed: %v", seed, err)
+			}
+			s := c.Subject()
+			ref, err := s.Reference()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands, applied := enumerate(t, c.Workflow, c.Cluster.TotalReduceSlots())
+			for _, cand := range cands {
+				if err := s.CheckPlan(ref, cand.desc, cand.plan); err != nil {
+					t.Error(err)
+				}
+			}
+			for k, n := range applied {
+				totals[k] += n
+			}
+			candidates += len(cands)
+		})
+	}
+	t.Logf("verified %d transformed plans across %d seeds: %v", candidates, equivSeeds, totals)
+	if candidates < 3*equivSeeds {
+		t.Errorf("only %d transformation candidates across %d seeds; generator no longer exercises the plan space", candidates, equivSeeds)
+	}
+	for _, kind := range []string{"intra", "intra+inter", "inter", "horizontal", "horizontal-ext", "partition"} {
+		if totals[kind] == 0 {
+			t.Errorf("transformation %q never applied across %d seeds (totals: %v)", kind, equivSeeds, totals)
+		}
+	}
+}

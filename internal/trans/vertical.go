@@ -70,8 +70,8 @@ func CanIntraVertical(w *wf.Workflow, jcID string) error {
 	for _, in := range jc.Inputs() {
 		jp := w.Producer(in)
 		if jp == nil || jp.MapOnly() {
-			if !LayoutSatisfiesGrouping(StaticLayout(w, in), k2) {
-				return fmt.Errorf("trans: input %s layout does not satisfy grouping on %v", in, k2)
+			if !LayoutSatisfiesGrouping(StaticLayout(w, in), consumerClusterNames(gc, k2)) {
+				return fmt.Errorf("trans: input %s layout does not satisfy grouping on %v", in, consumerClusterNames(gc, k2))
 			}
 			continue
 		}
@@ -89,7 +89,7 @@ func CanIntraVertical(w *wf.Workflow, jcID string) error {
 		if !wf.FieldsSubset(k2, gp.KeyIn) || !wf.FieldsSubset(k2, gp.KeyOut) {
 			return fmt.Errorf("trans: K2 %v does not flow through producer %s", k2, jp.ID)
 		}
-		spec := rewrittenSpec(gp, k2)
+		spec := rewrittenSpec(gp, gc, k2)
 		if err := checkPartitionConstraints(gp, spec); err != nil {
 			return fmt.Errorf("trans: producer %s: %w", jp.ID, err)
 		}
@@ -97,16 +97,137 @@ func CanIntraVertical(w *wf.Workflow, jcID string) error {
 			return fmt.Errorf("trans: producer %s: %w", jp.ID, err)
 		}
 	}
+	if len(jc.Inputs()) > 1 {
+		if err := alignedCoPartition(w, jc, k2); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// alignedCoPartition verifies that the multi-input alignment postcondition
+// is achievable: aligned map tasks merge the i-th partition of every
+// input, so all inputs must be partitioned by the same function (equal
+// K2 groups must land at the same partition index everywhere) and sorted
+// with one common K2-covering prefix (so the k-way merge keeps groups
+// contiguous). Rewritable producers will be re-partitioned to hash on
+// their K2∩k2 projection; fixed inputs (base data, map-only chains) keep
+// their existing layout and must already agree. Matching partition counts
+// alone — what the count check establishes — is not enough: two range
+// partitionings with different split points, or a range input beside a
+// hash-rewritten producer, agree on counts yet split K2 groups across
+// tasks, silently corrupting the packed job's groupings. (The execution
+// oracle over generated workflows caught exactly that.)
+func alignedCoPartition(w *wf.Workflow, jc *wf.Job, k2 []string) error {
+	type partFn struct {
+		typ    keyval.PartitionType
+		fields []string
+		splits []keyval.Tuple
+		prefix []string
+	}
+	var want *partFn
+	merge := func(in string, got partFn) error {
+		if len(got.prefix) > len(k2) {
+			got.prefix = got.prefix[:len(k2)]
+		}
+		if want == nil {
+			want = &got
+			return nil
+		}
+		switch {
+		case got.typ != want.typ:
+			return fmt.Errorf("trans: aligned inputs mix %v and %v partitioning", want.typ, got.typ)
+		case !wf.FieldsEqual(got.fields, want.fields):
+			return fmt.Errorf("trans: input %s partitions on %v, other inputs on %v", in, got.fields, want.fields)
+		case len(got.splits) != len(want.splits):
+			return fmt.Errorf("trans: input %s has %d range split points, other inputs %d", in, len(got.splits), len(want.splits))
+		case !wf.FieldsEqual(got.prefix, want.prefix):
+			return fmt.Errorf("trans: input %s sort prefix %v disagrees with %v", in, got.prefix, want.prefix)
+		}
+		for i := range got.splits {
+			if keyval.Compare(got.splits[i], want.splits[i]) != 0 {
+				return fmt.Errorf("trans: input %s range split points differ from other inputs", in)
+			}
+		}
+		return nil
+	}
+	gc := &jc.ReduceGroups[0]
+	for _, in := range jc.Inputs() {
+		jp := w.Producer(in)
+		if jp == nil || jp.MapOnly() {
+			l := StaticLayout(w, in)
+			if err := merge(in, partFn{typ: l.PartType, fields: l.PartFields, splits: l.SplitPoints, prefix: l.SortFields}); err != nil {
+				return err
+			}
+			continue
+		}
+		gp := &jp.ReduceGroups[0]
+		spec := rewrittenSpec(gp, gc, k2)
+		if err := merge(in, partFn{
+			typ:    keyval.HashPartition,
+			fields: projectNames(gp.KeyIn, spec.KeyFields),
+			prefix: projectNames(gp.KeyIn, spec.SortFields),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// consumerClusterNames returns the field names the consumer's first
+// grouped stage needs co-located and contiguous: its GroupFields projected
+// onto K2. A consumer grouping on its whole key (nil GroupFields, or a
+// permutation covering K2), one with no grouped stage, or one grouping
+// per-stream ([]int{} — no cross-record contract) requires clustering on
+// k2 itself, matching the classic postcondition.
+func consumerClusterNames(gc *wf.ReduceGroup, k2 []string) []string {
+	var gf []int
+	found := false
+	for _, s := range gc.Stages {
+		if s.Kind == wf.ReduceKind {
+			gf = s.GroupFields
+			found = true
+			break
+		}
+	}
+	if !found || gf == nil || len(gf) == 0 {
+		return k2
+	}
+	seen := map[string]bool{}
+	names := make([]string, 0, len(gf))
+	for _, i := range gf {
+		if i < 0 || i >= len(k2) {
+			return k2 // unverifiable grouping: fall back to the whole-key requirement
+		}
+		if !seen[k2[i]] {
+			seen[k2[i]] = true
+			names = append(names, k2[i])
+		}
+	}
+	return names
 }
 
 // rewrittenSpec builds the producer partition spec the intra-vertical
 // postcondition prescribes: partition on Jp.K2 ∩ Jc.K2 and sort on
-// (∩, rest of Jp.K2) — Figure 4's hash(O), sort(O,Z).
-func rewrittenSpec(gp *wf.ReduceGroup, k2 []string) keyval.PartitionSpec {
-	inter := wf.FieldsIntersect(gp.KeyIn, k2)
-	sortNames := wf.CombinedSortKey(gp.KeyIn, k2)
-	partIdx, _ := wf.IndicesOf(gp.KeyIn, inter)
+// (∩, rest of Jp.K2) — Figure 4's hash(O), sort(O,Z). When the consumer's
+// grouped stage groups on a proper subset of its K2, the spec tightens to
+// that subset: partitioning or sorting on the full K2 would scatter one
+// consumer group across aligned tasks (different partition indices) or
+// interleave its records (sorted on a non-group field first), and the
+// packed map-side pipeline would aggregate fragments. (The execution
+// oracle over generated workflows caught exactly that.)
+func rewrittenSpec(gp, gc *wf.ReduceGroup, k2 []string) keyval.PartitionSpec {
+	cluster := consumerClusterNames(gc, k2)
+	if wf.FieldsSubset(k2, cluster) {
+		// Whole-key grouping: the classic spec.
+		inter := wf.FieldsIntersect(gp.KeyIn, k2)
+		sortNames := wf.CombinedSortKey(gp.KeyIn, k2)
+		partIdx, _ := wf.IndicesOf(gp.KeyIn, inter)
+		sortIdx, _ := wf.IndicesOf(gp.KeyIn, sortNames)
+		return keyval.PartitionSpec{Type: keyval.HashPartition, KeyFields: partIdx, SortFields: sortIdx}
+	}
+	sortNames := append(append([]string{}, cluster...), wf.FieldsMinus(wf.CombinedSortKey(gp.KeyIn, k2), cluster)...)
+	partIdx, _ := wf.IndicesOf(gp.KeyIn, cluster)
 	sortIdx, _ := wf.IndicesOf(gp.KeyIn, sortNames)
 	return keyval.PartitionSpec{Type: keyval.HashPartition, KeyFields: partIdx, SortFields: sortIdx}
 }
@@ -136,12 +257,12 @@ func IntraVertical(w *wf.Workflow, jcID string) (*wf.Workflow, error) {
 			continue
 		}
 		gp := &jp.ReduceGroups[0]
-		spec := rewrittenSpec(gp, k2)
-		inter := wf.FieldsIntersect(gp.KeyIn, k2)
+		spec := rewrittenSpec(gp, gc, k2)
+		partNames := projectNames(gp.KeyIn, spec.EffectiveKeyFields(len(gp.KeyIn)))
 		gp.Part = spec
 		gp.Constraints = append(gp.Constraints, wf.PartitionConstraint{
-			CoGroup:    append([]string(nil), inter...),
-			SortPrefix: append([]string(nil), inter...),
+			CoGroup:    append([]string(nil), partNames...),
+			SortPrefix: append([]string(nil), partNames...),
 			Reason:     "intra-job vertical packing for " + jcID,
 		})
 		producers = append(producers, jp)
@@ -201,7 +322,16 @@ func CanInterVertical(w *wf.Workflow, jpID, jcID string) error {
 	}
 	if jc.MapOnly() {
 		// Absorb consumer into producer: the consumer must read only the
-		// link (its whole input is the producer's output).
+		// link (its whole input is the producer's output) through a single
+		// branch. Packing appends exactly one flattened pipeline to the
+		// producer; a multi-branch consumer (e.g. a map-side join produced
+		// by intra-job packing) routes every record through several
+		// pipelines, which a flat append cannot represent — absorbing only
+		// its first branch silently drops the others' work. (The execution
+		// oracle over generated workflows caught exactly that.)
+		if len(jc.MapBranches) != 1 {
+			return fmt.Errorf("trans: map-only consumer %s has %d branches; packing absorbs a single pipeline", jcID, len(jc.MapBranches))
+		}
 		ins := jc.Inputs()
 		if len(ins) != 1 || ins[0] != link {
 			return fmt.Errorf("trans: map-only consumer %s reads datasets beyond the link", jcID)

@@ -156,3 +156,108 @@ func TestNamespacePreservesSemantics(t *testing.T) {
 		t.Fatal("Namespace mutated its receiver")
 	}
 }
+
+// TestComposeEdgeCases is the table-driven edge-case suite for Compose:
+// empty part lists, single-workflow (identity) composition, single-job
+// components, and diamond sharing where two independently developed
+// components consume one produced dataset.
+func TestComposeEdgeCases(t *testing.T) {
+	producer := func() *Workflow { return miniWorkflow("clean", "raw", "cleaned", true) }
+	left := func() *Workflow { return miniWorkflow("left", "cleaned", "lout", true) }
+	right := func() *Workflow { return miniWorkflow("right", "cleaned", "rout", true) }
+
+	cases := []struct {
+		name    string
+		parts   func() []*Workflow
+		wantErr bool
+		check   func(t *testing.T, w *Workflow)
+	}{
+		{
+			name:    "empty part set rejected",
+			parts:   func() []*Workflow { return nil },
+			wantErr: true,
+		},
+		{
+			name:  "single workflow composes to itself",
+			parts: func() []*Workflow { return []*Workflow{producer()} },
+			check: func(t *testing.T, w *Workflow) {
+				if len(w.Jobs) != 1 || len(w.Datasets) != 2 {
+					t.Fatalf("shape: %d jobs, %d datasets", len(w.Jobs), len(w.Datasets))
+				}
+				if !w.Dataset("raw").Base || w.Dataset("cleaned").Base {
+					t.Fatal("base flags wrong after identity composition")
+				}
+			},
+		},
+		{
+			name: "single-job components stitch into a chain",
+			parts: func() []*Workflow {
+				return []*Workflow{producer(), miniWorkflow("report", "cleaned", "result", true)}
+			},
+			check: func(t *testing.T, w *Workflow) {
+				order, err := w.TopoSort()
+				if err != nil || len(order) != 2 || order[0].ID != "J_clean" {
+					t.Fatalf("topo = %v, %v", order, err)
+				}
+			},
+		},
+		{
+			name: "diamond sharing: two components consume one produced dataset",
+			parts: func() []*Workflow {
+				return []*Workflow{producer(), left(), right()}
+			},
+			check: func(t *testing.T, w *Workflow) {
+				if cs := w.Consumers("cleaned"); len(cs) != 2 {
+					t.Fatalf("cleaned has %d consumers, want 2", len(cs))
+				}
+				if w.Dataset("cleaned").Base {
+					t.Fatal("shared dataset still marked base")
+				}
+				if jp := w.Job("J_clean"); ClassifyProducer(w, jp) != OneToMany {
+					t.Fatalf("diamond producer classifies as %v", ClassifyProducer(w, jp))
+				}
+			},
+		},
+		{
+			name: "order independence: consumers listed before the producer",
+			parts: func() []*Workflow {
+				return []*Workflow{left(), right(), producer()}
+			},
+			check: func(t *testing.T, w *Workflow) {
+				if w.Producer("cleaned") == nil {
+					t.Fatal("producer not stitched when listed last")
+				}
+				if w.Dataset("cleaned").Base {
+					t.Fatal("base flag survived late-producer stitching")
+				}
+			},
+		},
+		{
+			name: "two producers of one dataset rejected",
+			parts: func() []*Workflow {
+				a := miniWorkflow("a", "raw", "dup", true)
+				b := miniWorkflow("b", "raw2", "dup", true)
+				return []*Workflow{a, b}
+			},
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := Compose("combo", tc.parts()...)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("composition unexpectedly succeeded")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if verr := w.Validate(); verr != nil {
+				t.Fatalf("composed workflow invalid: %v", verr)
+			}
+			tc.check(t, w)
+		})
+	}
+}

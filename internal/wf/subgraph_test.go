@@ -1,0 +1,171 @@
+package wf
+
+import "testing"
+
+// Shape-building helpers: tiny map-only jobs wired purely by dataset IDs,
+// enough for the subgraph classifiers, which never look at stages.
+
+func shapeJob(id string, ins []string, outs []string) *Job {
+	j := &Job{ID: id, Config: DefaultConfig(), Origin: []string{id}}
+	for i, out := range outs {
+		j.ReduceGroups = append(j.ReduceGroups, ReduceGroup{Tag: i, Output: out})
+	}
+	for _, in := range ins {
+		j.MapBranches = append(j.MapBranches, MapBranch{
+			Tag: 0, Input: in,
+			Stages: []Stage{MapStage("M_"+id+"_"+in, passMap, 1e-6)},
+		})
+	}
+	return j
+}
+
+func shapeWorkflow(name string, jobs []*Job, base []string) *Workflow {
+	w := &Workflow{Name: name}
+	seen := map[string]bool{}
+	for _, b := range base {
+		seen[b] = true
+		w.Datasets = append(w.Datasets, &Dataset{ID: b, Base: true})
+	}
+	for _, j := range jobs {
+		w.Jobs = append(w.Jobs, j)
+		for _, out := range j.Outputs() {
+			if !seen[out] {
+				seen[out] = true
+				w.Datasets = append(w.Datasets, &Dataset{ID: out})
+			}
+		}
+	}
+	return w
+}
+
+// TestClassifySubgraphShapes is the table-driven edge-case suite the
+// generator's DAG shapes motivated: single-job workflows, chains, fan-out,
+// fan-in, diamond sharing, and the hybrid resolution order (many-to-one
+// before one-to-many before one-to-one).
+func TestClassifySubgraphShapes(t *testing.T) {
+	single := shapeWorkflow("single",
+		[]*Job{shapeJob("J1", []string{"b"}, []string{"o"})}, []string{"b"})
+	chain := shapeWorkflow("chain", []*Job{
+		shapeJob("J1", []string{"b"}, []string{"d1"}),
+		shapeJob("J2", []string{"d1"}, []string{"o"}),
+	}, []string{"b"})
+	fanOut := shapeWorkflow("fan-out", []*Job{
+		shapeJob("J1", []string{"b"}, []string{"d1"}),
+		shapeJob("J2", []string{"d1"}, []string{"o2"}),
+		shapeJob("J3", []string{"d1"}, []string{"o3"}),
+	}, []string{"b"})
+	fanIn := shapeWorkflow("fan-in", []*Job{
+		shapeJob("J1", []string{"b"}, []string{"d1"}),
+		shapeJob("J2", []string{"b"}, []string{"d2"}),
+		shapeJob("J3", []string{"d1", "d2"}, []string{"o"}),
+	}, []string{"b"})
+	diamond := shapeWorkflow("diamond", []*Job{
+		shapeJob("J1", []string{"b"}, []string{"d1"}),
+		shapeJob("J2", []string{"d1"}, []string{"d2"}),
+		shapeJob("J3", []string{"d1"}, []string{"d3"}),
+		shapeJob("J4", []string{"d2", "d3"}, []string{"o"}),
+	}, []string{"b"})
+	// Hybrid: J3 has two producers (many-to-one) and one of them fans out
+	// (one-to-many); the consumer classification resolves many-to-one first.
+	hybrid := shapeWorkflow("hybrid", []*Job{
+		shapeJob("J1", []string{"b"}, []string{"d1"}),
+		shapeJob("J2", []string{"b"}, []string{"d2"}),
+		shapeJob("J3", []string{"d1", "d2"}, []string{"o3"}),
+		shapeJob("J4", []string{"d1"}, []string{"o4"}),
+	}, []string{"b"})
+
+	for _, w := range []*Workflow{single, chain, fanOut, fanIn, diamond, hybrid} {
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s: invalid fixture: %v", w.Name, err)
+		}
+	}
+
+	cases := []struct {
+		w        *Workflow
+		job      string
+		consumer SubgraphKind // ClassifyConsumer(job)
+		producer SubgraphKind // ClassifyProducer(job)
+	}{
+		{single, "J1", NoneToOne, OneToNone},
+		{chain, "J1", NoneToOne, OneToOne},
+		{chain, "J2", OneToOne, OneToNone},
+		{fanOut, "J1", NoneToOne, OneToMany},
+		{fanOut, "J2", OneToMany, OneToNone},
+		{fanOut, "J3", OneToMany, OneToNone},
+		{fanIn, "J3", ManyToOne, OneToNone},
+		{fanIn, "J1", NoneToOne, ManyToOne},
+		{diamond, "J1", NoneToOne, OneToMany},
+		{diamond, "J2", OneToMany, ManyToOne},
+		{diamond, "J4", ManyToOne, OneToNone},
+		{hybrid, "J3", ManyToOne, OneToNone}, // many-to-one wins over one-to-many
+		{hybrid, "J1", NoneToOne, OneToMany},
+		{hybrid, "J4", OneToMany, OneToNone},
+	}
+	for _, tc := range cases {
+		j := tc.w.Job(tc.job)
+		if got := ClassifyConsumer(tc.w, j); got != tc.consumer {
+			t.Errorf("%s: ClassifyConsumer(%s) = %v, want %v", tc.w.Name, tc.job, got, tc.consumer)
+		}
+		if got := ClassifyProducer(tc.w, j); got != tc.producer {
+			t.Errorf("%s: ClassifyProducer(%s) = %v, want %v", tc.w.Name, tc.job, got, tc.producer)
+		}
+	}
+}
+
+// TestSoleLinkEdgeCases: exactly-one-dataset links under multi-output
+// producers, double links, and re-read links.
+func TestSoleLinkEdgeCases(t *testing.T) {
+	// J1 writes two datasets; J2 reads both: two links, not one.
+	double := shapeWorkflow("double", []*Job{
+		shapeJob("J1", []string{"b"}, []string{"d1", "d2"}),
+		shapeJob("J2", []string{"d1", "d2"}, []string{"o"}),
+	}, []string{"b"})
+	if _, ok := SoleLink(double, double.Job("J1"), double.Job("J2")); ok {
+		t.Error("two-dataset link reported as sole")
+	}
+
+	// J1 writes two datasets; J2 reads only one: that one is the sole link.
+	split := shapeWorkflow("split", []*Job{
+		shapeJob("J1", []string{"b"}, []string{"d1", "d2"}),
+		shapeJob("J2", []string{"d1"}, []string{"o"}),
+		shapeJob("J3", []string{"d2"}, []string{"o3"}),
+	}, []string{"b"})
+	if link, ok := SoleLink(split, split.Job("J1"), split.Job("J2")); !ok || link != "d1" {
+		t.Errorf("SoleLink = %q, %v; want d1, true", link, ok)
+	}
+
+	// A consumer reading the link through two branches still counts one
+	// dataset: Inputs() is distinct.
+	reread := shapeWorkflow("reread", []*Job{
+		shapeJob("J1", []string{"b"}, []string{"d1"}),
+		shapeJob("J2", []string{"d1", "d1"}, []string{"o"}),
+	}, []string{"b"})
+	if link, ok := SoleLink(reread, reread.Job("J1"), reread.Job("J2")); !ok || link != "d1" {
+		t.Errorf("double-branch SoleLink = %q, %v; want d1, true", link, ok)
+	}
+
+	// Unrelated jobs share no link.
+	if _, ok := SoleLink(split, split.Job("J2"), split.Job("J3")); ok {
+		t.Error("unrelated jobs reported a sole link")
+	}
+}
+
+// TestSubgraphKindString covers the display names, including the unknown
+// fallback.
+func TestSubgraphKindString(t *testing.T) {
+	want := map[SubgraphKind]string{
+		OneToOne:  "one-to-one",
+		OneToMany: "one-to-many",
+		ManyToOne: "many-to-one",
+		NoneToOne: "none-to-one",
+		OneToNone: "one-to-none",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if SubgraphKind(99).String() != "unknown" {
+		t.Errorf("unknown kind renders %q", SubgraphKind(99).String())
+	}
+}
