@@ -1,0 +1,315 @@
+package stubby
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"github.com/stubby-mr/stubby/internal/planio"
+	"github.com/stubby-mr/stubby/internal/stubbyerr"
+)
+
+// Client speaks the stubbyd wire protocol: it submits OptimizeRequests as
+// versioned JSON documents, polls status, streams typed events, cancels,
+// and retrieves results. Errors reconstruct the server's *Error taxonomy,
+// so errors.Is(err, ErrKindOverloaded) works identically to in-process
+// Submit. A Client is safe for concurrent use.
+//
+// Plans travel as black boxes (stage names, no function bodies): the
+// Result.Plan a Client returns carries every annotation and can be costed,
+// compared, and re-optimized, but not executed — exactly the paper's
+// Figure 2 deployment, where the optimizer service never sees user code.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// ClientOption configures a Client under construction.
+type ClientOption func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client (default:
+// http.DefaultClient). Use it to set timeouts, transports, or tracing.
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) {
+		if hc != nil {
+			c.hc = hc
+		}
+	}
+}
+
+// NewClient builds a client for the stubbyd server at baseURL (e.g.
+// "http://localhost:8080").
+func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, stubbyerr.WithKind(stubbyerr.KindInvalid, "client", "", err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, stubbyerr.New(stubbyerr.KindInvalid, "client", "", "",
+			"base URL %q must be http or https", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: http.DefaultClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// decodeHTTPError turns a non-2xx response into the server's structured
+// error. Bodies that are not error envelopes degrade to ErrKindInternal.
+func decodeHTTPError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env planio.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error != nil {
+		return env.Error.Err()
+	}
+	return stubbyerr.New(stubbyerr.KindInternal, "http", "", "",
+		"%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, stubbyerr.WithKind(stubbyerr.KindInvalid, "http", "", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, stubbyerr.WithKind(stubbyerr.KindUnavailable, "http", "", err)
+	}
+	return resp, nil
+}
+
+// Submit encodes the request as a wire document, posts it, and returns a
+// remote job bound to the server-assigned ID. Overload and drain
+// rejections surface as ErrKindOverloaded / ErrKindUnavailable.
+func (c *Client) Submit(ctx context.Context, req OptimizeRequest) (*RemoteJob, error) {
+	if req.Workflow == nil {
+		return nil, stubbyerr.New(stubbyerr.KindInvalid, "submit", "", "", "nil workflow")
+	}
+	body, err := planio.EncodeRequest(&planio.Request{
+		Planner:            req.Planner,
+		Seed:               req.Seed,
+		DisableIncremental: req.DisableIncremental,
+		Cluster:            req.Cluster,
+		Plan:               req.Workflow,
+	})
+	if err != nil {
+		return nil, stubbyerr.WithKind(stubbyerr.KindInvalid, "submit", req.Workflow.Name, err)
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, decodeHTTPError(resp)
+	}
+	var ack planio.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return nil, stubbyerr.WithKind(stubbyerr.KindInternal, "submit", req.Workflow.Name, err)
+	}
+	return &RemoteJob{c: c, id: ack.ID, workflow: req.Workflow.Name}, nil
+}
+
+// Job binds a RemoteJob to an already-known ID (e.g. persisted from an
+// earlier Submit). The binding is not verified until the first call.
+func (c *Client) Job(id string) *RemoteJob { return &RemoteJob{c: c, id: id} }
+
+// JobStatus is a remote job's status snapshot.
+type JobStatus struct {
+	ID       string
+	Workflow string
+	Progress Progress
+	// Err is the structured failure/cancellation cause for terminal
+	// non-Done states, nil otherwise.
+	Err error
+}
+
+// State returns the snapshot's lifecycle state.
+func (s *JobStatus) State() JobState { return s.Progress.State }
+
+// RemoteJob is the client-side handle to a job on a stubbyd server: the
+// over-the-wire counterpart of OptimizeHandle. Methods take a context
+// because every one is an HTTP call. A RemoteJob is safe for concurrent
+// use — all fields are set at construction and never mutated (a job
+// rebound with Client.Job carries no workflow name; its errors omit it).
+type RemoteJob struct {
+	c        *Client
+	id       string
+	workflow string
+}
+
+// ID returns the server-assigned job ID.
+func (j *RemoteJob) ID() string { return j.id }
+
+// Status fetches the job's state and progress snapshot.
+func (j *RemoteJob) Status(ctx context.Context) (*JobStatus, error) {
+	resp, err := j.c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(j.id), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeHTTPError(resp)
+	}
+	return j.decodeStatus(resp.Body)
+}
+
+func (j *RemoteJob) decodeStatus(r io.Reader) (*JobStatus, error) {
+	var doc planio.StatusDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, stubbyerr.WithKind(stubbyerr.KindInternal, "status", j.workflow, err)
+	}
+	st, err := parseJobState(doc.State)
+	if err != nil {
+		return nil, err
+	}
+	return &JobStatus{
+		ID:       doc.ID,
+		Workflow: doc.Workflow,
+		Progress: Progress{State: st, Units: doc.Units, Subplans: doc.Subplans,
+			Improvements: doc.Improvements, BestCost: doc.BestCost},
+		Err: doc.Error.Err(),
+	}, nil
+}
+
+// Cancel requests cancellation server-side (see OptimizeHandle.Cancel for
+// the semantics) and returns the status observed after the request.
+func (j *RemoteJob) Cancel(ctx context.Context) (*JobStatus, error) {
+	resp, err := j.c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(j.id)+"/cancel", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeHTTPError(resp)
+	}
+	return j.decodeStatus(resp.Body)
+}
+
+// Events streams the job's typed events: the server replays the full
+// stream from submission, then follows live; the channel closes after the
+// terminal StateChangedEvent or when ctx ends. Unknown event types from a
+// newer server are skipped.
+func (j *RemoteJob) Events(ctx context.Context) (<-chan Event, error) {
+	resp, err := j.c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(j.id)+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeHTTPError(resp)
+	}
+	ch := make(chan Event)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var doc planio.EventDoc
+			if err := json.Unmarshal(line, &doc); err != nil {
+				continue
+			}
+			ev, ok := eventFromDoc(&doc)
+			if !ok {
+				continue
+			}
+			select {
+			case ch <- ev:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch, nil
+}
+
+// Result fetches the finished job's result document and decodes it,
+// verifying the plan fingerprint the server stamped. An unfinished job
+// yields ErrKindConflict; a failed or canceled one yields its structured
+// error.
+func (j *RemoteJob) Result(ctx context.Context) (*Result, error) {
+	resp, err := j.c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(j.id)+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeHTTPError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, stubbyerr.WithKind(stubbyerr.KindUnavailable, "result", j.workflow, err)
+	}
+	doc, err := planio.DecodeResult(body)
+	if err != nil {
+		return nil, stubbyerr.WithKind(stubbyerr.KindInternal, "result", j.workflow, err)
+	}
+	return &Result{
+		Plan:           doc.Plan,
+		EstimatedCost:  doc.EstimatedCost,
+		Duration:       time.Duration(doc.DurationMS * float64(time.Millisecond)),
+		WhatIfCalls:    doc.WhatIfCalls,
+		WhatIfComputed: doc.WhatIfComputed,
+		FlowCards:      doc.FlowCards,
+	}, nil
+}
+
+// Wait blocks until the job is terminal and returns its outcome, following
+// the event stream (one long poll, no timer loop). Like
+// OptimizeHandle.Wait: the Result for StateDone, the structured error for
+// StateFailed/StateCanceled, ctx's error if it ends first.
+func (j *RemoteJob) Wait(ctx context.Context) (*Result, error) {
+	events, err := j.Events(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var terminal *StateChangedEvent
+	for ev := range events {
+		if sc, ok := ev.(StateChangedEvent); ok && sc.State.Terminal() {
+			terminal = &sc
+			break
+		}
+	}
+	if terminal == nil {
+		// Stream ended without a terminal transition: ctx expired or the
+		// connection dropped mid-flight.
+		if err := ctx.Err(); err != nil {
+			return nil, stubbyerr.From("wait", j.workflow, err)
+		}
+		return nil, stubbyerr.New(stubbyerr.KindUnavailable, "wait", j.workflow, "",
+			"event stream for job %s ended before the job finished", j.id)
+	}
+	switch terminal.State {
+	case StateDone:
+		return j.Result(ctx)
+	case StateCanceled:
+		return nil, stubbyerr.WithKind(stubbyerr.KindCanceled, "optimize", terminal.Workflow,
+			fmt.Errorf("job %s canceled: %w", j.id, context.Canceled))
+	default: // StateFailed
+		if terminal.Err != nil {
+			return nil, terminal.Err
+		}
+		return nil, stubbyerr.New(stubbyerr.KindInternal, "optimize", terminal.Workflow, "",
+			"job %s failed", j.id)
+	}
+}

@@ -10,6 +10,7 @@
 //	stubby-bench -ablation ordering | search | units | profile | all
 //	stubby-bench -whatif
 //	stubby-bench -bench-optimizer -bench-out BENCH_optimizer.json
+//	stubby-bench -bench-service -bench-service-out BENCH_service.json
 //	stubby-bench -fig 12 -cpuprofile cpu.prof -memprofile mem.prof
 //	stubby-bench -list-optimizers
 //	stubby-bench -gen -seed 42            # reproduce one generated case
@@ -38,6 +39,10 @@ func main() {
 		whatif     = flag.Bool("whatif", false, "report what-if call counts per workload, estimate cache off vs on")
 		benchOpt   = flag.Bool("bench-optimizer", false, "benchmark the optimizer hot path: incremental vs monolithic what-if estimation")
 		benchOut   = flag.String("bench-out", "BENCH_optimizer.json", "where -bench-optimizer writes its JSON report")
+		benchSvc   = flag.Bool("bench-service", false, "benchmark the job service end to end: submit→result throughput and latency through a live stubbyd HTTP server at queue depths 1/8/64")
+		benchSvcN  = flag.Int("bench-service-jobs", 32, "submissions per queue depth for -bench-service")
+		benchSvcW  = flag.Int("bench-service-workers", 4, "worker-pool size for -bench-service")
+		benchSvcO  = flag.String("bench-service-out", "BENCH_service.json", "where -bench-service writes its JSON report")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 		listOpts   = flag.Bool("list-optimizers", false, "list registered optimizers and exit")
@@ -155,6 +160,12 @@ func main() {
 	if *all || *benchOpt {
 		ran = true
 		if err := runOptimizerBench(h, *benchOut, *size, *seed); err != nil {
+			fail(err)
+		}
+	}
+	if *benchSvc {
+		ran = true
+		if err := runServiceBench(h, *benchSvcO, *benchSvcN, *benchSvcW); err != nil {
 			fail(err)
 		}
 	}
@@ -300,6 +311,39 @@ func runOptimizerBench(h *bench.Harness, out string, size float64, seed int64) e
 		bench.MultiJobThreshold, report.MultiJob.WallSpeedup, report.MultiJob.FlowCardRatio)
 	if out != "" {
 		if err := bench.WriteOptimizerBenchJSON(out, report); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+// runServiceBench measures submit→result throughput and latency through a
+// live in-process stubbyd HTTP server at each queue depth, prints the
+// table, and writes the JSON perf trajectory.
+func runServiceBench(h *bench.Harness, out string, jobs, workers int) error {
+	rows, err := h.ServiceBench(bench.ServiceBenchDepths, jobs, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Job service end to end: submit→result over HTTP (IR workload, reduced search budget)")
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.Depth),
+			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%d", r.Overloads),
+			fmt.Sprintf("%.0f ms", r.WallMS),
+			fmt.Sprintf("%.1f/s", r.Throughput),
+			fmt.Sprintf("%.1f ms", r.P50MS),
+			fmt.Sprintf("%.1f ms", r.P99MS),
+		})
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Depth", "Workers", "Jobs", "Overloads", "Wall", "Throughput", "p50", "p99"}, cells))
+	if out != "" {
+		if err := bench.ServiceBenchJSON(out, h, rows, jobs); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", out)

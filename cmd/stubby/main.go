@@ -12,6 +12,7 @@
 //	stubby -workload IR -compare
 //	stubby -workload BR -export br.plan.json
 //	stubby -import br.plan.json -optimizer stubby
+//	stubby -workload BR -remote http://localhost:8080 -v
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 		incr     = flag.Bool("incremental", true, "delta-estimate configuration-search probes (bit-transparent; disable to benchmark the monolithic estimator)")
 		export   = flag.String("export", "", "write the annotated plan to this JSON file and exit")
 		imprt    = flag.String("import", "", "read an annotated plan from this JSON file (structure-only) instead of building a workload")
+		remote   = flag.String("remote", "", "optimize through the stubbyd server at this base URL (e.g. http://localhost:8080) instead of in-process")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -119,6 +121,17 @@ func main() {
 	fmt.Printf("== %s: %s (%.0f GB simulated)\n", wl.Abbr, wl.Title, wl.PaperGB)
 	fmt.Println("-- original plan")
 	fmt.Print(wl.Workflow.Summary())
+
+	if *remote != "" {
+		// Profile locally (profiling needs the data and the functions),
+		// then route the optimization through the remote service. The
+		// returned plan is structure-only, so -run is unavailable.
+		if *run || *compare {
+			fail(fmt.Errorf("-run and -compare need executable plans and are unavailable with -remote"))
+		}
+		optimizeRemote(ctx, *remote, wl, plannerName, *seed, *verbose, *dot)
+		return
+	}
 
 	if *compare {
 		comparePlanners(ctx, sess, opts, wl)
@@ -224,6 +237,53 @@ func comparePlanners(ctx context.Context, sess *stubby.Session, opts []stubby.Se
 	if st, ok := sess.EstimateCacheStats(); ok {
 		fmt.Printf("  estimate cache: %d/%d hits (%.1f%%), %d entries, %d evictions\n",
 			st.Hits, st.Lookups(), 100*st.HitRate(), st.Entries, st.Evictions)
+	}
+}
+
+// optimizeRemote submits the profiled workload to a stubbyd server and
+// streams progress: the wire-format counterpart of the in-process path.
+// The request carries the workload's cluster so the remote What-if engine
+// costs against the same machine model the local session would.
+func optimizeRemote(ctx context.Context, base string, wl *stubby.Workload, planner string, seed int64, verbose, dot bool) {
+	if planner == "none" {
+		fail(fmt.Errorf("-remote submits an optimization; pick an optimizer (see -list-optimizers)"))
+	}
+	client, err := stubby.NewClient(base)
+	if err != nil {
+		fail(err)
+	}
+	req := stubby.OptimizeRequest{Workflow: wl.Workflow, Planner: planner, Seed: seed, Cluster: wl.Cluster}
+	job, err := client.Submit(ctx, req)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("-- submitted to %s as %s\n", base, job.ID())
+	if verbose {
+		events, err := job.Events(ctx)
+		if err != nil {
+			fail(err)
+		}
+		for ev := range events {
+			switch e := ev.(type) {
+			case stubby.StateChangedEvent:
+				fmt.Fprintf(os.Stderr, "[%s] state %s\n", e.Workflow, e.State)
+			case stubby.UnitStartedEvent:
+				fmt.Fprintf(os.Stderr, "[%s] unit %d (%s): %v\n", e.Workflow, e.Unit, e.Phase, e.Jobs)
+			case stubby.BestCostImprovedEvent:
+				fmt.Fprintf(os.Stderr, "[%s] unit %d: best <- %s (%.1f)\n", e.Workflow, e.Unit, e.Desc, e.Cost)
+			}
+		}
+	}
+	res, err := job.Wait(ctx)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("-- remote plan (estimated makespan %.1f, optimized in %v)\n",
+		res.EstimatedCost, res.Duration.Round(time.Millisecond))
+	fmt.Print(res.Plan.Summary())
+	printWhatIf(res, nil)
+	if dot {
+		fmt.Println(res.Plan.DOT())
 	}
 }
 

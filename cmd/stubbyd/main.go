@@ -1,0 +1,102 @@
+// Command stubbyd serves Stubby as a long-lived optimization service (the
+// deployment of the paper's Figure 2): workflow generators submit
+// annotated plans as versioned JSON documents over HTTP, poll or stream
+// progress, and fetch optimized plans back. Plans travel structure-only —
+// the server costs and rewrites them without ever seeing user code.
+//
+// Usage:
+//
+//	stubbyd -addr :8080
+//	stubbyd -addr :8080 -workers 8 -queue 64 -seed 1 -drain-timeout 30s
+//
+// API (see stubby.Server):
+//
+//	POST /v1/jobs              submit an optimize-request document
+//	GET  /v1/jobs/{id}         status + progress
+//	GET  /v1/jobs/{id}/result  optimize-result document
+//	POST /v1/jobs/{id}/cancel  cancel
+//	GET  /v1/jobs/{id}/events  NDJSON event stream
+//	GET  /healthz              liveness + queue shape
+//
+// Submissions beyond the admission queue's depth are shed with HTTP 429
+// and error kind "overloaded". On SIGTERM/SIGINT the server drains
+// gracefully: new submissions get 503, running jobs finish (up to
+// -drain-timeout, then they are canceled), and the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/stubby-mr/stubby"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "optimization worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", stubby.DefaultQueueDepth, "admission queue depth; beyond it submissions are shed with 429")
+		seed     = flag.Int64("seed", 1, "default search seed (requests may override)")
+		planner  = flag.String("optimizer", "stubby", "default planner for requests that name none")
+		useCache = flag.Bool("cache", true, "share one estimate cache across all jobs")
+		rrsEvals = flag.Int("rrs-evals", 0, "configuration-search budget override (0 = default)")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits before canceling running jobs")
+	)
+	flag.Parse()
+
+	opts := []stubby.SessionOption{
+		stubby.WithSeed(*seed),
+		stubby.WithQueueDepth(*queue),
+		stubby.WithPlanner(*planner),
+	}
+	if *workers > 0 {
+		opts = append(opts, stubby.WithParallelism(*workers))
+	}
+	if *useCache {
+		opts = append(opts, stubby.WithEstimateCache(stubby.NewEstimateCache(0)))
+	}
+	if *rrsEvals > 0 {
+		opts = append(opts, stubby.WithOptimizerOptions(stubby.Options{RRSEvals: *rrsEvals}))
+	}
+	sess, err := stubby.NewSession(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stubbyd:", err)
+		os.Exit(1)
+	}
+	srv := stubby.NewServer(sess)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("stubbyd: serving on %s (workers=%d queue=%d planner=%s)",
+		*addr, *workers, *queue, *planner)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("stubbyd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("stubbyd: draining (timeout %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("stubbyd: drain: %v", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("stubbyd: shutdown: %v", err)
+	}
+	log.Print("stubbyd: stopped")
+}

@@ -1,0 +1,115 @@
+package stubby
+
+// Event is the closed sum type of progress events delivered by
+// OptimizeHandle.Events and Client event streams. It replaces the
+// ever-widening Observer interface: adding a new event type is a
+// non-breaking change (consumers switch on the types they care about),
+// whereas adding an Observer method broke every implementor.
+//
+//	for ev := range handle.Events(ctx) {
+//		switch e := ev.(type) {
+//		case stubby.BestCostImprovedEvent:
+//			log.Printf("unit %d best <- %.1f", e.Unit, e.Cost)
+//		case stubby.StateChangedEvent:
+//			log.Printf("state %s", e.State)
+//		}
+//	}
+//
+// The set is closed: only types in this package implement Event.
+type Event interface {
+	// WorkflowName returns the name of the workflow the event is about.
+	WorkflowName() string
+	event()
+}
+
+// UnitStartedEvent fires when the optimizer opens an optimization unit.
+type UnitStartedEvent struct {
+	Workflow string
+	Phase    string
+	Unit     int
+	Jobs     []string
+}
+
+// SubplanEnumeratedEvent fires per enumerated subplan with its best cost
+// after configuration search.
+type SubplanEnumeratedEvent struct {
+	Workflow string
+	Unit     int
+	Desc     string
+	Cost     float64
+}
+
+// BestCostImprovedEvent fires when a subplan displaces the unit's
+// incumbent.
+type BestCostImprovedEvent struct {
+	Workflow string
+	Unit     int
+	Desc     string
+	Cost     float64
+}
+
+// JobFinishedEvent fires after the execution engine completes a job of a
+// Run.
+type JobFinishedEvent struct {
+	Workflow string
+	Job      string
+	Start    float64
+	End      float64
+}
+
+// CacheReportEvent carries the estimate cache's cumulative statistics
+// after an optimization on a session with a cache attached.
+type CacheReportEvent struct {
+	Workflow string
+	Stats    EstimateCacheStats
+}
+
+// StateChangedEvent fires on every lifecycle transition of a submitted
+// job: Queued on admission, Running when a worker picks it up, then
+// exactly one of Done, Failed (Err set), or Canceled. It is always the
+// last event of a job's stream.
+type StateChangedEvent struct {
+	Workflow string
+	JobID    string
+	State    JobState
+	Err      error
+}
+
+func (e UnitStartedEvent) WorkflowName() string       { return e.Workflow }
+func (e SubplanEnumeratedEvent) WorkflowName() string { return e.Workflow }
+func (e BestCostImprovedEvent) WorkflowName() string  { return e.Workflow }
+func (e JobFinishedEvent) WorkflowName() string       { return e.Workflow }
+func (e CacheReportEvent) WorkflowName() string       { return e.Workflow }
+func (e StateChangedEvent) WorkflowName() string      { return e.Workflow }
+
+func (UnitStartedEvent) event()       {}
+func (SubplanEnumeratedEvent) event() {}
+func (BestCostImprovedEvent) event()  {}
+func (JobFinishedEvent) event()       {}
+func (CacheReportEvent) event()       {}
+func (StateChangedEvent) event()      {}
+
+// ObserverEvents adapts a deprecated Observer to an event consumer: the
+// returned function dispatches each event to the matching Observer method
+// (StateChangedEvent has no Observer counterpart and is dropped). It is
+// the migration bridge for code that still owns an Observer implementation
+// but consumes the new typed stream:
+//
+//	sink := stubby.ObserverEvents(myObserver)
+//	for ev := range handle.Events(ctx) { sink(ev) }
+func ObserverEvents(obs Observer) func(Event) {
+	return func(ev Event) {
+		switch e := ev.(type) {
+		case UnitStartedEvent:
+			obs.UnitStarted(e.Workflow, e.Phase, e.Unit, e.Jobs)
+		case SubplanEnumeratedEvent:
+			obs.SubplanEnumerated(e.Workflow, e.Unit, e.Desc, e.Cost)
+		case BestCostImprovedEvent:
+			obs.BestCostImproved(e.Workflow, e.Unit, e.Desc, e.Cost)
+		case JobFinishedEvent:
+			obs.JobFinished(e.Workflow, e.Job, e.Start, e.End)
+		case CacheReportEvent:
+			obs.EstimateCacheReport(e.Workflow, e.Stats)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package stubby_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"github.com/stubby-mr/stubby"
+)
+
+// ExampleSession_Submit shows the asynchronous job lifecycle: submit an
+// optimization, watch its typed event stream, and collect the result. A
+// handle outlives the job, so late subscribers replay the whole stream.
+func ExampleSession_Submit() {
+	wl, err := stubby.BuildWorkload("IR", stubby.WorkloadOptions{SizeFactor: 0.1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := stubby.NewSession(
+		stubby.WithCluster(wl.Cluster),
+		stubby.WithSeed(1),
+		stubby.WithQueueDepth(8),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	defer sess.Close(ctx)
+	if err := sess.Profile(ctx, wl.Workflow, wl.DFS); err != nil {
+		log.Fatal(err)
+	}
+
+	handle, err := sess.Submit(ctx, stubby.OptimizeRequest{Workflow: wl.Workflow})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := handle.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The replayed event stream always walks queued -> running -> done.
+	var states []stubby.JobState
+	units := 0
+	for ev := range handle.Events(ctx) {
+		switch e := ev.(type) {
+		case stubby.StateChangedEvent:
+			states = append(states, e.State)
+		case stubby.UnitStartedEvent:
+			units++
+		}
+	}
+	fmt.Printf("states: %v\n", states)
+	fmt.Printf("searched units: %v, plan produced: %v\n", units > 0, res.Plan != nil)
+	// Output:
+	// states: [queued running done]
+	// searched units: true, plan produced: true
+}
+
+// ExampleClient optimizes through a stubbyd server over HTTP: the same
+// Submit/Wait shape as the in-process API, with plans traveling as
+// versioned JSON documents (structure-only — the server never sees user
+// code).
+func ExampleClient() {
+	wl, err := stubby.BuildWorkload("IR", stubby.WorkloadOptions{SizeFactor: 0.1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	psess, err := stubby.NewSession(stubby.WithCluster(wl.Cluster), stubby.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := psess.Profile(ctx, wl.Workflow, wl.DFS); err != nil {
+		log.Fatal(err)
+	}
+
+	// A stubbyd server (here in-process; normally `stubbyd -addr :8080`).
+	sess, err := stubby.NewSession(stubby.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close(ctx)
+	srv := httptest.NewServer(stubby.NewServer(sess))
+	defer srv.Close()
+
+	client, err := stubby.NewClient(srv.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := client.Submit(ctx, stubby.OptimizeRequest{
+		Workflow: wl.Workflow,
+		Planner:  "stubby",
+		Seed:     1,
+		Cluster:  wl.Cluster, // the remote What-if engine costs against our cluster
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := job.Wait(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, err := job.Status(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("state: %s, plan returned: %v, cost estimated: %v\n",
+		status.State(), res.Plan != nil, res.EstimatedCost > 0)
+	// Output: state: done, plan returned: true, cost estimated: true
+}

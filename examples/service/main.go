@@ -1,0 +1,105 @@
+// Service example: run Stubby as a job service and optimize over the
+// wire. The program stands up a stubbyd-style HTTP server in-process,
+// profiles the paper's BR workload locally, submits it through
+// stubby.Client, streams the typed event feed, and prints the optimized
+// plan — the exact flow of `stubbyd -addr :8080` plus
+// `stubby -workload BR -remote http://localhost:8080`, in one process.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/stubby-mr/stubby"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// --- the service side: a session behind an HTTP front end ---------
+	serverSess, err := stubby.NewSession(
+		stubby.WithSeed(1),
+		stubby.WithQueueDepth(16),
+		stubby.WithEstimateCache(stubby.NewEstimateCache(0)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := stubby.NewServer(serverSess)
+	httpSrv := &http.Server{Handler: srv}
+	go func() {
+		if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
+			log.Print(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("stubbyd serving on %s\n", base)
+
+	// --- the submitter side: profile locally, optimize remotely -------
+	wl, err := stubby.BuildWorkload("BR", stubby.WorkloadOptions{SizeFactor: 0.1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	localSess, err := stubby.NewSession(stubby.WithCluster(wl.Cluster), stubby.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := localSess.Profile(ctx, wl.Workflow, wl.DFS); err != nil {
+		log.Fatal(err)
+	}
+
+	client, err := stubby.NewClient(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := client.Submit(ctx, stubby.OptimizeRequest{
+		Workflow: wl.Workflow,
+		Planner:  "stubby",
+		Seed:     1,
+		Cluster:  wl.Cluster,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted %s as %s\n", wl.Abbr, job.ID())
+
+	events, err := job.Events(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for ev := range events {
+		switch e := ev.(type) {
+		case stubby.StateChangedEvent:
+			fmt.Printf("  state: %s\n", e.State)
+		case stubby.UnitStartedEvent:
+			fmt.Printf("  unit %d (%s): %v\n", e.Unit, e.Phase, e.Jobs)
+		case stubby.BestCostImprovedEvent:
+			fmt.Printf("  unit %d: best <- %s (%.1f)\n", e.Unit, e.Desc, e.Cost)
+		}
+	}
+
+	res, err := job.Result(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote plan: %d jobs, estimated makespan %.1f\n",
+		len(res.Plan.Jobs), res.EstimatedCost)
+	fmt.Print(res.Plan.Summary())
+
+	// --- graceful drain, as stubbyd does on SIGTERM --------------------
+	drainCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Print(err)
+	}
+	_ = httpSrv.Shutdown(drainCtx)
+	fmt.Println("drained")
+}

@@ -1,3 +1,3 @@
 module github.com/stubby-mr/stubby
 
-go 1.21
+go 1.22

@@ -1,0 +1,201 @@
+package bench
+
+// servicebench.go measures the job service end to end: submit→result
+// throughput and latency through a real stubbyd HTTP server (in-process
+// listener, real sockets), at several admission-queue depths. It is the
+// `stubby-bench -bench-service` driver and writes BENCH_service.json so
+// service-layer regressions show up as a perf trajectory across PRs.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/stubby-mr/stubby"
+	"github.com/stubby-mr/stubby/internal/workloads"
+)
+
+// ServiceBenchDepths are the admission-queue depths the service benchmark
+// sweeps.
+var ServiceBenchDepths = []int{1, 8, 64}
+
+// ServiceBenchRow is one queue-depth measurement.
+type ServiceBenchRow struct {
+	// Depth is the admission-queue depth.
+	Depth int `json:"depth"`
+	// Workers is the worker-pool size.
+	Workers int `json:"workers"`
+	// Jobs is how many submissions completed successfully.
+	Jobs int `json:"jobs"`
+	// Overloads counts submissions shed with ErrKindOverloaded (each was
+	// retried until admitted).
+	Overloads int `json:"overloads"`
+	// WallMS is the whole sweep's wall time.
+	WallMS float64 `json:"wall_ms"`
+	// Throughput is completed jobs per second of wall time.
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+	// P50MS/P99MS are submit→result latency percentiles per job.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// ServiceBenchReport is the BENCH_service.json schema.
+type ServiceBenchReport struct {
+	Workload   string            `json:"workload"`
+	SizeFactor float64           `json:"size_factor"`
+	Seed       int64             `json:"seed"`
+	JobsPerRow int               `json:"jobs_per_row"`
+	Rows       []ServiceBenchRow `json:"rows"`
+}
+
+// ServiceBench sweeps the queue depths, submitting jobs concurrently
+// through a stubby.Client against a live HTTP server and waiting for each
+// result. Each depth uses a fresh session and server; the submitted
+// workflow is the profiled IR workload (small but multi-unit), with a
+// reduced search budget so the benchmark measures service overhead and
+// scheduling, not raw search time.
+func (h *Harness) ServiceBench(depths []int, jobsPerDepth, workers int) ([]ServiceBenchRow, error) {
+	if jobsPerDepth < 1 {
+		jobsPerDepth = 1
+	}
+	if workers < 1 {
+		workers = 2
+	}
+	wl, err := h.workload("IR")
+	if err != nil {
+		return nil, err
+	}
+	var rows []ServiceBenchRow
+	for _, depth := range depths {
+		row, err := h.serviceBenchDepth(wl, depth, jobsPerDepth, workers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func (h *Harness) serviceBenchDepth(wl *workloads.Workload, depth, jobs, workers int) (ServiceBenchRow, error) {
+	sess, err := stubby.NewSession(
+		stubby.WithCluster(wl.Cluster),
+		stubby.WithSeed(h.cfg.Seed),
+		stubby.WithParallelism(workers),
+		stubby.WithQueueDepth(depth),
+		stubby.WithEstimateCache(stubby.NewEstimateCache(0)),
+		stubby.WithOptimizerOptions(stubby.Options{RRSEvals: 20}),
+	)
+	if err != nil {
+		return ServiceBenchRow{}, err
+	}
+	httpSrv := httptest.NewServer(stubby.NewServer(sess))
+	defer httpSrv.Close()
+	defer sess.Close(context.Background())
+	client, err := stubby.NewClient(httpSrv.URL)
+	if err != nil {
+		return ServiceBenchRow{}, err
+	}
+
+	ctx := context.Background()
+	latencies := make([]float64, jobs)
+	var overloads int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	// More submitters than workers keeps the queue pressured so depth
+	// actually matters; overloaded submissions back off and retry.
+	submitters := workers * 2
+	if submitters > jobs {
+		submitters = jobs
+	}
+	next := make(chan int, jobs)
+	for i := 0; i < jobs; i++ {
+		next <- i
+	}
+	close(next)
+	start := time.Now()
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				var job *stubby.RemoteJob
+				for {
+					var err error
+					job, err = client.Submit(ctx, stubby.OptimizeRequest{Workflow: wl.Workflow})
+					if err == nil {
+						break
+					}
+					if errors.Is(err, stubby.ErrKindOverloaded) {
+						mu.Lock()
+						overloads++
+						mu.Unlock()
+						time.Sleep(2 * time.Millisecond)
+						continue
+					}
+					errs[i] = err
+					return
+				}
+				if _, err := job.Wait(ctx); err != nil {
+					errs[i] = err
+					return
+				}
+				latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServiceBenchRow{}, err
+		}
+	}
+	sort.Float64s(latencies)
+	return ServiceBenchRow{
+		Depth:      depth,
+		Workers:    workers,
+		Jobs:       jobs,
+		Overloads:  int(overloads),
+		WallMS:     float64(wall.Microseconds()) / 1000,
+		Throughput: float64(jobs) / wall.Seconds(),
+		P50MS:      percentile(latencies, 0.50),
+		P99MS:      percentile(latencies, 0.99),
+	}, nil
+}
+
+// percentile reads the p-quantile from sorted values, rounding the rank
+// up so small samples never understate the tail (nearest-rank method).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p * float64(len(sorted)-1)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// ServiceBenchJSON assembles and writes the report.
+func ServiceBenchJSON(path string, h *Harness, rows []ServiceBenchRow, jobsPerRow int) error {
+	rep := ServiceBenchReport{
+		Workload:   "IR",
+		SizeFactor: h.cfg.SizeFactor,
+		Seed:       h.cfg.Seed,
+		JobsPerRow: jobsPerRow,
+		Rows:       rows,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -8,10 +8,10 @@ package optimizer
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/stubbyerr"
 	"github.com/stubby-mr/stubby/internal/wf"
 	"github.com/stubby-mr/stubby/internal/whatif"
 	"github.com/stubby-mr/stubby/internal/whatif/estcache"
@@ -279,7 +279,8 @@ func (s *Stubby) OptimizeContext(ctx context.Context, w *wf.Workflow) (*Result, 
 	start := time.Now()
 	counts0 := s.whatIfCounts()
 	if err := w.Validate(); err != nil {
-		return nil, fmt.Errorf("optimizer: %w", err)
+		return nil, &stubbyerr.Error{Kind: stubbyerr.KindInvalid, Op: "optimize",
+			Workflow: w.Name, Err: err}
 	}
 	plan := w.Clone()
 	res := &Result{}

@@ -212,6 +212,13 @@ func decode(data []byte, reg *Registry, structureOnly bool) (*wf.Workflow, error
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("planio: parse: %w", err)
 	}
+	return decodeDocument(&doc, reg, structureOnly)
+}
+
+// decodeDocument reconstructs a plan from an already-parsed document — the
+// shared tail of Decode/DecodeStructure and of the wire envelopes that
+// embed plan documents (requests and results).
+func decodeDocument(doc *document, reg *Registry, structureOnly bool) (*wf.Workflow, error) {
 	if doc.Format != FormatName {
 		return nil, fmt.Errorf("planio: not a %s document (format %q)", FormatName, doc.Format)
 	}
@@ -219,7 +226,7 @@ func decode(data []byte, reg *Registry, structureOnly bool) (*wf.Workflow, error
 		return nil, fmt.Errorf("planio: unsupported version %d (want %d)", doc.Version, FormatVersion)
 	}
 	d := &decoder{reg: reg, structureOnly: structureOnly, missing: map[string]bool{}}
-	w, err := d.workflow(&doc)
+	w, err := d.workflow(doc)
 	if err != nil {
 		return nil, err
 	}

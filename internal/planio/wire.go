@@ -1,0 +1,368 @@
+package planio
+
+// wire.go defines the versioned wire schema of the stubby job service on
+// top of the plan documents: optimize requests and results (which embed a
+// plan document), progress events, job status, and the structured error
+// envelope. The public stubby.Client and the stubbyd server both speak
+// exactly these documents, and every encoder here is deterministic so wire
+// bytes can be golden-tested.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/stubbyerr"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// Wire format identifiers. Like the plan documents, requests and results
+// carry an explicit format name and version so future revisions migrate
+// explicitly instead of misreading old documents.
+const (
+	RequestFormatName    = "stubby-optimize-request"
+	RequestFormatVersion = 1
+	ResultFormatName     = "stubby-optimize-result"
+	ResultFormatVersion  = 1
+)
+
+// Request is one optimize submission: the annotated plan plus the planner
+// selection and options the submitter wants applied. Planner, Seed, and
+// Cluster are optional — zero values defer to the serving session.
+type Request struct {
+	// Planner names the registered planner to use ("" = server default).
+	Planner string
+	// Seed overrides the serving session's search seed when non-zero.
+	Seed int64
+	// DisableIncremental forces every configuration probe through the
+	// monolithic estimator (debugging aid; plans are identical either way).
+	DisableIncremental bool
+	// Cluster describes the cluster to optimize for. Nil uses the serving
+	// session's cluster.
+	Cluster *mrsim.Cluster
+	// Plan is the annotated workflow to optimize.
+	Plan *wf.Workflow
+}
+
+// Result is one optimize outcome: the chosen plan with its estimated cost
+// and What-if activity counters.
+type Result struct {
+	// Plan is the optimized workflow.
+	Plan *wf.Workflow
+	// EstimatedCost is the What-if estimate of the final plan.
+	EstimatedCost float64
+	// DurationMS is the server-side optimization wall time.
+	DurationMS float64
+	// WhatIfCalls/WhatIfComputed/FlowCards mirror optimizer.Result.
+	WhatIfCalls    uint64
+	WhatIfComputed uint64
+	FlowCards      uint64
+	// Fingerprint is the canonical wf.Fingerprint of Plan, letting the
+	// receiver verify the document decoded to exactly the plan the sender
+	// optimized.
+	Fingerprint string
+}
+
+// clusterDoc mirrors mrsim.Cluster field by field.
+type clusterDoc struct {
+	Nodes               int     `json:"nodes"`
+	MapSlotsPerNode     int     `json:"mapSlotsPerNode"`
+	ReduceSlotsPerNode  int     `json:"reduceSlotsPerNode"`
+	DiskMBps            float64 `json:"diskMBps"`
+	NetMBps             float64 `json:"netMBps"`
+	TaskSetupSec        float64 `json:"taskSetupSec"`
+	SortCPUPerRecord    float64 `json:"sortCPUPerRecord"`
+	CompressRatio       float64 `json:"compressRatio"`
+	CompressCPUSecPerMB float64 `json:"compressCPUSecPerMB"`
+	VirtualScale        float64 `json:"virtualScale"`
+}
+
+func encodeCluster(c *mrsim.Cluster) *clusterDoc {
+	if c == nil {
+		return nil
+	}
+	return &clusterDoc{
+		Nodes:               c.Nodes,
+		MapSlotsPerNode:     c.MapSlotsPerNode,
+		ReduceSlotsPerNode:  c.ReduceSlotsPerNode,
+		DiskMBps:            c.DiskMBps,
+		NetMBps:             c.NetMBps,
+		TaskSetupSec:        c.TaskSetupSec,
+		SortCPUPerRecord:    c.SortCPUPerRecord,
+		CompressRatio:       c.CompressRatio,
+		CompressCPUSecPerMB: c.CompressCPUSecPerMB,
+		VirtualScale:        c.VirtualScale,
+	}
+}
+
+func decodeCluster(d *clusterDoc) *mrsim.Cluster {
+	if d == nil {
+		return nil
+	}
+	return &mrsim.Cluster{
+		Nodes:               d.Nodes,
+		MapSlotsPerNode:     d.MapSlotsPerNode,
+		ReduceSlotsPerNode:  d.ReduceSlotsPerNode,
+		DiskMBps:            d.DiskMBps,
+		NetMBps:             d.NetMBps,
+		TaskSetupSec:        d.TaskSetupSec,
+		SortCPUPerRecord:    d.SortCPUPerRecord,
+		CompressRatio:       d.CompressRatio,
+		CompressCPUSecPerMB: d.CompressCPUSecPerMB,
+		VirtualScale:        d.VirtualScale,
+	}
+}
+
+type requestDoc struct {
+	Format             string      `json:"format"`
+	Version            int         `json:"version"`
+	Planner            string      `json:"planner,omitempty"`
+	Seed               int64       `json:"seed,omitempty"`
+	DisableIncremental bool        `json:"disableIncremental,omitempty"`
+	Cluster            *clusterDoc `json:"cluster,omitempty"`
+	Plan               *document   `json:"plan"`
+}
+
+type resultDoc struct {
+	Format         string    `json:"format"`
+	Version        int       `json:"version"`
+	EstimatedCost  float64   `json:"estimatedCost"`
+	DurationMS     float64   `json:"durationMS"`
+	WhatIfCalls    uint64    `json:"whatIfCalls"`
+	WhatIfComputed uint64    `json:"whatIfComputed"`
+	FlowCards      uint64    `json:"flowCards"`
+	Fingerprint    string    `json:"fingerprint,omitempty"`
+	Plan           *document `json:"plan"`
+}
+
+// EncodeRequest serializes the request to deterministic indented JSON.
+func EncodeRequest(r *Request) ([]byte, error) {
+	if r == nil || r.Plan == nil {
+		return nil, errors.New("planio: request without a plan")
+	}
+	plan, err := encodeDoc(r.Plan)
+	if err != nil {
+		return nil, err
+	}
+	doc := &requestDoc{
+		Format:             RequestFormatName,
+		Version:            RequestFormatVersion,
+		Planner:            r.Planner,
+		Seed:               r.Seed,
+		DisableIncremental: r.DisableIncremental,
+		Cluster:            encodeCluster(r.Cluster),
+		Plan:               plan,
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// DecodeRequest parses an optimize-request document. The embedded plan is
+// decoded structure-only (annotations intact, inert stage functions) — the
+// natural mode for an optimizer service, which costs and rewrites plans but
+// never executes them.
+func DecodeRequest(data []byte) (*Request, error) {
+	var doc requestDoc
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("planio: parse request: %w", err)
+	}
+	if doc.Format != RequestFormatName {
+		return nil, fmt.Errorf("planio: not a %s document (format %q)", RequestFormatName, doc.Format)
+	}
+	if doc.Version != RequestFormatVersion {
+		return nil, fmt.Errorf("planio: unsupported request version %d (want %d)", doc.Version, RequestFormatVersion)
+	}
+	if doc.Plan == nil {
+		return nil, errors.New("planio: request without a plan")
+	}
+	plan, err := decodeDocument(doc.Plan, NewRegistry(), true)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{
+		Planner:            doc.Planner,
+		Seed:               doc.Seed,
+		DisableIncremental: doc.DisableIncremental,
+		Cluster:            decodeCluster(doc.Cluster),
+		Plan:               plan,
+	}, nil
+}
+
+// EncodeResult serializes the result to deterministic indented JSON.
+func EncodeResult(r *Result) ([]byte, error) {
+	if r == nil || r.Plan == nil {
+		return nil, errors.New("planio: result without a plan")
+	}
+	plan, err := encodeDoc(r.Plan)
+	if err != nil {
+		return nil, err
+	}
+	doc := &resultDoc{
+		Format:         ResultFormatName,
+		Version:        ResultFormatVersion,
+		EstimatedCost:  r.EstimatedCost,
+		DurationMS:     r.DurationMS,
+		WhatIfCalls:    r.WhatIfCalls,
+		WhatIfComputed: r.WhatIfComputed,
+		FlowCards:      r.FlowCards,
+		Fingerprint:    r.Fingerprint,
+		Plan:           plan,
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// DecodeResult parses an optimize-result document (plan structure-only)
+// and, when the document carries a fingerprint, verifies the decoded plan
+// reproduces it — a free end-to-end integrity check on every wire result.
+func DecodeResult(data []byte) (*Result, error) {
+	var doc resultDoc
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("planio: parse result: %w", err)
+	}
+	if doc.Format != ResultFormatName {
+		return nil, fmt.Errorf("planio: not a %s document (format %q)", ResultFormatName, doc.Format)
+	}
+	if doc.Version != ResultFormatVersion {
+		return nil, fmt.Errorf("planio: unsupported result version %d (want %d)", doc.Version, ResultFormatVersion)
+	}
+	if doc.Plan == nil {
+		return nil, errors.New("planio: result without a plan")
+	}
+	plan, err := decodeDocument(doc.Plan, NewRegistry(), true)
+	if err != nil {
+		return nil, err
+	}
+	if doc.Fingerprint != "" {
+		if got := wf.FingerprintWorkflow(plan).String(); got != doc.Fingerprint {
+			return nil, fmt.Errorf("planio: result plan fingerprint %s does not match document fingerprint %s",
+				got, doc.Fingerprint)
+		}
+	}
+	return &Result{
+		Plan:           plan,
+		EstimatedCost:  doc.EstimatedCost,
+		DurationMS:     doc.DurationMS,
+		WhatIfCalls:    doc.WhatIfCalls,
+		WhatIfComputed: doc.WhatIfComputed,
+		FlowCards:      doc.FlowCards,
+		Fingerprint:    doc.Fingerprint,
+	}, nil
+}
+
+// ErrorDoc is the wire form of the *stubbyerr.Error taxonomy. A client
+// reconstructing it yields an error for which errors.Is(err, Kind) and
+// errors.As(*stubbyerr.Error) behave exactly as in-process.
+type ErrorDoc struct {
+	Kind     string `json:"kind"`
+	Op       string `json:"op,omitempty"`
+	Workflow string `json:"workflow,omitempty"`
+	Job      string `json:"job,omitempty"`
+	Message  string `json:"message,omitempty"`
+}
+
+// NewErrorDoc flattens any error into its wire form, preserving taxonomy
+// fields when err carries a *stubbyerr.Error.
+func NewErrorDoc(err error) *ErrorDoc {
+	if err == nil {
+		return nil
+	}
+	var se *stubbyerr.Error
+	if errors.As(err, &se) {
+		msg := se.Msg
+		if se.Err != nil {
+			msg = se.Err.Error()
+		}
+		return &ErrorDoc{
+			Kind:     se.Kind.String(),
+			Op:       se.Op,
+			Workflow: se.Workflow,
+			Job:      se.Job,
+			Message:  msg,
+		}
+	}
+	return &ErrorDoc{Kind: stubbyerr.Classify(err).String(), Message: err.Error()}
+}
+
+// Err reconstructs the structured error.
+func (d *ErrorDoc) Err() error {
+	if d == nil {
+		return nil
+	}
+	return &stubbyerr.Error{
+		Kind:     stubbyerr.ParseKind(d.Kind),
+		Op:       d.Op,
+		Workflow: d.Workflow,
+		Job:      d.Job,
+		Msg:      d.Message,
+	}
+}
+
+// ErrorEnvelope wraps an ErrorDoc in HTTP error response bodies.
+type ErrorEnvelope struct {
+	Error *ErrorDoc `json:"error"`
+}
+
+// Progress event type tags (EventDoc.Type).
+const (
+	EventUnitStarted       = "unitStarted"
+	EventSubplanEnumerated = "subplanEnumerated"
+	EventBestCostImproved  = "bestCostImproved"
+	EventJobFinished       = "jobFinished"
+	EventCacheReport       = "cacheReport"
+	EventStateChanged      = "stateChanged"
+)
+
+// CacheStatsDoc is the wire form of the estimate cache's counters.
+type CacheStatsDoc struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// EventDoc is the wire form of one progress event: a closed set of type
+// tags over a flat field union (NDJSON-friendly — one compact object per
+// stream line). Unknown types are skipped by clients, so the stream can
+// grow new event kinds without breaking old readers.
+type EventDoc struct {
+	Type     string         `json:"type"`
+	Workflow string         `json:"workflow,omitempty"`
+	JobID    string         `json:"jobId,omitempty"`
+	Phase    string         `json:"phase,omitempty"`
+	Unit     int            `json:"unit,omitempty"`
+	Jobs     []string       `json:"jobs,omitempty"`
+	Desc     string         `json:"desc,omitempty"`
+	Cost     float64        `json:"cost,omitempty"`
+	Job      string         `json:"job,omitempty"`
+	Start    float64        `json:"start,omitempty"`
+	End      float64        `json:"end,omitempty"`
+	State    string         `json:"state,omitempty"`
+	Error    *ErrorDoc      `json:"error,omitempty"`
+	Cache    *CacheStatsDoc `json:"cache,omitempty"`
+}
+
+// StatusDoc is the wire form of a job's status: lifecycle state, the
+// progress snapshot, and — for failed or canceled jobs — the structured
+// error.
+type StatusDoc struct {
+	ID           string    `json:"id"`
+	Workflow     string    `json:"workflow,omitempty"`
+	State        string    `json:"state"`
+	Units        int       `json:"units,omitempty"`
+	Subplans     int       `json:"subplans,omitempty"`
+	Improvements int       `json:"improvements,omitempty"`
+	BestCost     float64   `json:"bestCost,omitempty"`
+	Error        *ErrorDoc `json:"error,omitempty"`
+}
+
+// SubmitResponse acknowledges an accepted submission.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}

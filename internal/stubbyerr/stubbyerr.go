@@ -1,0 +1,192 @@
+// Package stubbyerr defines the structured error taxonomy shared by the
+// stubby library, the job service, and the wire protocol. Every public
+// entry point surfaces failures as a *Error carrying a Kind plus the
+// workflow (and, when known, the job) the failure is about, so callers can
+// branch with errors.Is/errors.As identically whether the error was raised
+// in-process or reconstructed from a stubbyd response.
+//
+// The package sits below every other internal package (it imports nothing
+// but the standard library) so error kinds can be attached at their
+// sources — the optimizer, the What-if estimator, the admission queue —
+// without import cycles.
+package stubbyerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a failure. Kind itself implements error, so sentinels
+// like KindOverloaded work directly as errors.Is targets:
+//
+//	if errors.Is(err, stubbyerr.KindOverloaded) { backoff() }
+type Kind int
+
+const (
+	// KindInternal is the catch-all for unclassified failures.
+	KindInternal Kind = iota
+	// KindInvalid marks malformed inputs: invalid workflows, undecodable
+	// wire documents, out-of-range options.
+	KindInvalid
+	// KindUnknownPlanner marks a planner name absent from the registry.
+	KindUnknownPlanner
+	// KindOverloaded marks a submission shed by a full admission queue.
+	// The request was never enqueued; retrying later is safe.
+	KindOverloaded
+	// KindUnavailable marks a submission rejected because the service is
+	// draining or closed.
+	KindUnavailable
+	// KindNotFound marks an unknown job ID.
+	KindNotFound
+	// KindConflict marks a request invalid in the job's current state
+	// (e.g. fetching the result of a job that has not finished).
+	KindConflict
+	// KindCanceled marks work stopped by cancellation (context or
+	// Handle.Cancel).
+	KindCanceled
+	// KindDeadline marks work stopped by a deadline.
+	KindDeadline
+)
+
+// kindNames are the canonical wire spellings, index-aligned with the
+// constants above.
+var kindNames = [...]string{
+	"internal",
+	"invalid",
+	"unknown_planner",
+	"overloaded",
+	"unavailable",
+	"not_found",
+	"conflict",
+	"canceled",
+	"deadline_exceeded",
+}
+
+// String returns the kind's canonical wire spelling.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return "internal"
+	}
+	return kindNames[k]
+}
+
+// Error makes Kind usable as an errors.Is target sentinel.
+func (k Kind) Error() string { return "stubby: " + k.String() }
+
+// ParseKind maps a wire spelling back to its Kind. Unknown spellings map
+// to KindInternal so a newer server never crashes an older client.
+func ParseKind(s string) Kind {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i)
+		}
+	}
+	return KindInternal
+}
+
+// Error is the structured error of the stubby API. Op names the operation
+// ("optimize", "submit", "estimate", ...), Workflow and Job locate the
+// failure, and exactly one of Err (in-process cause) or Msg (wire-
+// transported message) describes it.
+type Error struct {
+	Kind     Kind
+	Op       string
+	Workflow string
+	Job      string
+	Msg      string
+	Err      error
+}
+
+// Error renders "op: workflow …: job …: kind: cause", omitting empty parts.
+func (e *Error) Error() string {
+	var b strings.Builder
+	if e.Op != "" {
+		b.WriteString(e.Op)
+		b.WriteString(": ")
+	}
+	if e.Workflow != "" {
+		b.WriteString("workflow ")
+		b.WriteString(e.Workflow)
+		b.WriteString(": ")
+	}
+	if e.Job != "" {
+		b.WriteString("job ")
+		b.WriteString(e.Job)
+		b.WriteString(": ")
+	}
+	b.WriteString(e.Kind.String())
+	switch {
+	case e.Err != nil:
+		b.WriteString(": ")
+		b.WriteString(e.Err.Error())
+	case e.Msg != "":
+		b.WriteString(": ")
+		b.WriteString(e.Msg)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the in-process cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches Kind sentinels: errors.Is(err, KindOverloaded) is true for
+// any *Error in the chain whose Kind is KindOverloaded.
+func (e *Error) Is(target error) bool {
+	if k, ok := target.(Kind); ok {
+		return e.Kind == k
+	}
+	return false
+}
+
+// New builds an *Error from parts, formatting msg with args.
+func New(kind Kind, op, workflow, job, msg string, args ...any) *Error {
+	return &Error{Kind: kind, Op: op, Workflow: workflow, Job: job, Msg: fmt.Sprintf(msg, args...)}
+}
+
+// Classify derives the Kind of an arbitrary error: an *Error keeps its
+// kind, context errors map to KindCanceled/KindDeadline, everything else
+// is KindInternal.
+func Classify(err error) Kind {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Kind
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		return KindCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return KindDeadline
+	default:
+		return KindInternal
+	}
+}
+
+// From lifts err into the taxonomy for the given operation and workflow.
+// An err that already is (or wraps) an *Error passes through unchanged so
+// the innermost source information — the job a What-if estimate failed on,
+// the kind the admission queue chose — survives; nil passes through as nil.
+func From(op, workflow string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *Error
+	if errors.As(err, &se) {
+		return err
+	}
+	return &Error{Kind: Classify(err), Op: op, Workflow: workflow, Err: err}
+}
+
+// WithKind lifts err like From but forces the kind (unless err already
+// carries one).
+func WithKind(kind Kind, op, workflow string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *Error
+	if errors.As(err, &se) {
+		return err
+	}
+	return &Error{Kind: kind, Op: op, Workflow: workflow, Err: err}
+}

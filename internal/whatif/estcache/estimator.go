@@ -1,7 +1,9 @@
 package estcache
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"hash/fnv"
 	"math"
 
@@ -39,15 +41,35 @@ func NewEstimator(cache *Cache, inner *whatif.Estimator) *Estimator {
 // the cache). The returned estimate is shared and must be treated as
 // immutable. Errors are never cached.
 func (e *Estimator) Estimate(w *wf.Workflow) (*whatif.Estimate, error) {
+	return e.EstimateContext(context.Background(), w)
+}
+
+// EstimateContext is Estimate under a context: a cache hit returns
+// immediately, and a miss computes through the wrapped estimator with
+// cancellation checked between per-job flow computations. A canceled
+// computation is never cached.
+func (e *Estimator) EstimateContext(ctx context.Context, w *wf.Workflow) (*whatif.Estimate, error) {
 	e.requests++
 	key := Key{Plan: e.hasher.Workflow(w), Cluster: e.clusterFP}
 	jobIDs := make([]string, len(w.Jobs))
 	for i, j := range w.Jobs {
 		jobIDs[i] = j.ID
 	}
-	return e.cache.GetOrCompute(key, jobIDs, func() (*whatif.Estimate, error) {
-		return e.inner.Estimate(w)
-	})
+	for {
+		est, err := e.cache.GetOrCompute(key, jobIDs, func() (*whatif.Estimate, error) {
+			return e.inner.EstimateContext(ctx, w)
+		})
+		// The single flight returns the owner's error to every waiter. A
+		// ctx-derived error with OUR ctx still live means a fingerprint-
+		// equal caller was canceled mid-computation — their cancellation
+		// must not poison this caller, so recompute (the failed flight was
+		// removed, so the retry starts fresh).
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		return est, err
+	}
 }
 
 // Counts reports what-if activity through this estimator: Requests is every

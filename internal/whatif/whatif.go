@@ -24,11 +24,12 @@
 package whatif
 
 import (
-	"fmt"
+	"context"
 
 	"github.com/stubby-mr/stubby/internal/keyval"
 	"github.com/stubby-mr/stubby/internal/mrsim"
 	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/stubbyerr"
 	"github.com/stubby-mr/stubby/internal/wf"
 )
 
@@ -161,6 +162,13 @@ func (e *Estimator) Counts() Counts {
 // #jobs model is returned (never an error, mirroring Stubby's tolerance of
 // missing information).
 func (e *Estimator) Estimate(w *wf.Workflow) (*Estimate, error) {
+	return e.EstimateContext(context.Background(), w)
+}
+
+// EstimateContext is Estimate under a context: cancellation is checked
+// between per-job flow computations, so estimates of long workflows stop
+// promptly with ctx.Err().
+func (e *Estimator) EstimateContext(ctx context.Context, w *wf.Workflow) (*Estimate, error) {
 	e.fullCalls++
 	order, err := w.TopoSort()
 	if err != nil {
@@ -178,10 +186,14 @@ func (e *Estimator) Estimate(w *wf.Workflow) (*Estimate, error) {
 	redPool := mrsim.NewSlotPool(e.Cluster.TotalReduceSlots())
 	ready := make(map[string]float64)
 	for _, job := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		jobReady := readyTime(job, ready)
 		card, err := e.flowJob(job, est.Datasets)
 		if err != nil {
-			return nil, fmt.Errorf("whatif: job %s: %w", job.ID, err)
+			return nil, &stubbyerr.Error{Kind: stubbyerr.KindInvalid, Op: "whatif",
+				Workflow: w.Name, Job: job.ID, Err: err}
 		}
 		end := scheduleJob(card, jobReady, mapPool, redPool)
 		je := card.jobEstimate(jobReady, end)

@@ -1,0 +1,403 @@
+package stubby
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"github.com/stubby-mr/stubby/internal/planio"
+	"github.com/stubby-mr/stubby/internal/service"
+	"github.com/stubby-mr/stubby/internal/stubbyerr"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// Server exposes a Session's Submit lifecycle over HTTP — the handler
+// behind the stubbyd command, embeddable in any mux. The API is versioned
+// JSON over five routes:
+//
+//	POST /v1/jobs              submit an optimize-request document → 202 {id, state}
+//	GET  /v1/jobs/{id}         status + progress snapshot
+//	GET  /v1/jobs/{id}/result  optimize-result document (409 until done)
+//	POST /v1/jobs/{id}/cancel  request cancellation
+//	GET  /v1/jobs/{id}/events  NDJSON event stream (full replay, closes at terminal)
+//	GET  /healthz              liveness + queue shape
+//
+// Errors travel as {"error": {kind, op, workflow, job, message}} with the
+// kind-appropriate HTTP status (429 overloaded, 503 draining, 404 unknown
+// job, 409 not finished, ...); Client reconstructs them into *Error, so
+// errors.Is/As work identically over the wire.
+type Server struct {
+	sess     *Session
+	mux      *http.ServeMux
+	maxBody  int64
+	retain   int
+	draining atomic.Bool
+
+	mu    sync.RWMutex
+	jobs  map[string]*OptimizeHandle
+	order []string // submission order, for terminal-handle pruning
+}
+
+// ServerOption configures a Server under construction.
+type ServerOption func(*Server)
+
+// WithMaxRequestBytes bounds the accepted request-document size (default
+// 256 MiB — annotated plans carry profiles and key samples).
+func WithMaxRequestBytes(n int64) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
+// WithJobRetention bounds how many finished (done/failed/canceled) jobs
+// the server keeps queryable (default 1024). When a submission would
+// exceed the bound, the oldest finished jobs — with their event logs and
+// results — are forgotten; queued and running jobs are never evicted.
+func WithJobRetention(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.retain = n
+		}
+	}
+}
+
+// NewServer builds the HTTP front end of sess. Job state is in-memory,
+// like the queue: a restarted server forgets finished jobs, and a
+// long-lived one retains only the WithJobRetention most recent finished
+// jobs.
+func NewServer(sess *Session, opts ...ServerOption) *Server {
+	s := &Server{
+		sess:    sess,
+		mux:     http.NewServeMux(),
+		maxBody: 256 << 20,
+		retain:  1024,
+		jobs:    make(map[string]*OptimizeHandle),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain gracefully shuts the service down (stubbyd calls it on SIGTERM):
+// new submissions are rejected with ErrKindUnavailable, and Drain waits
+// for every admitted job to finish. If ctx ends first, all unfinished
+// jobs are canceled and Drain keeps waiting for the (now prompt) unwind
+// on a background context.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	if err := s.sess.Close(ctx); err == nil {
+		return nil
+	}
+	for _, h := range s.handles() {
+		h.Cancel()
+	}
+	return s.sess.Close(context.Background())
+}
+
+func (s *Server) handles() []*OptimizeHandle {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hs := make([]*OptimizeHandle, 0, len(s.jobs))
+	for _, h := range s.jobs {
+		hs = append(hs, h)
+	}
+	return hs
+}
+
+func (s *Server) lookup(r *http.Request) (*OptimizeHandle, error) {
+	id := r.PathValue("id")
+	s.mu.RLock()
+	h, ok := s.jobs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, stubbyerr.New(stubbyerr.KindNotFound, "lookup", "", "", "unknown job %q", id)
+	}
+	return h, nil
+}
+
+// kindStatus maps error kinds onto HTTP statuses.
+func kindStatus(k ErrorKind) int {
+	switch k {
+	case stubbyerr.KindInvalid, stubbyerr.KindUnknownPlanner:
+		return http.StatusBadRequest
+	case stubbyerr.KindOverloaded:
+		return http.StatusTooManyRequests
+	case stubbyerr.KindUnavailable:
+		return http.StatusServiceUnavailable
+	case stubbyerr.KindNotFound:
+		return http.StatusNotFound
+	case stubbyerr.KindConflict, stubbyerr.KindCanceled:
+		return http.StatusConflict
+	case stubbyerr.KindDeadline:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	doc := planio.NewErrorDoc(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(kindStatus(stubbyerr.ParseKind(doc.Kind)))
+	_ = json.NewEncoder(w).Encode(planio.ErrorEnvelope{Error: doc})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, stubbyerr.New(stubbyerr.KindUnavailable, "submit", "", "",
+			"server is draining"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+	if err != nil {
+		writeError(w, stubbyerr.WithKind(stubbyerr.KindInvalid, "submit", "", err))
+		return
+	}
+	if int64(len(body)) > s.maxBody {
+		writeError(w, stubbyerr.New(stubbyerr.KindInvalid, "submit", "", "",
+			"request body exceeds %d bytes", s.maxBody))
+		return
+	}
+	req, err := planio.DecodeRequest(body)
+	if err != nil {
+		writeError(w, stubbyerr.WithKind(stubbyerr.KindInvalid, "submit", "", err))
+		return
+	}
+	h, err := s.sess.Submit(r.Context(), OptimizeRequest{
+		Workflow:           req.Plan,
+		Planner:            req.Planner,
+		Seed:               req.Seed,
+		Cluster:            req.Cluster,
+		DisableIncremental: req.DisableIncremental,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.mu.Lock()
+	s.jobs[h.ID()] = h
+	s.order = append(s.order, h.ID())
+	s.pruneLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, planio.SubmitResponse{ID: h.ID(), State: h.State().String()})
+}
+
+// pruneLocked evicts the oldest finished handles beyond the retention
+// bound. Callers hold s.mu.
+func (s *Server) pruneLocked() {
+	terminal := 0
+	for _, id := range s.order {
+		if h := s.jobs[id]; h != nil && h.State().Terminal() {
+			terminal++
+		}
+	}
+	drop := terminal - s.retain
+	if drop <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if h := s.jobs[id]; drop > 0 && h != nil && h.State().Terminal() {
+			delete(s.jobs, id)
+			drop--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) statusDoc(h *OptimizeHandle) *planio.StatusDoc {
+	p := h.Progress()
+	doc := &planio.StatusDoc{
+		ID:           h.ID(),
+		Workflow:     h.WorkflowName(),
+		State:        p.State.String(),
+		Units:        p.Units,
+		Subplans:     p.Subplans,
+		Improvements: p.Improvements,
+		BestCost:     p.BestCost,
+	}
+	if p.State == StateFailed || p.State == StateCanceled {
+		if _, err := h.result(); err != nil {
+			doc.Error = planio.NewErrorDoc(err)
+		}
+	}
+	return doc
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	h, err := s.lookup(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusDoc(h))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	h, err := s.lookup(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	h.Cancel()
+	writeJSON(w, http.StatusOK, s.statusDoc(h))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	h, err := s.lookup(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	switch h.State() {
+	case StateQueued, StateRunning:
+		writeError(w, stubbyerr.New(stubbyerr.KindConflict, "result", h.WorkflowName(), "",
+			"job %s has not finished (state %s)", h.ID(), h.State()))
+		return
+	}
+	res, err := h.result()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	data, err := planio.EncodeResult(&planio.Result{
+		Plan:           res.Plan,
+		EstimatedCost:  res.EstimatedCost,
+		DurationMS:     float64(res.Duration.Milliseconds()),
+		WhatIfCalls:    res.WhatIfCalls,
+		WhatIfComputed: res.WhatIfComputed,
+		FlowCards:      res.FlowCards,
+		Fingerprint:    wf.FingerprintWorkflow(res.Plan).String(),
+	})
+	if err != nil {
+		writeError(w, stubbyerr.From("result", h.WorkflowName(), err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	h, err := s.lookup(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for ev := range h.Events(r.Context()) {
+		if err := enc.Encode(eventToDoc(ev)); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	q := s.sess.jobQueue()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     status,
+		"queueDepth": q.Depth(),
+		"workers":    q.Workers(),
+	})
+}
+
+// eventToDoc converts a typed event to its wire form.
+func eventToDoc(ev Event) *planio.EventDoc {
+	switch e := ev.(type) {
+	case UnitStartedEvent:
+		return &planio.EventDoc{Type: planio.EventUnitStarted, Workflow: e.Workflow,
+			Phase: e.Phase, Unit: e.Unit, Jobs: e.Jobs}
+	case SubplanEnumeratedEvent:
+		return &planio.EventDoc{Type: planio.EventSubplanEnumerated, Workflow: e.Workflow,
+			Unit: e.Unit, Desc: e.Desc, Cost: e.Cost}
+	case BestCostImprovedEvent:
+		return &planio.EventDoc{Type: planio.EventBestCostImproved, Workflow: e.Workflow,
+			Unit: e.Unit, Desc: e.Desc, Cost: e.Cost}
+	case JobFinishedEvent:
+		return &planio.EventDoc{Type: planio.EventJobFinished, Workflow: e.Workflow,
+			Job: e.Job, Start: e.Start, End: e.End}
+	case CacheReportEvent:
+		return &planio.EventDoc{Type: planio.EventCacheReport, Workflow: e.Workflow,
+			Cache: &planio.CacheStatsDoc{Hits: e.Stats.Hits, Misses: e.Stats.Misses,
+				Evictions: e.Stats.Evictions, Entries: e.Stats.Entries, Capacity: e.Stats.Capacity}}
+	case StateChangedEvent:
+		return &planio.EventDoc{Type: planio.EventStateChanged, Workflow: e.Workflow,
+			JobID: e.JobID, State: e.State.String(), Error: planio.NewErrorDoc(e.Err)}
+	default:
+		return &planio.EventDoc{Type: fmt.Sprintf("unknown(%T)", ev), Workflow: ev.WorkflowName()}
+	}
+}
+
+// eventFromDoc converts a wire event back to its typed form; ok is false
+// for event types this build does not know (skipped by stream readers).
+func eventFromDoc(d *planio.EventDoc) (Event, bool) {
+	switch d.Type {
+	case planio.EventUnitStarted:
+		return UnitStartedEvent{Workflow: d.Workflow, Phase: d.Phase, Unit: d.Unit, Jobs: d.Jobs}, true
+	case planio.EventSubplanEnumerated:
+		return SubplanEnumeratedEvent{Workflow: d.Workflow, Unit: d.Unit, Desc: d.Desc, Cost: d.Cost}, true
+	case planio.EventBestCostImproved:
+		return BestCostImprovedEvent{Workflow: d.Workflow, Unit: d.Unit, Desc: d.Desc, Cost: d.Cost}, true
+	case planio.EventJobFinished:
+		return JobFinishedEvent{Workflow: d.Workflow, Job: d.Job, Start: d.Start, End: d.End}, true
+	case planio.EventCacheReport:
+		var stats EstimateCacheStats
+		if d.Cache != nil {
+			stats = EstimateCacheStats{Hits: d.Cache.Hits, Misses: d.Cache.Misses,
+				Evictions: d.Cache.Evictions, Entries: d.Cache.Entries, Capacity: d.Cache.Capacity}
+		}
+		return CacheReportEvent{Workflow: d.Workflow, Stats: stats}, true
+	case planio.EventStateChanged:
+		st, err := parseJobState(d.State)
+		if err != nil {
+			return nil, false
+		}
+		return StateChangedEvent{Workflow: d.Workflow, JobID: d.JobID, State: st, Err: d.Error.Err()}, true
+	default:
+		return nil, false
+	}
+}
+
+// parseJobState maps a wire spelling back to a JobState.
+func parseJobState(v string) (JobState, error) {
+	st, err := service.ParseState(v)
+	if err != nil {
+		return 0, stubbyerr.WithKind(stubbyerr.KindInvalid, "parse", "", err)
+	}
+	return st, nil
+}

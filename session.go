@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/stubby-mr/stubby/internal/baselines"
 	"github.com/stubby-mr/stubby/internal/mrsim"
 	"github.com/stubby-mr/stubby/internal/optimizer"
 	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/service"
+	"github.com/stubby-mr/stubby/internal/stubbyerr"
 	"github.com/stubby-mr/stubby/internal/whatif"
 	"github.com/stubby-mr/stubby/internal/whatif/estcache"
 )
@@ -127,6 +130,14 @@ type Session struct {
 	// tri-state so an unset option defers to WithOptimizerOptions.
 	incrementalSet     bool
 	disableIncremental bool
+	// queueDepth bounds the Submit admission queue (WithQueueDepth;
+	// DefaultQueueDepth when 0). The queue itself is created lazily on the
+	// first Submit, so sessions that never Submit pay nothing.
+	queueDepth int
+	queueOnce  sync.Once
+	queue      *service.Queue
+	closed     atomic.Bool
+	jobSeq     atomic.Uint64
 }
 
 // SessionOption configures a Session under construction.
@@ -253,6 +264,25 @@ func WithIncrementalEstimation(enabled bool) SessionOption {
 	}
 }
 
+// DefaultQueueDepth is the admission bound of a session's Submit queue
+// when WithQueueDepth is not given.
+const DefaultQueueDepth = 64
+
+// WithQueueDepth bounds the session's Submit admission queue: at most n
+// jobs wait for a worker at once, and submissions beyond that are shed
+// immediately with ErrKindOverloaded instead of queueing unbounded work
+// (n <= 0 restores DefaultQueueDepth). The worker pool draining the queue
+// is the session's WithParallelism pool.
+func WithQueueDepth(n int) SessionOption {
+	return func(s *Session) error {
+		if n <= 0 {
+			n = DefaultQueueDepth
+		}
+		s.queueDepth = n
+		return nil
+	}
+}
+
 // WithPlannerRegistry replaces the session's planner registry (default: a
 // private clone of the built-in registry, so RegisterPlanner never leaks
 // into other sessions).
@@ -322,9 +352,20 @@ func (s *Session) Cluster() *Cluster { return s.cluster }
 func (s *Session) Planners() []string { return s.registry.Names() }
 
 // Planner constructs the named planner bound to the session's cluster and
-// seed. All built-in planners also implement ContextPlanner.
+// seed. All built-in planners also implement ContextPlanner. An
+// unregistered name yields an ErrKindUnknownPlanner *Error.
 func (s *Session) Planner(name string) (Planner, error) {
-	return s.registry.New(name, s.cluster, s.seed)
+	return s.plannerSeeded(name, s.seed)
+}
+
+// plannerSeeded constructs the named planner with an explicit seed (Submit
+// requests may override the session seed per job).
+func (s *Session) plannerSeeded(name string, seed int64) (Planner, error) {
+	p, err := s.registry.New(name, s.cluster, seed)
+	if err != nil {
+		return nil, stubbyerr.WithKind(stubbyerr.KindUnknownPlanner, "planner", "", err)
+	}
+	return p, nil
 }
 
 // RegisterPlanner adds a planner to this session's registry (shadowing a
@@ -370,10 +411,10 @@ func (s *Session) EstimateCacheStats() (stats EstimateCacheStats, ok bool) {
 }
 
 // sessionEstimator is the estimator surface Session methods need: the
-// estimate plus activity counters (for Result.WhatIfCalls/WhatIfComputed/
-// FlowCards).
+// (cancellable) estimate plus activity counters (for Result.WhatIfCalls/
+// WhatIfComputed/FlowCards).
 type sessionEstimator interface {
-	Estimate(w *Workflow) (*Estimate, error)
+	EstimateContext(ctx context.Context, w *Workflow) (*Estimate, error)
 	Counts() whatif.Counts
 }
 
@@ -399,13 +440,27 @@ func (s *Session) reportCacheStats(workflow string) {
 // modified; cancellation via ctx stops the search promptly with ctx.Err().
 // When the selected planner is one of Stubby's own variants the Result
 // carries the full per-unit search trace; for other planners it carries
-// the plan and its What-if cost estimate.
+// the plan and its What-if cost estimate. Failures surface as (or wrap)
+// *Error.
 func (s *Session) Optimize(ctx context.Context, w *Workflow) (*Result, error) {
 	name := s.plannerName
 	if name == "" {
 		name = "stubby"
 	}
-	p, err := s.Planner(name)
+	res, err := s.optimizeNamed(ctx, w, name, s.seed, nil)
+	if err != nil {
+		return nil, stubbyerr.From("optimize", w.Name, err)
+	}
+	s.reportCacheStats(w.Name)
+	return res, nil
+}
+
+// optimizeNamed is the planner dispatch shared by Optimize and Submit:
+// run the named planner with an explicit seed and, for Stubby variants, an
+// optional observer override (the Submit event bridge). Cache-stats
+// reporting is left to the caller, whose delivery channel differs.
+func (s *Session) optimizeNamed(ctx context.Context, w *Workflow, name string, seed int64, obs optimizer.Observer) (*Result, error) {
+	p, err := s.plannerSeeded(name, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -413,14 +468,21 @@ func (s *Session) Optimize(ctx context.Context, w *Workflow) (*Result, error) {
 	// keeps its search trace and the observer sees per-unit progress.
 	if sp, ok := p.(baselines.StubbyPlanner); ok {
 		o := s.optimizerOptions(w.Name)
+		o.Seed = seed
+		if obs != nil {
+			// The submit bridge takes over (it already fans out to the
+			// session's deprecated Observer); an observer installed
+			// directly via WithOptimizerOptions keeps receiving events too.
+			if base := s.baseOpts.Observer; base != nil {
+				o.Observer = teeObserver{base, obs}
+			} else {
+				o.Observer = obs
+			}
+		}
 		if o.Groups == 0 {
 			o.Groups = sp.Groups
 		}
-		res, err := optimizer.New(s.cluster, o).OptimizeContext(ctx, w)
-		if err == nil {
-			s.reportCacheStats(w.Name)
-		}
-		return res, err
+		return optimizer.New(s.cluster, o).OptimizeContext(ctx, w)
 	}
 	start := time.Now()
 	var plan *Workflow
@@ -433,11 +495,10 @@ func (s *Session) Optimize(ctx context.Context, w *Workflow) (*Result, error) {
 		return nil, err
 	}
 	costEst := s.estimator()
-	est, err := costEst.Estimate(plan)
+	est, err := costEst.EstimateContext(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
-	s.reportCacheStats(w.Name)
 	counts := costEst.Counts()
 	return &Result{Plan: plan, EstimatedCost: est.Makespan, Duration: time.Since(start),
 		WhatIfCalls: counts.Requests, WhatIfComputed: counts.Computed, FlowCards: counts.FlowCards}, nil
@@ -507,7 +568,11 @@ func (s *Session) Run(ctx context.Context, dfs *DFS, w *Workflow) (*RunReport, e
 	if s.observer != nil {
 		eng.Observer = engineObserver{obs: s.observer, workflow: w.Name}
 	}
-	return eng.RunWorkflowContext(ctx, w)
+	rep, err := eng.RunWorkflowContext(ctx, w)
+	if err != nil {
+		return nil, stubbyerr.From("run", w.Name, err)
+	}
+	return rep, nil
 }
 
 // Profile attaches profile annotations to every job of w (in place) by
@@ -515,14 +580,28 @@ func (s *Session) Run(ctx context.Context, dfs *DFS, w *Workflow) (*RunReport, e
 // the session's profile fraction and seed. A cancelled profiling run
 // returns ctx.Err() and leaves w unannotated.
 func (s *Session) Profile(ctx context.Context, w *Workflow, dfs *DFS) error {
-	return profile.NewProfiler(s.cluster, s.fraction, s.seed).AnnotateContext(ctx, w, dfs)
+	err := profile.NewProfiler(s.cluster, s.fraction, s.seed).AnnotateContext(ctx, w, dfs)
+	return stubbyerr.From("profile", w.Name, err)
 }
 
 // Estimate runs the What-if engine on an annotated plan, consulting the
-// session's estimate cache when one is attached. Cached estimates are
-// shared; treat the result as immutable.
-func (s *Session) Estimate(w *Workflow) (*Estimate, error) {
-	return s.estimator().Estimate(w)
+// session's estimate cache when one is attached. Cancellation via ctx
+// stops estimation between per-job flow computations with a
+// ErrKindCanceled/ErrKindDeadline *Error. Cached estimates are shared;
+// treat the result as immutable.
+func (s *Session) Estimate(ctx context.Context, w *Workflow) (*Estimate, error) {
+	est, err := s.estimator().EstimateContext(ctx, w)
+	if err != nil {
+		return nil, stubbyerr.From("estimate", w.Name, err)
+	}
+	return est, nil
+}
+
+// EstimateCost runs the What-if engine without cancellation.
+//
+// Deprecated: use Estimate with a context.
+func (s *Session) EstimateCost(w *Workflow) (*Estimate, error) {
+	return s.Estimate(context.Background(), w)
 }
 
 // optimizerObserver adapts the public Observer to the optimizer's internal
@@ -542,6 +621,24 @@ func (a optimizerObserver) SubplanEnumerated(unit int, desc string, cost float64
 
 func (a optimizerObserver) BestCostImproved(unit int, desc string, cost float64) {
 	a.obs.BestCostImproved(a.workflow, unit, desc, cost)
+}
+
+// teeObserver fans optimizer events out to two observers in order.
+type teeObserver struct{ a, b optimizer.Observer }
+
+func (t teeObserver) UnitStarted(phase string, unit int, jobs []string) {
+	t.a.UnitStarted(phase, unit, jobs)
+	t.b.UnitStarted(phase, unit, jobs)
+}
+
+func (t teeObserver) SubplanEnumerated(unit int, desc string, cost float64) {
+	t.a.SubplanEnumerated(unit, desc, cost)
+	t.b.SubplanEnumerated(unit, desc, cost)
+}
+
+func (t teeObserver) BestCostImproved(unit int, desc string, cost float64) {
+	t.a.BestCostImproved(unit, desc, cost)
+	t.b.BestCostImproved(unit, desc, cost)
 }
 
 // engineObserver adapts the public Observer to the engine's job events.

@@ -26,6 +26,19 @@
 // Optimize/Run/Profile/EstimateCost functions predate Session and survive
 // as thin deprecated wrappers.
 //
+// # Service API
+//
+// Session.Submit is the asynchronous face of the same optimizer: it admits
+// an OptimizeRequest to a bounded queue and returns an OptimizeHandle with
+// State/Progress/Wait/Cancel and a typed Event stream (Events), shedding
+// overload with ErrKindOverloaded instead of queueing unbounded work.
+// Server exposes that lifecycle over HTTP as versioned JSON documents (the
+// stubbyd command), and Client consumes it remotely with the same
+// semantics — including the *Error taxonomy, which errors.Is/As resolve
+// identically in-process and over the wire. Plans cross the wire
+// structure-only (annotations, no function bodies), the paper's Figure 2
+// deployment where the optimizer service never sees user code.
+//
 // The exported identifiers below are aliases into the implementation
 // packages, so the whole system is scriptable through this one import.
 package stubby
@@ -41,6 +54,7 @@ import (
 	"github.com/stubby-mr/stubby/internal/optimizer"
 	"github.com/stubby-mr/stubby/internal/planio"
 	"github.com/stubby-mr/stubby/internal/rrs"
+	"github.com/stubby-mr/stubby/internal/stubbyerr"
 	"github.com/stubby-mr/stubby/internal/wf"
 	"github.com/stubby-mr/stubby/internal/whatif"
 	"github.com/stubby-mr/stubby/internal/workloads"
@@ -175,7 +189,7 @@ type IngestSpec = mrsim.IngestSpec
 func Run(c *Cluster, dfs *DFS, w *Workflow) (*RunReport, error) {
 	s, err := NewSession(WithCluster(c))
 	if err != nil {
-		return nil, err
+		return nil, stubbyerr.WithKind(stubbyerr.KindInvalid, "run", w.Name, err)
 	}
 	return s.Run(context.Background(), dfs, w)
 }
@@ -189,7 +203,7 @@ func Run(c *Cluster, dfs *DFS, w *Workflow) (*RunReport, error) {
 func Profile(c *Cluster, w *Workflow, dfs *DFS, fraction float64, seed int64) error {
 	s, err := NewSession(WithCluster(c), WithProfileFraction(fraction), WithSeed(seed))
 	if err != nil {
-		return err
+		return stubbyerr.WithKind(stubbyerr.KindInvalid, "profile", w.Name, err)
 	}
 	return s.Profile(context.Background(), w, dfs)
 }
@@ -203,7 +217,7 @@ func Profile(c *Cluster, w *Workflow, dfs *DFS, fraction float64, seed int64) er
 func Optimize(c *Cluster, w *Workflow, opt Options) (*Result, error) {
 	s, err := NewSession(WithCluster(c), WithOptimizerOptions(opt))
 	if err != nil {
-		return nil, err
+		return nil, stubbyerr.WithKind(stubbyerr.KindInvalid, "optimize", w.Name, err)
 	}
 	return s.Optimize(context.Background(), w)
 }
@@ -215,9 +229,9 @@ func Optimize(c *Cluster, w *Workflow, opt Options) (*Result, error) {
 func EstimateCost(c *Cluster, w *Workflow) (*Estimate, error) {
 	s, err := NewSession(WithCluster(c))
 	if err != nil {
-		return nil, err
+		return nil, stubbyerr.WithKind(stubbyerr.KindInvalid, "estimate", w.Name, err)
 	}
-	return s.Estimate(w)
+	return s.Estimate(context.Background(), w)
 }
 
 // BuildWorkload constructs one of the paper's eight evaluation workflows

@@ -1,0 +1,355 @@
+package stubby
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/stubby-mr/stubby/internal/optimizer"
+	"github.com/stubby-mr/stubby/internal/service"
+	"github.com/stubby-mr/stubby/internal/stubbyerr"
+)
+
+// JobState is the lifecycle state of a submitted optimization:
+//
+//	StateQueued ──▶ StateRunning ──▶ StateDone
+//	     │               ├─────────▶ StateFailed
+//	     └───────────────┴─────────▶ StateCanceled
+type JobState = service.State
+
+// Job lifecycle states.
+const (
+	// StateQueued: admitted to the session's queue, waiting for a worker.
+	StateQueued = service.Queued
+	// StateRunning: a worker is optimizing.
+	StateRunning = service.Running
+	// StateDone: finished successfully; Wait returns the Result.
+	StateDone = service.Done
+	// StateFailed: finished with an error; Wait returns it.
+	StateFailed = service.Failed
+	// StateCanceled: stopped by Cancel before or during optimization.
+	StateCanceled = service.Canceled
+)
+
+// OptimizeRequest describes one optimization to submit: the annotated
+// workflow plus optional per-request overrides of the session's planner,
+// seed, and cluster. It is also the unit of the wire protocol — a Client
+// sends exactly these fields to a stubbyd server.
+type OptimizeRequest struct {
+	// Workflow is the annotated plan to optimize (required). Submit never
+	// modifies it; treat it as immutable until the job is terminal.
+	Workflow *Workflow
+	// Planner names the planner to use ("" = the session's planner).
+	Planner string
+	// Seed overrides the session's search seed when non-zero.
+	Seed int64
+	// Cluster, when non-nil, optimizes for this cluster instead of the
+	// session's (remote submitters describe their cluster this way). The
+	// session's estimate cache is still consulted — cache keys include a
+	// cluster fingerprint, so entries never leak across clusters.
+	Cluster *Cluster
+	// DisableIncremental forces every configuration probe of this job
+	// through the monolithic estimator (a debugging/benchmarking aid;
+	// plans are identical either way).
+	DisableIncremental bool
+}
+
+// Progress is a point-in-time snapshot of a submitted job.
+type Progress struct {
+	// State is the lifecycle state at snapshot time.
+	State JobState
+	// Units counts optimization units the search has opened.
+	Units int
+	// Subplans counts enumerated subplans across all units.
+	Subplans int
+	// Improvements counts incumbent improvements across all units.
+	Improvements int
+	// BestCost is the cost of the latest incumbent improvement (0 until
+	// the first).
+	BestCost float64
+}
+
+// OptimizeHandle tracks one submitted optimization. All methods are safe
+// for concurrent use, and a handle remains valid after the job finishes —
+// State, Progress, Wait, and Events replay terminal information
+// indefinitely.
+type OptimizeHandle struct {
+	id       string
+	workflow string
+	job      *service.Job
+	obs      Observer // deprecated session observer, fanned out by the bridge
+
+	mu           sync.Mutex
+	units        int
+	subplans     int
+	improvements int
+	bestCost     float64
+}
+
+// ID returns the job's session-unique identifier.
+func (h *OptimizeHandle) ID() string { return h.id }
+
+// WorkflowName returns the name of the submitted workflow.
+func (h *OptimizeHandle) WorkflowName() string { return h.workflow }
+
+// State returns the job's current lifecycle state.
+func (h *OptimizeHandle) State() JobState { return h.job.State() }
+
+// Progress returns a snapshot of the job's state and search counters.
+func (h *OptimizeHandle) Progress() Progress {
+	h.mu.Lock()
+	p := Progress{Units: h.units, Subplans: h.subplans,
+		Improvements: h.improvements, BestCost: h.bestCost}
+	h.mu.Unlock()
+	p.State = h.job.State()
+	return p
+}
+
+// Cancel requests cancellation: a queued job becomes StateCanceled
+// immediately and never runs; a running job's search context is canceled
+// and the job becomes StateCanceled when the search unwinds (promptly —
+// the optimizer checks cancellation between units and between RRS
+// evaluations). Cancel is idempotent and a no-op on terminal jobs.
+func (h *OptimizeHandle) Cancel() { h.job.Cancel() }
+
+// Done is closed when the job reaches a terminal state.
+func (h *OptimizeHandle) Done() <-chan struct{} { return h.job.Done() }
+
+// Wait blocks until the job is terminal and returns its outcome: the
+// Result for StateDone, an ErrKindCanceled *Error for StateCanceled, and
+// the job's error for StateFailed. If ctx ends first, Wait returns ctx's
+// error (wrapped) while the job keeps running.
+func (h *OptimizeHandle) Wait(ctx context.Context) (*Result, error) {
+	if err := h.job.Wait(ctx); err != nil {
+		return nil, stubbyerr.From("wait", h.workflow, err)
+	}
+	return h.result()
+}
+
+// result converts the terminal job outcome. Callers ensure terminality.
+func (h *OptimizeHandle) result() (*Result, error) {
+	res, err := h.job.Result()
+	if h.job.State() == StateCanceled {
+		return nil, stubbyerr.WithKind(stubbyerr.KindCanceled, "optimize", h.workflow,
+			fmt.Errorf("job %s canceled: %w", h.id, context.Canceled))
+	}
+	if err != nil {
+		return nil, stubbyerr.From("optimize", h.workflow, err)
+	}
+	r, ok := res.(*Result)
+	if !ok {
+		return nil, stubbyerr.New(stubbyerr.KindInternal, "optimize", h.workflow, "",
+			"job %s finished without a result", h.id)
+	}
+	return r, nil
+}
+
+// Events returns the job's typed event stream. Every subscription replays
+// the full stream from submission — StateChangedEvent(StateQueued) first —
+// then follows live events, so subscription timing is irrelevant; the
+// channel closes after the terminal StateChangedEvent (always the last
+// event) or when ctx ends.
+func (h *OptimizeHandle) Events(ctx context.Context) <-chan Event {
+	raw := h.job.Events(ctx)
+	ch := make(chan Event)
+	go func() {
+		defer close(ch)
+		for ev := range raw {
+			var e Event
+			switch v := ev.(type) {
+			case service.StateChange:
+				e = StateChangedEvent{Workflow: h.workflow, JobID: h.id, State: v.State, Err: v.Err}
+			case Event:
+				e = v
+			default:
+				continue
+			}
+			select {
+			case ch <- e:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// submitObserver bridges the optimizer's synchronous observer callbacks
+// into the handle: progress counters, the typed event stream, and — as the
+// deprecated adapter — the session's Observer, so existing observers keep
+// seeing Submit traffic without implementing anything new.
+type submitObserver struct{ h *OptimizeHandle }
+
+var _ optimizer.Observer = submitObserver{}
+
+func (b submitObserver) UnitStarted(phase string, unit int, jobs []string) {
+	h := b.h
+	h.mu.Lock()
+	h.units++
+	h.mu.Unlock()
+	h.job.Publish(UnitStartedEvent{Workflow: h.workflow, Phase: phase, Unit: unit, Jobs: jobs})
+	if h.obs != nil {
+		h.obs.UnitStarted(h.workflow, phase, unit, jobs)
+	}
+}
+
+func (b submitObserver) SubplanEnumerated(unit int, desc string, cost float64) {
+	h := b.h
+	h.mu.Lock()
+	h.subplans++
+	h.mu.Unlock()
+	h.job.Publish(SubplanEnumeratedEvent{Workflow: h.workflow, Unit: unit, Desc: desc, Cost: cost})
+	if h.obs != nil {
+		h.obs.SubplanEnumerated(h.workflow, unit, desc, cost)
+	}
+}
+
+func (b submitObserver) BestCostImproved(unit int, desc string, cost float64) {
+	h := b.h
+	h.mu.Lock()
+	h.improvements++
+	h.bestCost = cost
+	h.mu.Unlock()
+	h.job.Publish(BestCostImprovedEvent{Workflow: h.workflow, Unit: unit, Desc: desc, Cost: cost})
+	if h.obs != nil {
+		h.obs.BestCostImproved(h.workflow, unit, desc, cost)
+	}
+}
+
+// Submit admits the request to the session's bounded queue and returns a
+// handle immediately. The optimization runs asynchronously on the
+// session's worker pool (WithParallelism workers over a WithQueueDepth
+// queue); when the queue is full the request is shed with an
+// ErrKindOverloaded *Error rather than queueing unbounded work, and a
+// closed session rejects with ErrKindUnavailable. ctx gates admission
+// only — the job's lifetime is controlled through the handle.
+func (s *Session) Submit(ctx context.Context, req OptimizeRequest) (*OptimizeHandle, error) {
+	const op = "submit"
+	if req.Workflow == nil {
+		return nil, stubbyerr.New(stubbyerr.KindInvalid, op, "", "", "nil workflow")
+	}
+	wfName := req.Workflow.Name
+	if err := ctx.Err(); err != nil {
+		return nil, stubbyerr.From(op, wfName, err)
+	}
+	if s.closed.Load() {
+		return nil, stubbyerr.New(stubbyerr.KindUnavailable, op, wfName, "",
+			"session is closed")
+	}
+	target, err := s.deriveFor(req)
+	if err != nil {
+		return nil, stubbyerr.WithKind(stubbyerr.KindInvalid, op, wfName, err)
+	}
+	name := req.Planner
+	if name == "" {
+		name = s.plannerName
+	}
+	if name == "" {
+		name = "stubby"
+	}
+	if _, ok := s.registry.Lookup(name); !ok {
+		return nil, stubbyerr.New(stubbyerr.KindUnknownPlanner, op, wfName, "",
+			"unknown planner %q", name)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.seed
+	}
+	h := &OptimizeHandle{
+		id:       fmt.Sprintf("job-%d", s.jobSeq.Add(1)),
+		workflow: wfName,
+		obs:      s.observer,
+	}
+	h.job = service.NewJob(h.id, func(ctx context.Context) (any, error) {
+		res, err := target.optimizeNamed(ctx, req.Workflow, name, seed, submitObserver{h})
+		if err != nil {
+			return nil, stubbyerr.From("optimize", wfName, err)
+		}
+		if target.estCache != nil {
+			stats := target.estCache.Stats()
+			h.job.Publish(CacheReportEvent{Workflow: wfName, Stats: stats})
+			if h.obs != nil {
+				h.obs.EstimateCacheReport(wfName, stats)
+			}
+		}
+		return res, nil
+	})
+	if err := s.jobQueue().Submit(h.job); err != nil {
+		var se *Error
+		if errors.As(err, &se) {
+			// The queue doesn't know the workflow; stamp it for the caller.
+			e := *se
+			e.Workflow = wfName
+			return nil, &e
+		}
+		return nil, stubbyerr.From(op, wfName, err)
+	}
+	return h, nil
+}
+
+// jobQueue lazily creates the session's admission queue: WithParallelism
+// workers over a WithQueueDepth-bounded channel.
+func (s *Session) jobQueue() *service.Queue {
+	s.queueOnce.Do(func() {
+		depth := s.queueDepth
+		if depth <= 0 {
+			depth = DefaultQueueDepth
+		}
+		s.queue = service.NewQueue(s.parallelism, depth)
+	})
+	return s.queue
+}
+
+// deriveFor resolves the session a request's job runs against: s itself
+// when the request carries no overrides, otherwise a derived session with
+// the request's cluster and/or estimation mode applied. A derived session
+// shares the planner registry and the estimate cache (whose keys include
+// a cluster fingerprint, so sharing is safe) but has no queue of its own;
+// jobs still run on s's pool.
+func (s *Session) deriveFor(req OptimizeRequest) (*Session, error) {
+	if req.Cluster == nil && !req.DisableIncremental {
+		return s, nil
+	}
+	cluster := req.Cluster
+	if cluster == nil {
+		cluster = s.cluster
+	} else if err := cluster.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Session{
+		cluster:            cluster,
+		groups:             s.groups,
+		seed:               s.seed,
+		plannerName:        s.plannerName,
+		parallelism:        s.parallelism,
+		observer:           s.observer,
+		fraction:           s.fraction,
+		baseOpts:           s.baseOpts,
+		registry:           s.registry,
+		estCache:           s.estCache,
+		incrementalSet:     s.incrementalSet,
+		disableIncremental: s.disableIncremental,
+	}
+	if req.DisableIncremental {
+		d.incrementalSet = true
+		d.disableIncremental = true
+	}
+	return d, nil
+}
+
+// Close drains the session's Submit queue: new submissions are rejected
+// with ErrKindUnavailable, already-admitted jobs run to completion (cancel
+// their handles first for a fast drain), and Close returns when the
+// workers are idle or ctx ends (returning ctx's error while the drain
+// continues in the background). Sessions that never submitted close
+// immediately. Optimize/Run/Profile/Estimate remain usable after Close.
+func (s *Session) Close(ctx context.Context) error {
+	s.closed.Store(true)
+	// Creating the queue just to drain it is harmless (workers exit
+	// immediately) and keeps Close race-free against concurrent Submits.
+	if err := s.jobQueue().Drain(ctx); err != nil {
+		return stubbyerr.From("close", "", err)
+	}
+	return nil
+}
