@@ -93,6 +93,57 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 	return resp, nil
 }
 
+// ServiceStats is a stubbyd server's /statsz snapshot: queue occupancy
+// plus the counters of the serving session's optional subsystems.
+// EstimateCache and PlanStore are nil when the server runs without them.
+type ServiceStats struct {
+	// Status is "ok", or "draining" after shutdown began.
+	Status string
+	// Workers/QueueDepth describe the worker pool and admission bound;
+	// Queued/Busy are point-in-time occupancy.
+	Workers    int
+	QueueDepth int
+	Queued     int
+	Busy       int
+	// EstimateCache carries the estimate cache's counters, when attached.
+	EstimateCache *EstimateCacheStats
+	// PlanStore carries the plan store's counters, when attached.
+	PlanStore *PlanStoreStats
+}
+
+// Stats fetches the server's /statsz counters.
+func (c *Client) Stats(ctx context.Context) (*ServiceStats, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/statsz", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeHTTPError(resp)
+	}
+	var doc planio.StatszDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, stubbyerr.WithKind(stubbyerr.KindInternal, "stats", "", err)
+	}
+	st := &ServiceStats{
+		Status:     doc.Status,
+		Workers:    doc.Queue.Workers,
+		QueueDepth: doc.Queue.Depth,
+		Queued:     doc.Queue.Queued,
+		Busy:       doc.Queue.Busy,
+	}
+	if doc.EstCache != nil {
+		st.EstimateCache = &EstimateCacheStats{Hits: doc.EstCache.Hits,
+			Misses: doc.EstCache.Misses, Evictions: doc.EstCache.Evictions,
+			Entries: doc.EstCache.Entries, Capacity: doc.EstCache.Capacity}
+	}
+	if doc.PlanStore != nil {
+		stats := storeStatsFromDoc(doc.PlanStore)
+		st.PlanStore = &stats
+	}
+	return st, nil
+}
+
 // Submit encodes the request as a wire document, posts it, and returns a
 // remote job bound to the server-assigned ID. Overload and drain
 // rejections surface as ErrKindOverloaded / ErrKindUnavailable.

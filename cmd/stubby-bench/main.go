@@ -342,8 +342,30 @@ func runServiceBench(h *bench.Harness, out string, jobs, workers int) error {
 	}
 	fmt.Println(bench.FormatTable(
 		[]string{"Depth", "Workers", "Jobs", "Overloads", "Wall", "Throughput", "p50", "p99"}, cells))
+
+	cache, err := h.ServiceCacheBench(3, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Persistent plan store: cold (first sight of each paper workload) vs warm (repeated arrival mix)")
+	cells = nil
+	for _, r := range cache {
+		cells = append(cells, []string{
+			r.Phase,
+			fmt.Sprintf("%d", r.Submissions),
+			fmt.Sprintf("%d", r.StoreHits),
+			fmt.Sprintf("%.0f%%", 100*r.HitRatio),
+			fmt.Sprintf("%d", r.Optimizations),
+			fmt.Sprintf("%.1f ms", r.P50MS),
+			fmt.Sprintf("%.1f ms", r.P99MS),
+			fmt.Sprintf("%.0f ms", r.WallMS),
+		})
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Phase", "Submissions", "Store hits", "Hit ratio", "Optimizations", "p50", "p99", "Wall"}, cells))
+
 	if out != "" {
-		if err := bench.ServiceBenchJSON(out, h, rows, jobs); err != nil {
+		if err := bench.ServiceBenchJSON(out, h, rows, cache, jobs); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", out)

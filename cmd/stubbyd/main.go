@@ -17,6 +17,11 @@
 //	POST /v1/jobs/{id}/cancel  cancel
 //	GET  /v1/jobs/{id}/events  NDJSON event stream
 //	GET  /healthz              liveness + queue shape
+//	GET  /statsz               queue/cache/plan-store counters
+//
+// With -store DIR, optimized plans are persisted to a content-addressed
+// store under DIR and repeat submissions — across restarts and across
+// replicas sharing the directory — are answered without re-optimizing.
 //
 // Submissions beyond the admission queue's depth are shed with HTTP 429
 // and error kind "overloaded". On SIGTERM/SIGINT the server drains
@@ -47,6 +52,7 @@ func main() {
 		planner  = flag.String("optimizer", "stubby", "default planner for requests that name none")
 		useCache = flag.Bool("cache", true, "share one estimate cache across all jobs")
 		rrsEvals = flag.Int("rrs-evals", 0, "configuration-search budget override (0 = default)")
+		storeDir = flag.String("store", "", "persistent plan-store directory (empty = no store); replicas may share one directory")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits before canceling running jobs")
 	)
 	flag.Parse()
@@ -64,6 +70,15 @@ func main() {
 	}
 	if *rrsEvals > 0 {
 		opts = append(opts, stubby.WithOptimizerOptions(stubby.Options{RRSEvals: *rrsEvals}))
+	}
+	var store *stubby.PlanStore
+	if *storeDir != "" {
+		var err error
+		if store, err = stubby.NewPlanStore(*storeDir); err != nil {
+			fmt.Fprintln(os.Stderr, "stubbyd:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, stubby.WithPlanStore(store))
 	}
 	sess, err := stubby.NewSession(opts...)
 	if err != nil {
@@ -97,6 +112,14 @@ func main() {
 	defer cancel2()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Printf("stubbyd: shutdown: %v", err)
+	}
+	if store != nil {
+		st := store.Stats()
+		log.Printf("stubbyd: plan store: %d hits / %d misses (%.0f%% hit rate), %d computes, %d entries",
+			st.Hits, st.Misses, 100*st.HitRate(), st.Computes, st.Entries)
+		if err := store.Close(); err != nil {
+			log.Printf("stubbyd: plan store close: %v", err)
+		}
 	}
 	log.Print("stubbyd: stopped")
 }

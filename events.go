@@ -64,6 +64,16 @@ type CacheReportEvent struct {
 	Stats    EstimateCacheStats
 }
 
+// PlanStoreEvent fires once per submission on a session with a plan store
+// attached (WithPlanStore), reporting whether the submission was answered
+// from the store — Hit means the plan came back without running the
+// optimizer — along with the store's cumulative statistics.
+type PlanStoreEvent struct {
+	Workflow string
+	Hit      bool
+	Stats    PlanStoreStats
+}
+
 // StateChangedEvent fires on every lifecycle transition of a submitted
 // job: Queued on admission, Running when a worker picks it up, then
 // exactly one of Done, Failed (Err set), or Canceled. It is always the
@@ -80,6 +90,7 @@ func (e SubplanEnumeratedEvent) WorkflowName() string { return e.Workflow }
 func (e BestCostImprovedEvent) WorkflowName() string  { return e.Workflow }
 func (e JobFinishedEvent) WorkflowName() string       { return e.Workflow }
 func (e CacheReportEvent) WorkflowName() string       { return e.Workflow }
+func (e PlanStoreEvent) WorkflowName() string         { return e.Workflow }
 func (e StateChangedEvent) WorkflowName() string      { return e.Workflow }
 
 func (UnitStartedEvent) event()       {}
@@ -87,6 +98,7 @@ func (SubplanEnumeratedEvent) event() {}
 func (BestCostImprovedEvent) event()  {}
 func (JobFinishedEvent) event()       {}
 func (CacheReportEvent) event()       {}
+func (PlanStoreEvent) event()         {}
 func (StateChangedEvent) event()      {}
 
 // ObserverEvents adapts a deprecated Observer to an event consumer: the

@@ -1,0 +1,94 @@
+package stubby_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/stubby-mr/stubby"
+)
+
+// ExampleWithPlanStore attaches a persistent plan store to a session:
+// optimized plans are persisted on disk under content addresses
+// (workflow fingerprint + cluster digest + planner + seed), so
+// re-optimizing the same workflow — even after a process restart, even
+// from another replica sharing the directory — returns the stored plan
+// without running the optimizer. The store is transparent: a hit is
+// byte-identical to the plan the search would have produced.
+func ExampleWithPlanStore() {
+	wl, err := stubby.BuildWorkload("IR", stubby.WorkloadOptions{SizeFactor: 0.1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "stubby-plans-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// One store can back any number of sessions and survives all of them;
+	// in a deployment the directory would be a fixed path (stubbyd -store).
+	store, err := stubby.NewPlanStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := stubby.NewSession(
+		stubby.WithCluster(wl.Cluster),
+		stubby.WithSeed(1),
+		stubby.WithPlanStore(store),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Profile(ctx, wl.Workflow, wl.DFS); err != nil {
+		log.Fatal(err)
+	}
+	first, err := sess.Optimize(ctx, wl.Workflow)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "Restart": close the store, reopen the same directory cold, and
+	// optimize the same workflow through a brand-new session.
+	if err := store.Close(); err != nil {
+		log.Fatal(err)
+	}
+	reopened, err := stubby.NewPlanStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reopened.Close()
+	fresh, err := stubby.NewSession(
+		stubby.WithCluster(wl.Cluster),
+		stubby.WithSeed(1),
+		stubby.WithPlanStore(reopened),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := fresh.Optimize(ctx, wl.Workflow)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := stubby.ExportPlan(&a, first.Plan); err != nil {
+		log.Fatal(err)
+	}
+	if err := stubby.ExportPlan(&b, again.Plan); err != nil {
+		log.Fatal(err)
+	}
+	stats, _ := fresh.PlanStoreStats()
+	fmt.Println("served from the store:", again.FromStore)
+	fmt.Println("plan identical across the restart:", bytes.Equal(a.Bytes(), b.Bytes()))
+	fmt.Println("optimizer did no work:", again.WhatIfComputed == 0 && len(again.Units) == 0)
+	fmt.Println("store hits:", stats.Hits)
+	// Output:
+	// served from the store: true
+	// plan identical across the restart: true
+	// optimizer did no work: true
+	// store hits: 1
+}

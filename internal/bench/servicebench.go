@@ -45,6 +45,29 @@ type ServiceBenchRow struct {
 	P99MS float64 `json:"p99_ms"`
 }
 
+// ServiceCacheRow is one phase of the plan-store benchmark: the cold phase
+// submits every paper workload for the first time (each one runs the
+// optimizer), the warm phase replays a repeated-workflow arrival mix
+// against the now-populated store (each submission should be a store hit).
+type ServiceCacheRow struct {
+	// Phase is "cold" or "warm".
+	Phase string `json:"phase"`
+	// Submissions is how many jobs the phase submitted.
+	Submissions int `json:"submissions"`
+	// StoreHits is how many of them the plan store answered without
+	// running the optimizer.
+	StoreHits int `json:"store_hits"`
+	// HitRatio is StoreHits/Submissions.
+	HitRatio float64 `json:"hit_ratio"`
+	// Optimizations is how many full optimizer runs the phase cost.
+	Optimizations int `json:"optimizations"`
+	// P50MS/P99MS are submit→result latency percentiles per job.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// WallMS is the phase's wall time.
+	WallMS float64 `json:"wall_ms"`
+}
+
 // ServiceBenchReport is the BENCH_service.json schema.
 type ServiceBenchReport struct {
 	Workload   string            `json:"workload"`
@@ -52,6 +75,8 @@ type ServiceBenchReport struct {
 	Seed       int64             `json:"seed"`
 	JobsPerRow int               `json:"jobs_per_row"`
 	Rows       []ServiceBenchRow `json:"rows"`
+	// Cache holds the plan-store warm/cold phases (all paper workloads).
+	Cache []ServiceCacheRow `json:"cache,omitempty"`
 }
 
 // ServiceBench sweeps the queue depths, submitting jobs concurrently
@@ -171,6 +196,107 @@ func (h *Harness) serviceBenchDepth(wl *workloads.Workload, depth, jobs, workers
 	}, nil
 }
 
+// ServiceCacheBench measures what the persistent plan store buys the
+// service: one server with a store attached takes every paper workload cold
+// (each submission runs the optimizer and lands in the store), then a
+// repeated-workflow arrival mix of rounds×workloads warm submissions (every
+// one a store hit). The row pair quantifies the cache-hit ratio and the
+// warm-vs-cold submit→result latency gap.
+func (h *Harness) ServiceCacheBench(rounds, workers int) ([]ServiceCacheRow, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	if workers < 1 {
+		workers = 2
+	}
+	abbrs := workloads.Abbrs()
+	wls := make([]*workloads.Workload, len(abbrs))
+	for i, abbr := range abbrs {
+		wl, err := h.workload(abbr)
+		if err != nil {
+			return nil, err
+		}
+		wls[i] = wl
+	}
+
+	storeDir, err := os.MkdirTemp("", "stubby-bench-store-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(storeDir)
+	store, err := stubby.NewPlanStore(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close()
+	sess, err := stubby.NewSession(
+		stubby.WithCluster(wls[0].Cluster),
+		stubby.WithSeed(h.cfg.Seed),
+		stubby.WithParallelism(workers),
+		stubby.WithEstimateCache(stubby.NewEstimateCache(0)),
+		stubby.WithPlanStore(store),
+		stubby.WithOptimizerOptions(stubby.Options{RRSEvals: 20}),
+	)
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := httptest.NewServer(stubby.NewServer(sess))
+	defer httpSrv.Close()
+	defer sess.Close(context.Background())
+	client, err := stubby.NewClient(httpSrv.URL)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	phase := func(name string, mix []*workloads.Workload) (ServiceCacheRow, error) {
+		before := store.Stats()
+		latencies := make([]float64, len(mix))
+		start := time.Now()
+		for i, wl := range mix {
+			t0 := time.Now()
+			job, err := client.Submit(ctx, stubby.OptimizeRequest{Workflow: wl.Workflow, Cluster: wl.Cluster})
+			if err != nil {
+				return ServiceCacheRow{}, err
+			}
+			if _, err := job.Wait(ctx); err != nil {
+				return ServiceCacheRow{}, err
+			}
+			latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+		}
+		wall := time.Since(start)
+		after := store.Stats()
+		hits := int(after.Hits - before.Hits)
+		sort.Float64s(latencies)
+		return ServiceCacheRow{
+			Phase:         name,
+			Submissions:   len(mix),
+			StoreHits:     hits,
+			HitRatio:      float64(hits) / float64(len(mix)),
+			Optimizations: int(after.Computes - before.Computes),
+			P50MS:         percentile(latencies, 0.50),
+			P99MS:         percentile(latencies, 0.99),
+			WallMS:        float64(wall.Microseconds()) / 1000,
+		}, nil
+	}
+
+	cold, err := phase("cold", wls)
+	if err != nil {
+		return nil, err
+	}
+	// The warm mix interleaves repeats of every workload, round-robin — the
+	// repeated-submission arrival pattern the store is built for.
+	var warmMix []*workloads.Workload
+	for r := 0; r < rounds; r++ {
+		warmMix = append(warmMix, wls...)
+	}
+	warm, err := phase("warm", warmMix)
+	if err != nil {
+		return nil, err
+	}
+	return []ServiceCacheRow{cold, warm}, nil
+}
+
 // percentile reads the p-quantile from sorted values, rounding the rank
 // up so small samples never understate the tail (nearest-rank method).
 func percentile(sorted []float64, p float64) float64 {
@@ -185,13 +311,14 @@ func percentile(sorted []float64, p float64) float64 {
 }
 
 // ServiceBenchJSON assembles and writes the report.
-func ServiceBenchJSON(path string, h *Harness, rows []ServiceBenchRow, jobsPerRow int) error {
+func ServiceBenchJSON(path string, h *Harness, rows []ServiceBenchRow, cache []ServiceCacheRow, jobsPerRow int) error {
 	rep := ServiceBenchReport{
 		Workload:   "IR",
 		SizeFactor: h.cfg.SizeFactor,
 		Seed:       h.cfg.Seed,
 		JobsPerRow: jobsPerRow,
 		Rows:       rows,
+		Cache:      cache,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

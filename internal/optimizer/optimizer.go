@@ -264,6 +264,11 @@ type Result struct {
 	// incremental estimation drives down (a full estimate of an n-job plan
 	// costs n cards; a delta estimate costs only the affected cone).
 	FlowCards uint64
+	// FromStore marks a result answered from a persistent plan store
+	// (stubby.WithPlanStore) instead of a fresh search. Such results carry
+	// the stored plan and cost but no search trace, and their What-if
+	// counters are zero — no optimizer units ran.
+	FromStore bool
 }
 
 // Optimize runs the two-phase search and returns the optimized plan. The

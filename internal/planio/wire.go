@@ -254,6 +254,52 @@ func DecodeResult(data []byte) (*Result, error) {
 	}, nil
 }
 
+// DecodeResultBound parses an optimize-result document like DecodeResult
+// but binds the plan's stage functions through reg, yielding an executable
+// plan. This is the plan-store hit path: the submitter holds the original
+// workflow (and therefore its function library), so a stored plan can come
+// back runnable rather than structure-only. It returns a *MissingError when
+// reg lacks a stage the stored plan references.
+func DecodeResultBound(data []byte, reg *Registry) (*Result, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	var doc resultDoc
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("planio: parse result: %w", err)
+	}
+	if doc.Format != ResultFormatName {
+		return nil, fmt.Errorf("planio: not a %s document (format %q)", ResultFormatName, doc.Format)
+	}
+	if doc.Version != ResultFormatVersion {
+		return nil, fmt.Errorf("planio: unsupported result version %d (want %d)", doc.Version, ResultFormatVersion)
+	}
+	if doc.Plan == nil {
+		return nil, errors.New("planio: result without a plan")
+	}
+	plan, err := decodeDocument(doc.Plan, reg, false)
+	if err != nil {
+		return nil, err
+	}
+	if doc.Fingerprint != "" {
+		if got := wf.FingerprintWorkflow(plan).String(); got != doc.Fingerprint {
+			return nil, fmt.Errorf("planio: result plan fingerprint %s does not match document fingerprint %s",
+				got, doc.Fingerprint)
+		}
+	}
+	return &Result{
+		Plan:           plan,
+		EstimatedCost:  doc.EstimatedCost,
+		DurationMS:     doc.DurationMS,
+		WhatIfCalls:    doc.WhatIfCalls,
+		WhatIfComputed: doc.WhatIfComputed,
+		FlowCards:      doc.FlowCards,
+		Fingerprint:    doc.Fingerprint,
+	}, nil
+}
+
 // ErrorDoc is the wire form of the *stubbyerr.Error taxonomy. A client
 // reconstructing it yields an error for which errors.Is(err, Kind) and
 // errors.As(*stubbyerr.Error) behave exactly as in-process.
@@ -315,6 +361,7 @@ const (
 	EventJobFinished       = "jobFinished"
 	EventCacheReport       = "cacheReport"
 	EventStateChanged      = "stateChanged"
+	EventStoreReport       = "storeReport"
 )
 
 // CacheStatsDoc is the wire form of the estimate cache's counters.
@@ -324,6 +371,22 @@ type CacheStatsDoc struct {
 	Evictions uint64 `json:"evictions"`
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
+}
+
+// StoreStatsDoc is the wire form of the plan store's counters.
+type StoreStatsDoc struct {
+	Hits         uint64 `json:"hits"`
+	MemHits      uint64 `json:"memHits"`
+	DiskHits     uint64 `json:"diskHits"`
+	Misses       uint64 `json:"misses"`
+	Computes     uint64 `json:"computes"`
+	Puts         uint64 `json:"puts"`
+	Evictions    uint64 `json:"evictions"`
+	BytesWritten uint64 `json:"bytesWritten"`
+	BytesRead    uint64 `json:"bytesRead"`
+	Errors       uint64 `json:"errors"`
+	Entries      int    `json:"entries"`
+	Segments     int    `json:"segments"`
 }
 
 // EventDoc is the wire form of one progress event: a closed set of type
@@ -345,6 +408,8 @@ type EventDoc struct {
 	State    string         `json:"state,omitempty"`
 	Error    *ErrorDoc      `json:"error,omitempty"`
 	Cache    *CacheStatsDoc `json:"cache,omitempty"`
+	Hit      bool           `json:"hit,omitempty"`
+	Store    *StoreStatsDoc `json:"store,omitempty"`
 }
 
 // StatusDoc is the wire form of a job's status: lifecycle state, the
@@ -365,4 +430,22 @@ type StatusDoc struct {
 type SubmitResponse struct {
 	ID    string `json:"id"`
 	State string `json:"state"`
+}
+
+// QueueStatsDoc describes the job queue's occupancy.
+type QueueStatsDoc struct {
+	Workers int `json:"workers"`
+	Depth   int `json:"depth"`
+	Queued  int `json:"queued"`
+	Busy    int `json:"busy"`
+}
+
+// StatszDoc is the wire form of the /statsz endpoint: server status plus
+// the counters of every subsystem a serving session carries. EstCache and
+// PlanStore are nil when the session runs without them.
+type StatszDoc struct {
+	Status    string         `json:"status"`
+	Queue     QueueStatsDoc  `json:"queue"`
+	EstCache  *CacheStatsDoc `json:"estcache,omitempty"`
+	PlanStore *StoreStatsDoc `json:"planstore,omitempty"`
 }

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package planstore
+
+import "os"
+
+// Without flock, dead writers can't be told apart from live ones, so
+// recovery conservatively treats every foreign segment as live (torn tails
+// are ignored rather than truncated — still correct, just never cleaned).
+func tryFlock(f *os.File) bool { return false }
+
+func funlock(f *os.File) {}

@@ -1,0 +1,19 @@
+//go:build unix
+
+package planstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// tryFlock attempts a non-blocking exclusive lock on f. Segment writers
+// hold this lock for their lifetime; acquiring it on someone else's
+// segment proves the writer process is gone.
+func tryFlock(f *os.File) bool {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB) == nil
+}
+
+func funlock(f *os.File) {
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

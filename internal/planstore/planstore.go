@@ -1,0 +1,640 @@
+// Package planstore is a durable, content-addressed store for optimized
+// plans: the persistence layer that lets a stubbyd replica (or a restarted
+// process) answer a repeat submission without re-running the optimizer.
+// Entries are opaque byte documents keyed by a 128-bit address derived from
+// the canonical workflow fingerprint (package wf) plus everything else the
+// optimization outcome depends on — cluster digest, planner name, search
+// seed — so two keys collide only when the optimizer would produce
+// byte-identical plans for both.
+//
+// # On-disk layout
+//
+// A store directory holds append-only segment files plus a snapshot index:
+//
+//	dir/
+//	  segments/seg-000001.log   one per writer lifetime, CRC-checked records
+//	  index.json                atomic-rename snapshot of address → location
+//
+// Each writer appends to its own segment, created with O_EXCL and held
+// under an exclusive flock for the writer's lifetime. No two processes ever
+// write the same file, so the write path needs no cross-process
+// coordination beyond the per-fingerprint single-flight inside each
+// process; the read path is lock-free (records are immutable once their
+// CRC validates). Replicas see each other's publishes by rescanning
+// segments past their remembered high-water marks on a read miss.
+//
+// # Durability and crash safety
+//
+// A record is published by a single buffered write followed (by default) by
+// fdatasync, and the index snapshot is published with the classic
+// write-temp-then-rename dance. Reopening a directory is crash-safe: a
+// valid index accelerates the load, a missing or corrupt one degrades to a
+// full segment scan, and torn record tails — a crash mid-append — are
+// detected by length/magic/CRC checks. Tails of segments whose writer is
+// provably gone (their flock is free) are physically truncated to the last
+// valid record; a live writer's tail is left alone and simply ignored until
+// the record completes.
+package planstore
+
+import (
+	"container/list"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// Key identifies one optimization outcome. Two equal keys always map to
+// byte-identical optimized plans: the search is deterministic given the
+// workflow fingerprint, the cluster, the planner, and the seed.
+type Key struct {
+	// Plan is the canonical fingerprint of the *submitted* workflow (not of
+	// the optimized plan stored under the key).
+	Plan wf.Fingerprint
+	// Cluster digests the cluster description (estcache.ClusterFingerprint).
+	Cluster uint64
+	// Planner names the planner that produced the plan.
+	Planner string
+	// Seed is the search seed.
+	Seed int64
+}
+
+// Address collapses the key into the 128-bit content address records are
+// stored under.
+func (k Key) Address() Address {
+	h := fnv.New128a()
+	var buf [8]byte
+	for _, v := range []uint64{k.Plan[0], k.Plan[1], k.Cluster, uint64(k.Seed)} {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(k.Planner))
+	var sum [16]byte
+	h.Sum(sum[:0])
+	return Address{binary.BigEndian.Uint64(sum[:8]), binary.BigEndian.Uint64(sum[8:])}
+}
+
+// Address is the 128-bit on-disk key of a record.
+type Address [2]uint64
+
+// String renders the address as 32 hex digits.
+func (a Address) String() string { return fmt.Sprintf("%016x%016x", a[0], a[1]) }
+
+// Stats is a point-in-time snapshot of store activity. All counters are
+// cumulative since Open.
+type Stats struct {
+	// Hits counts lookups answered without running compute: memory hits,
+	// disk hits, and single-flight waits on another caller's computation.
+	Hits uint64
+	// MemHits / DiskHits split Hits by where the bytes came from (waits on
+	// an in-flight computation count toward Hits only).
+	MemHits  uint64
+	DiskHits uint64
+	// Misses counts lookups that found nothing anywhere.
+	Misses uint64
+	// Computes counts GetOrCompute calls that actually ran compute — the
+	// number of optimizations the whole process paid for.
+	Computes uint64
+	// Puts counts records appended to this writer's segment.
+	Puts uint64
+	// Evictions counts in-memory LRU evictions (disk entries are never
+	// evicted).
+	Evictions uint64
+	// BytesWritten / BytesRead count record payload traffic to/from disk.
+	BytesWritten uint64
+	BytesRead    uint64
+	// Errors counts background persistence failures (a failed append or
+	// index publish); reads and computes still succeed when it rises.
+	Errors uint64
+	// Entries is the number of distinct addresses known (memory + disk).
+	Entries int
+	// Segments is the number of segment files in the directory.
+	Segments int
+}
+
+// HitRate returns Hits over (Hits+Misses) in [0, 1] (zero when empty).
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// recLoc locates one record's payload inside a segment.
+type recLoc struct {
+	seg string
+	off int64 // offset of the record header
+	n   int   // payload length
+}
+
+// memEntry is one in-memory cached document.
+type memEntry struct {
+	addr Address
+	doc  []byte
+}
+
+// flight tracks one in-progress computation other callers wait on.
+type flight struct {
+	done chan struct{}
+	doc  []byte
+	err  error
+}
+
+// Option configures a Store under construction.
+type Option func(*Store)
+
+// WithMemoryEntries bounds the in-memory document cache (default 256
+// entries; <= 0 keeps the default). Disk entries are unbounded.
+func WithMemoryEntries(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.memCap = n
+		}
+	}
+}
+
+// WithSync controls whether every appended record is fdatasync'd before
+// Put returns (default true). Disabling trades crash durability of the
+// most recent publishes for latency; the format stays crash-safe either
+// way (a torn tail is detected and dropped on reopen).
+func WithSync(sync bool) Option {
+	return func(s *Store) { s.sync = sync }
+}
+
+// indexPublishEvery is how many Puts elapse between index snapshots. The
+// index is purely an accelerator — reopen falls back to a segment scan —
+// so publishing lazily costs nothing but reopen time.
+const indexPublishEvery = 16
+
+// Store is a durable content-addressed document store with an in-memory
+// LRU front and a per-address single-flight. It is safe for concurrent use
+// within a process, and any number of Stores (in one process or many) may
+// share a directory.
+type Store struct {
+	dir    string
+	segDir string
+	memCap int
+	sync   bool
+
+	mu               sync.Mutex
+	index            map[Address]recLoc        // disk records (this store has seen)
+	mem              map[Address]*list.Element // of *memEntry
+	lru              *list.List                // front = most recently used
+	seg              *segmentWriter            // own segment; nil after Close
+	marks            map[string]int64          // segment name → scanned high-water offset
+	frozen           map[string]bool           // segments with a detected corrupt region
+	putsSincePublish int
+	closed           bool
+
+	flMu    sync.Mutex
+	flights map[Address]*flight
+
+	hits, memHits, diskHits, misses   atomic.Uint64
+	computes, puts, evictions         atomic.Uint64
+	bytesWritten, bytesRead, errCount atomic.Uint64
+}
+
+// Open opens (creating if needed) the store directory: it loads the index
+// snapshot when one is present and valid, scans segments for records past
+// the snapshot, truncates torn tails of writer-less segments, and claims a
+// fresh segment file for this store's own appends.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{
+		dir:     dir,
+		segDir:  filepath.Join(dir, "segments"),
+		memCap:  256,
+		sync:    true,
+		index:   make(map[Address]recLoc),
+		mem:     make(map[Address]*list.Element),
+		lru:     list.New(),
+		marks:   make(map[string]int64),
+		frozen:  make(map[string]bool),
+		flights: make(map[Address]*flight),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := os.MkdirAll(s.segDir, 0o755); err != nil {
+		return nil, fmt.Errorf("planstore: %w", err)
+	}
+	s.loadIndex() // best effort; a corrupt index degrades to a full scan
+	s.mu.Lock()
+	s.recoverSegmentsLocked()
+	if err := s.refreshLocked(); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	seg, err := openSegmentWriter(s.segDir)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.seg = seg
+	s.marks[seg.name] = 0
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the document stored under key, consulting the in-memory LRU,
+// then the known disk index, then — still on a miss — rescanning the
+// directory for records other replicas published since the last look.
+func (s *Store) Get(key Key) ([]byte, bool, error) {
+	addr := key.Address()
+	s.mu.Lock()
+	if el, ok := s.mem[addr]; ok {
+		s.lru.MoveToFront(el)
+		doc := el.Value.(*memEntry).doc
+		s.mu.Unlock()
+		s.hits.Add(1)
+		s.memHits.Add(1)
+		return doc, true, nil
+	}
+	if doc, ok := s.readAndCacheLocked(addr); ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		s.diskHits.Add(1)
+		return doc, true, nil
+	}
+	// Nothing local: another replica may have published since we last
+	// looked. Rescan past the high-water marks before declaring a miss.
+	if err := s.refreshLocked(); err != nil {
+		s.mu.Unlock()
+		return nil, false, err
+	}
+	if doc, ok := s.readAndCacheLocked(addr); ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		s.diskHits.Add(1)
+		return doc, true, nil
+	}
+	s.mu.Unlock()
+	s.misses.Add(1)
+	return nil, false, nil
+}
+
+// readAndCacheLocked reads addr's record payload from disk and promotes it
+// into the memory LRU. Callers hold s.mu. A record that fails its CRC (disk
+// rot after indexing) is dropped from the index and reported as absent.
+func (s *Store) readAndCacheLocked(addr Address) ([]byte, bool) {
+	loc, ok := s.index[addr]
+	if !ok {
+		return nil, false
+	}
+	doc, err := readRecordPayload(filepath.Join(s.segDir, loc.seg), loc.off, loc.n, addr)
+	if err != nil {
+		delete(s.index, addr)
+		s.errCount.Add(1)
+		return nil, false
+	}
+	s.bytesRead.Add(uint64(len(doc)))
+	s.cacheLocked(addr, doc)
+	return doc, true
+}
+
+// cacheLocked inserts doc into the memory LRU. Callers hold s.mu.
+func (s *Store) cacheLocked(addr Address, doc []byte) {
+	if el, ok := s.mem[addr]; ok {
+		s.lru.MoveToFront(el)
+		el.Value.(*memEntry).doc = doc
+		return
+	}
+	s.mem[addr] = s.lru.PushFront(&memEntry{addr: addr, doc: doc})
+	for s.lru.Len() > s.memCap {
+		old := s.lru.Back()
+		s.lru.Remove(old)
+		delete(s.mem, old.Value.(*memEntry).addr)
+		s.evictions.Add(1)
+	}
+}
+
+// Put publishes doc under key: append to the owned segment (fdatasync'd
+// unless WithSync(false)), index it, cache it, and occasionally snapshot
+// the index. Publishing the same address twice is harmless — the store is
+// content-addressed, so duplicates carry identical bytes and the
+// last-indexed location wins.
+func (s *Store) Put(key Key, doc []byte) error {
+	addr := key.Address()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.putLocked(addr, doc)
+}
+
+func (s *Store) putLocked(addr Address, doc []byte) error {
+	if s.closed {
+		return errors.New("planstore: store is closed")
+	}
+	off, err := s.seg.append(addr, doc, s.sync)
+	if err != nil {
+		s.errCount.Add(1)
+		return fmt.Errorf("planstore: append: %w", err)
+	}
+	s.index[addr] = recLoc{seg: s.seg.name, off: off, n: len(doc)}
+	s.marks[s.seg.name] = s.seg.off
+	s.cacheLocked(addr, doc)
+	s.puts.Add(1)
+	s.bytesWritten.Add(uint64(len(doc)))
+	s.putsSincePublish++
+	if s.putsSincePublish >= indexPublishEvery {
+		s.publishIndexLocked()
+	}
+	return nil
+}
+
+// GetOrCompute returns the document for key, running compute on a miss.
+// Concurrent callers with the same key share one computation — the
+// fingerprint-level single-flight that makes N simultaneous submissions of
+// one workflow cost exactly one optimization in this process. hit reports
+// whether the document came from the store (memory, disk, or another
+// caller's flight) rather than this call's compute. Errors are returned to
+// every waiter and never stored.
+func (s *Store) GetOrCompute(key Key, compute func() ([]byte, error)) (doc []byte, hit bool, err error) {
+	addr := key.Address()
+	for {
+		if doc, ok, err := s.Get(key); err != nil {
+			return nil, false, err
+		} else if ok {
+			return doc, true, nil
+		}
+		s.flMu.Lock()
+		if fl, ok := s.flights[addr]; ok {
+			s.flMu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				return nil, false, fl.err
+			}
+			s.hits.Add(1)
+			return fl.doc, true, nil
+		}
+		fl := &flight{done: make(chan struct{})}
+		s.flights[addr] = fl
+		s.flMu.Unlock()
+
+		// Re-check under flight ownership: a previous owner may have
+		// published between our miss and our registration.
+		if doc, ok, err := s.Get(key); err != nil || ok {
+			s.resolveFlight(addr, fl, doc, err)
+			return doc, ok, err
+		}
+		s.computes.Add(1)
+		doc, err := compute()
+		if err == nil {
+			s.mu.Lock()
+			// A failed append is a durability problem, not a correctness
+			// one: the computed document is still returned (and cached) so
+			// the caller's optimization is never wasted on a full disk.
+			if perr := s.putLocked(addr, doc); perr != nil {
+				s.cacheLocked(addr, doc)
+			}
+			s.mu.Unlock()
+		}
+		s.resolveFlight(addr, fl, doc, err)
+		return doc, false, err
+	}
+}
+
+func (s *Store) resolveFlight(addr Address, fl *flight, doc []byte, err error) {
+	s.flMu.Lock()
+	delete(s.flights, addr)
+	s.flMu.Unlock()
+	fl.doc, fl.err = doc, err
+	close(fl.done)
+}
+
+// Stats snapshots the store's counters. The counters are atomics, so a
+// stats poll never contends with the read or write path.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Hits:         s.hits.Load(),
+		MemHits:      s.memHits.Load(),
+		DiskHits:     s.diskHits.Load(),
+		Misses:       s.misses.Load(),
+		Computes:     s.computes.Load(),
+		Puts:         s.puts.Load(),
+		Evictions:    s.evictions.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		Errors:       s.errCount.Load(),
+	}
+	s.mu.Lock()
+	st.Entries = len(s.index)
+	st.Segments = len(s.marks)
+	s.mu.Unlock()
+	return st
+}
+
+// Close publishes a final index snapshot and releases the owned segment
+// (truncating it away entirely if this writer never published a record).
+// Close is idempotent; Get keeps working on a closed store, Put fails.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.publishIndexLocked()
+	return s.seg.close()
+}
+
+// --- index snapshot ----------------------------------------------------------
+
+const (
+	indexFormat  = "stubby-planstore-index"
+	indexVersion = 1
+)
+
+type indexEntryDoc struct {
+	Addr string `json:"addr"`
+	Seg  string `json:"seg"`
+	Off  int64  `json:"off"`
+	Len  int    `json:"len"`
+}
+
+type indexDoc struct {
+	Format   string           `json:"format"`
+	Version  int              `json:"version"`
+	Segments map[string]int64 `json:"segments"` // validated prefix sizes
+	Entries  []indexEntryDoc  `json:"entries"`
+}
+
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.json") }
+
+// publishIndexLocked snapshots the index via write-temp-then-rename. A
+// failure only costs reopen speed, so it is counted, not returned. Callers
+// hold s.mu.
+func (s *Store) publishIndexLocked() {
+	s.putsSincePublish = 0
+	doc := indexDoc{Format: indexFormat, Version: indexVersion, Segments: make(map[string]int64, len(s.marks))}
+	for name, off := range s.marks {
+		doc.Segments[name] = off
+	}
+	doc.Entries = make([]indexEntryDoc, 0, len(s.index))
+	for addr, loc := range s.index {
+		doc.Entries = append(doc.Entries, indexEntryDoc{Addr: addr.String(), Seg: loc.seg, Off: loc.off, Len: loc.n})
+	}
+	sort.Slice(doc.Entries, func(i, j int) bool { return doc.Entries[i].Addr < doc.Entries[j].Addr })
+	data, err := json.MarshalIndent(&doc, "", " ")
+	if err != nil {
+		s.errCount.Add(1)
+		return
+	}
+	tmp := s.indexPath() + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		s.errCount.Add(1)
+		return
+	}
+	if err := os.Rename(tmp, s.indexPath()); err != nil {
+		s.errCount.Add(1)
+		_ = os.Remove(tmp)
+	}
+}
+
+// loadIndex loads the snapshot if present and structurally valid. Every
+// claim the snapshot makes is re-verified lazily: locations are CRC-checked
+// on first read, and high-water marks only seed the scan start (a mark
+// beyond a segment's real size rescans from zero). Corruption therefore
+// costs a scan, never a wrong answer.
+func (s *Store) loadIndex() {
+	data, err := os.ReadFile(s.indexPath())
+	if err != nil {
+		return
+	}
+	var doc indexDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return
+	}
+	if doc.Format != indexFormat || doc.Version != indexVersion {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, off := range doc.Segments {
+		if fi, err := os.Stat(filepath.Join(s.segDir, name)); err != nil || off > fi.Size() || off < 0 {
+			continue // stale claim; scan this segment from zero
+		}
+		s.marks[name] = off
+	}
+	for _, e := range doc.Entries {
+		addr, ok := parseAddress(e.Addr)
+		if !ok || e.Off < 0 || e.Len < 0 {
+			continue
+		}
+		if _, tracked := s.marks[e.Seg]; !tracked {
+			continue
+		}
+		s.index[addr] = recLoc{seg: e.Seg, off: e.Off, n: e.Len}
+	}
+}
+
+func parseAddress(v string) (Address, bool) {
+	if len(v) != 32 {
+		return Address{}, false
+	}
+	var a Address
+	if _, err := fmt.Sscanf(v, "%016x%016x", &a[0], &a[1]); err != nil {
+		return Address{}, false
+	}
+	return a, true
+}
+
+// --- segment discovery and scanning ------------------------------------------
+
+// recoverSegmentsLocked truncates torn tails of segments with no live
+// writer. A segment's writer holds an exclusive flock for its lifetime, so
+// a successfully acquired lock proves the writer is gone and the file is
+// immutable — safe to scan to the last valid record and physically truncate
+// the rest. Segments whose lock is held are left to refreshLocked, which
+// ignores incomplete tails until they finish. Callers hold s.mu.
+func (s *Store) recoverSegmentsLocked() {
+	for _, name := range s.listSegments() {
+		path := filepath.Join(s.segDir, name)
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			continue
+		}
+		if !tryFlock(f) {
+			f.Close() // live writer; leave the tail alone
+			continue
+		}
+		if valid, corrupt, _, err := scanRecords(path, 0); err == nil {
+			if corrupt {
+				s.errCount.Add(1)
+			}
+			if fi, err := f.Stat(); err == nil && valid < fi.Size() {
+				_ = f.Truncate(valid)
+			}
+		}
+		funlock(f)
+		f.Close()
+	}
+}
+
+// listSegments returns the segment file names in the directory, sorted.
+func (s *Store) listSegments() []string {
+	ents, err := os.ReadDir(s.segDir)
+	if err != nil {
+		return nil
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), segPrefix) && strings.HasSuffix(e.Name(), segSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// refreshLocked scans every segment past its high-water mark, absorbing
+// newly published records into the index. This is how one replica observes
+// another's publishes without any cross-process locking: records are
+// immutable once complete, and an incomplete tail (a writer mid-append)
+// simply leaves the mark in place for the next refresh. A segment whose
+// scan hits provable corruption (bad magic or CRC on a complete record) is
+// frozen at its last valid offset so the damage is skipped, not re-read
+// forever. Callers hold s.mu.
+func (s *Store) refreshLocked() error {
+	for _, name := range s.listSegments() {
+		if s.frozen[name] {
+			continue
+		}
+		if s.seg != nil && name == s.seg.name {
+			continue // own appends are indexed synchronously by Put
+		}
+		mark := s.marks[name]
+		path := filepath.Join(s.segDir, name)
+		fi, err := os.Stat(path)
+		if err != nil || fi.Size() <= mark {
+			if err == nil {
+				s.marks[name] = mark // track segment existence
+			}
+			continue
+		}
+		newMark, corrupt, recs, err := scanRecords(path, mark)
+		if err != nil {
+			s.errCount.Add(1)
+			continue
+		}
+		for _, r := range recs {
+			s.index[r.addr] = recLoc{seg: name, off: r.off, n: r.n}
+		}
+		s.marks[name] = newMark
+		if corrupt {
+			s.frozen[name] = true
+			s.errCount.Add(1)
+		}
+	}
+	return nil
+}

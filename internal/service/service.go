@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/stubby-mr/stubby/internal/stubbyerr"
 )
@@ -243,6 +244,24 @@ func (j *Job) Publish(ev any) { j.broker.Publish(ev) }
 // Events subscribes to the job's event stream (see Broker.Subscribe).
 func (j *Job) Events(ctx context.Context) <-chan any { return j.broker.Subscribe(ctx) }
 
+// Finish completes a queued job in place with res, bypassing the worker
+// pool — the fast path for submissions whose result is already at hand
+// (e.g. a plan-store hit). Subscribers still observe the full lifecycle:
+// Running is published immediately before the terminal Done. Finish is a
+// no-op unless the job is still Queued (in particular, a canceled job
+// stays canceled) and reports whether it completed the job.
+func (j *Job) Finish(res any) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Queued {
+		return false
+	}
+	j.state = Running
+	j.broker.Publish(StateChange{State: Running})
+	j.finishLocked(Done, res, nil)
+	return true
+}
+
 // Execute runs the job on the calling goroutine (the worker). A job
 // canceled while queued is skipped.
 func (j *Job) Execute() {
@@ -290,6 +309,7 @@ func (j *Job) finishLocked(s State, res any, err error) {
 type Queue struct {
 	jobs    chan *Job
 	workers int
+	busy    atomic.Int64
 	wg      sync.WaitGroup
 
 	mu        sync.Mutex
@@ -312,7 +332,9 @@ func NewQueue(workers, depth int) *Queue {
 		go func() {
 			defer q.wg.Done()
 			for j := range q.jobs {
+				q.busy.Add(1)
 				j.Execute()
+				q.busy.Add(-1)
 			}
 		}()
 	}
@@ -324,6 +346,14 @@ func (q *Queue) Depth() int { return cap(q.jobs) }
 
 // Workers returns the worker-pool size.
 func (q *Queue) Workers() int { return q.workers }
+
+// Queued returns the number of jobs admitted but not yet picked up by a
+// worker (a point-in-time snapshot).
+func (q *Queue) Queued() int { return len(q.jobs) }
+
+// Busy returns the number of workers currently executing a job (a
+// point-in-time snapshot).
+func (q *Queue) Busy() int { return int(q.busy.Load()) }
 
 // Submit admits j, or rejects it with KindOverloaded (queue full) or
 // KindUnavailable (draining). It never blocks.

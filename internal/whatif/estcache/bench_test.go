@@ -46,6 +46,74 @@ func BenchmarkEstimateUncached(b *testing.B) {
 	}
 }
 
+// BenchmarkCacheHit measures the raw Cache.GetOrCompute hit path alone
+// (no fingerprinting): lock, LRU touch, job-ID comparison. It must not
+// allocate — TestCacheHitZeroAllocs enforces that.
+func BenchmarkCacheHit(b *testing.B) {
+	w, wl := benchWorkflow(b)
+	c := New(0)
+	key := Key{Plan: wf.FingerprintWorkflow(w), Cluster: ClusterFingerprint(wl.Cluster)}
+	jobIDs := jobIDsOf(w)
+	compute := func() (*whatif.Estimate, error) { return whatif.New(wl.Cluster).Estimate(w) }
+	if _, err := c.GetOrCompute(key, jobIDs, compute); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GetOrCompute(key, jobIDs, compute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheStats measures the atomic stats snapshot /statsz polls.
+func BenchmarkCacheStats(b *testing.B) {
+	c := New(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Stats()
+	}
+}
+
+// TestCacheHitZeroAllocs pins the hit path's allocation count at zero: the
+// optimizer consults the cache millions of times per search, so a single
+// allocation here shows up directly in optimization throughput.
+func TestCacheHitZeroAllocs(t *testing.T) {
+	wl, err := workloads.Build("BA", workloads.Options{SizeFactor: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := profile.NewProfiler(wl.Cluster, 0.5, 1).Annotate(wl.Workflow, wl.DFS); err != nil {
+		t.Fatal(err)
+	}
+	c := New(0)
+	key := Key{Plan: wf.FingerprintWorkflow(wl.Workflow), Cluster: ClusterFingerprint(wl.Cluster)}
+	jobIDs := jobIDsOf(wl.Workflow)
+	compute := func() (*whatif.Estimate, error) { return whatif.New(wl.Cluster).Estimate(wl.Workflow) }
+	if _, err := c.GetOrCompute(key, jobIDs, compute); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.GetOrCompute(key, jobIDs, compute); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit path allocates %.1f times per lookup, want 0", allocs)
+	}
+}
+
+// jobIDsOf extracts the workflow's job-ID vector in Jobs slice order.
+func jobIDsOf(w *wf.Workflow) []string {
+	ids := make([]string, len(w.Jobs))
+	for i, j := range w.Jobs {
+		ids[i] = j.ID
+	}
+	return ids
+}
+
 // BenchmarkEstimateCacheHit measures the full cached path on a hit:
 // fingerprint + sharded lookup.
 func BenchmarkEstimateCacheHit(b *testing.B) {

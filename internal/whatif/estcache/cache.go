@@ -15,6 +15,7 @@ import (
 	"container/list"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"github.com/stubby-mr/stubby/internal/wf"
 	"github.com/stubby-mr/stubby/internal/whatif"
@@ -84,9 +85,13 @@ type shard struct {
 	entries map[Key]*list.Element // of *entry
 	lru     *list.List            // front = most recently used
 	flights map[Key]*flight
-	hits    uint64
-	misses  uint64
-	evicted uint64
+	// The counters are atomics (size mirrors lru.Len()) so Stats can
+	// snapshot them without taking shard locks — a /statsz poll never
+	// contends with the optimizer's hot lookup path.
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	evicted atomic.Uint64
+	size    atomic.Int64
 }
 
 // Cache is a sharded, LRU-bounded, single-flight memo of What-if estimates.
@@ -141,7 +146,7 @@ func (c *Cache) GetOrCompute(key Key, jobIDs []string,
 	sh.mu.Lock()
 	if el, ok := sh.entries[key]; ok {
 		sh.lru.MoveToFront(el)
-		sh.hits++
+		sh.hits.Add(1)
 		ent := el.Value.(*entry)
 		sh.mu.Unlock()
 		return remap(ent, jobIDs), nil
@@ -154,14 +159,12 @@ func (c *Cache) GetOrCompute(key Key, jobIDs []string,
 			// error; nothing was cached.
 			return nil, fl.err
 		}
-		sh.mu.Lock()
-		sh.hits++
-		sh.mu.Unlock()
+		sh.hits.Add(1)
 		return remap(fl.ent, jobIDs), nil
 	}
 	fl := &flight{done: make(chan struct{})}
 	sh.flights[key] = fl
-	sh.misses++
+	sh.misses.Add(1)
 	sh.mu.Unlock()
 
 	est, err := compute()
@@ -176,11 +179,13 @@ func (c *Cache) GetOrCompute(key Key, jobIDs []string,
 	ent := &entry{key: key, jobIDs: append([]string(nil), jobIDs...), est: est}
 	el := sh.lru.PushFront(ent)
 	sh.entries[key] = el
+	sh.size.Add(1)
 	for sh.lru.Len() > c.capPerShard {
 		old := sh.lru.Back()
 		sh.lru.Remove(old)
 		delete(sh.entries, old.Value.(*entry).key)
-		sh.evicted++
+		sh.evicted.Add(1)
+		sh.size.Add(-1)
 	}
 	sh.mu.Unlock()
 	fl.ent = ent
@@ -188,16 +193,17 @@ func (c *Cache) GetOrCompute(key Key, jobIDs []string,
 	return est, nil
 }
 
-// Stats snapshots the cache counters, summed across shards.
+// Stats snapshots the cache counters, summed across shards. The counters
+// are atomics, so the snapshot takes no locks and never contends with
+// concurrent lookups (each individual counter is exact; the sum is a
+// consistent-enough point-in-time view for monitoring).
 func (c *Cache) Stats() Stats {
 	out := Stats{Capacity: c.Capacity()}
 	for _, sh := range c.shards {
-		sh.mu.Lock()
-		out.Hits += sh.hits
-		out.Misses += sh.misses
-		out.Evictions += sh.evicted
-		out.Entries += sh.lru.Len()
-		sh.mu.Unlock()
+		out.Hits += sh.hits.Load()
+		out.Misses += sh.misses.Load()
+		out.Evictions += sh.evicted.Load()
+		out.Entries += int(sh.size.Load())
 	}
 	return out
 }
@@ -209,7 +215,10 @@ func (c *Cache) Reset() {
 		sh.mu.Lock()
 		sh.entries = make(map[Key]*list.Element)
 		sh.lru = list.New()
-		sh.hits, sh.misses, sh.evicted = 0, 0, 0
+		sh.hits.Store(0)
+		sh.misses.Store(0)
+		sh.evicted.Store(0)
+		sh.size.Store(0)
 		sh.mu.Unlock()
 	}
 }

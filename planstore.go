@@ -1,0 +1,178 @@
+package stubby
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/stubby-mr/stubby/internal/optimizer"
+	"github.com/stubby-mr/stubby/internal/planio"
+	"github.com/stubby-mr/stubby/internal/planstore"
+	"github.com/stubby-mr/stubby/internal/wf"
+	"github.com/stubby-mr/stubby/internal/whatif/estcache"
+)
+
+// PlanStore is a durable, content-addressed store of optimized plans. It
+// persists every optimization a session performs as a versioned planio
+// result document, keyed by the canonical workflow fingerprint plus the
+// cluster, planner, and seed the search depended on, so a repeat
+// submission — from this process, a restarted one, or another replica
+// sharing the directory — returns the byte-identical plan without running
+// the optimizer. See internal/planstore for the on-disk format and
+// durability guarantees.
+type PlanStore = planstore.Store
+
+// PlanStoreStats snapshots a PlanStore's counters; see
+// Session.PlanStoreStats and PlanStoreEvent.
+type PlanStoreStats = planstore.Stats
+
+// NewPlanStore opens (creating if needed) a plan store rooted at dir.
+// Reopening a directory recovers crash-safely: torn record tails are
+// truncated and every surviving plan remains CRC- and
+// fingerprint-verified on read. Any number of stores — across processes —
+// may share one directory; close the store when done to publish its final
+// index snapshot.
+func NewPlanStore(dir string) (*PlanStore, error) {
+	ps, err := planstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// WithPlanStore attaches a persistent plan store to the session: Optimize
+// and Submit consult it before searching, concurrent submissions of the
+// same workflow collapse into one optimization (single-flight), and every
+// fresh result is durably published for later sessions and other replicas.
+// The store is transparent — a hit returns the byte-identical plan and
+// estimated cost the original search produced, with Result.FromStore set
+// and zero What-if activity. The caller retains ownership: Close the store
+// after the session is done with it.
+func WithPlanStore(ps *PlanStore) SessionOption {
+	return func(s *Session) error {
+		if ps == nil {
+			return errors.New("stubby: WithPlanStore(nil)")
+		}
+		s.planStore = ps
+		return nil
+	}
+}
+
+// PlanStore returns the store attached via WithPlanStore, or nil.
+func (s *Session) PlanStore() *PlanStore { return s.planStore }
+
+// PlanStoreStats snapshots the attached store's counters. ok is false when
+// the session has no plan store.
+func (s *Session) PlanStoreStats() (stats PlanStoreStats, ok bool) {
+	if s.planStore == nil {
+		return PlanStoreStats{}, false
+	}
+	return s.planStore.Stats(), true
+}
+
+// planKey builds the store key of one optimization: everything the search
+// outcome depends on. The workflow fingerprint is canonical (insensitive
+// to names and job-ID renaming), so resubmitting a renamed copy of a known
+// workflow still hits.
+func (s *Session) planKey(w *Workflow, planner string, seed int64) planstore.Key {
+	return planstore.Key{
+		Plan:    wf.FingerprintWorkflow(w),
+		Cluster: estcache.ClusterFingerprint(s.cluster),
+		Planner: planner,
+		Seed:    seed,
+	}
+}
+
+// encodeStoredResult renders an optimization result as the planio wire
+// document the store persists, stamped with the plan's fingerprint so
+// every later read is integrity-checked end to end.
+func encodeStoredResult(res *Result) ([]byte, error) {
+	return planio.EncodeResult(&planio.Result{
+		Plan:           res.Plan,
+		EstimatedCost:  res.EstimatedCost,
+		DurationMS:     float64(res.Duration) / float64(time.Millisecond),
+		WhatIfCalls:    res.WhatIfCalls,
+		WhatIfComputed: res.WhatIfComputed,
+		FlowCards:      res.FlowCards,
+		Fingerprint:    wf.FingerprintWorkflow(res.Plan).String(),
+	})
+}
+
+// decodeStoredResult reconstructs a stored plan, binding its stage
+// functions through the submitted workflow's own function library (the
+// optimizer only rearranges the submitter's stages, so the input workflow
+// carries every binding the optimized plan references). The decode
+// re-verifies the stamped fingerprint; a document that fails to decode or
+// verify is treated as a miss by the callers, never returned.
+func decodeStoredResult(doc []byte, w *Workflow) (*Result, error) {
+	reg := planio.NewRegistry()
+	reg.RegisterWorkflow(w)
+	wres, err := planio.DecodeResultBound(doc, reg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Plan: wres.Plan, EstimatedCost: wres.EstimatedCost, FromStore: true}, nil
+}
+
+// storeLookup is the non-computing store probe Submit uses before
+// enqueueing: a decodable hit comes back as a ready Result, anything else
+// (miss, store error, undecodable document) defers to the worker path.
+func (s *Session) storeLookup(w *Workflow, planner string, seed int64) (*Result, bool) {
+	doc, ok, err := s.planStore.Get(s.planKey(w, planner, seed))
+	if err != nil || !ok {
+		return nil, false
+	}
+	res, err := decodeStoredResult(doc, w)
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// optimizeNamed dispatches one named optimization, fronted by the plan
+// store when one is attached: a stored plan is returned without searching,
+// and a miss runs the search under a per-key single-flight so concurrent
+// submissions of the same workflow cost one optimization.
+func (s *Session) optimizeNamed(ctx context.Context, w *Workflow, name string, seed int64, obs optimizer.Observer) (*Result, error) {
+	if s.planStore == nil {
+		return s.optimizeDirect(ctx, w, name, seed, obs)
+	}
+	key := s.planKey(w, name, seed)
+	for {
+		var computed *Result
+		doc, hit, err := s.planStore.GetOrCompute(key, func() ([]byte, error) {
+			res, rerr := s.optimizeDirect(ctx, w, name, seed, obs)
+			if rerr != nil {
+				return nil, rerr
+			}
+			computed = res
+			return encodeStoredResult(res)
+		})
+		if computed != nil {
+			// This call ran the search. Even if encoding for persistence
+			// failed, the result itself is good — never waste a completed
+			// optimization on a storage problem.
+			return computed, nil
+		}
+		if err != nil {
+			// A waiter can inherit another submitter's cancellation through
+			// the shared flight. If our own context is still live, the work
+			// is still wanted — retry (and likely become the owner).
+			if ctx.Err() == nil &&
+				(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				continue
+			}
+			return nil, err
+		}
+		if hit {
+			if res, derr := decodeStoredResult(doc, w); derr == nil {
+				return res, nil
+			}
+			// An undecodable stored document (e.g. a foreign stage name)
+			// must not fail the submission; optimize directly instead.
+			return s.optimizeDirect(ctx, w, name, seed, obs)
+		}
+		// Unreachable: a non-hit, non-error return always set computed.
+		return s.optimizeDirect(ctx, w, name, seed, obs)
+	}
+}

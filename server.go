@@ -25,6 +25,7 @@ import (
 //	POST /v1/jobs/{id}/cancel  request cancellation
 //	GET  /v1/jobs/{id}/events  NDJSON event stream (full replay, closes at terminal)
 //	GET  /healthz              liveness + queue shape
+//	GET  /statsz               queue occupancy + estimate-cache and plan-store counters
 //
 // Errors travel as {"error": {kind, op, workflow, job, message}} with the
 // kind-appropriate HTTP status (429 overloaded, 503 draining, 404 unknown
@@ -88,6 +89,7 @@ func NewServer(sess *Session, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return s
 }
 
@@ -336,6 +338,61 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleStatsz serves the counters of every subsystem the serving session
+// carries: queue occupancy, estimate-cache activity, and plan-store
+// activity. Every counter read is an atomic snapshot, so polling /statsz
+// never contends with the optimizer's hot paths.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	q := s.sess.jobQueue()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	doc := &planio.StatszDoc{
+		Status: status,
+		Queue: planio.QueueStatsDoc{
+			Workers: q.Workers(),
+			Depth:   q.Depth(),
+			Queued:  q.Queued(),
+			Busy:    q.Busy(),
+		},
+	}
+	if stats, ok := s.sess.EstimateCacheStats(); ok {
+		doc.EstCache = cacheStatsDoc(stats)
+	}
+	if stats, ok := s.sess.PlanStoreStats(); ok {
+		doc.PlanStore = storeStatsDoc(stats)
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// cacheStatsDoc converts estimate-cache stats to their wire form.
+func cacheStatsDoc(st EstimateCacheStats) *planio.CacheStatsDoc {
+	return &planio.CacheStatsDoc{Hits: st.Hits, Misses: st.Misses,
+		Evictions: st.Evictions, Entries: st.Entries, Capacity: st.Capacity}
+}
+
+// storeStatsDoc converts plan-store stats to their wire form.
+func storeStatsDoc(st PlanStoreStats) *planio.StoreStatsDoc {
+	return &planio.StoreStatsDoc{Hits: st.Hits, MemHits: st.MemHits,
+		DiskHits: st.DiskHits, Misses: st.Misses, Computes: st.Computes,
+		Puts: st.Puts, Evictions: st.Evictions, BytesWritten: st.BytesWritten,
+		BytesRead: st.BytesRead, Errors: st.Errors, Entries: st.Entries,
+		Segments: st.Segments}
+}
+
+// storeStatsFromDoc is the client-side inverse of storeStatsDoc.
+func storeStatsFromDoc(d *planio.StoreStatsDoc) PlanStoreStats {
+	if d == nil {
+		return PlanStoreStats{}
+	}
+	return PlanStoreStats{Hits: d.Hits, MemHits: d.MemHits,
+		DiskHits: d.DiskHits, Misses: d.Misses, Computes: d.Computes,
+		Puts: d.Puts, Evictions: d.Evictions, BytesWritten: d.BytesWritten,
+		BytesRead: d.BytesRead, Errors: d.Errors, Entries: d.Entries,
+		Segments: d.Segments}
+}
+
 // eventToDoc converts a typed event to its wire form.
 func eventToDoc(ev Event) *planio.EventDoc {
 	switch e := ev.(type) {
@@ -355,6 +412,9 @@ func eventToDoc(ev Event) *planio.EventDoc {
 		return &planio.EventDoc{Type: planio.EventCacheReport, Workflow: e.Workflow,
 			Cache: &planio.CacheStatsDoc{Hits: e.Stats.Hits, Misses: e.Stats.Misses,
 				Evictions: e.Stats.Evictions, Entries: e.Stats.Entries, Capacity: e.Stats.Capacity}}
+	case PlanStoreEvent:
+		return &planio.EventDoc{Type: planio.EventStoreReport, Workflow: e.Workflow,
+			Hit: e.Hit, Store: storeStatsDoc(e.Stats)}
 	case StateChangedEvent:
 		return &planio.EventDoc{Type: planio.EventStateChanged, Workflow: e.Workflow,
 			JobID: e.JobID, State: e.State.String(), Error: planio.NewErrorDoc(e.Err)}
@@ -382,6 +442,9 @@ func eventFromDoc(d *planio.EventDoc) (Event, bool) {
 				Evictions: d.Cache.Evictions, Entries: d.Cache.Entries, Capacity: d.Cache.Capacity}
 		}
 		return CacheReportEvent{Workflow: d.Workflow, Stats: stats}, true
+	case planio.EventStoreReport:
+		return PlanStoreEvent{Workflow: d.Workflow, Hit: d.Hit,
+			Stats: storeStatsFromDoc(d.Store)}, true
 	case planio.EventStateChanged:
 		st, err := parseJobState(d.State)
 		if err != nil {

@@ -126,6 +126,7 @@ type Session struct {
 	baseOpts    Options
 	registry    *PlannerRegistry
 	estCache    *EstimateCache
+	planStore   *PlanStore
 	// incrementalSet/disableIncremental record WithIncrementalEstimation:
 	// tri-state so an unset option defers to WithOptimizerOptions.
 	incrementalSet     bool
@@ -455,11 +456,13 @@ func (s *Session) Optimize(ctx context.Context, w *Workflow) (*Result, error) {
 	return res, nil
 }
 
-// optimizeNamed is the planner dispatch shared by Optimize and Submit:
-// run the named planner with an explicit seed and, for Stubby variants, an
-// optional observer override (the Submit event bridge). Cache-stats
-// reporting is left to the caller, whose delivery channel differs.
-func (s *Session) optimizeNamed(ctx context.Context, w *Workflow, name string, seed int64, obs optimizer.Observer) (*Result, error) {
+// optimizeDirect is the planner dispatch shared by Optimize and Submit
+// (via optimizeNamed, which fronts it with the plan store when one is
+// attached): run the named planner with an explicit seed and, for Stubby
+// variants, an optional observer override (the Submit event bridge).
+// Cache-stats reporting is left to the caller, whose delivery channel
+// differs.
+func (s *Session) optimizeDirect(ctx context.Context, w *Workflow, name string, seed int64, obs optimizer.Observer) (*Result, error) {
 	p, err := s.plannerSeeded(name, seed)
 	if err != nil {
 		return nil, err

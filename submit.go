@@ -273,8 +273,24 @@ func (s *Session) Submit(ctx context.Context, req OptimizeRequest) (*OptimizeHan
 				h.obs.EstimateCacheReport(wfName, stats)
 			}
 		}
+		if target.planStore != nil {
+			h.job.Publish(PlanStoreEvent{Workflow: wfName, Hit: res.FromStore,
+				Stats: target.planStore.Stats()})
+		}
 		return res, nil
 	})
+	// A plan-store hit skips the queue entirely: the stored plan is
+	// decodable right now, so the job finishes on the submitting goroutine
+	// with the full Queued→Running→Done lifecycle (and a storeReport event)
+	// and never occupies a worker.
+	if target.planStore != nil {
+		if res, ok := target.storeLookup(req.Workflow, name, seed); ok {
+			h.job.Publish(PlanStoreEvent{Workflow: wfName, Hit: true,
+				Stats: target.planStore.Stats()})
+			h.job.Finish(res)
+			return h, nil
+		}
+	}
 	if err := s.jobQueue().Submit(h.job); err != nil {
 		var se *Error
 		if errors.As(err, &se) {
@@ -328,6 +344,7 @@ func (s *Session) deriveFor(req OptimizeRequest) (*Session, error) {
 		baseOpts:           s.baseOpts,
 		registry:           s.registry,
 		estCache:           s.estCache,
+		planStore:          s.planStore,
 		incrementalSet:     s.incrementalSet,
 		disableIncremental: s.disableIncremental,
 	}
