@@ -322,6 +322,7 @@ func (j *RemoteJob) Result(ctx context.Context) (*Result, error) {
 		WhatIfCalls:    doc.WhatIfCalls,
 		WhatIfComputed: doc.WhatIfComputed,
 		FlowCards:      doc.FlowCards,
+		Robustness:     robustnessFromDoc(doc.Robustness),
 	}, nil
 }
 

@@ -39,6 +39,7 @@ func main() {
 		whatif     = flag.Bool("whatif", false, "report what-if call counts per workload, estimate cache off vs on")
 		benchOpt   = flag.Bool("bench-optimizer", false, "benchmark the optimizer hot path: incremental vs monolithic what-if estimation")
 		benchOut   = flag.String("bench-out", "BENCH_optimizer.json", "where -bench-optimizer writes its JSON report")
+		benchGuard = flag.String("bench-guard", "", "CI smoke for -bench-optimizer: baseline JSON to guard against — robustness rows must be emitted and nil-model wall time must not regress >5%")
 		benchSvc   = flag.Bool("bench-service", false, "benchmark the job service end to end: submit→result throughput and latency through a live stubbyd HTTP server at queue depths 1/8/64")
 		benchSvcN  = flag.Int("bench-service-jobs", 32, "submissions per queue depth for -bench-service")
 		benchSvcW  = flag.Int("bench-service-workers", 4, "worker-pool size for -bench-service")
@@ -159,7 +160,7 @@ func main() {
 	}
 	if *all || *benchOpt {
 		ran = true
-		if err := runOptimizerBench(h, *benchOut, *size, *seed); err != nil {
+		if err := runOptimizerBench(h, *benchOut, *benchGuard, *size, *seed); err != nil {
 			fail(err)
 		}
 	}
@@ -282,7 +283,7 @@ func printWhatIf(h *bench.Harness) error {
 // runOptimizerBench measures the incremental estimator against the
 // monolithic path over the paper workloads plus the deep synthetic
 // pipelines, prints the table, and writes the JSON perf trajectory.
-func runOptimizerBench(h *bench.Harness, out string, size float64, seed int64) error {
+func runOptimizerBench(h *bench.Harness, out, guard string, size float64, seed int64) error {
 	abbrs := append(append([]string{}, workloads.Abbrs()...), bench.DeepPipelineAbbrs()...)
 	rows, err := h.OptimizerBench(abbrs)
 	if err != nil {
@@ -309,11 +310,45 @@ func runOptimizerBench(h *bench.Harness, out string, size float64, seed int64) e
 	report := bench.OptimizerBenchReport(rows, size, seed)
 	fmt.Printf("multi-job (>=%d jobs): wall %.2fx, flow cards %.2fx\n",
 		bench.MultiJobThreshold, report.MultiJob.WallSpeedup, report.MultiJob.FlowCardRatio)
+
+	robRows, err := h.RobustnessBench(abbrs)
+	if err != nil {
+		return err
+	}
+	report.Robustness = robRows
+	fmt.Printf("Plan robustness under the standard fault profile (%d perturbation samples, seed %d)\n",
+		bench.RobustnessBenchSamples, bench.RobustnessBenchSeed)
+	cells = nil
+	for _, r := range robRows {
+		cells = append(cells, []string{
+			r.Workload,
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%.1f s", r.NominalSec),
+			fmt.Sprintf("%.1f s", r.MeanSec),
+			fmt.Sprintf("%.1f s", r.P95Sec),
+			fmt.Sprintf("%.1f s", r.P99Sec),
+			fmt.Sprintf("%d", r.FailedOut),
+		})
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Workflow", "Jobs", "Nominal", "Mean", "p95", "p99", "Failed out"}, cells))
+
 	if out != "" {
 		if err := bench.WriteOptimizerBenchJSON(out, report); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", out)
+	}
+	if guard != "" {
+		baseline, err := bench.ReadOptimizerBenchJSON(guard)
+		if err != nil {
+			return err
+		}
+		if err := bench.GuardOptimizerBench(report, baseline); err != nil {
+			return err
+		}
+		fmt.Printf("bench guard passed against %s: %d robustness rows, nil-model wall within %.0f%%\n",
+			guard, len(report.Robustness), (bench.GuardWallSlack-1)*100)
 	}
 	return nil
 }

@@ -41,7 +41,10 @@ func main() {
 		fraction = flag.Float64("profile", 0.5, "profiling sample fraction")
 		useCache = flag.Bool("cache", true, "memoize what-if estimates under workflow fingerprints")
 		incr     = flag.Bool("incremental", true, "delta-estimate configuration-search probes (bit-transparent; disable to benchmark the monolithic estimator)")
-		export   = flag.String("export", "", "write the annotated plan to this JSON file and exit")
+		robSamples = flag.Int("robustness", 0, "Monte-Carlo samples for fault-aware robustness scoring (0 disables)")
+		faultName  = flag.String("fault-profile", "standard", "fault profile for -robustness (standard, failures, stragglers)")
+		faultSeed  = flag.Int64("fault-seed", 42, "base perturbation seed for -robustness")
+		export     = flag.String("export", "", "write the annotated plan to this JSON file and exit")
 		imprt    = flag.String("import", "", "read an annotated plan from this JSON file (structure-only) instead of building a workload")
 		remote   = flag.String("remote", "", "optimize through the stubbyd server at this base URL (e.g. http://localhost:8080) instead of in-process")
 	)
@@ -92,6 +95,13 @@ func main() {
 	}
 	if *verbose {
 		opts = append(opts, stubby.WithObserver(progressObserver{}))
+	}
+	if *robSamples > 0 {
+		model, err := stubby.FaultProfile(*faultName, *faultSeed)
+		if err != nil {
+			fail(err)
+		}
+		opts = append(opts, stubby.WithRobustness(model, *robSamples))
 	}
 	if plannerName != "none" {
 		// Validated at construction; Profile/Run ignore the planner name.
@@ -191,6 +201,13 @@ func printWhatIf(res *stubby.Result, cache *stubby.EstimateCache) {
 	}
 	fmt.Printf("-- what-if calls: %d requested, %d full computations, %d flow cards\n",
 		res.WhatIfCalls, res.WhatIfComputed, res.FlowCards)
+	if r := res.Robustness; r != nil {
+		fmt.Printf("-- robustness (%d perturbation samples): mean %.1fs, p95 %.1fs, p99 %.1fs\n",
+			r.Samples, r.Mean, r.P95, r.P99)
+		if r.FailedOut > 0 {
+			fmt.Printf("-- robustness: %d samples exhausted the retry bound\n", r.FailedOut)
+		}
+	}
 	if cache != nil {
 		st := cache.Stats()
 		fmt.Printf("-- estimate cache: %d/%d hits (%.1f%%), %d entries, %d evictions\n",

@@ -54,6 +54,10 @@ func main() {
 		rrsEvals = flag.Int("rrs-evals", 0, "configuration-search budget override (0 = default)")
 		storeDir = flag.String("store", "", "persistent plan-store directory (empty = no store); replicas may share one directory")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits before canceling running jobs")
+
+		robSamples = flag.Int("robustness-samples", 0, "Monte-Carlo samples for fault-aware robustness scoring of every optimized plan (0 disables)")
+		faultName  = flag.String("fault-profile", "standard", "fault profile for -robustness-samples (standard, failures, stragglers)")
+		faultSeed  = flag.Int64("fault-seed", 42, "base perturbation seed for -robustness-samples")
 	)
 	flag.Parse()
 
@@ -70,6 +74,14 @@ func main() {
 	}
 	if *rrsEvals > 0 {
 		opts = append(opts, stubby.WithOptimizerOptions(stubby.Options{RRSEvals: *rrsEvals}))
+	}
+	if *robSamples > 0 {
+		model, err := stubby.FaultProfile(*faultName, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stubbyd:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, stubby.WithRobustness(model, *robSamples))
 	}
 	var store *stubby.PlanStore
 	if *storeDir != "" {

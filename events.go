@@ -74,6 +74,14 @@ type PlanStoreEvent struct {
 	Stats    PlanStoreStats
 }
 
+// RobustnessEvent fires once per submission on a session with robustness-
+// aware planning configured (WithRobustness), carrying the chosen plan's
+// Monte-Carlo makespan distribution under the session's fault model.
+type RobustnessEvent struct {
+	Workflow string
+	Report   *Robustness
+}
+
 // StateChangedEvent fires on every lifecycle transition of a submitted
 // job: Queued on admission, Running when a worker picks it up, then
 // exactly one of Done, Failed (Err set), or Canceled. It is always the
@@ -91,6 +99,7 @@ func (e BestCostImprovedEvent) WorkflowName() string  { return e.Workflow }
 func (e JobFinishedEvent) WorkflowName() string       { return e.Workflow }
 func (e CacheReportEvent) WorkflowName() string       { return e.Workflow }
 func (e PlanStoreEvent) WorkflowName() string         { return e.Workflow }
+func (e RobustnessEvent) WorkflowName() string        { return e.Workflow }
 func (e StateChangedEvent) WorkflowName() string      { return e.Workflow }
 
 func (UnitStartedEvent) event()       {}
@@ -99,6 +108,7 @@ func (BestCostImprovedEvent) event()  {}
 func (JobFinishedEvent) event()       {}
 func (CacheReportEvent) event()       {}
 func (PlanStoreEvent) event()         {}
+func (RobustnessEvent) event()        {}
 func (StateChangedEvent) event()      {}
 
 // ObserverEvents adapts a deprecated Observer to an event consumer: the

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func guardReport(wallMS float64, rob []RobustnessRow) OptBenchReport {
+	return OptBenchReport{
+		Rows: []OptimizerBenchRow{{Workload: "IR", MonolithicMS: wallMS, IncrementalMS: wallMS / 2,
+			MonolithicCalls: 100, IncrementalCalls: 100,
+			MonolithicFlowCards: 400, IncrementalFlowCards: 200, PlansIdentical: true}},
+		Robustness: rob,
+	}
+}
+
+func goodRobRow() RobustnessRow {
+	return RobustnessRow{Workload: "IR", Jobs: 4, Samples: 32,
+		NominalSec: 100, MeanSec: 120, P95Sec: 140, P99Sec: 150}
+}
+
+func TestGuardOptimizerBench(t *testing.T) {
+	base := guardReport(1000, []RobustnessRow{goodRobRow()})
+
+	if err := GuardOptimizerBench(guardReport(1000, []RobustnessRow{goodRobRow()}), base); err != nil {
+		t.Errorf("identical run rejected: %v", err)
+	}
+	// Within the slack band.
+	if err := GuardOptimizerBench(guardReport(1040, []RobustnessRow{goodRobRow()}), base); err != nil {
+		t.Errorf("4%% slower rejected: %v", err)
+	}
+	// Outside it.
+	err := GuardOptimizerBench(guardReport(1200, []RobustnessRow{goodRobRow()}), base)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("20%% regression accepted: %v", err)
+	}
+	// Missing robustness rows.
+	if err := GuardOptimizerBench(guardReport(1000, nil), base); err == nil {
+		t.Error("missing robustness rows accepted")
+	}
+	// Malformed row (p99 below p95).
+	bad := goodRobRow()
+	bad.P99Sec = bad.P95Sec - 1
+	if err := GuardOptimizerBench(guardReport(1000, []RobustnessRow{bad}), base); err == nil {
+		t.Error("p99 < p95 accepted")
+	}
+	// A measured workload with no robustness row (fallback leak).
+	other := goodRobRow()
+	other.Workload = "SN"
+	if err := GuardOptimizerBench(guardReport(1000, []RobustnessRow{other}), base); err == nil {
+		t.Error("workload without a robustness row accepted")
+	}
+	// Empty baseline.
+	if err := GuardOptimizerBench(guardReport(1000, []RobustnessRow{goodRobRow()}), OptBenchReport{}); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	// Non-identical plans.
+	broken := guardReport(1000, []RobustnessRow{goodRobRow()})
+	broken.Rows[0].PlansIdentical = false
+	if err := GuardOptimizerBench(broken, base); err == nil {
+		t.Error("diverged plans accepted")
+	}
+	// Deterministic estimator counters drifted from the baseline.
+	drift := guardReport(1000, []RobustnessRow{goodRobRow()})
+	drift.Rows[0].IncrementalFlowCards += 7
+	err = GuardOptimizerBench(drift, base)
+	if err == nil || !strings.Contains(err.Error(), "activity drifted") {
+		t.Errorf("counter drift accepted: %v", err)
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"os"
 	"time"
 
+	"github.com/stubby-mr/stubby/internal/mrsim"
 	"github.com/stubby-mr/stubby/internal/optimizer"
 	"github.com/stubby-mr/stubby/internal/planio"
+	"github.com/stubby-mr/stubby/internal/whatif"
 	"github.com/stubby-mr/stubby/internal/workloads"
 )
 
@@ -129,6 +131,79 @@ func (h *Harness) OptimizerBench(abbrs []string) ([]OptimizerBenchRow, error) {
 	return out, nil
 }
 
+// RobustnessRow reports one workload's optimized plan under perturbation:
+// the Monte-Carlo makespan distribution of the chosen plan's scheduling
+// layer under the standard fault profile (task failures, stragglers,
+// heterogeneous node classes, speculation).
+type RobustnessRow struct {
+	Workload string `json:"workload"`
+	Jobs     int    `json:"jobs"`
+	Samples  int    `json:"samples"`
+	// NominalSec is the fault-free estimated makespan of the chosen plan;
+	// the distribution columns are perturbed replays of the same plan.
+	NominalSec float64 `json:"nominal_sec"`
+	MeanSec    float64 `json:"mean_sec"`
+	P95Sec     float64 `json:"p95_sec"`
+	P99Sec     float64 `json:"p99_sec"`
+	// FailedOut counts samples in which some task exhausted its retry bound.
+	FailedOut int `json:"failed_out"`
+}
+
+// RobustnessBenchSamples is the per-workload Monte-Carlo sample count and
+// RobustnessBenchSeed the base perturbation seed, fixed so rows are
+// reproducible across runs and machines.
+const (
+	RobustnessBenchSamples = 32
+	RobustnessBenchSeed    = 42
+)
+
+// RobustnessBench optimizes each workload once with robustness scoring
+// attached (standard fault profile) and reports the chosen plan's makespan
+// distribution. Workloads in the fallback estimation regime produce no row.
+func (h *Harness) RobustnessBench(abbrs []string) ([]RobustnessRow, error) {
+	if abbrs == nil {
+		abbrs = workloads.Abbrs()
+	}
+	var out []RobustnessRow
+	for _, abbr := range abbrs {
+		var wl *workloads.Workload
+		var err error
+		if _, deep := deepPipelineStages(abbr); deep {
+			wl, err = h.deepWorkload(abbr)
+		} else {
+			wl, err = h.workload(abbr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		opt := optimizer.New(wl.Cluster, optimizer.Options{
+			Seed: h.cfg.Seed,
+			Robustness: &whatif.RobustnessOptions{
+				Model:   mrsim.StandardFaultProfile(RobustnessBenchSeed),
+				Samples: RobustnessBenchSamples,
+			},
+		})
+		res, err := opt.Optimize(wl.Workflow)
+		if err != nil {
+			return nil, fmt.Errorf("robustness %s: %w", abbr, err)
+		}
+		if res.Robustness == nil {
+			continue
+		}
+		out = append(out, RobustnessRow{
+			Workload:   abbr,
+			Jobs:       len(res.Plan.Jobs),
+			Samples:    res.Robustness.Samples,
+			NominalSec: res.EstimatedCost,
+			MeanSec:    res.Robustness.Mean,
+			P95Sec:     res.Robustness.P95,
+			P99Sec:     res.Robustness.P99,
+			FailedOut:  res.Robustness.FailedOut,
+		})
+	}
+	return out, nil
+}
+
 // MultiJobThreshold is the job count at which a workload counts as
 // multi-job for the optimizer benchmark's aggregate (the regime incremental
 // estimation targets: optimization units are proper subsets of the plan).
@@ -158,6 +233,9 @@ type OptBenchReport struct {
 	All        OptBenchAggregate   `json:"all"`
 	// MultiJob aggregates the workloads with >= MultiJobThreshold jobs.
 	MultiJob OptBenchAggregate `json:"multi_job"`
+	// Robustness holds per-workload makespan distributions of the chosen
+	// plans under the standard fault profile (see RobustnessBench).
+	Robustness []RobustnessRow `json:"robustness"`
 }
 
 func aggregate(rows []OptimizerBenchRow) OptBenchAggregate {
@@ -208,4 +286,81 @@ func WriteOptimizerBenchJSON(path string, rep OptBenchReport) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadOptimizerBenchJSON reads a report previously written by
+// WriteOptimizerBenchJSON (the committed BENCH_optimizer.json baseline).
+func ReadOptimizerBenchJSON(path string) (OptBenchReport, error) {
+	var rep OptBenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// GuardWallSlack is the regression tolerance GuardOptimizerBench allows on
+// the nil-model optimizer wall time relative to the committed baseline.
+const GuardWallSlack = 1.05
+
+// GuardOptimizerBench is the CI smoke over a fresh optimizer-bench report:
+// robustness rows must be present and well-formed for every measured
+// workload, and the nil-model (no fault model attached) optimizer wall
+// time must not regress more than GuardWallSlack relative to the baseline
+// report — the fault-model machinery is opt-in, and the default path must
+// not pay for it. Wall times are compared as totals across all workloads
+// to damp per-row noise.
+func GuardOptimizerBench(fresh, baseline OptBenchReport) error {
+	if len(fresh.Robustness) == 0 {
+		return fmt.Errorf("bench guard: no robustness rows emitted")
+	}
+	byName := make(map[string]bool, len(fresh.Robustness))
+	for _, r := range fresh.Robustness {
+		if r.Samples <= 0 || r.NominalSec <= 0 || r.MeanSec <= 0 ||
+			r.P95Sec <= 0 || r.P99Sec <= 0 || r.P99Sec < r.P95Sec {
+			return fmt.Errorf("bench guard: malformed robustness row for %s: %+v", r.Workload, r)
+		}
+		byName[r.Workload] = true
+	}
+	baseRows := make(map[string]OptimizerBenchRow, len(baseline.Rows))
+	for _, r := range baseline.Rows {
+		baseRows[r.Workload] = r
+	}
+	for _, row := range fresh.Rows {
+		if !byName[row.Workload] {
+			return fmt.Errorf("bench guard: workload %s has no robustness row", row.Workload)
+		}
+		if !row.PlansIdentical {
+			return fmt.Errorf("bench guard: %s plans diverged incremental vs monolithic", row.Workload)
+		}
+		// Estimator activity is deterministic, so unlike wall time it
+		// compares exactly: any extra nil-model work the fault machinery
+		// introduced shows up here without measurement noise.
+		if b, ok := baseRows[row.Workload]; ok {
+			if row.MonolithicCalls != b.MonolithicCalls || row.IncrementalCalls != b.IncrementalCalls ||
+				row.MonolithicFlowCards != b.MonolithicFlowCards || row.IncrementalFlowCards != b.IncrementalFlowCards {
+				return fmt.Errorf("bench guard: %s nil-model estimator activity drifted from baseline: calls %d/%d vs %d/%d, flow cards %d/%d vs %d/%d",
+					row.Workload, row.MonolithicCalls, row.IncrementalCalls, b.MonolithicCalls, b.IncrementalCalls,
+					row.MonolithicFlowCards, row.IncrementalFlowCards, b.MonolithicFlowCards, b.IncrementalFlowCards)
+			}
+		}
+	}
+	var freshMS, baseMS float64
+	for _, r := range fresh.Rows {
+		freshMS += r.MonolithicMS + r.IncrementalMS
+	}
+	for _, r := range baseline.Rows {
+		baseMS += r.MonolithicMS + r.IncrementalMS
+	}
+	if baseMS <= 0 {
+		return fmt.Errorf("bench guard: baseline has no wall-time rows")
+	}
+	if freshMS > baseMS*GuardWallSlack {
+		return fmt.Errorf("bench guard: nil-model optimizer wall time regressed %.1f%% (fresh %.0f ms vs baseline %.0f ms, tolerance %.0f%%)",
+			(freshMS/baseMS-1)*100, freshMS, baseMS, (GuardWallSlack-1)*100)
+	}
+	return nil
 }

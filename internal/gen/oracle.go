@@ -33,6 +33,11 @@ type Subject struct {
 	// 0; workflows that reassociate genuine floating point (some paper
 	// workloads under combiner/config changes) set a tiny tolerance.
 	FloatTolerance float64
+	// Fault, when non-nil, injects task failures, stragglers, heterogeneous
+	// node speeds, and speculative re-execution into every Run (chaos mode).
+	// Perturbation moves task timings, never data: sink outputs must stay
+	// tuple-for-tuple identical to the fault-free reference.
+	Fault *mrsim.FaultModel
 }
 
 // Subject adapts the case for the oracle.
@@ -65,6 +70,7 @@ func (s *Subject) sinkIDs() []string {
 func (s *Subject) Run(plan *wf.Workflow) (Outputs, *mrsim.RunReport, error) {
 	dfs := s.DFS.Clone()
 	eng := mrsim.NewEngine(s.Cluster, dfs)
+	eng.Fault = s.Fault
 	rep, err := eng.RunWorkflow(plan)
 	if err != nil {
 		return nil, nil, err
@@ -120,6 +126,11 @@ func (s *Subject) fail(desc string, plan *wf.Workflow, msg string) error {
 	fmt.Fprintf(&b, "gen: %s: plan %q: %s\n", s.Name, desc, msg)
 	if s.Seed != 0 {
 		fmt.Fprintf(&b, "reproduce with: stubby-bench -gen -seed=%d\n", s.Seed)
+	}
+	if s.Fault != nil {
+		fmt.Fprintf(&b, "fault model active: fault seed=%d failProb=%g retries=%d stragglerProb=%g sigma=%g speculative=%v classes=%d\n",
+			s.Fault.Seed, s.Fault.TaskFailureProb, s.Fault.MaxRetries,
+			s.Fault.StragglerProb, s.Fault.StragglerSigma, s.Fault.Speculative, len(s.Fault.NodeClasses))
 	}
 	if plan != nil {
 		fmt.Fprintf(&b, "offending plan (DOT):\n%s", plan.DOT())

@@ -67,6 +67,48 @@ func (c *Cluster) TotalMapSlots() int { return c.Nodes * c.MapSlotsPerNode }
 // TotalReduceSlots returns cluster-wide concurrent reduce capacity.
 func (c *Cluster) TotalReduceSlots() int { return c.Nodes * c.ReduceSlotsPerNode }
 
+// SlotSpeeds expands the cluster's node population into per-slot speed
+// factors for the map (reduce=false) or reduce (reduce=true) side. With
+// no node classes every slot runs at speed 1 and the population is the
+// cluster's own Nodes x slots-per-node; a non-empty class list replaces
+// that population entirely, in declaration order, with each class
+// contributing Nodes x per-node slots at its Speed (per-node counts
+// default to the cluster's when a class leaves them zero).
+func (c *Cluster) SlotSpeeds(classes []NodeClass, reduce bool) []float64 {
+	if len(classes) == 0 {
+		n := c.TotalMapSlots()
+		if reduce {
+			n = c.TotalReduceSlots()
+		}
+		speeds := make([]float64, n)
+		for i := range speeds {
+			speeds[i] = 1
+		}
+		return speeds
+	}
+	var speeds []float64
+	for _, nc := range classes {
+		per := nc.MapSlotsPerNode
+		if reduce {
+			per = nc.ReduceSlotsPerNode
+		}
+		if per == 0 {
+			if reduce {
+				per = c.ReduceSlotsPerNode
+			} else {
+				per = c.MapSlotsPerNode
+			}
+		}
+		for i := 0; i < nc.Nodes*per; i++ {
+			speeds = append(speeds, nc.Speed)
+		}
+	}
+	if len(speeds) == 0 {
+		speeds = []float64{1}
+	}
+	return speeds
+}
+
 // Validate rejects non-positive parameters.
 func (c *Cluster) Validate() error {
 	switch {

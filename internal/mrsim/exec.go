@@ -29,6 +29,15 @@ type Engine struct {
 	DFS     *DFS
 	// Observer, when non-nil, receives a callback after every job.
 	Observer JobObserver
+	// Fault, when non-nil, perturbs task scheduling: failures with
+	// bounded retries, lognormal stragglers, heterogeneous slot speeds,
+	// and speculative re-execution. Only simulated timings move — the
+	// data path is untouched — and a model with all rates zero and no
+	// node classes reproduces the nil-model timings bit for bit.
+	Fault *FaultModel
+	// RecordTaskEvents, when true, collects one TaskEvent per simulated
+	// task into the run report, in scheduling order.
+	RecordTaskEvents bool
 }
 
 // NewEngine builds an engine.
@@ -69,8 +78,16 @@ type JobReport struct {
 	Start, End, MapsDone float64
 	// MapTaskSeconds/ReduceTaskSeconds sum task durations (work, not span).
 	MapTaskSeconds, ReduceTaskSeconds float64
-	// MaxMapTaskSec/MaxReduceTaskSec expose straggler effects (skew).
+	// MaxMapTaskSec/MaxReduceTaskSec expose straggler effects (skew);
+	// the What-if replay prices them into wave packing with
+	// SlotPool.ScheduleSpread (the straggler holds a slot from wave one).
 	MaxMapTaskSec, MaxReduceTaskSec float64
+	// TaskFailures/TaskRetries count failed attempts and the re-executions
+	// they triggered; SpeculativeTasks/SpeculativeWins count tasks that
+	// launched a backup and backups that committed. All zero when the
+	// engine runs without a FaultModel.
+	TaskFailures, TaskRetries         int
+	SpeculativeTasks, SpeculativeWins int
 	// ShuffleBytesVirtual is the total on-wire shuffle volume.
 	ShuffleBytesVirtual float64
 	// MapInputBytes is the real (unscaled, uncompressed) input volume read.
@@ -90,6 +107,38 @@ type RunReport struct {
 	// Makespan is the simulated completion time of the whole workflow.
 	Makespan float64
 	Jobs     []*JobReport
+	// TaskEvents holds the per-task trace when Engine.RecordTaskEvents is
+	// set, in scheduling order (deterministic for a given plan and model).
+	TaskEvents []TaskEvent
+}
+
+// TaskEvent records one simulated task placement for trace-based replay
+// testing.
+type TaskEvent struct {
+	Job        string
+	Reduce     bool
+	Index      int
+	Start, End float64
+	// Attempts/Failures and the speculation flags mirror TaskFate
+	// (Attempts is 1 with a nil or quiet fault model).
+	Attempts, Failures  int
+	Speculated, SpecWon bool
+}
+
+// TraceBytes renders the task-event trace in a fixed format, one line per
+// task — the byte-identical replay contract is asserted on this form.
+func (r *RunReport) TraceBytes() []byte {
+	var b []byte
+	for _, ev := range r.TaskEvents {
+		kind := "map"
+		if ev.Reduce {
+			kind = "red"
+		}
+		b = append(b, fmt.Sprintf("%s %s[%d] %.9g %.9g a=%d f=%d spec=%v won=%v\n",
+			ev.Job, kind, ev.Index, ev.Start, ev.End,
+			ev.Attempts, ev.Failures, ev.Speculated, ev.SpecWon)...)
+	}
+	return b
 }
 
 // Job returns the report for a job ID, or nil.
@@ -139,8 +188,19 @@ func (e *Engine) RunWorkflowContext(ctx context.Context, w *wf.Workflow) (*RunRe
 			}
 		}
 	}
-	mapPool := NewSlotPool(e.Cluster.TotalMapSlots())
-	redPool := NewSlotPool(e.Cluster.TotalReduceSlots())
+	sched := &taskSched{
+		mapPool: NewSlotPool(e.Cluster.TotalMapSlots()),
+		redPool: NewSlotPool(e.Cluster.TotalReduceSlots()),
+		record:  e.RecordTaskEvents,
+	}
+	if e.Fault != nil {
+		if err := e.Fault.Validate(); err != nil {
+			return nil, err
+		}
+		sched.fm = e.Fault
+		sched.fMap = NewFaultyPool(e.Fault.SlotSpeeds(e.Cluster, false))
+		sched.fRed = NewFaultyPool(e.Fault.SlotSpeeds(e.Cluster, true))
+	}
 	ready := make(map[string]float64)
 	report := &RunReport{Workflow: w.Name}
 	for _, job := range order {
@@ -153,7 +213,7 @@ func (e *Engine) RunWorkflowContext(ctx context.Context, w *wf.Workflow) (*RunRe
 				jobReady = t
 			}
 		}
-		jr, end, err := e.runJob(ctx, w, job, jobReady, mapPool, redPool)
+		jr, end, err := e.runJob(ctx, w, job, jobReady, sched)
 		if err != nil {
 			return nil, fmt.Errorf("mrsim: job %s: %w", job.ID, err)
 		}
@@ -168,7 +228,65 @@ func (e *Engine) RunWorkflowContext(ctx context.Context, w *wf.Workflow) (*RunRe
 			e.Observer.JobFinished(jr)
 		}
 	}
+	report.TaskEvents = sched.events
 	return report, nil
+}
+
+// taskSched dispatches task placements either to the plain slot pools or,
+// when a FaultModel is attached, to the perturbed heterogeneous pools.
+// The indirection keeps the fault-free path running exactly the old slot
+// arithmetic, which the zero-perturbation metamorphic suite pins down.
+type taskSched struct {
+	mapPool, redPool *SlotPool
+	fm               *FaultModel
+	fMap, fRed       *FaultyPool
+	record           bool
+	events           []TaskEvent
+}
+
+// place schedules one task and returns its end time. With a fault model,
+// a task that exhausts its retry budget fails the run.
+func (s *taskSched) place(jr *JobReport, reduce bool, index int, ready, dur float64) (float64, error) {
+	if s.fm == nil {
+		pool := s.mapPool
+		if reduce {
+			pool = s.redPool
+		}
+		start, end := pool.Schedule(ready, dur)
+		if s.record {
+			s.events = append(s.events, TaskEvent{Job: jr.JobID, Reduce: reduce,
+				Index: index, Start: start, End: end, Attempts: 1})
+		}
+		return end, nil
+	}
+	pool := s.fMap
+	if reduce {
+		pool = s.fRed
+	}
+	fate := s.fm.ScheduleTask(pool, s.fm.TaskKey(jr.JobID, reduce, index), ready, dur)
+	jr.TaskFailures += fate.Failures
+	if fate.Speculated {
+		jr.SpeculativeTasks++
+		if fate.SpecWon {
+			jr.SpeculativeWins++
+		}
+	}
+	if s.record {
+		s.events = append(s.events, TaskEvent{Job: jr.JobID, Reduce: reduce,
+			Index: index, Start: fate.Start, End: fate.End,
+			Attempts: fate.Attempts, Failures: fate.Failures,
+			Speculated: fate.Speculated, SpecWon: fate.SpecWon})
+	}
+	if fate.FailedOut {
+		kind := "map"
+		if reduce {
+			kind = "reduce"
+		}
+		return 0, fmt.Errorf("%s task %d failed %d attempts (retry bound %d, fault seed %d)",
+			kind, index, fate.Attempts, s.fm.MaxRetries, s.fm.Seed)
+	}
+	jr.TaskRetries += fate.Failures
+	return fate.End, nil
 }
 
 // splitRec carries one record with its source dataset for branch routing.
@@ -195,7 +313,7 @@ type tagRuntime struct {
 	sample   *reservoir
 }
 
-func (e *Engine) runJob(ctx context.Context, w *wf.Workflow, job *wf.Job, jobReady float64, mapPool, redPool *SlotPool) (*JobReport, float64, error) {
+func (e *Engine) runJob(ctx context.Context, w *wf.Workflow, job *wf.Job, jobReady float64, sched *taskSched) (*JobReport, float64, error) {
 	cfg := job.Config
 	jr := &JobReport{JobID: job.ID, Start: jobReady, Tags: make(map[int]*TagStats)}
 
@@ -385,7 +503,10 @@ func (e *Engine) runJob(ctx context.Context, w *wf.Workflow, job *wf.Job, jobRea
 				dur += c.WriteTime(c.Scale(float64(keyval.PairsSize(pairs))), cfg.CompressOutput)
 			}
 		}
-		_, end := mapPool.Schedule(jobReady, dur)
+		end, err := sched.place(jr, false, ti, jobReady, dur)
+		if err != nil {
+			return nil, 0, err
+		}
 		if end > mapsDone {
 			mapsDone = end
 		}
@@ -475,7 +596,10 @@ func (e *Engine) runJob(ctx context.Context, w *wf.Workflow, job *wf.Job, jobRea
 				c.MergeIOTime(c.Scale(float64(shuffleBytes)), fetchRuns, cfg.IOSortFactor) +
 				c.Scale(taskCPU) +
 				c.WriteTime(c.Scale(float64(outBytes)), cfg.CompressOutput)
-			_, tend := redPool.Schedule(mapsDone, dur)
+			tend, terr := sched.place(jr, true, r, mapsDone, dur)
+			if terr != nil {
+				return nil, 0, terr
+			}
 			if tend > end {
 				end = tend
 			}

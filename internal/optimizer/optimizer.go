@@ -94,6 +94,15 @@ type Options struct {
 	// functions of (plan, cluster), so plans and costs are identical with
 	// or without it; the differential test suite enforces this.
 	EstimateCache *estcache.Cache
+	// Robustness, when non-nil, closes the fault-aware simulator into plan
+	// selection: the final plan carries a Monte-Carlo whatif.Robustness
+	// report, and candidates within robustnessTieBand of a unit's best
+	// cost are re-ranked on p99 makespan under perturbation instead of
+	// mean estimated cost — near-ties on the clean-cluster estimate break
+	// toward the plan that degrades least under faults. A model that
+	// cannot perturb anything (all rates zero, no node classes) reports
+	// but never re-ranks, so it cannot change the chosen plan.
+	Robustness *whatif.RobustnessOptions
 	// DisableIncremental forces every configuration-search probe through
 	// the monolithic What-if estimator instead of the incremental
 	// (prepared) path that delta-estimates only the jobs a probe affects.
@@ -264,6 +273,10 @@ type Result struct {
 	// incremental estimation drives down (a full estimate of an n-job plan
 	// costs n cards; a delta estimate costs only the affected cone).
 	FlowCards uint64
+	// Robustness, under Options.Robustness, is the final plan's Monte-
+	// Carlo makespan distribution under the configured fault model (nil
+	// when the plan lacks the annotations for cost-based estimation).
+	Robustness *whatif.Robustness
 	// FromStore marks a result answered from a persistent plan store
 	// (stubby.WithPlanStore) instead of a fresh search. Such results carry
 	// the stored plan and cost but no search trace, and their What-if
@@ -321,12 +334,37 @@ func (s *Stubby) OptimizeContext(ctx context.Context, w *wf.Workflow) (*Result, 
 	}
 	res.Plan = plan
 	res.EstimatedCost = est.Makespan
+	if s.opt.Robustness != nil && !est.Fallback {
+		rob, rerr := s.robustness(ctx, plan)
+		if rerr != nil {
+			return nil, rerr
+		}
+		res.Robustness = rob
+	}
 	res.Duration = time.Since(start)
 	counts1 := s.whatIfCounts()
 	res.WhatIfCalls = counts1.Requests - counts0.Requests
 	res.WhatIfComputed = counts1.Computed - counts0.Computed
 	res.FlowCards = counts1.FlowCards - counts0.FlowCards
 	return res, nil
+}
+
+// robustnessEstimator is the optional Monte-Carlo replay capability of a
+// searchEstimator (whatif.Estimator directly, estcache.Estimator by
+// forwarding — replays are cheap and never cached).
+type robustnessEstimator interface {
+	Robustness(ctx context.Context, w *wf.Workflow, opt whatif.RobustnessOptions) (*whatif.Robustness, error)
+}
+
+// robustness evaluates a plan under Options.Robustness through the
+// search's estimator (falling back to a fresh direct estimator for custom
+// searchEstimator implementations without the capability).
+func (s *Stubby) robustness(ctx context.Context, plan *wf.Workflow) (*whatif.Robustness, error) {
+	re, ok := s.est.(robustnessEstimator)
+	if !ok {
+		re = whatif.New(s.cluster)
+	}
+	return re.Robustness(ctx, plan, *s.opt.Robustness)
 }
 
 // phaseSpec selects which transformations a traversal pass applies.

@@ -63,6 +63,23 @@ type Result struct {
 	// receiver verify the document decoded to exactly the plan the sender
 	// optimized.
 	Fingerprint string
+	// Robustness carries the chosen plan's Monte-Carlo makespan distribution
+	// under the serving session's fault model. Nil when the server plans
+	// without a fault model (the common case).
+	Robustness *RobustnessDoc
+}
+
+// RobustnessDoc is the wire form of a robustness report: summary statistics
+// of the plan's makespan distribution across perturbation seeds.
+type RobustnessDoc struct {
+	Samples   int     `json:"samples"`
+	Mean      float64 `json:"mean"`
+	P50       float64 `json:"p50"`
+	P95       float64 `json:"p95"`
+	P99       float64 `json:"p99"`
+	Min       float64 `json:"min"`
+	Max       float64 `json:"max"`
+	FailedOut int     `json:"failedOut,omitempty"`
 }
 
 // clusterDoc mirrors mrsim.Cluster field by field.
@@ -126,15 +143,16 @@ type requestDoc struct {
 }
 
 type resultDoc struct {
-	Format         string    `json:"format"`
-	Version        int       `json:"version"`
-	EstimatedCost  float64   `json:"estimatedCost"`
-	DurationMS     float64   `json:"durationMS"`
-	WhatIfCalls    uint64    `json:"whatIfCalls"`
-	WhatIfComputed uint64    `json:"whatIfComputed"`
-	FlowCards      uint64    `json:"flowCards"`
-	Fingerprint    string    `json:"fingerprint,omitempty"`
-	Plan           *document `json:"plan"`
+	Format         string         `json:"format"`
+	Version        int            `json:"version"`
+	EstimatedCost  float64        `json:"estimatedCost"`
+	DurationMS     float64        `json:"durationMS"`
+	WhatIfCalls    uint64         `json:"whatIfCalls"`
+	WhatIfComputed uint64         `json:"whatIfComputed"`
+	FlowCards      uint64         `json:"flowCards"`
+	Fingerprint    string         `json:"fingerprint,omitempty"`
+	Robustness     *RobustnessDoc `json:"robustness,omitempty"`
+	Plan           *document      `json:"plan"`
 }
 
 // EncodeRequest serializes the request to deterministic indented JSON.
@@ -209,6 +227,7 @@ func EncodeResult(r *Result) ([]byte, error) {
 		WhatIfComputed: r.WhatIfComputed,
 		FlowCards:      r.FlowCards,
 		Fingerprint:    r.Fingerprint,
+		Robustness:     r.Robustness,
 		Plan:           plan,
 	}
 	return json.MarshalIndent(doc, "", "  ")
@@ -251,6 +270,7 @@ func DecodeResult(data []byte) (*Result, error) {
 		WhatIfComputed: doc.WhatIfComputed,
 		FlowCards:      doc.FlowCards,
 		Fingerprint:    doc.Fingerprint,
+		Robustness:     doc.Robustness,
 	}, nil
 }
 
@@ -297,6 +317,7 @@ func DecodeResultBound(data []byte, reg *Registry) (*Result, error) {
 		WhatIfComputed: doc.WhatIfComputed,
 		FlowCards:      doc.FlowCards,
 		Fingerprint:    doc.Fingerprint,
+		Robustness:     doc.Robustness,
 	}, nil
 }
 
@@ -362,6 +383,7 @@ const (
 	EventCacheReport       = "cacheReport"
 	EventStateChanged      = "stateChanged"
 	EventStoreReport       = "storeReport"
+	EventRobustness        = "robustness"
 )
 
 // CacheStatsDoc is the wire form of the estimate cache's counters.
@@ -394,22 +416,23 @@ type StoreStatsDoc struct {
 // stream line). Unknown types are skipped by clients, so the stream can
 // grow new event kinds without breaking old readers.
 type EventDoc struct {
-	Type     string         `json:"type"`
-	Workflow string         `json:"workflow,omitempty"`
-	JobID    string         `json:"jobId,omitempty"`
-	Phase    string         `json:"phase,omitempty"`
-	Unit     int            `json:"unit,omitempty"`
-	Jobs     []string       `json:"jobs,omitempty"`
-	Desc     string         `json:"desc,omitempty"`
-	Cost     float64        `json:"cost,omitempty"`
-	Job      string         `json:"job,omitempty"`
-	Start    float64        `json:"start,omitempty"`
-	End      float64        `json:"end,omitempty"`
-	State    string         `json:"state,omitempty"`
-	Error    *ErrorDoc      `json:"error,omitempty"`
-	Cache    *CacheStatsDoc `json:"cache,omitempty"`
-	Hit      bool           `json:"hit,omitempty"`
-	Store    *StoreStatsDoc `json:"store,omitempty"`
+	Type       string         `json:"type"`
+	Workflow   string         `json:"workflow,omitempty"`
+	JobID      string         `json:"jobId,omitempty"`
+	Phase      string         `json:"phase,omitempty"`
+	Unit       int            `json:"unit,omitempty"`
+	Jobs       []string       `json:"jobs,omitempty"`
+	Desc       string         `json:"desc,omitempty"`
+	Cost       float64        `json:"cost,omitempty"`
+	Job        string         `json:"job,omitempty"`
+	Start      float64        `json:"start,omitempty"`
+	End        float64        `json:"end,omitempty"`
+	State      string         `json:"state,omitempty"`
+	Error      *ErrorDoc      `json:"error,omitempty"`
+	Cache      *CacheStatsDoc `json:"cache,omitempty"`
+	Hit        bool           `json:"hit,omitempty"`
+	Store      *StoreStatsDoc `json:"store,omitempty"`
+	Robustness *RobustnessDoc `json:"robustness,omitempty"`
 }
 
 // StatusDoc is the wire form of a job's status: lifecycle state, the

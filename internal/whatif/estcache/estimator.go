@@ -90,6 +90,13 @@ func (e *Estimator) Counts() whatif.Counts {
 	}
 }
 
+// Robustness forwards Monte-Carlo robustness evaluation to the wrapped
+// estimator. Reports are cheap schedule replays over once-computed flow
+// cards and are deliberately not cached.
+func (e *Estimator) Robustness(ctx context.Context, w *wf.Workflow, opt whatif.RobustnessOptions) (*whatif.Robustness, error) {
+	return e.inner.Robustness(ctx, w, opt)
+}
+
 // Prepare builds an incremental estimator on the wrapped What-if engine.
 // Delta estimates bypass the cache — their whole point is that consecutive
 // search probes are cheaper to re-derive than to fingerprint — but they

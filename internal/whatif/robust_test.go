@@ -1,0 +1,202 @@
+package whatif
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/profile"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+func robustModel(seed int64) *mrsim.FaultModel { return mrsim.StandardFaultProfile(seed) }
+
+func TestRobustnessBasicShape(t *testing.T) {
+	w, _, cl := buildAnnotated(t, 500)
+	rob, err := New(cl).Robustness(context.Background(), w, RobustnessOptions{Model: robustModel(1), Samples: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rob == nil {
+		t.Fatal("annotated workflow reported as fallback")
+	}
+	if rob.Samples != 64 || len(rob.Makespans) != 64 {
+		t.Fatalf("samples = %d / %d makespans, want 64", rob.Samples, len(rob.Makespans))
+	}
+	if !(rob.Min <= rob.P50 && rob.P50 <= rob.P95 && rob.P95 <= rob.P99 && rob.P99 <= rob.Max) {
+		t.Errorf("percentiles not ordered: min=%g p50=%g p95=%g p99=%g max=%g",
+			rob.Min, rob.P50, rob.P95, rob.P99, rob.Max)
+	}
+	if rob.Min <= 0 || math.IsInf(rob.Max, 0) || math.IsNaN(rob.Mean) {
+		t.Errorf("degenerate distribution: min=%g max=%g mean=%g", rob.Min, rob.Max, rob.Mean)
+	}
+	if rob.Min == rob.Max {
+		t.Error("perturbing model produced no spread at all across 64 samples")
+	}
+	// The nominal estimate is fault-free; a profile with slow nodes and
+	// stragglers should not make the plan faster on average.
+	est, err := New(cl).Estimate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rob.Mean < est.Makespan*0.5 {
+		t.Errorf("perturbed mean %g implausibly beats nominal %g", rob.Mean, est.Makespan)
+	}
+}
+
+// TestRobustnessDeterministicAcrossEstimators: the report is a pure
+// function of (workflow, cluster, model, samples) — fresh estimators and
+// concurrent evaluation (one estimator per goroutine, as the optimizer's
+// parallel search holds them) must agree sample for sample. CI runs this
+// under -race.
+func TestRobustnessDeterministicAcrossEstimators(t *testing.T) {
+	w, _, cl := buildAnnotated(t, 500)
+	opt := RobustnessOptions{Model: robustModel(7), Samples: 32}
+	want, err := New(cl).Robustness(context.Background(), w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	got := make([]*Robustness, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i], errs[i] = New(cl).Robustness(context.Background(), w, opt)
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		for s, m := range got[i].Makespans {
+			if math.Float64bits(m) != math.Float64bits(want.Makespans[s]) {
+				t.Fatalf("worker %d sample %d: %.17g vs %.17g", i, s, m, want.Makespans[s])
+			}
+		}
+	}
+}
+
+// TestRobustnessSeedSensitivity: different base seeds must explore
+// different perturbations (else the Monte-Carlo loop is replaying one
+// sample), while the same seed reproduces exactly.
+func TestRobustnessSeedSensitivity(t *testing.T) {
+	w, _, cl := buildAnnotated(t, 500)
+	e := New(cl)
+	a, err := e.Robustness(context.Background(), w, RobustnessOptions{Model: robustModel(1), Samples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Robustness(context.Background(), w, RobustnessOptions{Model: robustModel(2), Samples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Makespans {
+		if a.Makespans[i] != b.Makespans[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical sample sets")
+	}
+	c, err := e.Robustness(context.Background(), w, RobustnessOptions{Model: robustModel(1), Samples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Makespans {
+		if math.Float64bits(a.Makespans[i]) != math.Float64bits(c.Makespans[i]) {
+			t.Fatalf("sample %d not reproducible for the same seed", i)
+		}
+	}
+}
+
+// TestRobustnessFallbackAndErrors: unannotated workflows are not scorable
+// (nil report, nil error); a missing or invalid model is an error.
+func TestRobustnessFallbackAndErrors(t *testing.T) {
+	w := &wf.Workflow{Name: "bare", Jobs: []*wf.Job{sumJob("J1", "in", "out")},
+		Datasets: []*wf.Dataset{{ID: "in", Base: true, KeyFields: []string{"k"}}, {ID: "out"}}}
+	cl := testCluster()
+	rob, err := New(cl).Robustness(context.Background(), w, RobustnessOptions{Model: robustModel(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rob != nil {
+		t.Error("fallback workflow produced a robustness report")
+	}
+	if _, err := New(cl).Robustness(context.Background(), w, RobustnessOptions{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := New(cl).Robustness(context.Background(), w,
+		RobustnessOptions{Model: &mrsim.FaultModel{TaskFailureProb: 2}}); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+// TestRobustnessReplaySpreadsSkew pins the straggler-aware replay on a
+// known-skewed key sample: one hot key drives MaxReduceTaskSec far above
+// the average, and the replay must schedule that straggler from wave one —
+// so under a straggler-free, failure-free model on uniform hardware, every
+// sample's makespan equals the fault-free spread schedule, straggler
+// included, not the old uniform-then-append model.
+func TestRobustnessReplaySpreadsSkew(t *testing.T) {
+	// Same construction as TestSkewEstimatedFromKeySample: 90% of records
+	// share one key.
+	pairs := make([]keyval.Pair, 20000)
+	for i := range pairs {
+		k := int64(1)
+		if i%10 == 0 {
+			k = int64(i)
+		}
+		pairs[i] = keyval.Pair{Key: keyval.T(k), Value: keyval.T(int64(1))}
+	}
+	dfs := mrsim.NewDFS()
+	if err := dfs.Ingest("in", pairs, mrsim.IngestSpec{NumPartitions: 4, KeyFields: []string{"k"},
+		Layout: wf.Layout{PartType: keyval.HashPartition, PartFields: []string{"k"}}}); err != nil {
+		t.Fatal(err)
+	}
+	j := sumJob("J1", "in", "out")
+	j.Config.NumReduceTasks = 10
+	w := &wf.Workflow{Name: "skew", Jobs: []*wf.Job{j}, Datasets: []*wf.Dataset{
+		{ID: "in", Base: true, KeyFields: []string{"k"}}, {ID: "out"}}}
+	cl := testCluster()
+	if err := profile.NewProfiler(cl, 1.0, 5).Annotate(w, dfs); err != nil {
+		t.Fatal(err)
+	}
+	est, err := New(cl).Estimate(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	je := est.Jobs["J1"]
+	if je.MaxReduceTaskSec < je.AvgReduceTaskSec*2 {
+		t.Fatalf("sample not skewed enough: max %g avg %g", je.MaxReduceTaskSec, je.AvgReduceTaskSec)
+	}
+	// A quiet-but-attached model isolates the replay's wave packing.
+	quiet := &mrsim.FaultModel{Seed: 3, NodeClasses: []mrsim.NodeClass{{Name: "n", Nodes: cl.Nodes, Speed: 1}}}
+	rob, err := New(cl).Robustness(context.Background(), w, RobustnessOptions{Model: quiet, Samples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rob == nil {
+		t.Fatal("unexpected fallback")
+	}
+	for i, m := range rob.Makespans {
+		if m != rob.Makespans[0] {
+			t.Fatalf("quiet model varied across samples: %g vs %g", m, rob.Makespans[0])
+		}
+		// The replayed makespan must at least cover the straggler reduce
+		// task launched at the start of the reduce phase — the bound the
+		// old uniform-then-append model undercut when waves were full.
+		if i == 0 && m < je.MaxReduceTaskSec {
+			t.Fatalf("replay makespan %g shorter than the straggler task itself (%g)", m, je.MaxReduceTaskSec)
+		}
+	}
+}

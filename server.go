@@ -294,6 +294,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		WhatIfComputed: res.WhatIfComputed,
 		FlowCards:      res.FlowCards,
 		Fingerprint:    wf.FingerprintWorkflow(res.Plan).String(),
+		Robustness:     robustnessDoc(res.Robustness),
 	})
 	if err != nil {
 		writeError(w, stubbyerr.From("result", h.WorkflowName(), err))
@@ -393,6 +394,25 @@ func storeStatsFromDoc(d *planio.StoreStatsDoc) PlanStoreStats {
 		Segments: d.Segments}
 }
 
+// robustnessDoc converts a robustness report to its wire form (nil-safe).
+func robustnessDoc(r *Robustness) *planio.RobustnessDoc {
+	if r == nil {
+		return nil
+	}
+	return &planio.RobustnessDoc{Samples: r.Samples, Mean: r.Mean, P50: r.P50,
+		P95: r.P95, P99: r.P99, Min: r.Min, Max: r.Max, FailedOut: r.FailedOut}
+}
+
+// robustnessFromDoc converts a wire robustness report back (nil-safe). The
+// per-sample makespans never travel the wire — only summary statistics do.
+func robustnessFromDoc(d *planio.RobustnessDoc) *Robustness {
+	if d == nil {
+		return nil
+	}
+	return &Robustness{Samples: d.Samples, Mean: d.Mean, P50: d.P50,
+		P95: d.P95, P99: d.P99, Min: d.Min, Max: d.Max, FailedOut: d.FailedOut}
+}
+
 // eventToDoc converts a typed event to its wire form.
 func eventToDoc(ev Event) *planio.EventDoc {
 	switch e := ev.(type) {
@@ -415,6 +435,9 @@ func eventToDoc(ev Event) *planio.EventDoc {
 	case PlanStoreEvent:
 		return &planio.EventDoc{Type: planio.EventStoreReport, Workflow: e.Workflow,
 			Hit: e.Hit, Store: storeStatsDoc(e.Stats)}
+	case RobustnessEvent:
+		return &planio.EventDoc{Type: planio.EventRobustness, Workflow: e.Workflow,
+			Robustness: robustnessDoc(e.Report)}
 	case StateChangedEvent:
 		return &planio.EventDoc{Type: planio.EventStateChanged, Workflow: e.Workflow,
 			JobID: e.JobID, State: e.State.String(), Error: planio.NewErrorDoc(e.Err)}
@@ -445,6 +468,9 @@ func eventFromDoc(d *planio.EventDoc) (Event, bool) {
 	case planio.EventStoreReport:
 		return PlanStoreEvent{Workflow: d.Workflow, Hit: d.Hit,
 			Stats: storeStatsFromDoc(d.Store)}, true
+	case planio.EventRobustness:
+		return RobustnessEvent{Workflow: d.Workflow,
+			Report: robustnessFromDoc(d.Robustness)}, true
 	case planio.EventStateChanged:
 		st, err := parseJobState(d.State)
 		if err != nil {

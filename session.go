@@ -127,6 +127,7 @@ type Session struct {
 	registry    *PlannerRegistry
 	estCache    *EstimateCache
 	planStore   *PlanStore
+	robustness  *whatif.RobustnessOptions
 	// incrementalSet/disableIncremental record WithIncrementalEstimation:
 	// tri-state so an unset option defers to WithOptimizerOptions.
 	incrementalSet     bool
@@ -265,6 +266,38 @@ func WithIncrementalEstimation(enabled bool) SessionOption {
 	}
 }
 
+// WithRobustness makes the session's planning robustness-aware under the
+// given fault model: every Optimize (and Submit) result carries a
+// Monte-Carlo Robustness report for the chosen plan — mean/p95/p99
+// makespan across `samples` perturbation seeds (<= 0 uses
+// DefaultRobustnessSamples) — and candidate subplans whose estimated
+// costs are near-ties are re-ranked on p99 makespan under perturbation
+// instead of mean cost, preferring the plan that degrades least on a
+// faulty cluster. Evaluation replays only the scheduling layer over
+// once-computed flow cards, so the overhead per optimization is small.
+//
+// Determinism contract: the report and any re-ranking are pure functions
+// of (plan, cluster, model, samples) — parallelism, caching, and repeat
+// runs cannot change them. A model that cannot perturb anything (all
+// rates zero, no node classes) reports a degenerate distribution and
+// never re-ranks, so attaching it changes no chosen plan.
+func WithRobustness(model *FaultModel, samples int) SessionOption {
+	return func(s *Session) error {
+		if model == nil {
+			return fmt.Errorf("stubby: WithRobustness(nil model)")
+		}
+		if err := model.Validate(); err != nil {
+			return fmt.Errorf("stubby: %w", err)
+		}
+		s.robustness = &whatif.RobustnessOptions{Model: model, Samples: samples}
+		return nil
+	}
+}
+
+// DefaultRobustnessSamples is the Monte-Carlo sample count used when
+// WithRobustness (or RobustnessOptions) leaves the count zero.
+const DefaultRobustnessSamples = whatif.DefaultRobustnessSamples
+
 // DefaultQueueDepth is the admission bound of a session's Submit queue
 // when WithQueueDepth is not given.
 const DefaultQueueDepth = 64
@@ -395,6 +428,9 @@ func (s *Session) optimizerOptions(workflow string) optimizer.Options {
 	}
 	if s.incrementalSet {
 		o.DisableIncremental = s.disableIncremental
+	}
+	if o.Robustness == nil {
+		o.Robustness = s.robustness
 	}
 	return o
 }
@@ -598,6 +634,34 @@ func (s *Session) Estimate(ctx context.Context, w *Workflow) (*Estimate, error) 
 		return nil, stubbyerr.From("estimate", w.Name, err)
 	}
 	return est, nil
+}
+
+// Robustness Monte-Carlo-replays an annotated plan's scheduling under a
+// fault model, returning its makespan distribution (mean/p50/p95/p99)
+// across perturbation seeds. A zero-valued opt uses the model and sample
+// count from WithRobustness; opt.Model overrides it per call. Plans in
+// the fallback (#jobs) costing regime have no cost-based schedule to
+// perturb — an ErrKindInvalid *Error is returned.
+func (s *Session) Robustness(ctx context.Context, w *Workflow, opt RobustnessOptions) (*Robustness, error) {
+	if opt.Model == nil {
+		if s.robustness == nil {
+			return nil, &stubbyerr.Error{Kind: stubbyerr.KindInvalid, Op: "robustness", Workflow: w.Name,
+				Err: errors.New("no fault model: pass RobustnessOptions.Model or configure WithRobustness")}
+		}
+		if opt.Samples == 0 {
+			opt.Samples = s.robustness.Samples
+		}
+		opt.Model = s.robustness.Model
+	}
+	rob, err := whatif.New(s.cluster).Robustness(ctx, w, opt)
+	if err != nil {
+		return nil, stubbyerr.From("robustness", w.Name, err)
+	}
+	if rob == nil {
+		return nil, &stubbyerr.Error{Kind: stubbyerr.KindInvalid, Op: "robustness", Workflow: w.Name,
+			Err: errors.New("plan lacks the annotations for cost-based estimation (fallback regime)")}
+	}
+	return rob, nil
 }
 
 // EstimateCost runs the What-if engine without cancellation.

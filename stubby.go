@@ -121,6 +121,18 @@ type (
 
 	// Estimate is a What-if cost prediction.
 	Estimate = whatif.Estimate
+	// Robustness is a plan's Monte-Carlo makespan distribution under a
+	// fault model (see Session.Robustness and WithRobustness).
+	Robustness = whatif.Robustness
+	// RobustnessOptions configures Monte-Carlo robustness evaluation.
+	RobustnessOptions = whatif.RobustnessOptions
+
+	// FaultModel perturbs the simulated cluster with task failures,
+	// straggler slowdowns, heterogeneous node classes, and speculative
+	// re-execution, all deterministic under its seed.
+	FaultModel = mrsim.FaultModel
+	// NodeClass is one homogeneous node group of a heterogeneous cluster.
+	NodeClass = mrsim.NodeClass
 
 	// Planner is the common interface of all compared optimizers.
 	Planner = baselines.Planner
@@ -232,6 +244,13 @@ func EstimateCost(c *Cluster, w *Workflow) (*Estimate, error) {
 		return nil, stubbyerr.WithKind(stubbyerr.KindInvalid, "estimate", w.Name, err)
 	}
 	return s.Estimate(context.Background(), w)
+}
+
+// FaultProfile returns a named standard fault model ("standard",
+// "failures", "stragglers") rooted at the given seed — the profiles the
+// CLIs and the benchmark's robustness rows use.
+func FaultProfile(name string, seed int64) (*FaultModel, error) {
+	return mrsim.FaultProfile(name, seed)
 }
 
 // BuildWorkload constructs one of the paper's eight evaluation workflows

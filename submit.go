@@ -277,6 +277,9 @@ func (s *Session) Submit(ctx context.Context, req OptimizeRequest) (*OptimizeHan
 			h.job.Publish(PlanStoreEvent{Workflow: wfName, Hit: res.FromStore,
 				Stats: target.planStore.Stats()})
 		}
+		if res.Robustness != nil {
+			h.job.Publish(RobustnessEvent{Workflow: wfName, Report: res.Robustness})
+		}
 		return res, nil
 	})
 	// A plan-store hit skips the queue entirely: the stored plan is
@@ -345,6 +348,7 @@ func (s *Session) deriveFor(req OptimizeRequest) (*Session, error) {
 		registry:           s.registry,
 		estCache:           s.estCache,
 		planStore:          s.planStore,
+		robustness:         s.robustness,
 		incrementalSet:     s.incrementalSet,
 		disableIncremental: s.disableIncremental,
 	}
