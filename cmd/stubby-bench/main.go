@@ -399,8 +399,30 @@ func runServiceBench(h *bench.Harness, out string, jobs, workers int) error {
 	fmt.Println(bench.FormatTable(
 		[]string{"Phase", "Submissions", "Store hits", "Hit ratio", "Optimizations", "p50", "p99", "Wall"}, cells))
 
+	chaos, err := h.ServiceChaosBench(jobs, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Failure handling: retry-policy clients through the deterministic fault proxy (journaled server)")
+	cells = nil
+	for _, r := range chaos {
+		cells = append(cells, []string{
+			r.Profile,
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%d/%d/%d", r.Injected503, r.Resets, r.Truncations),
+			fmt.Sprintf("%d", r.Retries),
+			fmt.Sprintf("%d", r.Resumes),
+			fmt.Sprintf("%d", r.Optimizations),
+			fmt.Sprintf("%.1f ms", r.P50MS),
+			fmt.Sprintf("%.1f ms", r.P99MS),
+			fmt.Sprintf("%.0f ms", r.WallMS),
+		})
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Profile", "Jobs", "503/rst/trunc", "Retries", "Resumes", "Optimizations", "p50", "p99", "Wall"}, cells))
+
 	if out != "" {
-		if err := bench.ServiceBenchJSON(out, h, rows, cache, jobs); err != nil {
+		if err := bench.ServiceBenchJSON(out, h, rows, cache, chaos, jobs); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", out)

@@ -15,13 +15,19 @@
 //	GET  /v1/jobs/{id}         status + progress
 //	GET  /v1/jobs/{id}/result  optimize-result document
 //	POST /v1/jobs/{id}/cancel  cancel
-//	GET  /v1/jobs/{id}/events  NDJSON event stream
+//	GET  /v1/jobs/{id}/events  NDJSON event stream (?from=N resumes)
 //	GET  /healthz              liveness + queue shape
-//	GET  /statsz               queue/cache/plan-store counters
+//	GET  /readyz               readiness (503 while draining)
+//	GET  /statsz               queue/cache/plan-store/journal counters
 //
 // With -store DIR, optimized plans are persisted to a content-addressed
 // store under DIR and repeat submissions — across restarts and across
 // replicas sharing the directory — are answered without re-optimizing.
+//
+// With -journal DIR (default: journal/ under the -store directory, when
+// one is set), every accepted job is journaled durably and a restart — even
+// after a hard kill — re-enqueues the jobs that were in flight, under
+// their original IDs, completing them idempotently through the plan store.
 //
 // Submissions beyond the admission queue's depth are shed with HTTP 429
 // and error kind "overloaded". On SIGTERM/SIGINT the server drains
@@ -34,9 +40,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -53,6 +61,7 @@ func main() {
 		useCache = flag.Bool("cache", true, "share one estimate cache across all jobs")
 		rrsEvals = flag.Int("rrs-evals", 0, "configuration-search budget override (0 = default)")
 		storeDir = flag.String("store", "", "persistent plan-store directory (empty = no store); replicas may share one directory")
+		jdir     = flag.String("journal", "", "durable job-journal directory (empty = 'journal' under -store when set, else no journal)")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits before canceling running jobs")
 
 		robSamples = flag.Int("robustness-samples", 0, "Monte-Carlo samples for fault-aware robustness scoring of every optimized plan (0 disables)")
@@ -97,16 +106,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "stubbyd:", err)
 		os.Exit(1)
 	}
-	srv := stubby.NewServer(sess)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	journalDir := *jdir
+	if journalDir == "" && *storeDir != "" {
+		journalDir = filepath.Join(*storeDir, "journal")
+	}
+	var srvOpts []stubby.ServerOption
+	var journal *stubby.Journal
+	if journalDir != "" {
+		if journal, err = stubby.OpenJournal(journalDir); err != nil {
+			fmt.Fprintln(os.Stderr, "stubbyd:", err)
+			os.Exit(1)
+		}
+		srvOpts = append(srvOpts, stubby.WithJournal(journal))
+	}
+	srv := stubby.NewServer(sess, srvOpts...)
+	httpSrv := &http.Server{Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stubbyd:", err)
+		os.Exit(1)
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	go func() { errc <- httpSrv.Serve(ln) }()
 	log.Printf("stubbyd: serving on %s (workers=%d queue=%d planner=%s)",
-		*addr, *workers, *queue, *planner)
+		ln.Addr(), *workers, *queue, *planner)
+	if journal != nil {
+		st := journal.Stats()
+		log.Printf("stubbyd: journal %s: %d jobs recovered", journalDir, st.Recovered)
+	}
 
 	select {
 	case err := <-errc:
@@ -131,6 +162,14 @@ func main() {
 			st.Hits, st.Misses, 100*st.HitRate(), st.Computes, st.Entries)
 		if err := store.Close(); err != nil {
 			log.Printf("stubbyd: plan store close: %v", err)
+		}
+	}
+	if journal != nil {
+		st := journal.Stats()
+		log.Printf("stubbyd: journal: %d submits, %d transitions, %d recovered, %d bytes",
+			st.Submits, st.Transitions, st.Recovered, st.BytesWritten)
+		if err := journal.Close(); err != nil {
+			log.Printf("stubbyd: journal close: %v", err)
 		}
 	}
 	log.Print("stubbyd: stopped")

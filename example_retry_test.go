@@ -1,0 +1,55 @@
+package stubby_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"github.com/stubby-mr/stubby"
+)
+
+// ExampleClient_retry shows the opt-in retry policy: a client constructed
+// with WithRetryPolicy rides out transient overload (HTTP 429, honoring
+// the server's Retry-After) with exponential backoff and deterministic
+// seeded jitter, while errors retrying cannot fix — invalid input,
+// unknown jobs — still return immediately. Against a journaled stubbyd,
+// retried submissions are idempotent: a repeat of an in-flight request
+// attaches to the existing job instead of optimizing twice.
+func ExampleClient_retry() {
+	// A server that sheds the first two requests with 429 before letting
+	// the third through — the overload shape a busy stubbyd produces.
+	var attempt atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempt.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"kind":"overloaded","op":"submit","message":"queue full"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok","queue":{"workers":8,"depth":64,"queued":0,"busy":3}}`)
+	}))
+	defer hs.Close()
+
+	client, err := stubby.NewClient(hs.URL, stubby.WithRetryPolicy(stubby.RetryPolicy{
+		MaxAttempts: 5,                     // total tries, first included
+		BaseDelay:   2 * time.Millisecond,  // pre-jitter delay before retry 1
+		MaxDelay:    50 * time.Millisecond, // ceiling for backoff and Retry-After
+		Seed:        7,                     // deterministic jitter sequence
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := client.Stats(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := client.Metrics()
+	fmt.Printf("status: %s after %d requests (%d retries)\n", stats.Status, m.Requests, m.Retries)
+	// Output:
+	// status: ok after 3 requests (2 retries)
+}

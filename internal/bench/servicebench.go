@@ -13,11 +13,14 @@ import (
 	"math"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/stubby-mr/stubby"
+	"github.com/stubby-mr/stubby/internal/faultproxy"
 	"github.com/stubby-mr/stubby/internal/workloads"
 )
 
@@ -68,6 +71,36 @@ type ServiceCacheRow struct {
 	WallMS float64 `json:"wall_ms"`
 }
 
+// ServiceChaosRow is one fault-profile measurement of the journaled
+// service behind the deterministic fault proxy: the same submission mix
+// runs once fault-free ("clean") and once through injected 503s,
+// connection resets, and truncated responses ("chaos"), with retry-policy
+// clients. The row pair quantifies what the failure-handling stack costs
+// in latency and proves the idempotency bound: optimizations stay at the
+// distinct-workflow count no matter how many retries the faults force.
+type ServiceChaosRow struct {
+	// Profile is "clean" or "chaos".
+	Profile string `json:"profile"`
+	// Jobs is how many submissions completed successfully.
+	Jobs int `json:"jobs"`
+	// Injected503/Resets/Truncations count the proxy's injected faults.
+	Injected503 uint64 `json:"injected_503"`
+	Resets      uint64 `json:"resets"`
+	Truncations uint64 `json:"truncations"`
+	// Retries/Resumes count the clients' recovery work.
+	Retries uint64 `json:"client_retries"`
+	Resumes uint64 `json:"stream_resumes"`
+	// Optimizations is how many full optimizer runs the phase cost (the
+	// idempotency bound: 1, for a single distinct workflow).
+	Optimizations int `json:"optimizations"`
+	// WallMS is the phase's wall time; Throughput is jobs per second.
+	WallMS     float64 `json:"wall_ms"`
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+	// P50MS/P99MS are submit→result latency percentiles per job.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
 // ServiceBenchReport is the BENCH_service.json schema.
 type ServiceBenchReport struct {
 	Workload   string            `json:"workload"`
@@ -77,6 +110,8 @@ type ServiceBenchReport struct {
 	Rows       []ServiceBenchRow `json:"rows"`
 	// Cache holds the plan-store warm/cold phases (all paper workloads).
 	Cache []ServiceCacheRow `json:"cache,omitempty"`
+	// Chaos holds the fault-injection clean/chaos phases.
+	Chaos []ServiceChaosRow `json:"chaos,omitempty"`
 }
 
 // ServiceBench sweeps the queue depths, submitting jobs concurrently
@@ -297,6 +332,140 @@ func (h *Harness) ServiceCacheBench(rounds, workers int) ([]ServiceCacheRow, err
 	return []ServiceCacheRow{cold, warm}, nil
 }
 
+// ServiceChaosBench runs the same submission mix through a journaled
+// server twice — once behind a pass-through proxy, once behind the
+// deterministic fault proxy — with retry-policy clients, measuring the
+// cost of riding out the faults and the idempotency bound on optimizer
+// work. Faults and retry jitter are seed-deterministic, so the injected
+// fault mix is reproducible run to run.
+func (h *Harness) ServiceChaosBench(jobs, workers int) ([]ServiceChaosRow, error) {
+	if jobs < 1 {
+		jobs = 1
+	}
+	if workers < 1 {
+		workers = 2
+	}
+	wl, err := h.workload("IR")
+	if err != nil {
+		return nil, err
+	}
+	profiles := []struct {
+		name string
+		p    faultproxy.Profile
+	}{
+		{"clean", faultproxy.Profile{}},
+		{"chaos", faultproxy.Profile{
+			LatencyProb: 0.2, LatencyMin: time.Millisecond, LatencyMax: 3 * time.Millisecond,
+			Reject503Prob: 0.10, ResetProb: 0.05, TruncateProb: 0.05,
+		}},
+	}
+	var rows []ServiceChaosRow
+	for _, prof := range profiles {
+		row, err := h.serviceChaosPhase(wl, prof.name, prof.p, jobs, workers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func (h *Harness) serviceChaosPhase(wl *workloads.Workload, name string, prof faultproxy.Profile, jobs, workers int) (ServiceChaosRow, error) {
+	dir, err := os.MkdirTemp("", "stubby-bench-chaos-")
+	if err != nil {
+		return ServiceChaosRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := stubby.NewPlanStore(filepath.Join(dir, "store"))
+	if err != nil {
+		return ServiceChaosRow{}, err
+	}
+	defer store.Close()
+	journal, err := stubby.OpenJournal(filepath.Join(dir, "journal"))
+	if err != nil {
+		return ServiceChaosRow{}, err
+	}
+	defer journal.Close()
+	sess, err := stubby.NewSession(
+		stubby.WithCluster(wl.Cluster),
+		stubby.WithSeed(h.cfg.Seed),
+		stubby.WithParallelism(workers),
+		stubby.WithEstimateCache(stubby.NewEstimateCache(0)),
+		stubby.WithPlanStore(store),
+		stubby.WithOptimizerOptions(stubby.Options{RRSEvals: 20}),
+	)
+	if err != nil {
+		return ServiceChaosRow{}, err
+	}
+	httpSrv := httptest.NewServer(stubby.NewServer(sess, stubby.WithJournal(journal)))
+	defer httpSrv.Close()
+	defer sess.Close(context.Background())
+	proxy, err := faultproxy.New(strings.TrimPrefix(httpSrv.URL, "http://"), h.cfg.Seed, prof)
+	if err != nil {
+		return ServiceChaosRow{}, err
+	}
+	defer proxy.Close()
+	client, err := stubby.NewClient(proxy.URL(), stubby.WithRetryPolicy(stubby.RetryPolicy{
+		MaxAttempts: 12, BaseDelay: 5 * time.Millisecond,
+		MaxDelay: 100 * time.Millisecond, Seed: h.cfg.Seed,
+	}))
+	if err != nil {
+		return ServiceChaosRow{}, err
+	}
+
+	ctx := context.Background()
+	latencies := make([]float64, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	submitters := workers * 2
+	if submitters > jobs {
+		submitters = jobs
+	}
+	next := make(chan int, jobs)
+	for i := 0; i < jobs; i++ {
+		next <- i
+	}
+	close(next)
+	start := time.Now()
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				if _, err := client.Optimize(ctx, stubby.OptimizeRequest{Workflow: wl.Workflow}); err != nil {
+					errs[i] = err
+					return
+				}
+				latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServiceChaosRow{}, err
+		}
+	}
+	sort.Float64s(latencies)
+	pstats, metrics := proxy.Stats(), client.Metrics()
+	return ServiceChaosRow{
+		Profile:       name,
+		Jobs:          jobs,
+		Injected503:   pstats.Injected503,
+		Resets:        pstats.Resets,
+		Truncations:   pstats.Truncations,
+		Retries:       metrics.Retries,
+		Resumes:       metrics.Resumes,
+		Optimizations: int(store.Stats().Computes),
+		WallMS:        float64(wall.Microseconds()) / 1000,
+		Throughput:    float64(jobs) / wall.Seconds(),
+		P50MS:         percentile(latencies, 0.50),
+		P99MS:         percentile(latencies, 0.99),
+	}, nil
+}
+
 // percentile reads the p-quantile from sorted values, rounding the rank
 // up so small samples never understate the tail (nearest-rank method).
 func percentile(sorted []float64, p float64) float64 {
@@ -311,7 +480,7 @@ func percentile(sorted []float64, p float64) float64 {
 }
 
 // ServiceBenchJSON assembles and writes the report.
-func ServiceBenchJSON(path string, h *Harness, rows []ServiceBenchRow, cache []ServiceCacheRow, jobsPerRow int) error {
+func ServiceBenchJSON(path string, h *Harness, rows []ServiceBenchRow, cache []ServiceCacheRow, chaos []ServiceChaosRow, jobsPerRow int) error {
 	rep := ServiceBenchReport{
 		Workload:   "IR",
 		SizeFactor: h.cfg.SizeFactor,
@@ -319,6 +488,7 @@ func ServiceBenchJSON(path string, h *Harness, rows []ServiceBenchRow, cache []S
 		JobsPerRow: jobsPerRow,
 		Rows:       rows,
 		Cache:      cache,
+		Chaos:      chaos,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

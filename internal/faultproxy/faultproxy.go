@@ -1,0 +1,322 @@
+// Package faultproxy is a seed-deterministic in-process fault injector
+// for TCP/HTTP traffic: a localhost proxy that sits between a client and
+// a server and, per connection, injects latency, answers with a canned
+// 503 (Retry-After stamped), resets the connection mid-response-body, or
+// truncates the response — the network half of the chaos harness that
+// drives the crash-safe job-service drills.
+//
+// Determinism: every per-connection decision is a counter-based mix64
+// draw over (seed, connection index, salt) — the same discipline as
+// mrsim's fault model — so a fixed seed and connection order reproduce
+// the same fault sequence. Concurrent clients race for connection
+// indexes, so cross-run determinism is exact only for serialized
+// traffic; what is always deterministic is the multiset of faults
+// injected over N connections.
+//
+// The proxy is HTTP-shaped but byte-level: it parses just enough of the
+// request to frame one exchange per connection (forcing Connection: close
+// upstream), then forwards raw response bytes, cutting or resetting them
+// at a drawn offset. Cuts mid-body exercise exactly the failure a
+// streaming NDJSON consumer must survive via its resume cursor.
+package faultproxy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile sets the per-connection fault probabilities (each in [0,1]) and
+// shapes. The zero Profile injects nothing — the proxy is then a plain
+// forwarder, useful as the control arm of a benchmark.
+type Profile struct {
+	// LatencyProb is the chance a connection's request is delayed before
+	// forwarding, by a deterministic duration in [LatencyMin, LatencyMax].
+	LatencyProb float64
+	LatencyMin  time.Duration
+	LatencyMax  time.Duration
+	// Reject503Prob is the chance the proxy answers 503 Service
+	// Unavailable (Retry-After: 1) itself without contacting the server —
+	// an injected overload.
+	Reject503Prob float64
+	// ResetProb is the chance the client connection is hard-reset (RST)
+	// after forwarding a bounded prefix of the response.
+	ResetProb float64
+	// TruncateProb is the chance the response is cut short by a graceful
+	// close after a bounded prefix — a torn body without a reset.
+	TruncateProb float64
+	// CutAfterMaxBytes bounds where resets/truncations cut: the cut offset
+	// is drawn in [1, CutAfterMaxBytes] (default 4096).
+	CutAfterMaxBytes int
+}
+
+// Stats counts what the proxy did, cumulatively since New.
+type Stats struct {
+	Connections uint64
+	Delayed     uint64
+	Injected503 uint64
+	Resets      uint64
+	Truncations uint64
+	// Errors counts forwarding failures that were not injected (e.g. the
+	// target was down — expected while a crash drill's server is dead).
+	Errors uint64
+}
+
+// Proxy is a live fault-injecting forwarder. Create with New, point
+// clients at Addr, and Close when done. SetTarget retargets new
+// connections — a crash drill restarts its server on a fresh port and
+// swings the proxy over without clients noticing.
+type Proxy struct {
+	ln      net.Listener
+	seed    int64
+	profile Profile
+
+	mu     sync.Mutex
+	target string
+
+	conns   atomic.Uint64
+	delayed atomic.Uint64
+	i503    atomic.Uint64
+	resets  atomic.Uint64
+	truncs  atomic.Uint64
+	errs    atomic.Uint64
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New starts a proxy on 127.0.0.1 (ephemeral port) forwarding to target
+// ("host:port") with the given fault profile and seed.
+func New(target string, seed int64, profile Profile) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultproxy: %w", err)
+	}
+	if profile.CutAfterMaxBytes <= 0 {
+		profile.CutAfterMaxBytes = 4096
+	}
+	p := &Proxy{ln: ln, seed: seed, profile: profile, target: target}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address ("127.0.0.1:port").
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy's base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// SetTarget swings new connections to a different backend address.
+func (p *Proxy) SetTarget(target string) {
+	p.mu.Lock()
+	p.target = target
+	p.mu.Unlock()
+}
+
+// Stats snapshots the proxy's counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Connections: p.conns.Load(),
+		Delayed:     p.delayed.Load(),
+		Injected503: p.i503.Load(),
+		Resets:      p.resets.Load(),
+		Truncations: p.truncs.Load(),
+		Errors:      p.errs.Load(),
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to unwind.
+func (p *Proxy) Close() error {
+	p.closed.Store(true)
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n := p.conns.Add(1) - 1
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.serve(conn, n)
+		}()
+	}
+}
+
+// mix64 is splitmix64's finalizer (the same counter-based draw discipline
+// as mrsim's fault model).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw yields a uniform float64 in [0,1) for (connection, salt).
+func (p *Proxy) draw(conn uint64, salt uint64) float64 {
+	h := mix64(mix64(uint64(p.seed)) ^ mix64(conn*0x9e37+salt))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Draw salts, one per independent decision.
+const (
+	saltLatency = iota + 1
+	saltLatencyAmount
+	salt503
+	saltReset
+	saltTruncate
+	saltCutOffset
+)
+
+// serve handles one client connection: one HTTP exchange, faults applied.
+func (p *Proxy) serve(client net.Conn, n uint64) {
+	defer client.Close()
+	pr := p.profile
+
+	// Read one request (headers + body) off the client.
+	br := bufio.NewReader(client)
+	req, err := http.ReadRequest(br)
+	if err != nil {
+		p.errs.Add(1)
+		return
+	}
+	body, err := io.ReadAll(req.Body)
+	req.Body.Close()
+	if err != nil {
+		p.errs.Add(1)
+		return
+	}
+
+	if pr.LatencyProb > 0 && p.draw(n, saltLatency) < pr.LatencyProb {
+		span := pr.LatencyMax - pr.LatencyMin
+		d := pr.LatencyMin
+		if span > 0 {
+			d += time.Duration(p.draw(n, saltLatencyAmount) * float64(span))
+		}
+		p.delayed.Add(1)
+		time.Sleep(d)
+	}
+
+	if pr.Reject503Prob > 0 && p.draw(n, salt503) < pr.Reject503Prob {
+		p.i503.Add(1)
+		fmt.Fprintf(client, "HTTP/1.1 503 Service Unavailable\r\n"+
+			"Content-Type: application/json\r\nRetry-After: 1\r\nConnection: close\r\n"+
+			"Content-Length: %d\r\n\r\n%s", len(injected503Body), injected503Body)
+		return
+	}
+
+	// Decide the response fate up front so the cut applies from byte one
+	// of the stream (headers included — clients must survive that too).
+	cut := -1
+	reset := false
+	switch {
+	case pr.ResetProb > 0 && p.draw(n, saltReset) < pr.ResetProb:
+		reset = true
+		cut = 1 + int(p.draw(n, saltCutOffset)*float64(pr.CutAfterMaxBytes))
+		p.resets.Add(1)
+	case pr.TruncateProb > 0 && p.draw(n, saltTruncate) < pr.TruncateProb:
+		cut = 1 + int(p.draw(n, saltCutOffset)*float64(pr.CutAfterMaxBytes))
+		p.truncs.Add(1)
+	}
+
+	p.mu.Lock()
+	target := p.target
+	p.mu.Unlock()
+	upstream, err := net.DialTimeout("tcp", target, 5*time.Second)
+	if err != nil {
+		p.errs.Add(1)
+		// The backend is down (mid-drill kill): tell the client in-protocol
+		// so it backs off and retries instead of seeing a naked hangup.
+		fmt.Fprintf(client, "HTTP/1.1 503 Service Unavailable\r\n"+
+			"Content-Type: application/json\r\nRetry-After: 1\r\nConnection: close\r\n"+
+			"Content-Length: %d\r\n\r\n%s", len(backendDownBody), backendDownBody)
+		return
+	}
+	defer upstream.Close()
+
+	// One exchange per connection: force Connection: close upstream so the
+	// response is EOF-delimited and the client never tries to reuse a
+	// connection whose next exchange we might corrupt.
+	req.Close = true
+	req.Header.Set("Connection", "close")
+	req.Body = io.NopCloser(newBytesReader(body))
+	req.ContentLength = int64(len(body))
+	if err := req.Write(upstream); err != nil {
+		p.errs.Add(1)
+		return
+	}
+
+	// Forward raw response bytes, applying the drawn cut.
+	var w io.Writer = client
+	if cut >= 0 {
+		w = &cutWriter{w: client, remaining: cut}
+	}
+	_, cpErr := io.Copy(w, upstream)
+	if cut >= 0 {
+		if reset {
+			// SetLinger(0) turns Close into an RST: the client sees a hard
+			// connection reset, not a graceful FIN.
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+		}
+		return
+	}
+	if cpErr != nil {
+		p.errs.Add(1)
+	}
+}
+
+// errCut is the sentinel a cutWriter returns once its budget is spent.
+var errCut = fmt.Errorf("faultproxy: response cut")
+
+// cutWriter forwards at most `remaining` bytes, then errors the copy.
+type cutWriter struct {
+	w         io.Writer
+	remaining int
+}
+
+func (c *cutWriter) Write(b []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, errCut
+	}
+	if len(b) > c.remaining {
+		n, _ := c.w.Write(b[:c.remaining])
+		c.remaining = 0
+		return n, errCut
+	}
+	n, err := c.w.Write(b)
+	c.remaining -= n
+	return n, err
+}
+
+const (
+	injected503Body = `{"error":{"kind":"unavailable","op":"proxy","message":"injected fault: service unavailable"}}`
+	backendDownBody = `{"error":{"kind":"unavailable","op":"proxy","message":"backend connection refused"}}`
+)
+
+// newBytesReader avoids importing bytes just for one reader.
+func newBytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

@@ -1,0 +1,220 @@
+package faultproxy
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// backend returns a test server that echoes a fixed-size body.
+func backend(t *testing.T, size int) *httptest.Server {
+	t.Helper()
+	body := strings.Repeat("x", size)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func targetOf(srv *httptest.Server) string {
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// oneShot performs a GET through the proxy on a fresh connection.
+func oneShot(t *testing.T, p *Proxy) (*http.Response, []byte, error) {
+	t.Helper()
+	hc := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}, Timeout: 10 * time.Second}
+	resp, err := hc.Get(p.URL() + "/echo")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp, b, err
+}
+
+func TestPassThrough(t *testing.T) {
+	srv := backend(t, 1000)
+	p, err := New(targetOf(srv), 1, Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	for i := 0; i < 5; i++ {
+		resp, body, err := oneShot(t, p)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if resp.StatusCode != 200 || len(body) != 1000 {
+			t.Fatalf("request %d: status %d, %d bytes", i, resp.StatusCode, len(body))
+		}
+	}
+	st := p.Stats()
+	if st.Connections != 5 || st.Injected503+st.Resets+st.Truncations+st.Delayed != 0 {
+		t.Fatalf("zero profile injected faults: %+v", st)
+	}
+}
+
+func TestInjected503HasRetryAfter(t *testing.T) {
+	srv := backend(t, 100)
+	p, err := New(targetOf(srv), 7, Profile{Reject503Prob: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, body, err := oneShot(t, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q, want 1", resp.Header.Get("Retry-After"))
+	}
+	if !strings.Contains(string(body), "unavailable") {
+		t.Fatalf("body = %q", body)
+	}
+	if p.Stats().Injected503 != 1 {
+		t.Fatalf("stats: %+v", p.Stats())
+	}
+}
+
+func TestResetCutsResponse(t *testing.T) {
+	// Response far larger than the cut bound, so every reset truncates.
+	srv := backend(t, 1<<20)
+	p, err := New(targetOf(srv), 3, Profile{ResetProb: 1, CutAfterMaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	_, body, err := oneShot(t, p)
+	if err == nil && len(body) == 1<<20 {
+		t.Fatal("full response delivered despite reset profile")
+	}
+	if p.Stats().Resets == 0 {
+		t.Fatalf("no reset recorded: %+v", p.Stats())
+	}
+}
+
+func TestTruncateCutsResponse(t *testing.T) {
+	srv := backend(t, 1<<20)
+	p, err := New(targetOf(srv), 5, Profile{TruncateProb: 1, CutAfterMaxBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	_, body, err := oneShot(t, p)
+	if err == nil && len(body) == 1<<20 {
+		t.Fatal("full response delivered despite truncate profile")
+	}
+	if p.Stats().Truncations == 0 {
+		t.Fatalf("no truncation recorded: %+v", p.Stats())
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	srv := backend(t, 10)
+	p, err := New(targetOf(srv), 11, Profile{
+		LatencyProb: 1, LatencyMin: 30 * time.Millisecond, LatencyMax: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	start := time.Now()
+	if _, _, err := oneShot(t, p); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("round trip %v, want >= 30ms of injected latency", d)
+	}
+	if p.Stats().Delayed != 1 {
+		t.Fatalf("stats: %+v", p.Stats())
+	}
+}
+
+// TestDeterministicFaultSequence: same seed + same profile ⇒ the same
+// per-connection fault decisions, independent of wall clock.
+func TestDeterministicFaultSequence(t *testing.T) {
+	srv := backend(t, 4096)
+	prof := Profile{Reject503Prob: 0.3, TruncateProb: 0.3, CutAfterMaxBytes: 128}
+
+	run := func(seed int64) Stats {
+		p, err := New(targetOf(srv), seed, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		for i := 0; i < 40; i++ {
+			oneShot(t, p) // errors expected under faults
+		}
+		return p.Stats()
+	}
+
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+	if a.Injected503 == 0 || a.Truncations == 0 {
+		t.Fatalf("profile injected nothing over 40 connections: %+v", a)
+	}
+	c := run(43)
+	if a == c {
+		t.Fatalf("different seeds produced identical fault sequence: %+v", a)
+	}
+}
+
+func TestSetTargetRetargetsNewConnections(t *testing.T) {
+	srvA := backend(t, 11)
+	srvB := backend(t, 22)
+	p, err := New(targetOf(srvA), 1, Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	_, body, err := oneShot(t, p)
+	if err != nil || len(body) != 11 {
+		t.Fatalf("before retarget: %d bytes, err %v", len(body), err)
+	}
+	p.SetTarget(targetOf(srvB))
+	_, body, err = oneShot(t, p)
+	if err != nil || len(body) != 22 {
+		t.Fatalf("after retarget: %d bytes, err %v", len(body), err)
+	}
+}
+
+func TestBackendDownYields503(t *testing.T) {
+	srv := backend(t, 10)
+	target := targetOf(srv)
+	srv.Close() // port now refuses connections
+
+	p, err := New(target, 1, Profile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, _, err := oneShot(t, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 503 || resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("status %d Retry-After %q, want 503 / 1", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if p.Stats().Errors == 0 {
+		t.Fatalf("no error recorded: %+v", p.Stats())
+	}
+}

@@ -463,12 +463,24 @@ type QueueStatsDoc struct {
 	Busy    int `json:"busy"`
 }
 
+// JournalStatsDoc is the wire form of the job journal's counters.
+type JournalStatsDoc struct {
+	Submits      uint64 `json:"submits"`
+	Transitions  uint64 `json:"transitions"`
+	Recovered    int    `json:"recovered"`
+	Compacted    int    `json:"compacted"`
+	TornBytes    int64  `json:"tornBytes"`
+	BytesWritten uint64 `json:"bytesWritten"`
+	Errors       uint64 `json:"errors"`
+}
+
 // StatszDoc is the wire form of the /statsz endpoint: server status plus
-// the counters of every subsystem a serving session carries. EstCache and
-// PlanStore are nil when the session runs without them.
+// the counters of every subsystem a serving session carries. EstCache,
+// PlanStore, and Journal are nil when the session runs without them.
 type StatszDoc struct {
-	Status    string         `json:"status"`
-	Queue     QueueStatsDoc  `json:"queue"`
-	EstCache  *CacheStatsDoc `json:"estcache,omitempty"`
-	PlanStore *StoreStatsDoc `json:"planstore,omitempty"`
+	Status    string           `json:"status"`
+	Queue     QueueStatsDoc    `json:"queue"`
+	EstCache  *CacheStatsDoc   `json:"estcache,omitempty"`
+	PlanStore *StoreStatsDoc   `json:"planstore,omitempty"`
+	Journal   *JournalStatsDoc `json:"journal,omitempty"`
 }

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package service
+
+import "os"
+
+// Without flock, double-open protection degrades to nothing: two live
+// journals over one directory interleave appends. Unix hosts (the
+// deployment target) get the real lock.
+func tryJrnFlock(f *os.File) bool { return true }
+
+func funlockJrn(f *os.File) {}

@@ -1,0 +1,389 @@
+package service
+
+// journal.go implements the durable job journal behind a crash-safe
+// stubbyd: an append-only, CRC-checked log of every submission's request
+// document and subsequent lifecycle transitions. Reopening the journal
+// after a crash yields the set of jobs that were admitted but never
+// reached a terminal state, so the server can re-enqueue exactly those —
+// completed jobs are never resurrected, canceled jobs stay canceled, and
+// re-executed jobs complete idempotently through the plan store.
+//
+// # On-disk layout
+//
+// A journal directory holds one live log plus the compaction temp file:
+//
+//	dir/
+//	  journal.log       append-only CRC-32C records, single writer (flock)
+//	  journal.log.tmp   compaction scratch, published via rename
+//
+// Each record is
+//
+//	magic   uint32  jrnMagic ("SJNL")
+//	kind    uint8   jrnKindSubmit | jrnKindState
+//	length  uint32  payload byte count
+//	crc     uint32  CRC-32C (Castagnoli) over the payload
+//	payload [length]byte  JSON (JournalRecord)
+//
+// in big-endian — the same record discipline as the plan store's
+// segments. A torn tail (crash mid-append) fails the length or CRC check
+// and freezes the scan at the last valid record; Open then compacts the
+// surviving records into a fresh log via write-temp-then-rename, which
+// both truncates the damage physically and drops records of jobs that
+// already finished, so the journal stays proportional to the in-flight
+// set rather than to history.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	jrnMagic      = 0x534a4e4c // "SJNL"
+	jrnKindSubmit = 1
+	jrnKindState  = 2
+	jrnHeaderSize = 4 + 1 + 4 + 4
+	jrnMaxRecord  = 1 << 30 // sanity bound; request docs are a few KB
+
+	jrnFile = "journal.log"
+)
+
+var jrnCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// JournalRecord is the JSON payload of one journal record. Submit records
+// carry the request document and, when the submitter propagated one, the
+// absolute deadline; state records carry the transition.
+type JournalRecord struct {
+	// ID is the job's server-assigned identifier.
+	ID string `json:"id"`
+	// State is the transition a state record logs ("running", "done",
+	// "failed", "canceled"); empty on submit records.
+	State string `json:"state,omitempty"`
+	// Doc is the verbatim optimize-request document of a submit record.
+	Doc json.RawMessage `json:"doc,omitempty"`
+	// DeadlineUnixMS is the job's absolute deadline in Unix milliseconds
+	// (0 = none), journaled so a recovered job keeps its deadline.
+	DeadlineUnixMS int64 `json:"deadlineUnixMS,omitempty"`
+}
+
+// IncompleteJob is one journaled job that never reached a terminal state:
+// the unit of restart recovery.
+type IncompleteJob struct {
+	// ID is the job's original identifier, preserved across the restart so
+	// clients polling it reconnect to the recovered job.
+	ID string
+	// Doc is the submission's verbatim request document.
+	Doc []byte
+	// DeadlineUnixMS is the journaled absolute deadline (0 = none).
+	DeadlineUnixMS int64
+}
+
+// JournalStats is a point-in-time snapshot of journal activity. Counters
+// are cumulative since Open.
+type JournalStats struct {
+	// Submits / Transitions count records appended by kind.
+	Submits     uint64
+	Transitions uint64
+	// Recovered is how many incomplete jobs the reopening scan yielded.
+	Recovered int
+	// Compacted is how many stale records (of already-terminal jobs) the
+	// reopening compaction dropped.
+	Compacted int
+	// TornBytes is how many trailing bytes the reopening scan discarded as
+	// a torn or corrupt tail.
+	TornBytes int64
+	// BytesWritten counts record bytes appended (headers included).
+	BytesWritten uint64
+	// Errors counts append/sync failures; the service keeps running when
+	// it rises, with correspondingly weaker crash-recovery guarantees.
+	Errors uint64
+}
+
+// Journal is a single-writer durable job journal. All methods are safe
+// for concurrent use; Append* calls from concurrent submissions serialize
+// on an internal mutex, preserving a total record order.
+type Journal struct {
+	dir  string
+	sync bool
+
+	mu   sync.Mutex
+	f    *os.File
+	lock *os.File // dir/journal.lock, held (flock) for the journal's lifetime
+
+	submits      atomic.Uint64
+	transitions  atomic.Uint64
+	bytesWritten atomic.Uint64
+	errs         atomic.Uint64
+	recovered    int
+	compacted    int
+	tornBytes    int64
+}
+
+// OpenJournal opens (creating if needed) the journal rooted at dir,
+// recovers its record of in-flight jobs, and compacts the log. The
+// returned incomplete jobs are in original submission order. The journal
+// takes an exclusive flock on the log for its lifetime; a second live
+// opener fails rather than interleaving appends.
+func OpenJournal(dir string) (*Journal, []IncompleteJob, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, jrnFile)
+	j := &Journal{dir: dir, sync: true}
+
+	// The lock lives in a dedicated file (never renamed-over by
+	// compaction, so its inode — and the flock on it — is stable): one live
+	// writer per directory, enforced before recovery mutates anything.
+	lock, err := os.OpenFile(filepath.Join(dir, "journal.lock"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	if !tryJrnFlock(lock) {
+		lock.Close()
+		return nil, nil, fmt.Errorf("journal: %s is held by a live writer", dir)
+	}
+	j.lock = lock
+
+	fail := func(err error) (*Journal, []IncompleteJob, error) {
+		funlockJrn(lock)
+		lock.Close()
+		return nil, nil, err
+	}
+
+	recs, torn, err := scanJournal(path)
+	if err != nil {
+		return fail(err)
+	}
+	j.tornBytes = torn
+
+	// Replay the records into per-job state, preserving submission order.
+	type jobRec struct {
+		doc      json.RawMessage
+		deadline int64
+		terminal bool
+		order    int
+	}
+	jobs := make(map[string]*jobRec)
+	var order []string
+	for _, r := range recs {
+		switch {
+		case len(r.Doc) > 0:
+			if _, ok := jobs[r.ID]; !ok {
+				jobs[r.ID] = &jobRec{doc: r.Doc, deadline: r.DeadlineUnixMS, order: len(order)}
+				order = append(order, r.ID)
+			}
+		case r.State != "":
+			if jr, ok := jobs[r.ID]; ok {
+				if st, perr := ParseState(r.State); perr == nil && st.Terminal() {
+					jr.terminal = true
+				}
+			}
+		}
+	}
+	var incomplete []IncompleteJob
+	for _, id := range order {
+		jr := jobs[id]
+		if jr.terminal {
+			continue
+		}
+		incomplete = append(incomplete, IncompleteJob{ID: id, Doc: jr.doc, DeadlineUnixMS: jr.deadline})
+	}
+	sort.SliceStable(incomplete, func(a, b int) bool {
+		return jobs[incomplete[a].ID].order < jobs[incomplete[b].ID].order
+	})
+	j.recovered = len(incomplete)
+	j.compacted = len(recs) - len(incomplete)
+
+	// Compact: rewrite only the incomplete jobs' submit records into a
+	// fresh log and publish it with the classic temp+rename dance. This is
+	// also what physically truncates a torn tail.
+	tmp := path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fail(fmt.Errorf("journal: compact: %w", err))
+	}
+	for _, in := range incomplete {
+		rec := JournalRecord{ID: in.ID, Doc: in.Doc, DeadlineUnixMS: in.DeadlineUnixMS}
+		buf, err := encodeJournalRecord(jrnKindSubmit, &rec)
+		if err != nil {
+			tf.Close()
+			return fail(err)
+		}
+		if _, err := tf.Write(buf); err != nil {
+			tf.Close()
+			return fail(fmt.Errorf("journal: compact: %w", err))
+		}
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fail(fmt.Errorf("journal: compact: %w", err))
+	}
+	if err := tf.Close(); err != nil {
+		return fail(fmt.Errorf("journal: compact: %w", err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(fmt.Errorf("journal: compact: %w", err))
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(fmt.Errorf("journal: %w", err))
+	}
+	j.f = f
+	return j, incomplete, nil
+}
+
+// scanJournal reads every valid record from path, stopping at the first
+// torn or corrupt one, and reports how many trailing bytes it discarded.
+// A missing file is an empty journal.
+func scanJournal(path string) ([]JournalRecord, int64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	var recs []JournalRecord
+	off := int64(0)
+	size := int64(len(data))
+	for off+jrnHeaderSize <= size {
+		hdr := data[off:]
+		if binary.BigEndian.Uint32(hdr) != jrnMagic {
+			break
+		}
+		kind := hdr[4]
+		if kind != jrnKindSubmit && kind != jrnKindState {
+			break
+		}
+		n := int64(binary.BigEndian.Uint32(hdr[5:]))
+		if n > jrnMaxRecord || off+jrnHeaderSize+n > size {
+			break
+		}
+		payload := data[off+jrnHeaderSize : off+jrnHeaderSize+n]
+		if crc32.Checksum(payload, jrnCRCTable) != binary.BigEndian.Uint32(hdr[9:]) {
+			break
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.ID == "" {
+			break
+		}
+		recs = append(recs, rec)
+		off += jrnHeaderSize + n
+	}
+	return recs, size - off, nil
+}
+
+// encodeJournalRecord frames one record: header, CRC, JSON payload.
+func encodeJournalRecord(kind byte, rec *JournalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode: %w", err)
+	}
+	if len(payload) > jrnMaxRecord {
+		return nil, fmt.Errorf("journal: record of %d bytes exceeds limit", len(payload))
+	}
+	buf := make([]byte, jrnHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(buf[0:], jrnMagic)
+	buf[4] = kind
+	binary.BigEndian.PutUint32(buf[5:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[9:], crc32.Checksum(payload, jrnCRCTable))
+	copy(buf[jrnHeaderSize:], payload)
+	return buf, nil
+}
+
+// append writes one framed record and (by default) fdatasyncs it, so an
+// acknowledged submission survives an immediate SIGKILL.
+func (j *Journal) append(kind byte, rec *JournalRecord) error {
+	buf, err := encodeJournalRecord(kind, rec)
+	if err != nil {
+		j.errs.Add(1)
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		j.errs.Add(1)
+		return errors.New("journal: closed")
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		j.errs.Add(1)
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.bytesWritten.Add(uint64(len(buf)))
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			j.errs.Add(1)
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// AppendSubmit journals one admitted submission: its server-assigned ID,
+// verbatim request document, and (optional) absolute deadline.
+func (j *Journal) AppendSubmit(id string, doc []byte, deadlineUnixMS int64) error {
+	err := j.append(jrnKindSubmit, &JournalRecord{ID: id, Doc: doc, DeadlineUnixMS: deadlineUnixMS})
+	if err == nil {
+		j.submits.Add(1)
+	}
+	return err
+}
+
+// AppendState journals one lifecycle transition.
+func (j *Journal) AppendState(id string, state State) error {
+	err := j.append(jrnKindState, &JournalRecord{ID: id, State: state.String()})
+	if err == nil {
+		j.transitions.Add(1)
+	}
+	return err
+}
+
+// Stats snapshots the journal's counters.
+func (j *Journal) Stats() JournalStats {
+	return JournalStats{
+		Submits:      j.submits.Load(),
+		Transitions:  j.transitions.Load(),
+		Recovered:    j.recovered,
+		Compacted:    j.compacted,
+		TornBytes:    j.tornBytes,
+		BytesWritten: j.bytesWritten.Load(),
+		Errors:       j.errs.Load(),
+	}
+}
+
+// Dir returns the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// SetSync toggles per-append fdatasync (on by default). Benchmarks may
+// turn it off; crash recovery then depends on the OS having flushed.
+func (j *Journal) SetSync(sync bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sync = sync
+}
+
+// Close releases the log and its lock. Appends after Close fail and count
+// as Errors.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if j.lock != nil {
+		funlockJrn(j.lock)
+		j.lock.Close()
+		j.lock = nil
+	}
+	return err
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/stubby-mr/stubby/internal/stubbyerr"
 )
@@ -113,6 +114,25 @@ func (b *Broker) Close() {
 // then follows live publishes. The channel closes when the broker closes
 // (after the replay drains) or when ctx is done.
 func (b *Broker) Subscribe(ctx context.Context) <-chan any {
+	return b.SubscribeFrom(ctx, 0)
+}
+
+// Len returns the number of events published so far — the sequence number
+// the next published event will occupy.
+func (b *Broker) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// SubscribeFrom is Subscribe with a resume cursor: the replay starts at
+// sequence number `from` (the index of an event in the broker's
+// append-only log; event i is the i-th ever published) instead of 0. A
+// reconnecting consumer that counted the events it already received can
+// therefore resume with exactly the missed suffix — no gaps, no
+// duplicates. Subscribing past the log on a closed broker yields an
+// immediately-closed channel; on a live one it waits for the log to grow.
+func (b *Broker) SubscribeFrom(ctx context.Context, from int) <-chan any {
 	ch := make(chan any)
 	// A canceled context must wake a subscriber blocked in cond.Wait.
 	stop := context.AfterFunc(ctx, func() {
@@ -123,7 +143,10 @@ func (b *Broker) Subscribe(ctx context.Context) <-chan any {
 	go func() {
 		defer close(ch)
 		defer stop()
-		next := 0
+		next := from
+		if next < 0 {
+			next = 0
+		}
 		for {
 			b.mu.Lock()
 			for next >= len(b.events) && !b.closed && ctx.Err() == nil {
@@ -173,7 +196,21 @@ type Job struct {
 // independent of the submitter's: it lives until the job finishes or
 // Cancel fires.
 func NewJob(id string, run func(context.Context) (any, error)) *Job {
-	ctx, cancel := context.WithCancel(context.Background())
+	return NewJobWithDeadline(id, time.Time{}, run)
+}
+
+// NewJobWithDeadline is NewJob with an absolute execution deadline (zero =
+// none): the job's context expires at the deadline, so a submission whose
+// client propagated its deadline over the wire fails with a deadline error
+// instead of burning a worker past the point anyone is waiting.
+func NewJobWithDeadline(id string, deadline time.Time, run func(context.Context) (any, error)) *Job {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if deadline.IsZero() {
+		ctx, cancel = context.WithCancel(context.Background())
+	} else {
+		ctx, cancel = context.WithDeadline(context.Background(), deadline)
+	}
 	j := &Job{
 		id:     id,
 		run:    run,
@@ -243,6 +280,13 @@ func (j *Job) Publish(ev any) { j.broker.Publish(ev) }
 
 // Events subscribes to the job's event stream (see Broker.Subscribe).
 func (j *Job) Events(ctx context.Context) <-chan any { return j.broker.Subscribe(ctx) }
+
+// EventsFrom subscribes with a resume cursor (see Broker.SubscribeFrom): a
+// reconnecting consumer that counted its received events resumes with
+// exactly the missed suffix.
+func (j *Job) EventsFrom(ctx context.Context, from int) <-chan any {
+	return j.broker.SubscribeFrom(ctx, from)
+}
 
 // Finish completes a queued job in place with res, bypassing the worker
 // pool — the fast path for submissions whose result is already at hand

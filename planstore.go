@@ -3,6 +3,7 @@ package stubby
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"github.com/stubby-mr/stubby/internal/optimizer"
@@ -81,6 +82,35 @@ func (s *Session) planKey(w *Workflow, planner string, seed int64) planstore.Key
 		Planner: planner,
 		Seed:    seed,
 	}
+}
+
+// requestKey renders the canonical in-flight identity of a submission: the
+// plan-store key fields — workflow fingerprint, cluster fingerprint,
+// resolved planner, resolved seed — as a map key. Two requests with equal
+// keys produce byte-identical plans, so a journaled server lets the second
+// attach to the first's job instead of running it twice (the idempotency
+// that makes client-side submit retries safe).
+func (s *Session) requestKey(req OptimizeRequest) string {
+	if req.Workflow == nil {
+		return ""
+	}
+	name := req.Planner
+	if name == "" {
+		name = s.plannerName
+	}
+	if name == "" {
+		name = "stubby"
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.seed
+	}
+	cluster := s.cluster
+	if req.Cluster != nil {
+		cluster = req.Cluster
+	}
+	return fmt.Sprintf("%v|%v|%s|%d", wf.FingerprintWorkflow(req.Workflow),
+		estcache.ClusterFingerprint(cluster), name, seed)
 }
 
 // encodeStoredResult renders an optimization result as the planio wire

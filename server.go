@@ -6,14 +6,22 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/stubby-mr/stubby/internal/planio"
 	"github.com/stubby-mr/stubby/internal/service"
 	"github.com/stubby-mr/stubby/internal/stubbyerr"
 	"github.com/stubby-mr/stubby/internal/wf"
 )
+
+// deadlineHeader carries a submission's remaining time budget (integer
+// milliseconds) from client to server; the server turns it into an
+// absolute execution deadline on the job (and journals it, so a recovered
+// job keeps its deadline).
+const deadlineHeader = "X-Stubby-Deadline-MS"
 
 // Server exposes a Session's Submit lifecycle over HTTP — the handler
 // behind the stubbyd command, embeddable in any mux. The API is versioned
@@ -23,9 +31,10 @@ import (
 //	GET  /v1/jobs/{id}         status + progress snapshot
 //	GET  /v1/jobs/{id}/result  optimize-result document (409 until done)
 //	POST /v1/jobs/{id}/cancel  request cancellation
-//	GET  /v1/jobs/{id}/events  NDJSON event stream (full replay, closes at terminal)
-//	GET  /healthz              liveness + queue shape
-//	GET  /statsz               queue occupancy + estimate-cache and plan-store counters
+//	GET  /v1/jobs/{id}/events  NDJSON event stream (?from=N resumes at line N)
+//	GET  /healthz              liveness + queue shape (200 even while draining)
+//	GET  /readyz               readiness (503 the moment Drain begins)
+//	GET  /statsz               queue/estimate-cache/plan-store/journal counters
 //
 // Errors travel as {"error": {kind, op, workflow, job, message}} with the
 // kind-appropriate HTTP status (429 overloaded, 503 draining, 404 unknown
@@ -36,11 +45,13 @@ type Server struct {
 	mux      *http.ServeMux
 	maxBody  int64
 	retain   int
+	journal  *Journal // durable job journal (WithJournal), nil without one
 	draining atomic.Bool
 
-	mu    sync.RWMutex
-	jobs  map[string]*OptimizeHandle
-	order []string // submission order, for terminal-handle pruning
+	mu       sync.RWMutex
+	jobs     map[string]*OptimizeHandle
+	order    []string          // submission order, for terminal-handle pruning
+	inflight map[string]string // request fingerprint → live job ID (journaled servers)
 }
 
 // ServerOption configures a Server under construction.
@@ -74,11 +85,12 @@ func WithJobRetention(n int) ServerOption {
 // jobs.
 func NewServer(sess *Session, opts ...ServerOption) *Server {
 	s := &Server{
-		sess:    sess,
-		mux:     http.NewServeMux(),
-		maxBody: 256 << 20,
-		retain:  1024,
-		jobs:    make(map[string]*OptimizeHandle),
+		sess:     sess,
+		mux:      http.NewServeMux(),
+		maxBody:  256 << 20,
+		retain:   1024,
+		jobs:     make(map[string]*OptimizeHandle),
+		inflight: make(map[string]string),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -89,8 +101,29 @@ func NewServer(sess *Session, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	if s.journal != nil {
+		s.recoverJournaled()
+	}
 	return s
+}
+
+// adopt registers a freshly submitted (or recovered) handle for lookup,
+// indexes its fingerprint as in-flight, and — on journaled servers —
+// starts the watcher that journals its lifecycle transitions.
+func (s *Server) adopt(h *OptimizeHandle, key string) {
+	s.mu.Lock()
+	s.jobs[h.ID()] = h
+	s.order = append(s.order, h.ID())
+	if s.journal != nil && key != "" {
+		s.inflight[key] = h.ID()
+	}
+	s.pruneLocked()
+	s.mu.Unlock()
+	if s.journal != nil {
+		go s.watch(h, key)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -156,7 +189,14 @@ func kindStatus(k ErrorKind) int {
 func writeError(w http.ResponseWriter, err error) {
 	doc := planio.NewErrorDoc(err)
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(kindStatus(stubbyerr.ParseKind(doc.Kind)))
+	kind := stubbyerr.ParseKind(doc.Kind)
+	// Shed (429) and drain (503) rejections are retryable by construction;
+	// Retry-After tells well-behaved clients when, and Client maps it into
+	// its backoff schedule.
+	if kind == stubbyerr.KindOverloaded || kind == stubbyerr.KindUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(kindStatus(kind))
 	_ = json.NewEncoder(w).Encode(planio.ErrorEnvelope{Error: doc})
 }
 
@@ -187,22 +227,50 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, stubbyerr.WithKind(stubbyerr.KindInvalid, "submit", "", err))
 		return
 	}
-	h, err := s.sess.Submit(r.Context(), OptimizeRequest{
+	oreq := OptimizeRequest{
 		Workflow:           req.Plan,
 		Planner:            req.Planner,
 		Seed:               req.Seed,
 		Cluster:            req.Cluster,
 		DisableIncremental: req.DisableIncremental,
-	})
+	}
+	// A client that set a context deadline propagates the remaining budget
+	// over the wire; the job's execution context expires with it.
+	if ms := r.Header.Get(deadlineHeader); ms != "" {
+		if v, perr := strconv.ParseInt(ms, 10, 64); perr == nil && v > 0 {
+			oreq.deadline = time.Now().Add(time.Duration(v) * time.Millisecond)
+		}
+	}
+	var key string
+	if s.journal != nil {
+		// Idempotent admission: a fingerprint already in flight means this
+		// submission is a retry (or a concurrent duplicate) of live work —
+		// attach to the existing job instead of running it twice.
+		key = s.sess.requestKey(oreq)
+		s.mu.RLock()
+		prior := s.jobs[s.inflight[key]]
+		s.mu.RUnlock()
+		if prior != nil && !prior.State().Terminal() {
+			writeJSON(w, http.StatusAccepted,
+				planio.SubmitResponse{ID: prior.ID(), State: prior.State().String()})
+			return
+		}
+	}
+	h, err := s.sess.Submit(r.Context(), oreq)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	s.mu.Lock()
-	s.jobs[h.ID()] = h
-	s.order = append(s.order, h.ID())
-	s.pruneLocked()
-	s.mu.Unlock()
+	if s.journal != nil {
+		// Journal before acknowledging: a submission the client saw accepted
+		// is guaranteed to be re-enqueued if the process dies.
+		var deadlineMS int64
+		if !oreq.deadline.IsZero() {
+			deadlineMS = oreq.deadline.UnixMilli()
+		}
+		_ = s.journal.j.AppendSubmit(h.ID(), body, deadlineMS)
+	}
+	s.adopt(h, key)
 	writeJSON(w, http.StatusAccepted, planio.SubmitResponse{ID: h.ID(), State: h.State().String()})
 }
 
@@ -311,12 +379,26 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	// ?from=N resumes the stream at line N: the NDJSON line index is the
+	// event's sequence number in the job's append-only log, so a client
+	// that counted its received lines reconnects to exactly the missed
+	// suffix. No cursor (or from=0) replays from the beginning.
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, perr := strconv.Atoi(v)
+		if perr != nil || n < 0 {
+			writeError(w, stubbyerr.New(stubbyerr.KindInvalid, "events", h.WorkflowName(), h.ID(),
+				"bad resume cursor %q", v))
+			return
+		}
+		from = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	for ev := range h.Events(r.Context()) {
+	for ev := range h.EventsFrom(r.Context(), from) {
 		if err := enc.Encode(eventToDoc(ev)); err != nil {
 			return // client went away
 		}
@@ -326,6 +408,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealth is liveness: the process is up and can answer HTTP. It is
+// 200 even while draining — a draining server is alive and should not be
+// restarted by a liveness probe. Route traffic with /readyz instead.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	q := s.sess.jobQueue()
 	status := "ok"
@@ -334,6 +419,27 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     status,
+		"queueDepth": q.Depth(),
+		"workers":    q.Workers(),
+	})
+}
+
+// handleReady is readiness: 200 while the server accepts submissions,
+// 503 (Retry-After stamped) the moment Drain begins — load balancers stop
+// routing new work immediately while in-flight jobs finish.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	q := s.sess.jobQueue()
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":     "draining",
+			"queueDepth": q.Depth(),
+			"workers":    q.Workers(),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
 		"queueDepth": q.Depth(),
 		"workers":    q.Workers(),
 	})
@@ -364,7 +470,27 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if stats, ok := s.sess.PlanStoreStats(); ok {
 		doc.PlanStore = storeStatsDoc(stats)
 	}
+	if stats, ok := s.JournalStats(); ok {
+		doc.Journal = journalStatsDoc(stats)
+	}
 	writeJSON(w, http.StatusOK, doc)
+}
+
+// journalStatsDoc converts journal stats to their wire form.
+func journalStatsDoc(st JournalStats) *planio.JournalStatsDoc {
+	return &planio.JournalStatsDoc{Submits: st.Submits, Transitions: st.Transitions,
+		Recovered: st.Recovered, Compacted: st.Compacted, TornBytes: st.TornBytes,
+		BytesWritten: st.BytesWritten, Errors: st.Errors}
+}
+
+// journalStatsFromDoc is the client-side inverse of journalStatsDoc.
+func journalStatsFromDoc(d *planio.JournalStatsDoc) JournalStats {
+	if d == nil {
+		return JournalStats{}
+	}
+	return JournalStats{Submits: d.Submits, Transitions: d.Transitions,
+		Recovered: d.Recovered, Compacted: d.Compacted, TornBytes: d.TornBytes,
+		BytesWritten: d.BytesWritten, Errors: d.Errors}
 }
 
 // cacheStatsDoc converts estimate-cache stats to their wire form.

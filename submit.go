@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"github.com/stubby-mr/stubby/internal/optimizer"
 	"github.com/stubby-mr/stubby/internal/service"
@@ -53,6 +56,14 @@ type OptimizeRequest struct {
 	// through the monolithic estimator (a debugging/benchmarking aid;
 	// plans are identical either way).
 	DisableIncremental bool
+
+	// resumeID pins the job's ID instead of drawing a fresh one — set only
+	// by journal recovery, which must re-enqueue a crashed job under its
+	// original identifier so clients polling that ID reconnect to it.
+	resumeID string
+	// deadline bounds the job's execution absolutely (zero = none). The
+	// server sets it from the client's propagated wire deadline.
+	deadline time.Time
 }
 
 // Progress is a point-in-time snapshot of a submitted job.
@@ -151,7 +162,16 @@ func (h *OptimizeHandle) result() (*Result, error) {
 // channel closes after the terminal StateChangedEvent (always the last
 // event) or when ctx ends.
 func (h *OptimizeHandle) Events(ctx context.Context) <-chan Event {
-	raw := h.job.Events(ctx)
+	return h.EventsFrom(ctx, 0)
+}
+
+// EventsFrom is Events with a resume cursor: the replay starts at sequence
+// number `from` — the index of an event in the job's append-only log, which
+// is also the NDJSON line index the server's event stream emits — so a
+// reconnecting consumer that counted the events it already received gets
+// exactly the missed suffix, no gaps and no duplicates.
+func (h *OptimizeHandle) EventsFrom(ctx context.Context, from int) <-chan Event {
+	raw := h.job.EventsFrom(ctx, from)
 	ch := make(chan Event)
 	go func() {
 		defer close(ch)
@@ -256,12 +276,16 @@ func (s *Session) Submit(ctx context.Context, req OptimizeRequest) (*OptimizeHan
 	if seed == 0 {
 		seed = s.seed
 	}
+	id := req.resumeID
+	if id == "" {
+		id = fmt.Sprintf("job-%d", s.jobSeq.Add(1))
+	}
 	h := &OptimizeHandle{
-		id:       fmt.Sprintf("job-%d", s.jobSeq.Add(1)),
+		id:       id,
 		workflow: wfName,
 		obs:      s.observer,
 	}
-	h.job = service.NewJob(h.id, func(ctx context.Context) (any, error) {
+	h.job = service.NewJobWithDeadline(h.id, req.deadline, func(ctx context.Context) (any, error) {
 		res, err := target.optimizeNamed(ctx, req.Workflow, name, seed, submitObserver{h})
 		if err != nil {
 			return nil, stubbyerr.From("optimize", wfName, err)
@@ -305,6 +329,22 @@ func (s *Session) Submit(ctx context.Context, req OptimizeRequest) (*OptimizeHan
 		return nil, stubbyerr.From(op, wfName, err)
 	}
 	return h, nil
+}
+
+// reserveJobID advances the session's job-ID sequence past a recovered
+// job's numeric suffix, so fresh submissions after a journal recovery
+// never collide with a preserved pre-crash ID.
+func (s *Session) reserveJobID(id string) {
+	n, err := strconv.ParseUint(strings.TrimPrefix(id, "job-"), 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := s.jobSeq.Load()
+		if cur >= n || s.jobSeq.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // jobQueue lazily creates the session's admission queue: WithParallelism
