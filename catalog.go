@@ -1,0 +1,113 @@
+package stubby
+
+import (
+	"errors"
+
+	"github.com/stubby-mr/stubby/internal/catalog"
+	"github.com/stubby-mr/stubby/internal/planio"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// ReuseCatalog is a durable catalog of materialized sub-plan results (the
+// ReStore idea): every dataset a Run materializes is published under its
+// producing sub-DAG's rooted fingerprint, and later optimizations — of the
+// same workflow or a different one sharing a sub-DAG — can replace the
+// matched sub-DAG with a scan of the stored result when the What-if
+// estimate says scanning beats recomputing. See internal/catalog for the
+// on-disk format and durability guarantees.
+type ReuseCatalog = catalog.Store
+
+// ReuseCatalogStats snapshots a ReuseCatalog's counters; see
+// Session.ReuseCatalogStats and ReuseReportEvent.
+type ReuseCatalogStats = catalog.Stats
+
+// NewReuseCatalog opens (creating if needed) a reuse catalog rooted at
+// dir. Reopening recovers crash-safely — torn record tails are truncated,
+// stale duplicates are compacted away, and every surviving entry stays
+// CRC-verified on read. One live writer per directory is enforced with a
+// lock file; close the catalog when done.
+func NewReuseCatalog(dir string) (*ReuseCatalog, error) {
+	return catalog.Open(dir)
+}
+
+// WithReuseCatalog attaches a sub-plan reuse catalog to the session:
+// Run publishes every materialized intermediate dataset under its
+// producing sub-DAG's fingerprint, and Optimize/Submit add a pre-pass
+// that replaces catalog-matched sub-DAGs with scans of the stored
+// results — but only when the What-if estimate says the scan is strictly
+// cheaper, so reuse can never worsen a plan. Result.ReusedSubplans
+// reports how many sub-DAGs each optimization replaced. The caller
+// retains ownership: Close the catalog after the session is done with it.
+//
+// Reuse preserves results exactly: a sub-DAG is matched only when its
+// rooted fingerprint — job programs, configurations, profiles, and the
+// full content identity of every base input — is identical to the run
+// that produced the stored result.
+func WithReuseCatalog(c *ReuseCatalog) SessionOption {
+	return func(s *Session) error {
+		if c == nil {
+			return errors.New("stubby: WithReuseCatalog(nil)")
+		}
+		s.reuseCatalog = c
+		return nil
+	}
+}
+
+// ReuseCatalog returns the catalog attached via WithReuseCatalog, or nil.
+func (s *Session) ReuseCatalog() *ReuseCatalog { return s.reuseCatalog }
+
+// ReuseCatalogStats snapshots the attached catalog's counters. ok is false
+// when the session has no reuse catalog.
+func (s *Session) ReuseCatalogStats() (stats ReuseCatalogStats, ok bool) {
+	if s.reuseCatalog == nil {
+		return ReuseCatalogStats{}, false
+	}
+	return s.reuseCatalog.Stats(), true
+}
+
+// publishRunResults records every intermediate dataset a completed Run
+// materialized into the session's reuse catalog, keyed by the rooted
+// fingerprint of its producing sub-DAG. Empty results are skipped (a scan
+// of nothing never beats anything), as are datasets the run did not leave
+// on the DFS. Catalog append errors are absorbed into the catalog's Errors
+// counter — a full disk must not fail a run that already succeeded.
+func (s *Session) publishRunResults(dfs *DFS, w *Workflow) {
+	h := wf.NewHasher()
+	for _, d := range w.Datasets {
+		if d.Base || w.Producer(d.ID) == nil {
+			continue
+		}
+		fp, ok := h.Subplan(w, d.ID)
+		if !ok {
+			continue
+		}
+		stored, ok := dfs.Get(d.ID)
+		if !ok || stored.Records() == 0 || stored.Bytes() == 0 {
+			continue
+		}
+		layout, err := planio.EncodeLayout(stored.Layout)
+		if err != nil {
+			continue
+		}
+		total := stored.Bytes()
+		var maxPart int64
+		for _, p := range stored.Parts {
+			if p.Bytes > maxPart {
+				maxPart = p.Bytes
+			}
+		}
+		_ = s.reuseCatalog.Put(catalog.Entry{
+			Fingerprint:  fp.String(),
+			Dataset:      d.ID,
+			Workflow:     w.Name,
+			Jobs:         len(wf.ProducingJobs(w, d.ID)),
+			Records:      float64(stored.Records()),
+			Bytes:        float64(total),
+			Partitions:   len(stored.Parts),
+			MaxPartShare: float64(maxPart) / float64(total),
+			KeyFields:    d.KeyFields,
+			ValueFields:  d.ValueFields,
+			Layout:       layout,
+		})
+	}
+}

@@ -120,6 +120,9 @@ type ServiceStats struct {
 	EstimateCache *EstimateCacheStats
 	// PlanStore carries the plan store's counters, when attached.
 	PlanStore *PlanStoreStats
+	// ReuseCatalog carries the sub-plan reuse catalog's counters, when
+	// attached.
+	ReuseCatalog *ReuseCatalogStats
 	// Journal carries the durable job journal's counters, when attached.
 	Journal *JournalStats
 }
@@ -147,6 +150,10 @@ func (c *Client) Stats(ctx context.Context) (*ServiceStats, error) {
 		if doc.PlanStore != nil {
 			stats := storeStatsFromDoc(doc.PlanStore)
 			st.PlanStore = &stats
+		}
+		if doc.ReuseCatalog != nil {
+			stats := reuseStatsFromDoc(doc.ReuseCatalog)
+			st.ReuseCatalog = &stats
 		}
 		if doc.Journal != nil {
 			stats := journalStatsFromDoc(doc.Journal)
@@ -454,6 +461,7 @@ func (j *RemoteJob) Result(ctx context.Context) (*Result, error) {
 				WhatIfComputed: doc.WhatIfComputed,
 				FlowCards:      doc.FlowCards,
 				Robustness:     robustnessFromDoc(doc.Robustness),
+				ReusedSubplans: doc.ReusedSubplans,
 			}
 			return nil
 		})

@@ -333,6 +333,29 @@ func runOptimizerBench(h *bench.Harness, out, guard string, size float64, seed i
 	fmt.Println(bench.FormatTable(
 		[]string{"Workflow", "Jobs", "Nominal", "Mean", "p95", "p99", "Failed out"}, cells))
 
+	reuseRows, err := h.ReuseBench(nil)
+	if err != nil {
+		return err
+	}
+	report.Reuse = reuseRows
+	fmt.Printf("Cross-workflow sub-plan reuse on overlapping families (%d members per seed, member 0 publishes)\n",
+		bench.ReuseBenchMembers)
+	cells = nil
+	for _, r := range reuseRows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.FamilySeed),
+			fmt.Sprintf("%d", r.Member),
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%d", r.PlanJobs),
+			fmt.Sprintf("%d", r.ReusedSubplans),
+			fmt.Sprintf("%d/%d", r.CatalogHits, r.CatalogHits+r.CatalogMisses),
+			fmt.Sprintf("%.2f", r.HitRatio),
+			fmt.Sprintf("%.2fx", r.CostRatio),
+		})
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Family", "Member", "Jobs", "Plan jobs", "Reused", "Hits", "Hit ratio", "Cost"}, cells))
+
 	if out != "" {
 		if err := bench.WriteOptimizerBenchJSON(out, report); err != nil {
 			return err

@@ -10,6 +10,7 @@
 //	stubby -workload BR -optimizer stubby -run
 //	stubby -workload LA -optimizer ysmart -dot
 //	stubby -workload IR -compare
+//	stubby -workload BR -reuse-catalog ./catalog -run
 //	stubby -workload BR -export br.plan.json
 //	stubby -import br.plan.json -optimizer stubby
 //	stubby -workload BR -remote http://localhost:8080 -v
@@ -40,6 +41,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		fraction = flag.Float64("profile", 0.5, "profiling sample fraction")
 		useCache = flag.Bool("cache", true, "memoize what-if estimates under workflow fingerprints")
+		reuseDir = flag.String("reuse-catalog", "", "sub-plan reuse catalog directory: -run publishes materialized intermediates, optimizations reuse catalog-matched sub-DAG results")
 		incr     = flag.Bool("incremental", true, "delta-estimate configuration-search probes (bit-transparent; disable to benchmark the monolithic estimator)")
 		robSamples = flag.Int("robustness", 0, "Monte-Carlo samples for fault-aware robustness scoring (0 disables)")
 		faultName  = flag.String("fault-profile", "standard", "fault profile for -robustness (standard, failures, stragglers)")
@@ -92,6 +94,21 @@ func main() {
 	if *useCache {
 		cache = stubby.NewEstimateCache(0)
 		opts = append(opts, stubby.WithEstimateCache(cache))
+	}
+	var reuseCat *stubby.ReuseCatalog
+	if *reuseDir != "" {
+		reuseCat, err = stubby.NewReuseCatalog(*reuseDir)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			st := reuseCat.Stats()
+			fmt.Printf("-- reuse catalog: %d entries, %d hits / %d misses\n", st.Entries, st.Hits, st.Misses)
+			if err := reuseCat.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		opts = append(opts, stubby.WithReuseCatalog(reuseCat))
 	}
 	if *verbose {
 		opts = append(opts, stubby.WithObserver(progressObserver{}))
@@ -201,6 +218,9 @@ func printWhatIf(res *stubby.Result, cache *stubby.EstimateCache) {
 	}
 	fmt.Printf("-- what-if calls: %d requested, %d full computations, %d flow cards\n",
 		res.WhatIfCalls, res.WhatIfComputed, res.FlowCards)
+	if res.ReusedSubplans > 0 {
+		fmt.Printf("-- sub-plan reuse: replaced %d sub-DAG(s) with stored-result scans\n", res.ReusedSubplans)
+	}
 	if r := res.Robustness; r != nil {
 		fmt.Printf("-- robustness (%d perturbation samples): mean %.1fs, p95 %.1fs, p99 %.1fs\n",
 			r.Samples, r.Mean, r.P95, r.P99)

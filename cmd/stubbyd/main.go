@@ -29,6 +29,12 @@
 // after a hard kill — re-enqueues the jobs that were in flight, under
 // their original IDs, completing them idempotently through the plan store.
 //
+// With -reuse-catalog DIR, optimizations consult a durable catalog of
+// previously materialized sub-plan results (populated by runs that had the
+// same catalog attached): catalog-matched sub-DAGs are replaced with scans
+// of the stored results whenever the What-if estimate says scanning beats
+// recomputing. The catalog takes one exclusive writer per directory.
+//
 // Submissions beyond the admission queue's depth are shed with HTTP 429
 // and error kind "overloaded". On SIGTERM/SIGINT the server drains
 // gracefully: new submissions get 503, running jobs finish (up to
@@ -61,6 +67,7 @@ func main() {
 		useCache = flag.Bool("cache", true, "share one estimate cache across all jobs")
 		rrsEvals = flag.Int("rrs-evals", 0, "configuration-search budget override (0 = default)")
 		storeDir = flag.String("store", "", "persistent plan-store directory (empty = no store); replicas may share one directory")
+		reuseDir = flag.String("reuse-catalog", "", "sub-plan reuse catalog directory (empty = no reuse): optimizations replace catalog-matched sub-DAGs with scans of stored results")
 		jdir     = flag.String("journal", "", "durable job-journal directory (empty = 'journal' under -store when set, else no journal)")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits before canceling running jobs")
 
@@ -100,6 +107,15 @@ func main() {
 			os.Exit(1)
 		}
 		opts = append(opts, stubby.WithPlanStore(store))
+	}
+	var reuseCat *stubby.ReuseCatalog
+	if *reuseDir != "" {
+		var err error
+		if reuseCat, err = stubby.NewReuseCatalog(*reuseDir); err != nil {
+			fmt.Fprintln(os.Stderr, "stubbyd:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, stubby.WithReuseCatalog(reuseCat))
 	}
 	sess, err := stubby.NewSession(opts...)
 	if err != nil {
@@ -170,6 +186,14 @@ func main() {
 			st.Submits, st.Transitions, st.Recovered, st.BytesWritten)
 		if err := journal.Close(); err != nil {
 			log.Printf("stubbyd: journal close: %v", err)
+		}
+	}
+	if reuseCat != nil {
+		st := reuseCat.Stats()
+		log.Printf("stubbyd: reuse catalog: %d entries, %d hits / %d misses (%.0f%% hit rate)",
+			st.Entries, st.Hits, st.Misses, 100*st.HitRate())
+		if err := reuseCat.Close(); err != nil {
+			log.Printf("stubbyd: reuse catalog close: %v", err)
 		}
 	}
 	log.Print("stubbyd: stopped")

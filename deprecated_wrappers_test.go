@@ -1,0 +1,53 @@
+package stubby_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/stubby-mr/stubby"
+)
+
+// TestDeprecatedWrappersCloseTheirSessions: the package-level Run /
+// Profile / Optimize / EstimateCost wrappers build throwaway sessions;
+// each must close its session on every path, so repeated wrapper calls
+// leave the process's goroutine count where it started (a session close
+// drains the admission queue's worker pool).
+func TestDeprecatedWrappersCloseTheirSessions(t *testing.T) {
+	wl := tinyWorkload(t, "IR")
+
+	// One warm-up pass so lazily initialized runtime state (scheduler,
+	// finalizer goroutines) is excluded from the growth measurement.
+	if err := stubby.Profile(wl.Cluster, wl.Workflow, wl.DFS, 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	base := runtime.NumGoroutine()
+
+	for i := 0; i < 5; i++ {
+		if _, err := stubby.Run(wl.Cluster, wl.DFS.Clone(), wl.Workflow); err != nil {
+			t.Fatal(err)
+		}
+		if err := stubby.Profile(wl.Cluster, wl.Workflow, wl.DFS, 0.5, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stubby.Optimize(wl.Cluster, wl.Workflow, stubby.Options{RRSEvals: 10}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stubby.EstimateCost(wl.Cluster, wl.Workflow); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Drained workers exit asynchronously; poll briefly before judging.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+2 {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d across 20 wrapper calls; throwaway sessions are leaking", base, n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -74,6 +74,16 @@ type PlanStoreEvent struct {
 	Stats    PlanStoreStats
 }
 
+// ReuseReportEvent fires once per optimizing submission on a session with
+// a reuse catalog attached (WithReuseCatalog), reporting how many rooted
+// sub-DAGs of this workflow's plan were replaced with scans of previously
+// materialized results, along with the catalog's cumulative statistics.
+type ReuseReportEvent struct {
+	Workflow string
+	Reused   int
+	Stats    ReuseCatalogStats
+}
+
 // RobustnessEvent fires once per submission on a session with robustness-
 // aware planning configured (WithRobustness), carrying the chosen plan's
 // Monte-Carlo makespan distribution under the session's fault model.
@@ -99,6 +109,7 @@ func (e BestCostImprovedEvent) WorkflowName() string  { return e.Workflow }
 func (e JobFinishedEvent) WorkflowName() string       { return e.Workflow }
 func (e CacheReportEvent) WorkflowName() string       { return e.Workflow }
 func (e PlanStoreEvent) WorkflowName() string         { return e.Workflow }
+func (e ReuseReportEvent) WorkflowName() string       { return e.Workflow }
 func (e RobustnessEvent) WorkflowName() string        { return e.Workflow }
 func (e StateChangedEvent) WorkflowName() string      { return e.Workflow }
 
@@ -108,6 +119,7 @@ func (BestCostImprovedEvent) event()  {}
 func (JobFinishedEvent) event()       {}
 func (CacheReportEvent) event()       {}
 func (PlanStoreEvent) event()         {}
+func (ReuseReportEvent) event()       {}
 func (RobustnessEvent) event()        {}
 func (StateChangedEvent) event()      {}
 

@@ -1,0 +1,71 @@
+package stubby_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/stubby-mr/stubby"
+)
+
+// ExampleWithReuseCatalog attaches a sub-plan reuse catalog to a session:
+// every dataset a Run materializes is published durably under the rooted
+// fingerprint of its producing sub-DAG, and later optimizations — of this
+// workflow or any other sharing an identical sub-DAG — replace the matched
+// sub-DAG with a scan of the stored result whenever the What-if estimate
+// says scanning beats recomputing. The fastest job is the one never run.
+func ExampleWithReuseCatalog() {
+	wl, err := stubby.BuildWorkload("IR", stubby.WorkloadOptions{SizeFactor: 0.1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "stubby-reuse-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// In a deployment the directory would be a fixed path shared across
+	// process restarts (stubbyd -reuse-catalog).
+	cat, err := stubby.NewReuseCatalog(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cat.Close()
+	sess, err := stubby.NewSession(
+		stubby.WithCluster(wl.Cluster),
+		stubby.WithSeed(1),
+		stubby.WithReuseCatalog(cat),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Profile(ctx, wl.Workflow, wl.DFS); err != nil {
+		log.Fatal(err)
+	}
+
+	// Running the workflow to completion publishes its materialized
+	// intermediate datasets into the catalog.
+	if _, err := sess.Run(ctx, wl.DFS.Clone(), wl.Workflow); err != nil {
+		log.Fatal(err)
+	}
+
+	// A later optimization finds the intermediates already materialized
+	// and plans a scan of the stored results instead of recomputing them.
+	res, err := sess.Optimize(ctx, wl.Workflow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, _ := sess.ReuseCatalogStats()
+	fmt.Println("intermediates published:", stats.Entries > 0)
+	fmt.Println("sub-DAGs replaced with stored-result scans:", res.ReusedSubplans)
+	fmt.Println("plan shrank:", len(res.Plan.Jobs) < len(wl.Workflow.Jobs))
+	fmt.Println("catalog hits:", stats.Hits > 0)
+	// Output:
+	// intermediates published: true
+	// sub-DAGs replaced with stored-result scans: 1
+	// plan shrank: true
+	// catalog hits: true
+}

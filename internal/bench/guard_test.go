@@ -11,7 +11,14 @@ func guardReport(wallMS float64, rob []RobustnessRow) OptBenchReport {
 			MonolithicCalls: 100, IncrementalCalls: 100,
 			MonolithicFlowCards: 400, IncrementalFlowCards: 200, PlansIdentical: true}},
 		Robustness: rob,
+		Reuse:      []ReuseRow{goodReuseRow()},
 	}
+}
+
+func goodReuseRow() ReuseRow {
+	return ReuseRow{FamilySeed: 1, Member: 1, Jobs: 5, PlanJobs: 3,
+		ReusedSubplans: 1, CatalogHits: 2, CatalogMisses: 3, HitRatio: 0.4,
+		BaselineCost: 100, ReuseCost: 80, CostRatio: 1.25}
 }
 
 func goodRobRow() RobustnessRow {
@@ -66,5 +73,35 @@ func TestGuardOptimizerBench(t *testing.T) {
 	err = GuardOptimizerBench(drift, base)
 	if err == nil || !strings.Contains(err.Error(), "activity drifted") {
 		t.Errorf("counter drift accepted: %v", err)
+	}
+
+	// Missing reuse rows.
+	noReuse := guardReport(1000, []RobustnessRow{goodRobRow()})
+	noReuse.Reuse = nil
+	err = GuardOptimizerBench(noReuse, base)
+	if err == nil || !strings.Contains(err.Error(), "reuse rows") {
+		t.Errorf("missing reuse rows accepted: %v", err)
+	}
+	// A consumer member whose lookups all missed.
+	cold := guardReport(1000, []RobustnessRow{goodRobRow()})
+	cold.Reuse[0].CatalogHits = 0
+	cold.Reuse[0].HitRatio = 0
+	err = GuardOptimizerBench(cold, base)
+	if err == nil || !strings.Contains(err.Error(), "no catalog hits") {
+		t.Errorf("zero hit ratio accepted: %v", err)
+	}
+	// Hits that never turned into an adopted rewrite.
+	stale := guardReport(1000, []RobustnessRow{goodRobRow()})
+	stale.Reuse[0].ReusedSubplans = 0
+	err = GuardOptimizerBench(stale, base)
+	if err == nil || !strings.Contains(err.Error(), "reused no sub-plans") {
+		t.Errorf("zero reused sub-plans accepted: %v", err)
+	}
+	// A reuse plan that did not remove any jobs.
+	fat := guardReport(1000, []RobustnessRow{goodRobRow()})
+	fat.Reuse[0].PlanJobs = fat.Reuse[0].Jobs
+	err = GuardOptimizerBench(fat, base)
+	if err == nil || !strings.Contains(err.Error(), "did not shrink") {
+		t.Errorf("non-shrinking reuse plan accepted: %v", err)
 	}
 }

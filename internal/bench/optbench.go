@@ -236,6 +236,9 @@ type OptBenchReport struct {
 	// Robustness holds per-workload makespan distributions of the chosen
 	// plans under the standard fault profile (see RobustnessBench).
 	Robustness []RobustnessRow `json:"robustness"`
+	// Reuse holds cross-workflow sub-plan reuse hit rates over the
+	// generator-produced overlapping families (see ReuseBench).
+	Reuse []ReuseRow `json:"reuse,omitempty"`
 }
 
 func aggregate(rows []OptimizerBenchRow) OptBenchAggregate {
@@ -316,6 +319,23 @@ const GuardWallSlack = 1.05
 func GuardOptimizerBench(fresh, baseline OptBenchReport) error {
 	if len(fresh.Robustness) == 0 {
 		return fmt.Errorf("bench guard: no robustness rows emitted")
+	}
+	// Sub-plan reuse must demonstrably fire on the overlapping families:
+	// every consumer member's optimization resolves at least one published
+	// fingerprint (hit ratio > 0) and replaces at least one sub-DAG.
+	if len(fresh.Reuse) == 0 {
+		return fmt.Errorf("bench guard: no sub-plan reuse rows emitted")
+	}
+	for _, r := range fresh.Reuse {
+		if r.CatalogHits == 0 || r.HitRatio <= 0 {
+			return fmt.Errorf("bench guard: family %d member %d had no catalog hits: %+v", r.FamilySeed, r.Member, r)
+		}
+		if r.ReusedSubplans < 1 {
+			return fmt.Errorf("bench guard: family %d member %d reused no sub-plans despite %d catalog hits", r.FamilySeed, r.Member, r.CatalogHits)
+		}
+		if r.PlanJobs >= r.Jobs {
+			return fmt.Errorf("bench guard: family %d member %d reuse plan did not shrink: %d -> %d jobs", r.FamilySeed, r.Member, r.Jobs, r.PlanJobs)
+		}
 	}
 	byName := make(map[string]bool, len(fresh.Robustness))
 	for _, r := range fresh.Robustness {

@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestReuseBench: on an overlapping family, every consumer member's
+// optimization hits the catalog member 0 populated and replaces at least
+// one sub-DAG with a scan — the exact property GuardOptimizerBench asserts
+// over the committed report.
+func TestReuseBench(t *testing.T) {
+	h := New(Config{})
+	rows, err := h.ReuseBench([]int64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != ReuseBenchMembers-1 {
+		t.Fatalf("got %d rows, want %d consumer members", len(rows), ReuseBenchMembers-1)
+	}
+	for _, r := range rows {
+		if r.CatalogHits == 0 || r.HitRatio <= 0 {
+			t.Errorf("member %d: no catalog hits: %+v", r.Member, r)
+		}
+		if r.ReusedSubplans < 1 {
+			t.Errorf("member %d: reused %d sub-plans, want >= 1", r.Member, r.ReusedSubplans)
+		}
+		if r.PlanJobs >= r.Jobs {
+			t.Errorf("member %d: reuse plan did not shrink (%d -> %d jobs)", r.Member, r.Jobs, r.PlanJobs)
+		}
+		if r.ReuseCost <= 0 || r.BaselineCost <= 0 {
+			t.Errorf("member %d: missing cost estimates: %+v", r.Member, r)
+		}
+	}
+}

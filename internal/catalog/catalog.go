@@ -1,0 +1,422 @@
+// Package catalog implements the durable cross-workflow reuse catalog
+// (ReStore-style): a mapping from rooted sub-plan fingerprints
+// (wf.SubplanFingerprint) to previously materialized results — the DFS
+// dataset the result lives under plus the layout and measured sizes a
+// stored-result scan needs for costing. Sessions populate it when a plan
+// runs to completion and the optimizer consults it to replace a matched
+// sub-DAG with a scan of the stored result.
+//
+// # On-disk layout
+//
+// A catalog directory holds one live log plus the compaction temp file:
+//
+//	dir/
+//	  catalog.log       append-only CRC-32C records, single writer (flock)
+//	  catalog.log.tmp   compaction scratch, published via rename
+//
+// Each record is
+//
+//	magic   uint32  catMagic ("SCAT")
+//	kind    uint8   catKindEntry
+//	length  uint32  payload byte count
+//	crc     uint32  CRC-32C (Castagnoli) over the payload
+//	payload [length]byte  JSON (Entry)
+//
+// in big-endian — the same record discipline as the job journal and the
+// plan store's segments. A torn tail (crash mid-append) fails the length
+// or CRC check and freezes the scan at the last valid record; Open then
+// compacts the surviving records (last entry per fingerprint wins) into a
+// fresh log via write-temp-then-rename. Payloads are kept framed in memory
+// and re-verified against their CRC on every Lookup, like plan records —
+// a flipped bit yields a miss (recomputation), never a wrong reuse.
+package catalog
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/stubby-mr/stubby/internal/planio"
+	"github.com/stubby-mr/stubby/internal/trans"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+const (
+	catMagic      = 0x53434154 // "SCAT"
+	catKindEntry  = 1
+	catHeaderSize = 4 + 1 + 4 + 4
+	catMaxRecord  = 1 << 30 // sanity bound; entries are a few hundred bytes
+
+	catFile = "catalog.log"
+)
+
+var catCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Entry is the JSON payload of one catalog record: one materialized result
+// keyed by its producing sub-plan's fingerprint.
+type Entry struct {
+	// Fingerprint is the rooted sub-plan fingerprint, 32 hex digits
+	// (wf.Fingerprint.String()).
+	Fingerprint string `json:"fingerprint"`
+	// Dataset is the DFS dataset ID the result was materialized under.
+	Dataset string `json:"dataset"`
+	// Workflow names the workflow whose run produced the result (reporting
+	// only; fingerprints are name-insensitive).
+	Workflow string `json:"workflow,omitempty"`
+	// Jobs is how many jobs the producing sub-DAG ran — the recomputation a
+	// reuse hit avoids.
+	Jobs int `json:"jobs,omitempty"`
+	// Records/Bytes/Partitions are the measured sizes of the materialized
+	// result on the DFS.
+	Records    float64 `json:"records"`
+	Bytes      float64 `json:"bytes"`
+	Partitions int     `json:"partitions"`
+	// MaxPartShare is the largest partition's fraction of the bytes (0 =
+	// unknown; estimation then assumes uniform).
+	MaxPartShare float64 `json:"maxPartShare,omitempty"`
+	// KeyFields/ValueFields name the record fields.
+	KeyFields   []string `json:"keyFields,omitempty"`
+	ValueFields []string `json:"valueFields,omitempty"`
+	// Layout is the materialized physical design, encoded with
+	// planio.EncodeLayout (exact int64 split points).
+	Layout json.RawMessage `json:"layout,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of catalog activity. Counters are
+// cumulative since Open.
+type Stats struct {
+	// Entries is the current number of distinct fingerprints held.
+	Entries int
+	// Puts counts entries published (including overwrites of a fingerprint).
+	Puts uint64
+	// Hits / Misses count Lookup outcomes; a CRC or decode failure on read
+	// counts as a miss (and an Error).
+	Hits   uint64
+	Misses uint64
+	// Compacted is how many stale records (duplicate fingerprints) the
+	// reopening compaction dropped.
+	Compacted int
+	// TornBytes is how many trailing bytes the reopening scan discarded as a
+	// torn or corrupt tail.
+	TornBytes int64
+	// BytesWritten counts record bytes appended (headers included).
+	BytesWritten uint64
+	// Errors counts append/sync/verify failures; lookups keep working when
+	// it rises, falling back to recomputation.
+	Errors uint64
+}
+
+// HitRate returns Hits over total lookups, or 0 when none happened.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// framed is one in-memory record: the raw payload with its CRC, re-verified
+// on every read.
+type framed struct {
+	payload []byte
+	crc     uint32
+}
+
+// Store is a durable reuse catalog. All methods are safe for concurrent
+// use. A Store holds an exclusive flock on its directory for its lifetime;
+// a second live opener fails rather than interleaving appends.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	f       *os.File
+	lock    *os.File // dir/catalog.lock, stable inode (never renamed over)
+	entries map[string]framed
+
+	puts         uint64
+	hits         uint64
+	misses       uint64
+	compacted    int
+	tornBytes    int64
+	bytesWritten uint64
+	errs         uint64
+}
+
+// Open opens (creating if needed) the catalog rooted at dir, recovering
+// crash-safely: the scan stops at the first torn or corrupt record and the
+// survivors are compacted (last entry per fingerprint wins) into a fresh
+// log.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	path := filepath.Join(dir, catFile)
+	s := &Store{dir: dir, entries: make(map[string]framed)}
+
+	lock, err := os.OpenFile(filepath.Join(dir, "catalog.lock"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	if !tryCatFlock(lock) {
+		lock.Close()
+		return nil, fmt.Errorf("catalog: %s is held by a live writer", dir)
+	}
+	s.lock = lock
+	fail := func(err error) (*Store, error) {
+		funlockCat(lock)
+		lock.Close()
+		return nil, err
+	}
+
+	payloads, torn, err := scanCatalog(path)
+	if err != nil {
+		return fail(err)
+	}
+	s.tornBytes = torn
+
+	// Replay, last entry per fingerprint winning, preserving first-seen
+	// order for the compacted rewrite (deterministic file contents).
+	var order []string
+	for _, p := range payloads {
+		fp, ok := payloadFingerprint(p)
+		if !ok {
+			s.compacted++
+			continue
+		}
+		if _, seen := s.entries[fp]; !seen {
+			order = append(order, fp)
+		} else {
+			s.compacted++
+		}
+		s.entries[fp] = framed{payload: p, crc: crc32.Checksum(p, catCRCTable)}
+	}
+
+	tmp := path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fail(fmt.Errorf("catalog: compact: %w", err))
+	}
+	for _, fp := range order {
+		if _, err := tf.Write(frameCatRecord(s.entries[fp].payload)); err != nil {
+			tf.Close()
+			return fail(fmt.Errorf("catalog: compact: %w", err))
+		}
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fail(fmt.Errorf("catalog: compact: %w", err))
+	}
+	if err := tf.Close(); err != nil {
+		return fail(fmt.Errorf("catalog: compact: %w", err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(fmt.Errorf("catalog: compact: %w", err))
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(fmt.Errorf("catalog: %w", err))
+	}
+	s.f = f
+	return s, nil
+}
+
+// payloadFingerprint extracts just the fingerprint key from a payload.
+func payloadFingerprint(p []byte) (string, bool) {
+	var e struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if json.Unmarshal(p, &e) != nil || e.Fingerprint == "" {
+		return "", false
+	}
+	return e.Fingerprint, true
+}
+
+// scanCatalog reads every valid record payload from path, stopping at the
+// first torn or corrupt one. A missing file is an empty catalog.
+func scanCatalog(path string) ([][]byte, int64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("catalog: %w", err)
+	}
+	var out [][]byte
+	off := int64(0)
+	size := int64(len(data))
+	for off+catHeaderSize <= size {
+		hdr := data[off:]
+		if binary.BigEndian.Uint32(hdr) != catMagic || hdr[4] != catKindEntry {
+			break
+		}
+		n := int64(binary.BigEndian.Uint32(hdr[5:]))
+		if n > catMaxRecord || off+catHeaderSize+n > size {
+			break
+		}
+		payload := data[off+catHeaderSize : off+catHeaderSize+n]
+		if crc32.Checksum(payload, catCRCTable) != binary.BigEndian.Uint32(hdr[9:]) {
+			break
+		}
+		out = append(out, append([]byte(nil), payload...))
+		off += catHeaderSize + n
+	}
+	return out, size - off, nil
+}
+
+// frameCatRecord frames one payload: header, CRC, bytes.
+func frameCatRecord(payload []byte) []byte {
+	buf := make([]byte, catHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(buf[0:], catMagic)
+	buf[4] = catKindEntry
+	binary.BigEndian.PutUint32(buf[5:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[9:], crc32.Checksum(payload, catCRCTable))
+	copy(buf[catHeaderSize:], payload)
+	return buf
+}
+
+// Put publishes one entry, durably (appended and fsynced before returning).
+// A repeat Put of a byte-identical entry is a no-op; a changed entry for a
+// known fingerprint is appended and wins (and the reopening compaction
+// drops the stale record).
+func (s *Store) Put(e Entry) error {
+	if e.Fingerprint == "" || e.Dataset == "" {
+		return errors.New("catalog: entry needs a fingerprint and a dataset")
+	}
+	payload, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("catalog: encode: %w", err)
+	}
+	if len(payload) > catMaxRecord {
+		return fmt.Errorf("catalog: entry of %d bytes exceeds limit", len(payload))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		s.errs++
+		return errors.New("catalog: closed")
+	}
+	if prev, ok := s.entries[e.Fingerprint]; ok && string(prev.payload) == string(payload) {
+		return nil
+	}
+	buf := frameCatRecord(payload)
+	if _, err := s.f.Write(buf); err != nil {
+		s.errs++
+		return fmt.Errorf("catalog: append: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		s.errs++
+		return fmt.Errorf("catalog: sync: %w", err)
+	}
+	s.bytesWritten += uint64(len(buf))
+	s.entries[e.Fingerprint] = framed{payload: payload, crc: crc32.Checksum(payload, catCRCTable)}
+	s.puts++
+	return nil
+}
+
+// Lookup resolves a sub-plan fingerprint to its stored result. The held
+// payload is CRC-re-verified before decoding; a corrupt or undecodable
+// entry reports a miss (reuse then falls back to recomputation).
+func (s *Store) Lookup(fp wf.Fingerprint) (trans.StoredResult, bool) {
+	key := fp.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return trans.StoredResult{}, false
+	}
+	if crc32.Checksum(fr.payload, catCRCTable) != fr.crc {
+		s.errs++
+		s.misses++
+		return trans.StoredResult{}, false
+	}
+	var e Entry
+	if err := json.Unmarshal(fr.payload, &e); err != nil {
+		s.errs++
+		s.misses++
+		return trans.StoredResult{}, false
+	}
+	var layout wf.Layout
+	if len(e.Layout) > 0 {
+		var err error
+		if layout, err = planio.DecodeLayout(e.Layout); err != nil {
+			s.errs++
+			s.misses++
+			return trans.StoredResult{}, false
+		}
+	}
+	s.hits++
+	return trans.StoredResult{
+		Dataset:     e.Dataset,
+		Layout:      layout,
+		KeyFields:   e.KeyFields,
+		ValueFields: e.ValueFields,
+		Records:     e.Records,
+		Bytes:       e.Bytes,
+		Partitions:  e.Partitions,
+	}, true
+}
+
+// Entry returns the full catalog entry for a fingerprint (CRC-verified),
+// for reporting and tests.
+func (s *Store) Entry(fp wf.Fingerprint) (Entry, bool) {
+	s.mu.Lock()
+	fr, ok := s.entries[fp.String()]
+	s.mu.Unlock()
+	if !ok || crc32.Checksum(fr.payload, catCRCTable) != fr.crc {
+		return Entry{}, false
+	}
+	var e Entry
+	if err := json.Unmarshal(fr.payload, &e); err != nil {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Len returns the number of distinct fingerprints held.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Dir returns the catalog's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats snapshots the catalog's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:      len(s.entries),
+		Puts:         s.puts,
+		Hits:         s.hits,
+		Misses:       s.misses,
+		Compacted:    s.compacted,
+		TornBytes:    s.tornBytes,
+		BytesWritten: s.bytesWritten,
+		Errors:       s.errs,
+	}
+}
+
+// Close releases the log and its lock. Puts after Close fail and count as
+// Errors; Lookups keep answering from memory.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	if s.lock != nil {
+		funlockCat(s.lock)
+		s.lock.Close()
+		s.lock = nil
+	}
+	return err
+}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package catalog
+
+import (
+	"os"
+	"syscall"
+)
+
+// tryCatFlock attempts a non-blocking exclusive lock on the catalog lock
+// file. The writer holds it for its lifetime, so a second live opener of
+// the same directory fails fast instead of interleaving appends; a crashed
+// writer's lock vanishes with its process.
+func tryCatFlock(f *os.File) bool {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB) == nil
+}
+
+func funlockCat(f *os.File) {
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -111,6 +111,13 @@ type Options struct {
 	// tests enforce it) — so this is an escape hatch for debugging and for
 	// measuring the incremental path's speedup, not a semantic knob.
 	DisableIncremental bool
+	// ReuseCatalog, when non-nil, enables the ReStore-style sub-plan reuse
+	// pre-pass: before the structural phases, rooted sub-DAGs whose
+	// fingerprints match a previously materialized result are replaced with
+	// scans of the stored output — but only when the What-if estimate says
+	// scanning beats recomputing. With a nil catalog (the default) the
+	// pre-pass never runs and plans are byte-identical to earlier releases.
+	ReuseCatalog ReuseSource
 }
 
 // SearchStrategy selects how configuration transformations are searched.
@@ -282,6 +289,10 @@ type Result struct {
 	// the stored plan and cost but no search trace, and their What-if
 	// counters are zero — no optimizer units ran.
 	FromStore bool
+	// ReusedSubplans counts rooted sub-DAGs the reuse pre-pass replaced
+	// with scans of catalog-stored results (zero without
+	// Options.ReuseCatalog).
+	ReusedSubplans int
 }
 
 // Optimize runs the two-phase search and returns the optimized plan. The
@@ -303,6 +314,12 @@ func (s *Stubby) OptimizeContext(ctx context.Context, w *wf.Workflow) (*Result, 
 	plan := w.Clone()
 	res := &Result{}
 	var err error
+	if s.opt.ReuseCatalog != nil {
+		plan, res.ReusedSubplans, err = s.applyReuse(ctx, plan)
+		if err != nil {
+			return nil, err
+		}
+	}
 	phases := []phaseSpec{
 		{name: "vertical", vertical: true},
 		{name: "horizontal", horizontal: true},

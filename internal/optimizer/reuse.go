@@ -1,0 +1,91 @@
+package optimizer
+
+import (
+	"context"
+
+	"github.com/stubby-mr/stubby/internal/trans"
+	"github.com/stubby-mr/stubby/internal/wf"
+	"github.com/stubby-mr/stubby/internal/whatif"
+)
+
+// ReuseSource resolves rooted sub-plan fingerprints (wf.SubplanFingerprint)
+// to previously materialized results — implemented by catalog.Store. A
+// lookup that returns ok reports a result whose records are guaranteed
+// identical to what the fingerprinted sub-DAG would produce.
+type ReuseSource interface {
+	Lookup(fp wf.Fingerprint) (trans.StoredResult, bool)
+}
+
+// applyReuse is the ReStore-style pre-pass, run before the structural
+// phases when Options.ReuseCatalog is set: greedily replace catalog-matched
+// rooted sub-DAGs with scans of their stored results, adopting a rewrite
+// only when the What-if estimate says scanning beats recomputing. Each
+// round fingerprints every candidate intermediate dataset, applies the
+// single best strictly-cheaper rewrite, and repeats until no rewrite
+// improves the plan (each adoption removes at least one job, so the loop
+// terminates). Returns the (possibly) rewritten plan and how many sub-DAGs
+// were replaced.
+//
+// Rewrites are compared within one estimation regime: a candidate whose
+// estimate falls back to #jobs costing while the current plan estimates
+// fully (or vice versa) is never adopted on that incomparable number.
+func (s *Stubby) applyReuse(ctx context.Context, plan *wf.Workflow) (*wf.Workflow, int, error) {
+	reused := 0
+	h := wf.NewHasher()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		// Collect applicable rewrites before estimating anything: a plan
+		// with no catalog match must cost zero What-if calls, so attaching
+		// a (cold or unrelated) catalog never perturbs estimate counters.
+		var rewrites []*wf.Workflow
+		for _, d := range plan.Datasets {
+			if d.Base || len(plan.Consumers(d.ID)) == 0 {
+				continue
+			}
+			fp, ok := h.Subplan(plan, d.ID)
+			if !ok {
+				continue
+			}
+			stored, ok := s.opt.ReuseCatalog.Lookup(fp)
+			if !ok {
+				continue
+			}
+			if trans.CanReuse(plan, d.ID, stored) != nil {
+				continue
+			}
+			rewritten, err := trans.ApplyReuse(plan, d.ID, stored)
+			if err != nil {
+				continue
+			}
+			rewrites = append(rewrites, rewritten)
+		}
+		if len(rewrites) == 0 {
+			return plan, reused, nil
+		}
+		base, err := s.est.Estimate(plan)
+		if err != nil {
+			return nil, 0, err
+		}
+		var bestPlan *wf.Workflow
+		var bestEst *whatif.Estimate
+		for _, rewritten := range rewrites {
+			est, err := s.est.Estimate(rewritten)
+			if err != nil {
+				continue
+			}
+			if est.Fallback != base.Fallback || est.Makespan >= base.Makespan {
+				continue
+			}
+			if bestEst == nil || est.Makespan < bestEst.Makespan {
+				bestPlan, bestEst = rewritten, est
+			}
+		}
+		if bestPlan == nil {
+			return plan, reused, nil
+		}
+		plan = bestPlan
+		reused++
+	}
+}

@@ -1,0 +1,50 @@
+package planio
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// EncodeLayout renders one dataset layout as deterministic JSON using the
+// same exact field codec plan documents use — int64 split points travel as
+// strings, so a round trip is value-identical (plain JSON would silently
+// float64-ize them). The reuse catalog persists layouts with this.
+func EncodeLayout(l wf.Layout) ([]byte, error) {
+	doc := layoutDoc{
+		PartType:    l.PartType.String(),
+		PartFields:  encStrings(l.PartFields),
+		SortFields:  encStrings(l.SortFields),
+		SplitPoints: encodeTuples(l.SplitPoints),
+		Compressed:  l.Compressed,
+	}
+	return json.Marshal(doc)
+}
+
+// DecodeLayout reverses EncodeLayout.
+func DecodeLayout(data []byte) (wf.Layout, error) {
+	var doc layoutDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return wf.Layout{}, fmt.Errorf("planio: layout: %w", err)
+	}
+	l := wf.Layout{
+		PartFields: decStrings(doc.PartFields),
+		SortFields: decStrings(doc.SortFields),
+		Compressed: doc.Compressed,
+	}
+	switch doc.PartType {
+	case "hash":
+		l.PartType = keyval.HashPartition
+	case "range":
+		l.PartType = keyval.RangePartition
+	default:
+		return wf.Layout{}, fmt.Errorf("planio: layout: unknown partition type %q", doc.PartType)
+	}
+	var err error
+	if l.SplitPoints, err = decodeTuples(doc.SplitPoints); err != nil {
+		return wf.Layout{}, fmt.Errorf("planio: layout: %w", err)
+	}
+	return l, nil
+}

@@ -67,6 +67,11 @@ type Result struct {
 	// under the serving session's fault model. Nil when the server plans
 	// without a fault model (the common case).
 	Robustness *RobustnessDoc
+	// ReusedSubplans counts rooted sub-DAGs the serving session's reuse
+	// catalog replaced with scans of stored results (zero without a
+	// catalog; the field is omitted from the wire bytes then, keeping old
+	// documents byte-identical).
+	ReusedSubplans int
 }
 
 // RobustnessDoc is the wire form of a robustness report: summary statistics
@@ -152,6 +157,7 @@ type resultDoc struct {
 	FlowCards      uint64         `json:"flowCards"`
 	Fingerprint    string         `json:"fingerprint,omitempty"`
 	Robustness     *RobustnessDoc `json:"robustness,omitempty"`
+	ReusedSubplans int            `json:"reusedSubplans,omitempty"`
 	Plan           *document      `json:"plan"`
 }
 
@@ -228,6 +234,7 @@ func EncodeResult(r *Result) ([]byte, error) {
 		FlowCards:      r.FlowCards,
 		Fingerprint:    r.Fingerprint,
 		Robustness:     r.Robustness,
+		ReusedSubplans: r.ReusedSubplans,
 		Plan:           plan,
 	}
 	return json.MarshalIndent(doc, "", "  ")
@@ -271,6 +278,7 @@ func DecodeResult(data []byte) (*Result, error) {
 		FlowCards:      doc.FlowCards,
 		Fingerprint:    doc.Fingerprint,
 		Robustness:     doc.Robustness,
+		ReusedSubplans: doc.ReusedSubplans,
 	}, nil
 }
 
@@ -318,6 +326,7 @@ func DecodeResultBound(data []byte, reg *Registry) (*Result, error) {
 		FlowCards:      doc.FlowCards,
 		Fingerprint:    doc.Fingerprint,
 		Robustness:     doc.Robustness,
+		ReusedSubplans: doc.ReusedSubplans,
 	}, nil
 }
 
@@ -384,6 +393,7 @@ const (
 	EventStateChanged      = "stateChanged"
 	EventStoreReport       = "storeReport"
 	EventRobustness        = "robustness"
+	EventReuseReport       = "reuseReport"
 )
 
 // CacheStatsDoc is the wire form of the estimate cache's counters.
@@ -411,6 +421,18 @@ type StoreStatsDoc struct {
 	Segments     int    `json:"segments"`
 }
 
+// ReuseStatsDoc is the wire form of the sub-plan reuse catalog's counters.
+type ReuseStatsDoc struct {
+	Entries      int    `json:"entries"`
+	Puts         uint64 `json:"puts"`
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Compacted    int    `json:"compacted"`
+	TornBytes    int64  `json:"tornBytes"`
+	BytesWritten uint64 `json:"bytesWritten"`
+	Errors       uint64 `json:"errors"`
+}
+
 // EventDoc is the wire form of one progress event: a closed set of type
 // tags over a flat field union (NDJSON-friendly — one compact object per
 // stream line). Unknown types are skipped by clients, so the stream can
@@ -433,6 +455,8 @@ type EventDoc struct {
 	Hit        bool           `json:"hit,omitempty"`
 	Store      *StoreStatsDoc `json:"store,omitempty"`
 	Robustness *RobustnessDoc `json:"robustness,omitempty"`
+	Reused     int            `json:"reused,omitempty"`
+	Reuse      *ReuseStatsDoc `json:"reuse,omitempty"`
 }
 
 // StatusDoc is the wire form of a job's status: lifecycle state, the
@@ -469,6 +493,7 @@ type JournalStatsDoc struct {
 	Transitions  uint64 `json:"transitions"`
 	Recovered    int    `json:"recovered"`
 	Compacted    int    `json:"compacted"`
+	Compactions  uint64 `json:"compactions,omitempty"`
 	TornBytes    int64  `json:"tornBytes"`
 	BytesWritten uint64 `json:"bytesWritten"`
 	Errors       uint64 `json:"errors"`
@@ -476,11 +501,13 @@ type JournalStatsDoc struct {
 
 // StatszDoc is the wire form of the /statsz endpoint: server status plus
 // the counters of every subsystem a serving session carries. EstCache,
-// PlanStore, and Journal are nil when the session runs without them.
+// PlanStore, ReuseCatalog, and Journal are nil when the session runs
+// without them.
 type StatszDoc struct {
-	Status    string           `json:"status"`
-	Queue     QueueStatsDoc    `json:"queue"`
-	EstCache  *CacheStatsDoc   `json:"estcache,omitempty"`
-	PlanStore *StoreStatsDoc   `json:"planstore,omitempty"`
-	Journal   *JournalStatsDoc `json:"journal,omitempty"`
+	Status       string           `json:"status"`
+	Queue        QueueStatsDoc    `json:"queue"`
+	EstCache     *CacheStatsDoc   `json:"estcache,omitempty"`
+	PlanStore    *StoreStatsDoc   `json:"planstore,omitempty"`
+	ReuseCatalog *ReuseStatsDoc   `json:"reusecatalog,omitempty"`
+	Journal      *JournalStatsDoc `json:"journal,omitempty"`
 }

@@ -53,6 +53,14 @@ const (
 	jrnMaxRecord  = 1 << 30 // sanity bound; request docs are a few KB
 
 	jrnFile = "journal.log"
+
+	// Live-compaction defaults (SetCompactionThresholds overrides): compact
+	// once this many jobs reached a terminal state since the last
+	// compaction, or once the log grows past this many bytes with anything
+	// droppable in it. Reopen-only compaction let a long-lived server's log
+	// grow with history instead of with the in-flight set.
+	defaultCompactEvery = 256
+	defaultCompactBytes = 8 << 20
 )
 
 var jrnCRCTable = crc32.MakeTable(crc32.Castagnoli)
@@ -96,6 +104,9 @@ type JournalStats struct {
 	// Compacted is how many stale records (of already-terminal jobs) the
 	// reopening compaction dropped.
 	Compacted int
+	// Compactions counts live (threshold-triggered) compactions performed
+	// since Open; the reopening compaction is not included.
+	Compactions uint64
 	// TornBytes is how many trailing bytes the reopening scan discarded as
 	// a torn or corrupt tail.
 	TornBytes int64
@@ -117,13 +128,32 @@ type Journal struct {
 	f    *os.File
 	lock *os.File // dir/journal.lock, held (flock) for the journal's lifetime
 
+	// Live-compaction state, all guarded by mu: the in-flight jobs' submit
+	// records (what a compaction must preserve), how much droppable history
+	// has accumulated, and the thresholds that trigger a rewrite.
+	live          map[string]*liveJob
+	nextOrder     int
+	recordsInLog  int   // records in the log file (live + droppable)
+	logBytes      int64 // current log file size
+	terminalSince int   // terminal transitions since the last compaction
+	compactEvery  int
+	compactBytes  int64
+
 	submits      atomic.Uint64
 	transitions  atomic.Uint64
 	bytesWritten atomic.Uint64
 	errs         atomic.Uint64
+	compactions  atomic.Uint64
 	recovered    int
 	compacted    int
 	tornBytes    int64
+}
+
+// liveJob is the retained submit record of one not-yet-terminal job.
+type liveJob struct {
+	doc      json.RawMessage
+	deadline int64
+	order    int
 }
 
 // OpenJournal opens (creating if needed) the journal rooted at dir,
@@ -136,7 +166,11 @@ func OpenJournal(dir string) (*Journal, []IncompleteJob, error) {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
 	path := filepath.Join(dir, jrnFile)
-	j := &Journal{dir: dir, sync: true}
+	j := &Journal{dir: dir, sync: true,
+		live:         make(map[string]*liveJob),
+		compactEvery: defaultCompactEvery,
+		compactBytes: defaultCompactBytes,
+	}
 
 	// The lock lives in a dedicated file (never renamed-over by
 	// compaction, so its inode — and the flock on it — is stable): one live
@@ -220,6 +254,7 @@ func OpenJournal(dir string) (*Journal, []IncompleteJob, error) {
 			tf.Close()
 			return fail(fmt.Errorf("journal: compact: %w", err))
 		}
+		j.logBytes += int64(len(buf))
 	}
 	if err := tf.Sync(); err != nil {
 		tf.Close()
@@ -237,6 +272,11 @@ func OpenJournal(dir string) (*Journal, []IncompleteJob, error) {
 		return fail(fmt.Errorf("journal: %w", err))
 	}
 	j.f = f
+	for _, in := range incomplete {
+		j.live[in.ID] = &liveJob{doc: in.Doc, deadline: in.DeadlineUnixMS, order: j.nextOrder}
+		j.nextOrder++
+	}
+	j.recordsInLog = len(incomplete)
 	return j, incomplete, nil
 }
 
@@ -324,7 +364,124 @@ func (j *Journal) append(kind byte, rec *JournalRecord) error {
 			return fmt.Errorf("journal: sync: %w", err)
 		}
 	}
+	j.recordsInLog++
+	j.logBytes += int64(len(buf))
+	switch kind {
+	case jrnKindSubmit:
+		if _, ok := j.live[rec.ID]; !ok {
+			j.live[rec.ID] = &liveJob{doc: rec.Doc, deadline: rec.DeadlineUnixMS, order: j.nextOrder}
+			j.nextOrder++
+		}
+	case jrnKindState:
+		if st, perr := ParseState(rec.State); perr == nil && st.Terminal() {
+			if _, ok := j.live[rec.ID]; ok {
+				delete(j.live, rec.ID)
+				j.terminalSince++
+			}
+		}
+	}
+	if j.shouldCompactLocked() {
+		j.compactLocked()
+	}
 	return nil
+}
+
+// shouldCompactLocked decides whether the log has accumulated enough
+// droppable history to rewrite. Callers hold j.mu. The recordsInLog guard
+// keeps a log of purely live submit records from rewriting itself on every
+// append once past the byte threshold — compaction must be able to shrink.
+func (j *Journal) shouldCompactLocked() bool {
+	if j.recordsInLog <= len(j.live) {
+		return false
+	}
+	return j.terminalSince >= j.compactEvery ||
+		(j.compactBytes > 0 && j.logBytes >= j.compactBytes)
+}
+
+// compactLocked rewrites the log to just the live jobs' submit records, in
+// submission order, with the same write-temp-sync-rename dance the
+// reopening compaction uses — a crash at any point leaves either the old
+// or the new log fully intact. The journal.lock file is untouched (its
+// inode, and the flock on it, must stay stable across rewrites). Failures
+// count as Errors and leave the current log appendable; a failure after
+// rename reopens on the fresh log or, if even that fails, closes the
+// journal (appends then error rather than landing on a stale inode).
+// Callers hold j.mu.
+func (j *Journal) compactLocked() {
+	ids := make([]string, 0, len(j.live))
+	for id := range j.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return j.live[ids[a]].order < j.live[ids[b]].order })
+	path := filepath.Join(j.dir, jrnFile)
+	tmp := path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		j.errs.Add(1)
+		return
+	}
+	abort := func() {
+		tf.Close()
+		os.Remove(tmp)
+		j.errs.Add(1)
+	}
+	var size int64
+	for _, id := range ids {
+		lj := j.live[id]
+		rec := JournalRecord{ID: id, Doc: lj.doc, DeadlineUnixMS: lj.deadline}
+		buf, err := encodeJournalRecord(jrnKindSubmit, &rec)
+		if err != nil {
+			abort()
+			return
+		}
+		if _, err := tf.Write(buf); err != nil {
+			abort()
+			return
+		}
+		size += int64(len(buf))
+	}
+	if err := tf.Sync(); err != nil {
+		abort()
+		return
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		j.errs.Add(1)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		j.errs.Add(1)
+		return
+	}
+	j.f.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.errs.Add(1)
+		j.f = nil
+		return
+	}
+	j.f = f
+	j.compacted += j.recordsInLog - len(ids)
+	j.recordsInLog = len(ids)
+	j.logBytes = size
+	j.terminalSince = 0
+	j.compactions.Add(1)
+}
+
+// SetCompactionThresholds tunes live compaction: the log is rewritten to
+// just the in-flight submit records once terminalEvery jobs reached a
+// terminal state since the last compaction, or once the log exceeds
+// maxBytes with droppable records in it. terminalEvery <= 0 restores the
+// default; maxBytes <= 0 disables the byte trigger.
+func (j *Journal) SetCompactionThresholds(terminalEvery int, maxBytes int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminalEvery <= 0 {
+		terminalEvery = defaultCompactEvery
+	}
+	j.compactEvery = terminalEvery
+	j.compactBytes = maxBytes
 }
 
 // AppendSubmit journals one admitted submission: its server-assigned ID,
@@ -348,11 +505,15 @@ func (j *Journal) AppendState(id string, state State) error {
 
 // Stats snapshots the journal's counters.
 func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	compacted := j.compacted
+	j.mu.Unlock()
 	return JournalStats{
 		Submits:      j.submits.Load(),
 		Transitions:  j.transitions.Load(),
 		Recovered:    j.recovered,
-		Compacted:    j.compacted,
+		Compacted:    compacted,
+		Compactions:  j.compactions.Load(),
 		TornBytes:    j.tornBytes,
 		BytesWritten: j.bytesWritten.Load(),
 		Errors:       j.errs.Load(),

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func journalSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(dir, jrnFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestJournalLiveCompactionTerminalTrigger: once enough jobs reach a
+// terminal state, the log is rewritten in place to just the in-flight
+// submit records — without reopening, without dropping the flock, and
+// without losing any in-flight job.
+func TestJournalLiveCompactionTerminalTrigger(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openTestJournal(t, dir)
+	defer j.Close()
+	j.SetCompactionThresholds(4, 0)
+
+	// One long-lived job that must survive every compaction.
+	if err := j.AppendSubmit("keeper", []byte(`{"keep":true}`), 777); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		if err := j.AppendSubmit(id, []byte(fmt.Sprintf(`{"n":%d}`, i)), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendState(id, Running); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendState(id, Done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("8 terminal jobs at threshold 4 triggered no live compaction: %+v", st)
+	}
+	if st.Compacted == 0 {
+		t.Error("live compaction dropped no stale records")
+	}
+	// After the last compaction the log should be proportional to the
+	// in-flight set (the keeper plus at most one batch of churn), far
+	// below 25 records' worth.
+	size := journalSize(t, dir)
+	full := int64(st.BytesWritten)
+	if size >= full/2 {
+		t.Errorf("log is %d bytes after compaction, %d written in total", size, full)
+	}
+	// The flock must still be held on the stable lock-file inode.
+	if _, _, err := OpenJournal(dir); err == nil {
+		t.Fatal("second opener succeeded while the compacted journal is live")
+	}
+
+	// Appends after compaction land in the renamed file and recovery sees
+	// exactly the in-flight set.
+	if err := j.AppendSubmit("late", []byte(`{"late":true}`), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, inc := openTestJournal(t, dir)
+	defer r.Close()
+	if len(inc) != 2 {
+		t.Fatalf("recovered %d jobs, want 2 (keeper, late)", len(inc))
+	}
+	byID := map[string]IncompleteJob{}
+	for _, in := range inc {
+		byID[in.ID] = in
+	}
+	keeper, ok := byID["keeper"]
+	if !ok || string(keeper.Doc) != `{"keep":true}` || keeper.DeadlineUnixMS != 777 {
+		t.Errorf("keeper mangled across live compactions: %+v", keeper)
+	}
+	if _, ok := byID["late"]; !ok {
+		t.Error("post-compaction append lost")
+	}
+}
+
+// TestJournalLiveCompactionByteTrigger: the size trigger fires only when
+// the log holds droppable records — a log of purely live submits never
+// rewrites itself, no matter how large (that would loop forever).
+func TestJournalLiveCompactionByteTrigger(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openTestJournal(t, dir)
+	defer j.Close()
+	j.SetCompactionThresholds(1_000_000, 512)
+
+	// Purely live submits past the byte threshold: no compaction possible.
+	for i := 0; i < 30; i++ {
+		if err := j.AppendSubmit(fmt.Sprintf("live-%d", i), []byte(`{"x":"aaaaaaaaaaaaaaaaaaaaaaaa"}`), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := j.Stats(); st.Compactions != 0 {
+		t.Fatalf("compacted a log with nothing droppable %d times", st.Compactions)
+	}
+
+	// One terminal transition makes records droppable; the byte trigger
+	// fires on the next append.
+	if err := j.AppendState("live-0", Done); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Compactions != 1 {
+		t.Fatalf("byte-triggered compactions = %d, want 1", st.Compactions)
+	}
+	if got := journalSize(t, dir); got == 0 {
+		t.Fatal("compacted log empty despite 29 live jobs")
+	}
+}
+
+// TestJournalSetCompactionThresholdsDefaults: non-positive terminalEvery
+// restores the default rather than disabling compaction outright.
+func TestJournalSetCompactionThresholdsDefaults(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openTestJournal(t, dir)
+	defer j.Close()
+	j.SetCompactionThresholds(0, -1)
+	// Churn a couple of jobs: with the default threshold (256) nothing
+	// should compact at this volume.
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("j%d", i)
+		if err := j.AppendSubmit(id, []byte(`{}`), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendState(id, Done); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := j.Stats(); st.Compactions != 0 {
+		t.Fatalf("default thresholds compacted after 10 terminals: %+v", st)
+	}
+}

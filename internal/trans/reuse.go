@@ -1,0 +1,191 @@
+package trans
+
+import (
+	"fmt"
+
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// StoredResult describes a previously materialized dataset a reuse catalog
+// has matched to a rooted sub-plan fingerprint: where the result lives on
+// the DFS and everything costing a scan of it needs (ReStore-style reuse —
+// the catalog entry's DatasetEstimate/layout metadata).
+type StoredResult struct {
+	// Dataset is the DFS dataset ID the result was materialized under.
+	Dataset string
+	// Layout is the physical design the result was written with.
+	Layout wf.Layout
+	// KeyFields/ValueFields name the record fields.
+	KeyFields, ValueFields []string
+	// Records/Bytes/Partitions are the measured sizes of the materialized
+	// result; all must be positive for the scan to be estimable.
+	Records    float64
+	Bytes      float64
+	Partitions int
+}
+
+// CanReuse checks the preconditions for replacing the rooted sub-DAG that
+// produces dsID with a scan of a stored result:
+//
+//   - dsID is an intermediate dataset with a producer and at least one
+//     consumer (replacing a sink's producer would leave the workflow with
+//     nothing to run for that output — reuse never rewrites sinks);
+//   - the stored result is estimable (positive records/bytes, >= 1
+//     partition), so the rewritten plan never falls out of the full
+//     estimation regime its original was costed in;
+//   - the producing closure is severable: no job in it writes a second
+//     dataset that is consumed outside the closure or is itself a sink;
+//   - the stored schema agrees with the dataset's own annotation (a
+//     fingerprint match implies this; the check guards catalog corruption);
+//   - the stored DFS location does not collide with a different dataset
+//     already named in the workflow.
+//
+// A nil error means ApplyReuse with the same arguments will succeed.
+func CanReuse(w *wf.Workflow, dsID string, stored StoredResult) error {
+	ds := w.Dataset(dsID)
+	if ds == nil {
+		return fmt.Errorf("reuse: unknown dataset %q", dsID)
+	}
+	if ds.Base {
+		return fmt.Errorf("reuse: dataset %q is a base input", dsID)
+	}
+	if w.Producer(dsID) == nil {
+		return fmt.Errorf("reuse: dataset %q has no producer", dsID)
+	}
+	if len(w.Consumers(dsID)) == 0 {
+		return fmt.Errorf("reuse: dataset %q is a sink", dsID)
+	}
+	if stored.Records <= 0 || stored.Bytes <= 0 || stored.Partitions < 1 {
+		return fmt.Errorf("reuse: stored result %q has no usable size estimates", stored.Dataset)
+	}
+	if stored.Dataset == "" {
+		return fmt.Errorf("reuse: stored result has no dataset location")
+	}
+	if stored.Dataset != dsID && w.Dataset(stored.Dataset) != nil {
+		return fmt.Errorf("reuse: stored dataset ID %q collides with an existing dataset", stored.Dataset)
+	}
+	if err := schemaAgrees(ds.KeyFields, stored.KeyFields); err != nil {
+		return fmt.Errorf("reuse: dataset %q key schema: %w", dsID, err)
+	}
+	if err := schemaAgrees(ds.ValueFields, stored.ValueFields); err != nil {
+		return fmt.Errorf("reuse: dataset %q value schema: %w", dsID, err)
+	}
+	closure := wf.ProducingJobs(w, dsID)
+	inClosure := make(map[string]bool, len(closure))
+	for _, j := range closure {
+		inClosure[j.ID] = true
+	}
+	for _, j := range closure {
+		for _, out := range j.Outputs() {
+			if out == dsID {
+				continue
+			}
+			consumers := w.Consumers(out)
+			if len(consumers) == 0 {
+				return fmt.Errorf("reuse: removing producer %s would drop sink %q", j.ID, out)
+			}
+			for _, c := range consumers {
+				if !inClosure[c.ID] {
+					return fmt.Errorf("reuse: side output %q of %s is consumed outside the sub-DAG by %s", out, j.ID, c.ID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// schemaAgrees accepts when either side is unannotated or both list the same
+// field names in order.
+func schemaAgrees(have, stored []string) error {
+	if have == nil || stored == nil {
+		return nil
+	}
+	if len(have) != len(stored) {
+		return fmt.Errorf("annotation has %d fields, stored result %d", len(have), len(stored))
+	}
+	for i := range have {
+		if have[i] != stored[i] {
+			return fmt.Errorf("field %d is %q, stored result has %q", i, have[i], stored[i])
+		}
+	}
+	return nil
+}
+
+// ApplyReuse replaces the rooted sub-DAG producing dsID with a scan of the
+// stored result: the producing closure's jobs are removed, dsID's consumers
+// read the stored dataset as a base input annotated with the catalog's
+// measured layout and sizes, and base datasets that fed only the removed
+// jobs are pruned. The input plan is untouched; the returned deep copy
+// validates.
+func ApplyReuse(w *wf.Workflow, dsID string, stored StoredResult) (*wf.Workflow, error) {
+	if err := CanReuse(w, dsID, stored); err != nil {
+		return nil, err
+	}
+	out := w.Clone()
+	closure := wf.ProducingJobs(out, dsID)
+
+	// Base inputs that fed the removed closure; pruned below if orphaned
+	// (Workflow.GC never drops base datasets).
+	fedClosure := map[string]bool{}
+	for _, j := range closure {
+		for _, in := range j.Inputs() {
+			if d := out.Dataset(in); d != nil && d.Base {
+				fedClosure[in] = true
+			}
+		}
+	}
+
+	for _, j := range closure {
+		out.RemoveJob(j.ID)
+	}
+
+	ds := out.Dataset(dsID)
+	if stored.Dataset == dsID {
+		// The result lives under the dataset's own ID: flip it to a base
+		// input carrying the materialized layout and measured sizes.
+		ds.Base = true
+		ds.Layout = stored.Layout.Clone()
+		ds.EstRecords = stored.Records
+		ds.EstBytes = stored.Bytes
+		ds.EstPartitions = stored.Partitions
+		if stored.KeyFields != nil {
+			ds.KeyFields = append([]string(nil), stored.KeyFields...)
+		}
+		if stored.ValueFields != nil {
+			ds.ValueFields = append([]string(nil), stored.ValueFields...)
+		}
+	} else {
+		// The result lives elsewhere: add it as a fresh base dataset and
+		// repoint every consumer branch; the orphaned dsID is GC'd below.
+		out.Datasets = append(out.Datasets, &wf.Dataset{
+			ID:            stored.Dataset,
+			Base:          true,
+			Layout:        stored.Layout.Clone(),
+			KeyFields:     append([]string(nil), stored.KeyFields...),
+			ValueFields:   append([]string(nil), stored.ValueFields...),
+			EstRecords:    stored.Records,
+			EstBytes:      stored.Bytes,
+			EstPartitions: stored.Partitions,
+		})
+		for _, j := range out.Jobs {
+			for bi := range j.MapBranches {
+				if j.MapBranches[bi].Input == dsID {
+					j.MapBranches[bi].Input = stored.Dataset
+				}
+			}
+		}
+	}
+	out.GC()
+	var kept []*wf.Dataset
+	for _, d := range out.Datasets {
+		if fedClosure[d.ID] && len(out.Consumers(d.ID)) == 0 {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	out.Datasets = kept
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("reuse: rewritten plan invalid: %w", err)
+	}
+	return out, nil
+}

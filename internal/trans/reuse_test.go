@@ -1,0 +1,185 @@
+package trans
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/keyval"
+	"github.com/stubby-mr/stubby/internal/mrsim"
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+// storedFor snapshots a materialized dataset as the catalog would publish it.
+func storedFor(t *testing.T, dfs *mrsim.DFS, id string, ds *wf.Dataset) StoredResult {
+	t.Helper()
+	st, ok := dfs.Get(id)
+	if !ok {
+		t.Fatalf("dataset %s not on DFS", id)
+	}
+	return StoredResult{
+		Dataset:     id,
+		Layout:      st.Layout.Clone(),
+		KeyFields:   ds.KeyFields,
+		ValueFields: ds.ValueFields,
+		Records:     float64(st.Records()),
+		Bytes:       float64(st.Bytes()),
+		Partitions:  len(st.Parts),
+	}
+}
+
+// TestApplyReuseInPlace: the stored result lives under the dataset's own
+// ID — the producing job disappears, the dataset flips to an annotated
+// base, the orphaned feeding base is pruned, and the rewritten plan
+// produces identical sink output over the materialized data.
+func TestApplyReuseInPlace(t *testing.T) {
+	orig := exampleWorkflow(false) // D4 -> J5 -> D5 -> J7 -> D7
+	pairs := genD4(500, 1)
+	dfs := newDFS(t, pairs)
+	full := runAndCollect(t, orig, dfs) // materializes D5 and D7
+
+	stored := storedFor(t, dfs, "D5", orig.Dataset("D5"))
+	if err := CanReuse(orig, "D5", stored); err != nil {
+		t.Fatalf("CanReuse: %v", err)
+	}
+	rew, err := ApplyReuse(orig, "D5", stored)
+	if err != nil {
+		t.Fatalf("ApplyReuse: %v", err)
+	}
+	if len(orig.Jobs) != 2 || orig.Dataset("D5").Base {
+		t.Fatal("ApplyReuse mutated its input plan")
+	}
+	if len(rew.Jobs) != 1 || rew.Jobs[0].ID != "J7" {
+		t.Fatalf("rewritten plan has jobs %v, want just J7", len(rew.Jobs))
+	}
+	d5 := rew.Dataset("D5")
+	if d5 == nil || !d5.Base || d5.EstRecords != stored.Records || d5.EstPartitions != stored.Partitions {
+		t.Fatalf("D5 not flipped to an annotated base: %+v", d5)
+	}
+	if rew.Dataset("D4") != nil {
+		t.Error("base D4 fed only the removed closure and should be pruned")
+	}
+
+	// The rewritten plan runs over the DFS that holds the materialized D5
+	// and must reproduce D7 exactly.
+	got := runAndCollect(t, rew, dfs.Clone())
+	if d := mrsim.DiffPairs(full["D7"], got["D7"], 0); d != "" {
+		t.Errorf("reused plan diverges on D7: %s", d)
+	}
+}
+
+// TestApplyReuseRelocated: the stored result lives under a different DFS
+// ID — a fresh base dataset is added, consumers repoint to it, and the
+// replaced dataset is GC'd.
+func TestApplyReuseRelocated(t *testing.T) {
+	orig := exampleWorkflow(false)
+	pairs := genD4(500, 1)
+	dfs := newDFS(t, pairs)
+	full := runAndCollect(t, orig, dfs)
+
+	stored := storedFor(t, dfs, "D5", orig.Dataset("D5"))
+	stored.Dataset = "EXT5"
+	rew, err := ApplyReuse(orig, "D5", stored)
+	if err != nil {
+		t.Fatalf("ApplyReuse: %v", err)
+	}
+	if rew.Dataset("D5") != nil {
+		t.Error("replaced dataset D5 should be GC'd after repointing")
+	}
+	ext := rew.Dataset("EXT5")
+	if ext == nil || !ext.Base {
+		t.Fatalf("stored location EXT5 not added as a base: %+v", ext)
+	}
+	if rew.Jobs[0].MapBranches[0].Input != "EXT5" {
+		t.Errorf("consumer still reads %s", rew.Jobs[0].MapBranches[0].Input)
+	}
+
+	// Execute: publish the materialized D5 under EXT5 and compare sinks.
+	run := dfs.Clone()
+	d5, _ := run.Get("D5")
+	run.Put("EXT5", d5.Parts, d5.Layout.Clone())
+	got := runAndCollect(t, rew, run)
+	if d := mrsim.DiffPairs(full["D7"], got["D7"], 0); d != "" {
+		t.Errorf("relocated reuse diverges on D7: %s", d)
+	}
+}
+
+func TestCanReusePreconditions(t *testing.T) {
+	w := exampleWorkflow(false)
+	good := StoredResult{Dataset: "D5", Records: 100, Bytes: 1000, Partitions: 2}
+
+	cases := []struct {
+		name   string
+		dsID   string
+		stored StoredResult
+		want   string
+	}{
+		{"unknown dataset", "NOPE", good, "unknown dataset"},
+		{"base input", "D4", good, "base input"},
+		{"sink", "D7", good, "is a sink"},
+		{"no records", "D5", StoredResult{Dataset: "D5", Bytes: 1, Partitions: 1}, "size estimates"},
+		{"no bytes", "D5", StoredResult{Dataset: "D5", Records: 1, Partitions: 1}, "size estimates"},
+		{"no partitions", "D5", StoredResult{Dataset: "D5", Records: 1, Bytes: 1}, "size estimates"},
+		{"no location", "D5", StoredResult{Records: 1, Bytes: 1, Partitions: 1}, "no dataset location"},
+		{"ID collision", "D5", StoredResult{Dataset: "D7", Records: 1, Bytes: 1, Partitions: 1}, "collides"},
+		{"key schema", "D5", StoredResult{Dataset: "D5", KeyFields: []string{"X", "Y"}, Records: 1, Bytes: 1, Partitions: 1}, "key schema"},
+		{"value schema", "D5", StoredResult{Dataset: "D5", ValueFields: []string{"X"}, Records: 1, Bytes: 1, Partitions: 1}, "value schema"},
+	}
+	for _, tc := range cases {
+		err := CanReuse(w, tc.dsID, tc.stored)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := CanReuse(w, "D5", good); err != nil {
+		t.Errorf("valid reuse rejected: %v", err)
+	}
+}
+
+// TestCanReuseSeverability: a closure job whose side output is consumed
+// outside the closure (or is itself a sink) blocks reuse — removing the
+// closure would drop data the rest of the workflow needs.
+func TestCanReuseSeverability(t *testing.T) {
+	pass := func(k, v keyval.Tuple, emit wf.Emit) { emit(k, v) }
+	first := func(k keyval.Tuple, vs []keyval.Tuple, emit wf.Emit) { emit(k, vs[0]) }
+	chain := func(id, in, out string, key, val []string) *wf.Job {
+		return &wf.Job{
+			ID: id, Config: wf.DefaultConfig(),
+			MapBranches: []wf.MapBranch{{
+				Tag: 0, Input: in,
+				Stages: []wf.Stage{wf.MapStage("M"+id, pass, 1e-6)},
+				KeyIn:  key, ValIn: val, KeyOut: key, ValOut: val,
+			}},
+			ReduceGroups: []wf.ReduceGroup{{
+				Tag: 0, Output: out,
+				Stages: []wf.Stage{wf.ReduceStage("R"+id, first, nil, 1e-6)},
+				KeyIn:  key, ValIn: val, KeyOut: key, ValOut: val,
+			}},
+		}
+	}
+
+	// D4 -> J5 -> D5 -> J7 -> D7 -> J8 -> D8, plus J9: D5 -> D9. The
+	// closure of D7 is {J5, J7}, and J5's output D5 leaks to J9.
+	w := exampleWorkflow(false)
+	w.Jobs = append(w.Jobs,
+		chain("J8", "D7", "D8", []string{"O"}, []string{"maxP"}),
+		chain("J9", "D5", "D9", []string{"O", "Z"}, []string{"sumP"}),
+	)
+	w.Datasets = append(w.Datasets,
+		&wf.Dataset{ID: "D8", KeyFields: []string{"O"}, ValueFields: []string{"maxP"}},
+		&wf.Dataset{ID: "D9", KeyFields: []string{"O", "Z"}, ValueFields: []string{"sumP"}},
+	)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stored := StoredResult{Dataset: "D7", Records: 10, Bytes: 100, Partitions: 1}
+	err := CanReuse(w, "D7", stored)
+	if err == nil || !strings.Contains(err.Error(), "outside the sub-DAG") {
+		t.Errorf("leaking side output not rejected: %v", err)
+	}
+	// D5 itself is still reusable: its closure is just {J5}, whose only
+	// output is D5.
+	stored.Dataset = "D5"
+	if err := CanReuse(w, "D5", stored); err != nil {
+		t.Errorf("multi-consumer root rejected: %v", err)
+	}
+}

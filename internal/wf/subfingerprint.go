@@ -1,0 +1,180 @@
+package wf
+
+import "github.com/stubby-mr/stubby/internal/keyval"
+
+// Rooted-subgraph fingerprints (ReStore-style sub-plan reuse): a canonical
+// digest of everything that determines the *content* of one dataset — the
+// producing sub-DAG's structure, per-job programs, configurations, and
+// profile annotations, plus the base datasets it reads (a base dataset's ID
+// is its DFS location, so it participates by identity). Like the workflow
+// fingerprint, the digest is insensitive to workflow Name, job IDs, Origin
+// bookkeeping, and — unlike it — to *dataset* IDs along the way: a branch's
+// Input name is replaced by the recursive sub-fingerprint of that input, and
+// a group's Output name by the ordinal of the group within its job, so two
+// differently-named workflows producing a dataset by the same computation
+// over the same bases collide exactly. Two datasets with equal sub-plan
+// fingerprints hold identical records, which is what makes the fingerprint
+// a sound key for a cross-workflow reuse catalog.
+//
+// ReduceCountGroup ties are deliberately omitted: they constrain the
+// configuration *search*, not the data a fixed configuration produces, and
+// the tied NumReduceTasks itself is already hashed via the job Config.
+
+// SubplanFingerprint digests the producing sub-DAG of one dataset with a
+// throwaway Hasher. ok is false when the dataset does not exist in w.
+func SubplanFingerprint(w *Workflow, dsID string) (Fingerprint, bool) {
+	return NewHasher().Subplan(w, dsID)
+}
+
+// Subplan digests the rooted subgraph producing dsID. The workflow is read,
+// never modified; the Hasher's profile/program/dataset memos are shared with
+// whole-workflow fingerprinting, so interleaving the two is cheap.
+func (h *Hasher) Subplan(w *Workflow, dsID string) (Fingerprint, bool) {
+	return h.subplan(w, dsID, map[string]Fingerprint{}, map[string]bool{})
+}
+
+func (h *Hasher) subplan(w *Workflow, dsID string, memo map[string]Fingerprint, onPath map[string]bool) (Fingerprint, bool) {
+	if fp, ok := memo[dsID]; ok {
+		return fp, true
+	}
+	d := w.Dataset(dsID)
+	if d == nil || onPath[dsID] {
+		return Fingerprint{}, false
+	}
+	if d.Base {
+		// A base dataset is content-addressed by its DFS location: hash the
+		// full dataset digest (which includes the ID) under a distinct tag.
+		fw := newFPWriter()
+		fw.str("sub-base")
+		fp := h.dataset(d)
+		fw.u64(fp[0])
+		fw.u64(fp[1])
+		out := fw.sum()
+		memo[dsID] = out
+		return out, true
+	}
+	j := w.Producer(dsID)
+	if j == nil {
+		return Fingerprint{}, false
+	}
+	onPath[dsID] = true
+	defer delete(onPath, dsID)
+
+	fw := newFPWriter()
+	fw.str("sub-v1")
+	fw.bool(j.AlignMapToInput)
+	fw.bool(j.PinnedReducers)
+	fw.config(j.Config)
+	pf := h.profile(j.Profile)
+	fw.u64(pf[0])
+	fw.u64(pf[1])
+	fw.num(len(j.MapBranches))
+	for i := range j.MapBranches {
+		b := &j.MapBranches[i]
+		in, ok := h.subplan(w, b.Input, memo, onPath)
+		if !ok {
+			return Fingerprint{}, false
+		}
+		fw.u64(in[0])
+		fw.u64(in[1])
+		fw.subBranch(b)
+	}
+	fw.num(len(j.ReduceGroups))
+	target := -1
+	for i := range j.ReduceGroups {
+		g := &j.ReduceGroups[i]
+		if g.Output == dsID && target < 0 {
+			target = i
+		}
+		fw.subGroup(g)
+	}
+	// Which of the job's outputs this fingerprint is rooted at — a
+	// multi-output producer yields one distinct digest per output.
+	fw.num(target)
+	out := fw.sum()
+	memo[dsID] = out
+	return out, true
+}
+
+// subBranch is fpWriter.branch with the Input dataset name elided — the
+// recursive input sub-fingerprint already stands in for it.
+func (fw *fpWriter) subBranch(b *MapBranch) {
+	fw.num(b.Tag)
+	fw.stages(b.Stages)
+	if b.Filter == nil {
+		fw.bool(false)
+	} else {
+		fw.bool(true)
+		fw.str(b.Filter.Field)
+		fw.tuple(keyval.Tuple{b.Filter.Interval.Lo})
+		fw.tuple(keyval.Tuple{b.Filter.Interval.Hi})
+	}
+	fw.strs(b.KeyIn)
+	fw.strs(b.ValIn)
+	fw.strs(b.KeyOut)
+	fw.strs(b.ValOut)
+}
+
+// subGroup is fpWriter.group with the Output dataset name elided — the root
+// ordinal written after the group list stands in for it.
+func (fw *fpWriter) subGroup(g *ReduceGroup) {
+	fw.num(g.Tag)
+	fw.bool(g.RunsMapSide)
+	fw.stages(g.Stages)
+	if g.Combiner == nil {
+		fw.bool(false)
+	} else {
+		fw.bool(true)
+		fw.stage(g.Combiner)
+	}
+	fw.num(int(g.Part.Type))
+	fw.ints(g.Part.KeyFields)
+	fw.ints(g.Part.SortFields)
+	fw.tuples(g.Part.SplitPoints)
+	fw.num(len(g.Constraints))
+	for i := range g.Constraints {
+		c := &g.Constraints[i]
+		fw.strs(c.CoGroup)
+		fw.strs(c.SortPrefix)
+		if c.RequireType == nil {
+			fw.num(-1)
+		} else {
+			fw.num(int(*c.RequireType))
+		}
+	}
+	fw.strs(g.KeyIn)
+	fw.strs(g.ValIn)
+	fw.strs(g.KeyOut)
+	fw.strs(g.ValOut)
+}
+
+// ProducingJobs returns the transitive producer closure of one dataset: every
+// job that must run for dsID to exist, in workflow job-slice order (which is
+// deterministic and respects no particular topology — callers needing a
+// topological order should TopoSort the result's workflow). Returns nil for
+// base or unknown datasets.
+func ProducingJobs(w *Workflow, dsID string) []*Job {
+	need := map[string]bool{}
+	var visit func(id string)
+	visit = func(id string) {
+		j := w.Producer(id)
+		if j == nil || need[j.ID] {
+			return
+		}
+		need[j.ID] = true
+		for _, in := range j.Inputs() {
+			visit(in)
+		}
+	}
+	visit(dsID)
+	if len(need) == 0 {
+		return nil
+	}
+	out := make([]*Job, 0, len(need))
+	for _, j := range w.Jobs {
+		if need[j.ID] {
+			out = append(out, j)
+		}
+	}
+	return out
+}

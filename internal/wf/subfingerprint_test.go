@@ -1,0 +1,132 @@
+package wf_test
+
+import (
+	"testing"
+
+	"github.com/stubby-mr/stubby/internal/wf"
+)
+
+func subFP(t *testing.T, w *wf.Workflow, dsID string) wf.Fingerprint {
+	t.Helper()
+	fp, ok := wf.SubplanFingerprint(w, dsID)
+	if !ok {
+		t.Fatalf("no sub-fingerprint for %s", dsID)
+	}
+	return fp
+}
+
+// TestSubplanFingerprintStability: deterministic, root-sensitive, and
+// shared-Hasher results match the throwaway path.
+func TestSubplanFingerprintStability(t *testing.T) {
+	w := fpWorkflow()
+	mid, out := subFP(t, w, "mid"), subFP(t, w, "out")
+	if mid == out {
+		t.Fatal("distinct roots share a sub-fingerprint")
+	}
+	if again := subFP(t, w, "out"); again != out {
+		t.Fatalf("unstable: %s vs %s", again, out)
+	}
+	h := wf.NewHasher()
+	if got, ok := h.Subplan(w, "out"); !ok || got != out {
+		t.Fatalf("shared-Hasher Subplan diverged: %s vs %s", got, out)
+	}
+	if _, ok := wf.SubplanFingerprint(w, "nope"); ok {
+		t.Fatal("unknown dataset fingerprinted")
+	}
+	// Base datasets fingerprint too (content-addressed identity), and
+	// differ from any produced dataset's digest.
+	if b := subFP(t, w, "base"); b == mid || b == out {
+		t.Fatal("base digest collides with a produced dataset's")
+	}
+}
+
+// TestSubplanNameInsensitivity: workflow name, job IDs, and *intermediate*
+// dataset IDs carry no content, so renaming them must not move the rooted
+// fingerprint — that is what lets two differently-named workflows collide
+// in the reuse catalog.
+func TestSubplanNameInsensitivity(t *testing.T) {
+	w := fpWorkflow()
+	want := subFP(t, w, "out")
+
+	r := w.Clone()
+	r.Name = "renamed"
+	for i, j := range r.Jobs {
+		j.ID = string(rune('a' + i))
+	}
+	// Rename the intermediate dataset end to end.
+	r.Dataset("mid").ID = "intermediate"
+	r.Jobs[0].ReduceGroups[0].Output = "intermediate"
+	r.Jobs[1].MapBranches[0].Input = "intermediate"
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := subFP(t, r, "out"); got != want {
+		t.Fatalf("renames moved the sub-fingerprint: %s -> %s", want, got)
+	}
+
+	// Renaming the root itself is equally free...
+	r.Dataset("out").ID = "result"
+	r.Jobs[1].ReduceGroups[0].Output = "result"
+	if got := subFP(t, r, "result"); got != want {
+		t.Fatalf("root rename moved the sub-fingerprint: %s -> %s", want, got)
+	}
+
+	// ...but renaming a *base* dataset is a different input location, and
+	// must move it.
+	b := w.Clone()
+	b.Dataset("base").ID = "base2"
+	b.Jobs[0].MapBranches[0].Input = "base2"
+	if got := subFP(t, b, "out"); got == want {
+		t.Fatal("base dataset rename did not move the sub-fingerprint")
+	}
+}
+
+// TestSubplanContentSensitivity: anything that changes what records the
+// sub-DAG produces — base data sizes, job profiles, configurations, stage
+// programs — must move the fingerprint.
+func TestSubplanContentSensitivity(t *testing.T) {
+	w := fpWorkflow()
+	want := subFP(t, w, "out")
+
+	mutations := []struct {
+		name string
+		mut  func(*wf.Workflow)
+	}{
+		{"base size", func(m *wf.Workflow) { m.Dataset("base").EstRecords = 2000 }},
+		{"upstream profile", func(m *wf.Workflow) { m.Jobs[0].Profile.MapProfile(m.Jobs[0].MapBranches[0]).Selectivity = 0.1 }},
+		{"upstream config", func(m *wf.Workflow) { m.Jobs[0].Config.NumReduceTasks += 7 }},
+		{"filter interval", func(m *wf.Workflow) { m.Jobs[0].MapBranches[0].Filter.Interval.Hi = int64(51) }},
+		{"partitioning", func(m *wf.Workflow) { m.Jobs[1].ReduceGroups[0].Part.KeyFields = nil }},
+	}
+	for _, tc := range mutations {
+		m := w.Clone()
+		tc.mut(m)
+		if got := subFP(t, m, "out"); got == want {
+			t.Errorf("%s change did not move the sub-fingerprint", tc.name)
+		}
+	}
+
+	// A change strictly downstream of the root must NOT move the root's
+	// fingerprint: j2 does not produce "mid".
+	m := w.Clone()
+	m.Jobs[1].Config.NumReduceTasks += 7
+	if got := subFP(t, m, "mid"); got != subFP(t, w, "mid") {
+		t.Error("downstream change moved an upstream sub-fingerprint")
+	}
+}
+
+func TestProducingJobs(t *testing.T) {
+	w := fpWorkflow()
+	if jobs := wf.ProducingJobs(w, "out"); len(jobs) != 2 || jobs[0].ID != "j1" || jobs[1].ID != "j2" {
+		t.Errorf("closure of out: got %d jobs", len(jobs))
+	}
+	if jobs := wf.ProducingJobs(w, "mid"); len(jobs) != 1 || jobs[0].ID != "j1" {
+		t.Errorf("closure of mid wrong")
+	}
+	if jobs := wf.ProducingJobs(w, "base"); jobs != nil {
+		t.Errorf("base closure = %v, want nil", jobs)
+	}
+	if jobs := wf.ProducingJobs(w, "nope"); jobs != nil {
+		t.Errorf("unknown closure = %v, want nil", jobs)
+	}
+}

@@ -125,6 +125,7 @@ func encodeStoredResult(res *Result) ([]byte, error) {
 		WhatIfComputed: res.WhatIfComputed,
 		FlowCards:      res.FlowCards,
 		Fingerprint:    wf.FingerprintWorkflow(res.Plan).String(),
+		ReusedSubplans: res.ReusedSubplans,
 	})
 }
 
@@ -141,7 +142,8 @@ func decodeStoredResult(doc []byte, w *Workflow) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Plan: wres.Plan, EstimatedCost: wres.EstimatedCost, FromStore: true}, nil
+	return &Result{Plan: wres.Plan, EstimatedCost: wres.EstimatedCost, FromStore: true,
+		ReusedSubplans: wres.ReusedSubplans}, nil
 }
 
 // storeLookup is the non-computing store probe Submit uses before

@@ -41,12 +41,13 @@ const deadlineHeader = "X-Stubby-Deadline-MS"
 // job, 409 not finished, ...); Client reconstructs them into *Error, so
 // errors.Is/As work identically over the wire.
 type Server struct {
-	sess     *Session
-	mux      *http.ServeMux
-	maxBody  int64
-	retain   int
-	journal  *Journal // durable job journal (WithJournal), nil without one
-	draining atomic.Bool
+	sess        *Session
+	mux         *http.ServeMux
+	maxBody     int64
+	retain      int
+	retryPerJob time.Duration
+	journal     *Journal // durable job journal (WithJournal), nil without one
+	draining    atomic.Bool
 
 	mu       sync.RWMutex
 	jobs     map[string]*OptimizeHandle
@@ -79,18 +80,36 @@ func WithJobRetention(n int) ServerOption {
 	}
 }
 
+// DefaultRetryAfterPerJob is the per-outstanding-job pause Retry-After
+// hints are derived from when WithRetryAfterPerJob is not given.
+const DefaultRetryAfterPerJob = time.Second
+
+// WithRetryAfterPerJob sets how much Retry-After time each outstanding job
+// (queued or running) contributes when the server sheds a submission or
+// rejects during drain: a loaded queue tells clients to back off longer, an
+// empty one invites a quick retry. The derived hint is clamped to [1, 60]
+// whole seconds; d <= 0 restores DefaultRetryAfterPerJob.
+func WithRetryAfterPerJob(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.retryPerJob = d
+		}
+	}
+}
+
 // NewServer builds the HTTP front end of sess. Job state is in-memory,
 // like the queue: a restarted server forgets finished jobs, and a
 // long-lived one retains only the WithJobRetention most recent finished
 // jobs.
 func NewServer(sess *Session, opts ...ServerOption) *Server {
 	s := &Server{
-		sess:     sess,
-		mux:      http.NewServeMux(),
-		maxBody:  256 << 20,
-		retain:   1024,
-		jobs:     make(map[string]*OptimizeHandle),
-		inflight: make(map[string]string),
+		sess:        sess,
+		mux:         http.NewServeMux(),
+		maxBody:     256 << 20,
+		retain:      1024,
+		retryPerJob: DefaultRetryAfterPerJob,
+		jobs:        make(map[string]*OptimizeHandle),
+		inflight:    make(map[string]string),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -186,15 +205,33 @@ func kindStatus(k ErrorKind) int {
 	}
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// retryAfterSecs derives the Retry-After hint from the queue's current
+// occupancy: every outstanding job (queued or running) contributes
+// retryPerJob of expected wait, so a loaded server tells clients to back
+// off proportionally instead of hammering it at a fixed cadence. Clamped
+// to [1, 60] whole seconds (the header carries integer seconds).
+func (s *Server) retryAfterSecs() int {
+	q := s.sess.jobQueue()
+	wait := time.Duration(q.Queued()+q.Busy()) * s.retryPerJob
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	doc := planio.NewErrorDoc(err)
 	w.Header().Set("Content-Type", "application/json")
 	kind := stubbyerr.ParseKind(doc.Kind)
 	// Shed (429) and drain (503) rejections are retryable by construction;
-	// Retry-After tells well-behaved clients when, and Client maps it into
-	// its backoff schedule.
+	// Retry-After tells well-behaved clients when — proportionally to the
+	// work outstanding — and Client maps it into its backoff schedule.
 	if kind == stubbyerr.KindOverloaded || kind == stubbyerr.KindUnavailable {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 	}
 	w.WriteHeader(kindStatus(kind))
 	_ = json.NewEncoder(w).Encode(planio.ErrorEnvelope{Error: doc})
@@ -208,23 +245,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, stubbyerr.New(stubbyerr.KindUnavailable, "submit", "", "",
+		s.writeError(w, stubbyerr.New(stubbyerr.KindUnavailable, "submit", "", "",
 			"server is draining"))
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
 	if err != nil {
-		writeError(w, stubbyerr.WithKind(stubbyerr.KindInvalid, "submit", "", err))
+		s.writeError(w, stubbyerr.WithKind(stubbyerr.KindInvalid, "submit", "", err))
 		return
 	}
 	if int64(len(body)) > s.maxBody {
-		writeError(w, stubbyerr.New(stubbyerr.KindInvalid, "submit", "", "",
+		s.writeError(w, stubbyerr.New(stubbyerr.KindInvalid, "submit", "", "",
 			"request body exceeds %d bytes", s.maxBody))
 		return
 	}
 	req, err := planio.DecodeRequest(body)
 	if err != nil {
-		writeError(w, stubbyerr.WithKind(stubbyerr.KindInvalid, "submit", "", err))
+		s.writeError(w, stubbyerr.WithKind(stubbyerr.KindInvalid, "submit", "", err))
 		return
 	}
 	oreq := OptimizeRequest{
@@ -258,7 +295,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	h, err := s.sess.Submit(r.Context(), oreq)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if s.journal != nil {
@@ -321,7 +358,7 @@ func (s *Server) statusDoc(h *OptimizeHandle) *planio.StatusDoc {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	h, err := s.lookup(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.statusDoc(h))
@@ -330,7 +367,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	h, err := s.lookup(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	h.Cancel()
@@ -340,18 +377,18 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	h, err := s.lookup(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	switch h.State() {
 	case StateQueued, StateRunning:
-		writeError(w, stubbyerr.New(stubbyerr.KindConflict, "result", h.WorkflowName(), "",
+		s.writeError(w, stubbyerr.New(stubbyerr.KindConflict, "result", h.WorkflowName(), "",
 			"job %s has not finished (state %s)", h.ID(), h.State()))
 		return
 	}
 	res, err := h.result()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	data, err := planio.EncodeResult(&planio.Result{
@@ -363,9 +400,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		FlowCards:      res.FlowCards,
 		Fingerprint:    wf.FingerprintWorkflow(res.Plan).String(),
 		Robustness:     robustnessDoc(res.Robustness),
+		ReusedSubplans: res.ReusedSubplans,
 	})
 	if err != nil {
-		writeError(w, stubbyerr.From("result", h.WorkflowName(), err))
+		s.writeError(w, stubbyerr.From("result", h.WorkflowName(), err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -376,7 +414,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h, err := s.lookup(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	// ?from=N resumes the stream at line N: the NDJSON line index is the
@@ -387,7 +425,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("from"); v != "" {
 		n, perr := strconv.Atoi(v)
 		if perr != nil || n < 0 {
-			writeError(w, stubbyerr.New(stubbyerr.KindInvalid, "events", h.WorkflowName(), h.ID(),
+			s.writeError(w, stubbyerr.New(stubbyerr.KindInvalid, "events", h.WorkflowName(), h.ID(),
 				"bad resume cursor %q", v))
 			return
 		}
@@ -430,7 +468,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	q := s.sess.jobQueue()
 	if s.draining.Load() {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status":     "draining",
 			"queueDepth": q.Depth(),
@@ -470,6 +508,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if stats, ok := s.sess.PlanStoreStats(); ok {
 		doc.PlanStore = storeStatsDoc(stats)
 	}
+	if stats, ok := s.sess.ReuseCatalogStats(); ok {
+		doc.ReuseCatalog = reuseStatsDoc(stats)
+	}
 	if stats, ok := s.JournalStats(); ok {
 		doc.Journal = journalStatsDoc(stats)
 	}
@@ -479,8 +520,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 // journalStatsDoc converts journal stats to their wire form.
 func journalStatsDoc(st JournalStats) *planio.JournalStatsDoc {
 	return &planio.JournalStatsDoc{Submits: st.Submits, Transitions: st.Transitions,
-		Recovered: st.Recovered, Compacted: st.Compacted, TornBytes: st.TornBytes,
-		BytesWritten: st.BytesWritten, Errors: st.Errors}
+		Recovered: st.Recovered, Compacted: st.Compacted, Compactions: st.Compactions,
+		TornBytes: st.TornBytes, BytesWritten: st.BytesWritten, Errors: st.Errors}
 }
 
 // journalStatsFromDoc is the client-side inverse of journalStatsDoc.
@@ -489,8 +530,8 @@ func journalStatsFromDoc(d *planio.JournalStatsDoc) JournalStats {
 		return JournalStats{}
 	}
 	return JournalStats{Submits: d.Submits, Transitions: d.Transitions,
-		Recovered: d.Recovered, Compacted: d.Compacted, TornBytes: d.TornBytes,
-		BytesWritten: d.BytesWritten, Errors: d.Errors}
+		Recovered: d.Recovered, Compacted: d.Compacted, Compactions: d.Compactions,
+		TornBytes: d.TornBytes, BytesWritten: d.BytesWritten, Errors: d.Errors}
 }
 
 // cacheStatsDoc converts estimate-cache stats to their wire form.
@@ -518,6 +559,23 @@ func storeStatsFromDoc(d *planio.StoreStatsDoc) PlanStoreStats {
 		Puts: d.Puts, Evictions: d.Evictions, BytesWritten: d.BytesWritten,
 		BytesRead: d.BytesRead, Errors: d.Errors, Entries: d.Entries,
 		Segments: d.Segments}
+}
+
+// reuseStatsDoc converts reuse-catalog stats to their wire form.
+func reuseStatsDoc(st ReuseCatalogStats) *planio.ReuseStatsDoc {
+	return &planio.ReuseStatsDoc{Entries: st.Entries, Puts: st.Puts,
+		Hits: st.Hits, Misses: st.Misses, Compacted: st.Compacted,
+		TornBytes: st.TornBytes, BytesWritten: st.BytesWritten, Errors: st.Errors}
+}
+
+// reuseStatsFromDoc is the client-side inverse of reuseStatsDoc.
+func reuseStatsFromDoc(d *planio.ReuseStatsDoc) ReuseCatalogStats {
+	if d == nil {
+		return ReuseCatalogStats{}
+	}
+	return ReuseCatalogStats{Entries: d.Entries, Puts: d.Puts,
+		Hits: d.Hits, Misses: d.Misses, Compacted: d.Compacted,
+		TornBytes: d.TornBytes, BytesWritten: d.BytesWritten, Errors: d.Errors}
 }
 
 // robustnessDoc converts a robustness report to its wire form (nil-safe).
@@ -564,6 +622,9 @@ func eventToDoc(ev Event) *planio.EventDoc {
 	case RobustnessEvent:
 		return &planio.EventDoc{Type: planio.EventRobustness, Workflow: e.Workflow,
 			Robustness: robustnessDoc(e.Report)}
+	case ReuseReportEvent:
+		return &planio.EventDoc{Type: planio.EventReuseReport, Workflow: e.Workflow,
+			Reused: e.Reused, Reuse: reuseStatsDoc(e.Stats)}
 	case StateChangedEvent:
 		return &planio.EventDoc{Type: planio.EventStateChanged, Workflow: e.Workflow,
 			JobID: e.JobID, State: e.State.String(), Error: planio.NewErrorDoc(e.Err)}
@@ -597,6 +658,9 @@ func eventFromDoc(d *planio.EventDoc) (Event, bool) {
 	case planio.EventRobustness:
 		return RobustnessEvent{Workflow: d.Workflow,
 			Report: robustnessFromDoc(d.Robustness)}, true
+	case planio.EventReuseReport:
+		return ReuseReportEvent{Workflow: d.Workflow, Reused: d.Reused,
+			Stats: reuseStatsFromDoc(d.Reuse)}, true
 	case planio.EventStateChanged:
 		st, err := parseJobState(d.State)
 		if err != nil {

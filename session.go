@@ -125,9 +125,10 @@ type Session struct {
 	fraction    float64
 	baseOpts    Options
 	registry    *PlannerRegistry
-	estCache    *EstimateCache
-	planStore   *PlanStore
-	robustness  *whatif.RobustnessOptions
+	estCache     *EstimateCache
+	planStore    *PlanStore
+	reuseCatalog *ReuseCatalog
+	robustness   *whatif.RobustnessOptions
 	// incrementalSet/disableIncremental record WithIncrementalEstimation:
 	// tri-state so an unset option defers to WithOptimizerOptions.
 	incrementalSet     bool
@@ -432,6 +433,11 @@ func (s *Session) optimizerOptions(workflow string) optimizer.Options {
 	if o.Robustness == nil {
 		o.Robustness = s.robustness
 	}
+	// The non-nil check matters: assigning a nil *ReuseCatalog into the
+	// interface field would make it non-nil and turn the pre-pass on.
+	if o.ReuseCatalog == nil && s.reuseCatalog != nil {
+		o.ReuseCatalog = s.reuseCatalog
+	}
 	return o
 }
 
@@ -610,6 +616,9 @@ func (s *Session) Run(ctx context.Context, dfs *DFS, w *Workflow) (*RunReport, e
 	rep, err := eng.RunWorkflowContext(ctx, w)
 	if err != nil {
 		return nil, stubbyerr.From("run", w.Name, err)
+	}
+	if s.reuseCatalog != nil {
+		s.publishRunResults(dfs, w)
 	}
 	return rep, nil
 }

@@ -203,6 +203,7 @@ func Run(c *Cluster, dfs *DFS, w *Workflow) (*RunReport, error) {
 	if err != nil {
 		return nil, stubbyerr.WithKind(stubbyerr.KindInvalid, "run", w.Name, err)
 	}
+	defer s.Close(context.Background())
 	return s.Run(context.Background(), dfs, w)
 }
 
@@ -217,6 +218,7 @@ func Profile(c *Cluster, w *Workflow, dfs *DFS, fraction float64, seed int64) er
 	if err != nil {
 		return stubbyerr.WithKind(stubbyerr.KindInvalid, "profile", w.Name, err)
 	}
+	defer s.Close(context.Background())
 	return s.Profile(context.Background(), w, dfs)
 }
 
@@ -231,6 +233,7 @@ func Optimize(c *Cluster, w *Workflow, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, stubbyerr.WithKind(stubbyerr.KindInvalid, "optimize", w.Name, err)
 	}
+	defer s.Close(context.Background())
 	return s.Optimize(context.Background(), w)
 }
 
@@ -243,6 +246,7 @@ func EstimateCost(c *Cluster, w *Workflow) (*Estimate, error) {
 	if err != nil {
 		return nil, stubbyerr.WithKind(stubbyerr.KindInvalid, "estimate", w.Name, err)
 	}
+	defer s.Close(context.Background())
 	return s.Estimate(context.Background(), w)
 }
 

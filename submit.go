@@ -304,6 +304,10 @@ func (s *Session) Submit(ctx context.Context, req OptimizeRequest) (*OptimizeHan
 		if res.Robustness != nil {
 			h.job.Publish(RobustnessEvent{Workflow: wfName, Report: res.Robustness})
 		}
+		if target.reuseCatalog != nil {
+			h.job.Publish(ReuseReportEvent{Workflow: wfName, Reused: res.ReusedSubplans,
+				Stats: target.reuseCatalog.Stats()})
+		}
 		return res, nil
 	})
 	// A plan-store hit skips the queue entirely: the stored plan is
@@ -388,6 +392,7 @@ func (s *Session) deriveFor(req OptimizeRequest) (*Session, error) {
 		registry:           s.registry,
 		estCache:           s.estCache,
 		planStore:          s.planStore,
+		reuseCatalog:       s.reuseCatalog,
 		robustness:         s.robustness,
 		incrementalSet:     s.incrementalSet,
 		disableIncremental: s.disableIncremental,
