@@ -2,6 +2,7 @@ package stubby
 
 import (
 	"errors"
+	"time"
 
 	"github.com/stubby-mr/stubby/internal/catalog"
 	"github.com/stubby-mr/stubby/internal/planio"
@@ -21,13 +22,35 @@ type ReuseCatalog = catalog.Store
 // Session.ReuseCatalogStats and ReuseReportEvent.
 type ReuseCatalogStats = catalog.Stats
 
+// ReuseCatalogOption configures NewReuseCatalog's open-time behavior.
+type ReuseCatalogOption = catalog.Option
+
+// WithCatalogTTL evicts catalog entries older than ttl when the catalog is
+// (re)opened: expired entries are dropped by the compaction pass and
+// counted in ReuseCatalogStats.Expired, never surfaced as errors. Entries
+// written before timestamps existed have unknown age and are
+// conservatively treated as expired.
+func WithCatalogTTL(ttl time.Duration) ReuseCatalogOption {
+	return catalog.WithTTL(ttl)
+}
+
+// WithCatalogLocationCheck evicts, at (re)open, catalog entries whose
+// stored dataset location no longer exists: check(dataset) returning false
+// drops the entry, counted in ReuseCatalogStats.Vanished. A reuse hit
+// against a vanished dataset would optimize the plan around a scan of
+// nothing, so eviction at open is strictly safer.
+func WithCatalogLocationCheck(check func(dataset string) bool) ReuseCatalogOption {
+	return catalog.WithLocationCheck(check)
+}
+
 // NewReuseCatalog opens (creating if needed) a reuse catalog rooted at
 // dir. Reopening recovers crash-safely — torn record tails are truncated,
-// stale duplicates are compacted away, and every surviving entry stays
-// CRC-verified on read. One live writer per directory is enforced with a
-// lock file; close the catalog when done.
-func NewReuseCatalog(dir string) (*ReuseCatalog, error) {
-	return catalog.Open(dir)
+// stale duplicates are compacted away (along with entries evicted by
+// WithCatalogTTL / WithCatalogLocationCheck), and every surviving entry
+// stays CRC-verified on read. One live writer per directory is enforced
+// with a lock file; close the catalog when done.
+func NewReuseCatalog(dir string, opts ...ReuseCatalogOption) (*ReuseCatalog, error) {
+	return catalog.Open(dir, opts...)
 }
 
 // WithReuseCatalog attaches a sub-plan reuse catalog to the session:

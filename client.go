@@ -125,6 +125,9 @@ type ServiceStats struct {
 	ReuseCatalog *ReuseCatalogStats
 	// Journal carries the durable job journal's counters, when attached.
 	Journal *JournalStats
+	// Cluster carries the coordinator's cluster counters, when the server
+	// runs with WithCoordinator.
+	Cluster *ClusterStats
 }
 
 // Stats fetches the server's /statsz counters.
@@ -158,6 +161,10 @@ func (c *Client) Stats(ctx context.Context) (*ServiceStats, error) {
 		if doc.Journal != nil {
 			stats := journalStatsFromDoc(doc.Journal)
 			st.Journal = &stats
+		}
+		if doc.Cluster != nil {
+			stats := clusterStatsFromDoc(*doc.Cluster)
+			st.Cluster = &stats
 		}
 		return nil
 	})

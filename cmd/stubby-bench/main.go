@@ -444,8 +444,31 @@ func runServiceBench(h *bench.Harness, out string, jobs, workers int) error {
 	fmt.Println(bench.FormatTable(
 		[]string{"Profile", "Jobs", "503/rst/trunc", "Retries", "Resumes", "Optimizations", "p50", "p99", "Wall"}, cells))
 
+	cluster, err := h.ServiceClusterBench(jobs, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Distributed service: coordinator + worker replicas over one shared plan store (repeated-workflow mix)")
+	cells = nil
+	for _, r := range cluster {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.Replicas),
+			fmt.Sprintf("%d", r.Depth),
+			fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%d", r.Dispatches),
+			fmt.Sprintf("%d", r.StoreHits),
+			fmt.Sprintf("%.0f%%", 100*r.HitRatio),
+			fmt.Sprintf("%d/%d", r.Computes, r.Distinct),
+			fmt.Sprintf("%.1f/s", r.Throughput),
+			fmt.Sprintf("%.1f ms", r.P50MS),
+			fmt.Sprintf("%.1f ms", r.P99MS),
+		})
+	}
+	fmt.Println(bench.FormatTable(
+		[]string{"Replicas", "Depth", "Jobs", "Dispatches", "Store hits", "Hit ratio", "Computes/distinct", "Throughput", "p50", "p99"}, cells))
+
 	if out != "" {
-		if err := bench.ServiceBenchJSON(out, h, rows, cache, chaos, jobs); err != nil {
+		if err := bench.ServiceBenchJSON(out, h, rows, cache, chaos, cluster, jobs); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", out)

@@ -39,6 +39,22 @@
 // and error kind "overloaded". On SIGTERM/SIGINT the server drains
 // gracefully: new submissions get 503, running jobs finish (up to
 // -drain-timeout, then they are canceled), and the process exits.
+//
+// # Distributed operation
+//
+// A -coordinator process accepts the same /v1/jobs API but dispatches each
+// job to a registered worker; -worker -join URL processes register with
+// the coordinator, heartbeat to hold their lease, and serve the dispatched
+// jobs with their ordinary job API. A worker that stops heartbeating for
+// -lease-ttl has its in-flight jobs re-dispatched; a coordinator with no
+// live workers optimizes locally (failover). Point every node's -store at
+// one shared directory so identical submissions cost one optimization
+// cluster-wide (cross-replica single-flight) and re-dispatched jobs
+// converge to byte-identical plans:
+//
+//	stubbyd -coordinator -addr :8080 -store /shared/plans
+//	stubbyd -worker -join http://coord:8080 -addr :8081 -store /shared/plans
+//	stubbyd -worker -join http://coord:8080 -addr :8082 -store /shared/plans
 package main
 
 import (
@@ -68,14 +84,30 @@ func main() {
 		rrsEvals = flag.Int("rrs-evals", 0, "configuration-search budget override (0 = default)")
 		storeDir = flag.String("store", "", "persistent plan-store directory (empty = no store); replicas may share one directory")
 		reuseDir = flag.String("reuse-catalog", "", "sub-plan reuse catalog directory (empty = no reuse): optimizations replace catalog-matched sub-DAGs with scans of stored results")
+		reuseTTL = flag.Duration("catalog-ttl", 0, "evict reuse-catalog entries older than this at startup (0 = keep forever)")
 		jdir     = flag.String("journal", "", "durable job-journal directory (empty = 'journal' under -store when set, else no journal)")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits before canceling running jobs")
 
 		robSamples = flag.Int("robustness-samples", 0, "Monte-Carlo samples for fault-aware robustness scoring of every optimized plan (0 disables)")
 		faultName  = flag.String("fault-profile", "standard", "fault profile for -robustness-samples (standard, failures, stragglers)")
 		faultSeed  = flag.Int64("fault-seed", 42, "base perturbation seed for -robustness-samples")
+
+		coordinator = flag.Bool("coordinator", false, "run as cluster coordinator: dispatch jobs to -worker nodes that joined")
+		workerMode  = flag.Bool("worker", false, "run as cluster worker: register with -join and serve dispatched jobs")
+		join        = flag.String("join", "", "coordinator base URL a -worker joins (e.g. http://coord:8080)")
+		advertise   = flag.String("advertise", "", "base URL this worker advertises to the coordinator (default derived from the listen address)")
+		leaseTTL    = flag.Duration("lease-ttl", 3*time.Second, "coordinator: how long a silent worker keeps its lease; workers heartbeat at a third of it")
 	)
 	flag.Parse()
+
+	if *coordinator && *workerMode {
+		fmt.Fprintln(os.Stderr, "stubbyd: -coordinator and -worker are mutually exclusive")
+		os.Exit(2)
+	}
+	if *workerMode && *join == "" {
+		fmt.Fprintln(os.Stderr, "stubbyd: -worker requires -join URL")
+		os.Exit(2)
+	}
 
 	opts := []stubby.SessionOption{
 		stubby.WithSeed(*seed),
@@ -110,8 +142,12 @@ func main() {
 	}
 	var reuseCat *stubby.ReuseCatalog
 	if *reuseDir != "" {
+		var catOpts []stubby.ReuseCatalogOption
+		if *reuseTTL > 0 {
+			catOpts = append(catOpts, stubby.WithCatalogTTL(*reuseTTL))
+		}
 		var err error
-		if reuseCat, err = stubby.NewReuseCatalog(*reuseDir); err != nil {
+		if reuseCat, err = stubby.NewReuseCatalog(*reuseDir, catOpts...); err != nil {
 			fmt.Fprintln(os.Stderr, "stubbyd:", err)
 			os.Exit(1)
 		}
@@ -135,6 +171,11 @@ func main() {
 		}
 		srvOpts = append(srvOpts, stubby.WithJournal(journal))
 	}
+	var coord *stubby.Coordinator
+	if *coordinator {
+		coord = stubby.NewCoordinator(stubby.WithClusterLeaseTTL(*leaseTTL))
+		srvOpts = append(srvOpts, stubby.WithCoordinator(coord))
+	}
 	srv := stubby.NewServer(sess, srvOpts...)
 	httpSrv := &http.Server{Handler: srv}
 
@@ -150,6 +191,25 @@ func main() {
 	go func() { errc <- httpSrv.Serve(ln) }()
 	log.Printf("stubbyd: serving on %s (workers=%d queue=%d planner=%s)",
 		ln.Addr(), *workers, *queue, *planner)
+	if coord != nil {
+		log.Printf("stubbyd: coordinator: lease-ttl=%v", *leaseTTL)
+	}
+	if *workerMode {
+		adv := *advertise
+		if adv == "" {
+			adv = advertiseURL(ln.Addr().String())
+		}
+		var agentOpts []stubby.WorkerAgentOption
+		if store != nil {
+			agentOpts = append(agentOpts, stubby.WithWorkerStats(func() (uint64, uint64) {
+				st := store.Stats()
+				return st.ClaimHits, st.Computes
+			}))
+		}
+		agent := stubby.NewWorkerAgent(*join, adv, agentOpts...)
+		go func() { _ = agent.Run(ctx) }()
+		log.Printf("stubbyd: worker: joining %s as %s", *join, adv)
+	}
 	if journal != nil {
 		st := journal.Stats()
 		log.Printf("stubbyd: journal %s: %d jobs recovered", journalDir, st.Recovered)
@@ -188,6 +248,12 @@ func main() {
 			log.Printf("stubbyd: journal close: %v", err)
 		}
 	}
+	if coord != nil {
+		if st, ok := srv.ClusterStats(); ok {
+			log.Printf("stubbyd: cluster: %d/%d workers live, %d dispatches, %d re-dispatches, %d failovers, %d single-flight hits",
+				st.LiveWorkers, st.Workers, st.Dispatches, st.Redispatches, st.Failovers, st.SingleFlightHits)
+		}
+	}
 	if reuseCat != nil {
 		st := reuseCat.Stats()
 		log.Printf("stubbyd: reuse catalog: %d entries, %d hits / %d misses (%.0f%% hit rate)",
@@ -197,4 +263,18 @@ func main() {
 		}
 	}
 	log.Print("stubbyd: stopped")
+}
+
+// advertiseURL derives a dialable base URL from the listener's address: a
+// wildcard host ("::", "0.0.0.0") is rewritten to loopback — the
+// single-machine default; multi-host deployments set -advertise.
+func advertiseURL(listen string) string {
+	host, port, err := net.SplitHostPort(listen)
+	if err != nil {
+		return "http://" + listen
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

@@ -1,0 +1,104 @@
+package stubby_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"github.com/stubby-mr/stubby"
+)
+
+// ExampleClient_cluster runs the distributed topology in-process: a
+// coordinator server fronting two workers that share one plan-store
+// directory (normally `stubbyd -coordinator` plus two
+// `stubbyd -worker -join ... -store shared/`). Submissions enter through
+// the coordinator's unchanged /v1/jobs API, are dispatched to workers,
+// and concurrent submissions of one workflow cost the whole cluster
+// exactly one optimization.
+func ExampleClient_cluster() {
+	wl, err := stubby.BuildWorkload("IR", stubby.WorkloadOptions{SizeFactor: 0.1, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	storeDir, err := os.MkdirTemp("", "stubby-cluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(storeDir)
+
+	// The coordinator: a plain server plus WithCoordinator.
+	coord := stubby.NewCoordinator()
+	csess, err := stubby.NewSession(stubby.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer csess.Close(ctx)
+	chs := httptest.NewServer(stubby.NewServer(csess, stubby.WithCoordinator(coord)))
+	defer chs.Close()
+
+	// Two workers, each a replica of the shared plan store, each joined
+	// to the coordinator by a heartbeating agent.
+	stores := make([]*stubby.PlanStore, 2)
+	for i := range stores {
+		store, err := stubby.NewPlanStore(storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer store.Close()
+		stores[i] = store
+		wsess, err := stubby.NewSession(stubby.WithSeed(1), stubby.WithPlanStore(store))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer wsess.Close(ctx)
+		whs := httptest.NewServer(stubby.NewServer(wsess))
+		defer whs.Close()
+		actx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		go stubby.NewWorkerAgent(chs.URL, whs.URL).Run(actx)
+	}
+
+	client, err := stubby.NewClient(chs.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Wait for both workers to register before submitting.
+	for {
+		st, err := client.Stats(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st.Cluster != nil && st.Cluster.LiveWorkers == 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Two submissions of the same workflow: both come back with plans,
+	// but the cluster optimized only once — the second is answered from
+	// the shared plan store.
+	for i := 0; i < 2; i++ {
+		res, err := client.Optimize(ctx, stubby.OptimizeRequest{
+			Workflow: wl.Workflow,
+			Cluster:  wl.Cluster,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("submission %d: plan returned: %v\n", i+1, res.Plan != nil)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	computes := stores[0].Stats().Computes + stores[1].Stats().Computes
+	fmt.Printf("dispatches: %d, cluster-wide optimizations: %d\n", st.Cluster.Dispatches, computes)
+	// Output:
+	// submission 1: plan returned: true
+	// submission 2: plan returned: true
+	// dispatches: 2, cluster-wide optimizations: 1
+}

@@ -1,0 +1,248 @@
+package bench
+
+// clusterbench.go measures the distributed service: a coordinator server
+// fronting R worker replicas of one shared plan-store directory, swept
+// over replica counts × admission-queue depths with a repeated-workflow
+// arrival mix. It is the multi-node half of `stubby-bench -bench-service`
+// and lands in BENCH_service.json as the `cluster` row set, which is what
+// proves cluster-wide single-flight in the perf trajectory: Computes per
+// row stays at the distinct-workflow count no matter how many replicas
+// and concurrent submissions the row ran.
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/stubby-mr/stubby"
+	"github.com/stubby-mr/stubby/internal/workloads"
+)
+
+// ServiceClusterReplicas and ServiceClusterDepths are the sweep axes of
+// the multi-node benchmark.
+var (
+	ServiceClusterReplicas = []int{1, 2}
+	ServiceClusterDepths   = []int{1, 8}
+)
+
+// serviceClusterAbbrs is the distinct-workflow mix each row cycles
+// through; its length is the single-flight bound on Computes.
+var serviceClusterAbbrs = []string{"IR", "BR"}
+
+// ServiceClusterRow is one (replicas × queue depth) measurement of the
+// coordinator/worker topology.
+type ServiceClusterRow struct {
+	// Replicas is how many workers served the row; Depth is the
+	// admission-queue depth of every node.
+	Replicas int `json:"replicas"`
+	Depth    int `json:"depth"`
+	// Jobs is how many submissions completed; Distinct is how many
+	// distinct workflows the mix cycled through.
+	Jobs     int `json:"jobs"`
+	Distinct int `json:"distinct_workflows"`
+	// Overloads counts submissions shed with ErrKindOverloaded (each was
+	// retried until admitted).
+	Overloads int `json:"overloads"`
+	// Dispatches/Redispatches/Failovers are the coordinator's counters
+	// for the row.
+	Dispatches   uint64 `json:"dispatches"`
+	Redispatches uint64 `json:"redispatches"`
+	Failovers    uint64 `json:"failovers"`
+	// StoreHits sums the worker replicas' plan-store hits; HitRatio is
+	// StoreHits/Jobs. Computes sums the optimizations the replicas
+	// actually ran — the cluster-wide single-flight bound is Distinct.
+	StoreHits uint64  `json:"store_hits"`
+	HitRatio  float64 `json:"hit_ratio"`
+	Computes  uint64  `json:"computes"`
+	// WallMS is the row's wall time; Throughput is jobs per second.
+	WallMS     float64 `json:"wall_ms"`
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+	// P50MS/P99MS are submit→result latency percentiles per job.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// ServiceClusterBench sweeps replicas × queue depths. Every row builds a
+// fresh topology — coordinator, R workers over a fresh shared store
+// directory, heartbeating agents — and pushes the repeated-workflow mix
+// through the coordinator's unchanged /v1/jobs API.
+func (h *Harness) ServiceClusterBench(jobsPerRow, workers int) ([]ServiceClusterRow, error) {
+	if jobsPerRow < 1 {
+		jobsPerRow = 1
+	}
+	if workers < 1 {
+		workers = 2
+	}
+	wls := make([]*workloads.Workload, len(serviceClusterAbbrs))
+	for i, abbr := range serviceClusterAbbrs {
+		wl, err := h.workload(abbr)
+		if err != nil {
+			return nil, err
+		}
+		wls[i] = wl
+	}
+	var rows []ServiceClusterRow
+	for _, replicas := range ServiceClusterReplicas {
+		for _, depth := range ServiceClusterDepths {
+			row, err := h.serviceClusterRow(wls, replicas, depth, jobsPerRow, workers)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func (h *Harness) serviceClusterRow(wls []*workloads.Workload, replicas, depth, jobs, workers int) (ServiceClusterRow, error) {
+	storeDir, err := os.MkdirTemp("", "stubby-bench-cluster-")
+	if err != nil {
+		return ServiceClusterRow{}, err
+	}
+	defer os.RemoveAll(storeDir)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	coord := stubby.NewCoordinator()
+	csess, err := stubby.NewSession(
+		stubby.WithSeed(h.cfg.Seed),
+		stubby.WithParallelism(workers),
+		stubby.WithQueueDepth(depth),
+		stubby.WithOptimizerOptions(stubby.Options{RRSEvals: 20}),
+	)
+	if err != nil {
+		return ServiceClusterRow{}, err
+	}
+	defer csess.Close(context.Background())
+	srv := stubby.NewServer(csess, stubby.WithCoordinator(coord))
+	httpSrv := httptest.NewServer(srv)
+	defer httpSrv.Close()
+
+	stores := make([]*stubby.PlanStore, replicas)
+	for i := 0; i < replicas; i++ {
+		store, err := stubby.NewPlanStore(storeDir)
+		if err != nil {
+			return ServiceClusterRow{}, err
+		}
+		defer store.Close()
+		stores[i] = store
+		wsess, err := stubby.NewSession(
+			stubby.WithSeed(h.cfg.Seed),
+			stubby.WithParallelism(workers),
+			stubby.WithQueueDepth(depth),
+			stubby.WithEstimateCache(stubby.NewEstimateCache(0)),
+			stubby.WithPlanStore(store),
+			stubby.WithOptimizerOptions(stubby.Options{RRSEvals: 20}),
+		)
+		if err != nil {
+			return ServiceClusterRow{}, err
+		}
+		defer wsess.Close(context.Background())
+		whs := httptest.NewServer(stubby.NewServer(wsess))
+		defer whs.Close()
+		agent := stubby.NewWorkerAgent(httpSrv.URL, whs.URL, stubby.WithWorkerStats(func() (uint64, uint64) {
+			st := store.Stats()
+			return st.ClaimHits, st.Computes
+		}))
+		go agent.Run(ctx)
+	}
+	client, err := stubby.NewClient(httpSrv.URL)
+	if err != nil {
+		return ServiceClusterRow{}, err
+	}
+	// Every replica must hold a lease before the clock starts.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		if st, ok := srv.ClusterStats(); ok && st.LiveWorkers >= replicas {
+			break
+		}
+		if time.Now().After(deadline) {
+			return ServiceClusterRow{}, errors.New("bench: workers never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	bctx := context.Background()
+	latencies := make([]float64, jobs)
+	errs := make([]error, jobs)
+	var overloads int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	submitters := workers * 2
+	if submitters > jobs {
+		submitters = jobs
+	}
+	next := make(chan int, jobs)
+	for i := 0; i < jobs; i++ {
+		next <- i
+	}
+	close(next)
+	start := time.Now()
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				wl := wls[i%len(wls)]
+				t0 := time.Now()
+				var job *stubby.RemoteJob
+				for {
+					var err error
+					job, err = client.Submit(bctx, stubby.OptimizeRequest{Workflow: wl.Workflow, Cluster: wl.Cluster})
+					if err == nil {
+						break
+					}
+					if errors.Is(err, stubby.ErrKindOverloaded) {
+						mu.Lock()
+						overloads++
+						mu.Unlock()
+						time.Sleep(2 * time.Millisecond)
+						continue
+					}
+					errs[i] = err
+					return
+				}
+				if _, err := job.Wait(bctx); err != nil {
+					errs[i] = err
+					return
+				}
+				latencies[i] = float64(time.Since(t0).Microseconds()) / 1000
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServiceClusterRow{}, err
+		}
+	}
+	sort.Float64s(latencies)
+	var hits, computes uint64
+	for _, store := range stores {
+		st := store.Stats()
+		hits += st.Hits
+		computes += st.Computes
+	}
+	cst, _ := srv.ClusterStats()
+	return ServiceClusterRow{
+		Replicas:     replicas,
+		Depth:        depth,
+		Jobs:         jobs,
+		Distinct:     len(wls),
+		Overloads:    int(overloads),
+		Dispatches:   cst.Dispatches,
+		Redispatches: cst.Redispatches,
+		Failovers:    cst.Failovers,
+		StoreHits:    hits,
+		HitRatio:     float64(hits) / float64(jobs),
+		Computes:     computes,
+		WallMS:       float64(wall.Microseconds()) / 1000,
+		Throughput:   float64(jobs) / wall.Seconds(),
+		P50MS:        percentile(latencies, 0.50),
+		P99MS:        percentile(latencies, 0.99),
+	}, nil
+}

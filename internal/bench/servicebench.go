@@ -112,6 +112,8 @@ type ServiceBenchReport struct {
 	Cache []ServiceCacheRow `json:"cache,omitempty"`
 	// Chaos holds the fault-injection clean/chaos phases.
 	Chaos []ServiceChaosRow `json:"chaos,omitempty"`
+	// Cluster holds the multi-node (replicas × queue depth) rows.
+	Cluster []ServiceClusterRow `json:"cluster,omitempty"`
 }
 
 // ServiceBench sweeps the queue depths, submitting jobs concurrently
@@ -480,7 +482,7 @@ func percentile(sorted []float64, p float64) float64 {
 }
 
 // ServiceBenchJSON assembles and writes the report.
-func ServiceBenchJSON(path string, h *Harness, rows []ServiceBenchRow, cache []ServiceCacheRow, chaos []ServiceChaosRow, jobsPerRow int) error {
+func ServiceBenchJSON(path string, h *Harness, rows []ServiceBenchRow, cache []ServiceCacheRow, chaos []ServiceChaosRow, cluster []ServiceClusterRow, jobsPerRow int) error {
 	rep := ServiceBenchReport{
 		Workload:   "IR",
 		SizeFactor: h.cfg.SizeFactor,
@@ -489,6 +491,7 @@ func ServiceBenchJSON(path string, h *Harness, rows []ServiceBenchRow, cache []S
 		Rows:       rows,
 		Cache:      cache,
 		Chaos:      chaos,
+		Cluster:    cluster,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -40,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"github.com/stubby-mr/stubby/internal/planio"
 	"github.com/stubby-mr/stubby/internal/trans"
@@ -85,6 +86,10 @@ type Entry struct {
 	// Layout is the materialized physical design, encoded with
 	// planio.EncodeLayout (exact int64 split points).
 	Layout json.RawMessage `json:"layout,omitempty"`
+	// StoredAtMS is when the entry was published (Unix milliseconds),
+	// stamped by Put when zero. Zero in old records, whose age is
+	// therefore unknown: a TTL-bearing reopen treats them as expired.
+	StoredAtMS int64 `json:"storedAtMS,omitempty"`
 }
 
 // Stats is a point-in-time snapshot of catalog activity. Counters are
@@ -101,6 +106,12 @@ type Stats struct {
 	// Compacted is how many stale records (duplicate fingerprints) the
 	// reopening compaction dropped.
 	Compacted int
+	// Expired is how many entries the reopening scan dropped for exceeding
+	// the TTL (WithTTL); Vanished is how many it dropped because their
+	// stored dataset location no longer exists (WithLocationCheck). Both
+	// are eviction outcomes, not errors.
+	Expired  int
+	Vanished int
 	// TornBytes is how many trailing bytes the reopening scan discarded as a
 	// torn or corrupt tail.
 	TornBytes int64
@@ -130,13 +141,17 @@ type framed struct {
 // use. A Store holds an exclusive flock on its directory for its lifetime;
 // a second live opener fails rather than interleaving appends.
 type Store struct {
-	dir string
+	dir      string
+	ttl      time.Duration
+	locCheck func(dataset string) bool
 
 	mu      sync.Mutex
 	f       *os.File
 	lock    *os.File // dir/catalog.lock, stable inode (never renamed over)
 	entries map[string]framed
 
+	expired      int
+	vanished     int
 	puts         uint64
 	hits         uint64
 	misses       uint64
@@ -146,16 +161,43 @@ type Store struct {
 	errs         uint64
 }
 
+// Option configures a Store at Open.
+type Option func(*Store)
+
+// WithTTL evicts entries older than ttl at reopen: the compaction pass
+// drops them (counted in Stats.Expired, never surfaced as errors). Entries
+// from before timestamps existed have unknown age and are conservatively
+// treated as expired. Zero disables age-based eviction.
+func WithTTL(ttl time.Duration) Option {
+	return func(s *Store) {
+		if ttl > 0 {
+			s.ttl = ttl
+		}
+	}
+}
+
+// WithLocationCheck evicts entries whose stored dataset location no longer
+// exists: at reopen, check(entry.Dataset) returning false drops the entry
+// (counted in Stats.Vanished). A reuse hit on a vanished dataset would
+// produce a plan scanning nothing, so evicting at open is strictly safer
+// than discovering the hole at execution time.
+func WithLocationCheck(check func(dataset string) bool) Option {
+	return func(s *Store) { s.locCheck = check }
+}
+
 // Open opens (creating if needed) the catalog rooted at dir, recovering
 // crash-safely: the scan stops at the first torn or corrupt record and the
-// survivors are compacted (last entry per fingerprint wins) into a fresh
-// log.
-func Open(dir string) (*Store, error) {
+// survivors — minus entries evicted by WithTTL / WithLocationCheck — are
+// compacted (last entry per fingerprint wins) into a fresh log.
+func Open(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("catalog: %w", err)
 	}
 	path := filepath.Join(dir, catFile)
 	s := &Store{dir: dir, entries: make(map[string]framed)}
+	for _, o := range opts {
+		o(s)
+	}
 
 	lock, err := os.OpenFile(filepath.Join(dir, "catalog.lock"), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -193,6 +235,32 @@ func Open(dir string) (*Store, error) {
 			s.compacted++
 		}
 		s.entries[fp] = framed{payload: p, crc: crc32.Checksum(p, catCRCTable)}
+	}
+
+	// Eviction pass: TTL and dataset-existence checks run against the
+	// replayed survivors, so evicted entries never reach the compacted
+	// rewrite — the log shrinks, and lookups can't hit stale results.
+	if s.ttl > 0 || s.locCheck != nil {
+		cutoff := time.Now().Add(-s.ttl).UnixMilli()
+		kept := order[:0]
+		for _, fp := range order {
+			var e Entry
+			keep := json.Unmarshal(s.entries[fp].payload, &e) == nil
+			if keep && s.ttl > 0 && e.StoredAtMS <= cutoff {
+				keep = false
+				s.expired++
+			}
+			if keep && s.locCheck != nil && !s.locCheck(e.Dataset) {
+				keep = false
+				s.vanished++
+			}
+			if !keep {
+				delete(s.entries, fp)
+				continue
+			}
+			kept = append(kept, fp)
+		}
+		order = kept
 	}
 
 	tmp := path + ".tmp"
@@ -286,6 +354,11 @@ func (s *Store) Put(e Entry) error {
 	if e.Fingerprint == "" || e.Dataset == "" {
 		return errors.New("catalog: entry needs a fingerprint and a dataset")
 	}
+	stamp := e.StoredAtMS
+	if stamp == 0 {
+		stamp = time.Now().UnixMilli()
+	}
+	e.StoredAtMS = stamp
 	payload, err := json.Marshal(&e)
 	if err != nil {
 		return fmt.Errorf("catalog: encode: %w", err)
@@ -299,8 +372,21 @@ func (s *Store) Put(e Entry) error {
 		s.errs++
 		return errors.New("catalog: closed")
 	}
-	if prev, ok := s.entries[e.Fingerprint]; ok && string(prev.payload) == string(payload) {
-		return nil
+	if prev, ok := s.entries[e.Fingerprint]; ok {
+		if string(prev.payload) == string(payload) {
+			return nil
+		}
+		// A republication that differs only in its fresh timestamp is
+		// still the same result — keep the original entry (and its age)
+		// rather than churning the log on every run.
+		var pe Entry
+		if json.Unmarshal(prev.payload, &pe) == nil && pe.StoredAtMS != 0 {
+			same := e
+			same.StoredAtMS = pe.StoredAtMS
+			if sp, err := json.Marshal(&same); err == nil && string(sp) == string(prev.payload) {
+				return nil
+			}
+		}
 	}
 	buf := frameCatRecord(payload)
 	if _, err := s.f.Write(buf); err != nil {
@@ -397,6 +483,8 @@ func (s *Store) Stats() Stats {
 		Hits:         s.hits,
 		Misses:       s.misses,
 		Compacted:    s.compacted,
+		Expired:      s.expired,
+		Vanished:     s.vanished,
 		TornBytes:    s.tornBytes,
 		BytesWritten: s.bytesWritten,
 		Errors:       s.errs,

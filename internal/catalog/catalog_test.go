@@ -1,9 +1,11 @@
 package catalog
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/stubby-mr/stubby/internal/keyval"
 	"github.com/stubby-mr/stubby/internal/planio"
@@ -247,5 +249,149 @@ func TestPutAfterCloseFails(t *testing.T) {
 	}
 	if st := s.Stats(); st.Errors == 0 {
 		t.Error("failed Put not counted in Errors")
+	}
+}
+
+func TestPutStampsAndPreservesTimestamps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fp := wf.Fingerprint{21, 22}
+	if err := s.Put(testEntry(t, fp, "D1")); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Entry(fp)
+	if !ok || e.StoredAtMS == 0 {
+		t.Fatalf("Put did not stamp StoredAtMS: %+v", e)
+	}
+	first := e.StoredAtMS
+	// Republishing the same result must neither append a record nor
+	// refresh the entry's age.
+	before := s.Stats().Puts
+	if err := s.Put(testEntry(t, fp, "D1")); err != nil {
+		t.Fatal(err)
+	}
+	if after := s.Stats().Puts; after != before {
+		t.Fatalf("republication appended: puts %d -> %d", before, after)
+	}
+	if e, _ := s.Entry(fp); e.StoredAtMS != first {
+		t.Fatalf("republication churned the timestamp: %d -> %d", first, e.StoredAtMS)
+	}
+	// A genuinely changed result still wins.
+	changed := testEntry(t, fp, "D2")
+	if err := s.Put(changed); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := s.Entry(fp); e.Dataset != "D2" {
+		t.Fatalf("changed entry not applied: %+v", e)
+	}
+}
+
+func TestTTLEvictsAtReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := wf.Fingerprint{1, 1}
+	stale := wf.Fingerprint{2, 2}
+	ageless := wf.Fingerprint{3, 3}
+	if err := s.Put(testEntry(t, fresh, "Dfresh")); err != nil {
+		t.Fatal(err)
+	}
+	old := testEntry(t, stale, "Dstale")
+	old.StoredAtMS = time.Now().Add(-48 * time.Hour).UnixMilli()
+	if err := s.Put(old); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a pre-timestamp record: marshal with StoredAtMS zero and
+	// append it raw, as an old writer would have.
+	pre := testEntry(t, ageless, "Dageless")
+	payload, err := json.Marshal(&pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, catFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frameCatRecord(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, WithTTL(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.Lookup(fresh); !ok {
+		t.Error("TTL evicted a fresh entry")
+	}
+	if _, ok := r.Lookup(stale); ok {
+		t.Error("TTL kept an entry past its TTL")
+	}
+	if _, ok := r.Lookup(ageless); ok {
+		t.Error("TTL kept an entry of unknown age")
+	}
+	st := r.Stats()
+	if st.Expired != 2 || st.Entries != 1 || st.Errors != 0 {
+		t.Errorf("stats after TTL eviction: %+v", st)
+	}
+
+	// Eviction is durable: a plain reopen no longer sees the evicted
+	// entries (the compacted rewrite dropped their records).
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rr.Close()
+	if rr.Len() != 1 {
+		t.Errorf("entries after evicting reopen = %d, want 1", rr.Len())
+	}
+}
+
+func TestLocationCheckEvictsVanished(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := wf.Fingerprint{4, 4}
+	gone := wf.Fingerprint{5, 5}
+	if err := s.Put(testEntry(t, kept, "Dkept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testEntry(t, gone, "Dgone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, WithLocationCheck(func(ds string) bool { return ds != "Dgone" }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.Lookup(kept); !ok {
+		t.Error("location check evicted an existing dataset's entry")
+	}
+	if _, ok := r.Lookup(gone); ok {
+		t.Error("location check kept a vanished dataset's entry")
+	}
+	st := r.Stats()
+	if st.Vanished != 1 || st.Expired != 0 || st.Entries != 1 || st.Errors != 0 {
+		t.Errorf("stats after location eviction: %+v", st)
 	}
 }

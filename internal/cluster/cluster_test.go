@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/stubby-mr/stubby/internal/planio"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestRegisterHeartbeatLease(t *testing.T) {
+	t.Parallel()
+	c := New(WithLeaseTTL(80 * time.Millisecond))
+	id, ttl := c.Register("http://w1", "")
+	if id != "w-1" || ttl != 80*time.Millisecond {
+		t.Fatalf("Register = %q, %v", id, ttl)
+	}
+	if !c.Heartbeat(id, 3, 7) {
+		t.Fatal("heartbeat for live worker rejected")
+	}
+	if c.Heartbeat("w-99", 0, 0) {
+		t.Fatal("heartbeat for unknown worker accepted")
+	}
+	st := c.Stats()
+	if st.Workers != 1 || st.LiveWorkers != 1 || st.SingleFlightHits != 3 || st.Computes != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Silence past the TTL expires the lease...
+	waitFor(t, "lease expiry", func() bool { return c.Stats().LiveWorkers == 0 })
+	// ...and re-registering under the old ID revives it.
+	id2, _ := c.Register("http://w1b", id)
+	if id2 != id {
+		t.Fatalf("re-register assigned %q, want %q", id2, id)
+	}
+	ws := c.Workers()
+	if len(ws) != 1 || !ws[0].Live || ws[0].URL != "http://w1b" {
+		t.Fatalf("workers after revive = %+v", ws)
+	}
+}
+
+func TestHeartbeatAfterMarkDeadDemandsReregister(t *testing.T) {
+	t.Parallel()
+	c := New()
+	id, _ := c.Register("http://w1", "")
+	c.markDead(id)
+	if c.Heartbeat(id, 0, 0) {
+		t.Fatal("heartbeat accepted for dead-marked worker")
+	}
+	if got, _ := c.Register("http://w1", id); got != id {
+		t.Fatalf("revival re-register = %q, want %q", got, id)
+	}
+	if !c.Heartbeat(id, 0, 0) {
+		t.Fatal("heartbeat rejected after revival")
+	}
+}
+
+// fakeWorker is a minimal stand-in for a stubbyd worker's job API: every
+// submission becomes a job that reaches the configured terminal state.
+type fakeWorker struct {
+	srv        *httptest.Server
+	submits    atomic.Int64
+	state      string // terminal state reported after submission
+	result     []byte
+	errDoc     *planio.ErrorDoc
+	submitCode int // non-zero: reject submissions with this HTTP status
+}
+
+func newFakeWorker(t *testing.T, state string, result []byte) *fakeWorker {
+	t.Helper()
+	f := &fakeWorker{state: state, result: result}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		n := f.submits.Add(1)
+		if f.submitCode != 0 {
+			w.WriteHeader(f.submitCode)
+			_ = json.NewEncoder(w).Encode(planio.ErrorEnvelope{Error: f.errDoc})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(planio.SubmitResponse{ID: fmt.Sprintf("job-%d", n), State: "queued"})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		doc := planio.StatusDoc{ID: r.PathValue("id"), State: f.state, Error: f.errDoc}
+		_ = json.NewEncoder(w).Encode(doc)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write(f.result)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func TestDispatchRoundTrip(t *testing.T) {
+	t.Parallel()
+	want := []byte(`{"plan":"dispatched"}`)
+	fw := newFakeWorker(t, "done", want)
+	c := New(WithPollInterval(2 * time.Millisecond))
+	id, _ := c.Register(fw.srv.URL, "")
+	res, err := c.Dispatch(context.Background(), []byte(`{}`))
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if string(res) != string(want) {
+		t.Fatalf("Dispatch result = %q, want %q", res, want)
+	}
+	st := c.Stats()
+	if st.Dispatches != 1 || st.Redispatches != 0 || st.Failovers != 0 {
+		t.Fatalf("counters = %+v", st)
+	}
+	if !c.alive(id) {
+		t.Fatal("worker lost its lease over a successful dispatch")
+	}
+}
+
+func TestDispatchNoWorkersFailsOver(t *testing.T) {
+	t.Parallel()
+	c := New()
+	_, err := c.Dispatch(context.Background(), []byte(`{}`))
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("Dispatch error = %v, want ErrNoWorkers", err)
+	}
+	if st := c.Stats(); st.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", st.Failovers)
+	}
+}
+
+func TestDispatchPermanentErrorNoRetry(t *testing.T) {
+	t.Parallel()
+	fw := newFakeWorker(t, "done", nil)
+	fw.submitCode = http.StatusBadRequest
+	fw.errDoc = &planio.ErrorDoc{Kind: "invalid", Message: "bad plan"}
+	c := New(WithPollInterval(2 * time.Millisecond))
+	c.Register(fw.srv.URL, "")
+	_, err := c.Dispatch(context.Background(), []byte(`{}`))
+	if err == nil || errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("Dispatch error = %v, want permanent error", err)
+	}
+	if n := fw.submits.Load(); n != 1 {
+		t.Fatalf("submits = %d, want 1 (no retry on permanent errors)", n)
+	}
+	if st := c.Stats(); st.LiveWorkers != 1 {
+		t.Fatal("permanent error killed the worker's lease")
+	}
+}
+
+func TestDispatchJobFailureIsPermanent(t *testing.T) {
+	t.Parallel()
+	fw := newFakeWorker(t, "failed", nil)
+	fw.errDoc = &planio.ErrorDoc{Kind: "internal", Message: "search exploded"}
+	c := New(WithPollInterval(2 * time.Millisecond))
+	c.Register(fw.srv.URL, "")
+	_, err := c.Dispatch(context.Background(), []byte(`{}`))
+	if err == nil || isTransient(err) {
+		t.Fatalf("Dispatch error = %v, want permanent job failure", err)
+	}
+	if n := fw.submits.Load(); n != 1 {
+		t.Fatalf("submits = %d, want 1", n)
+	}
+}
+
+func TestDispatchRedispatchesOffDeadWorker(t *testing.T) {
+	t.Parallel()
+	// Worker A accepts the job but never finishes it (state stays
+	// "running"); worker B completes. A's lease is allowed to lapse
+	// mid-job, so the coordinator must re-dispatch to B.
+	want := []byte(`{"plan":"from-b"}`)
+	wa := newFakeWorker(t, "running", nil)
+	wb := newFakeWorker(t, "done", want)
+	c := New(WithLeaseTTL(60*time.Millisecond), WithPollInterval(2*time.Millisecond))
+	idA, _ := c.Register(wa.srv.URL, "")
+	idB, _ := c.Register(wb.srv.URL, "")
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { // keep only B alive
+		t := time.NewTicker(15 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.Heartbeat(idB, 0, 0)
+			}
+		}
+	}()
+	// The id tiebreak ("w-1" < "w-2") sends the first attempt to A.
+	res, err := c.Dispatch(context.Background(), []byte(`{}`))
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if string(res) != string(want) {
+		t.Fatalf("Dispatch result = %q, want %q", res, want)
+	}
+	st := c.Stats()
+	if st.Redispatches == 0 {
+		t.Fatalf("redispatches = 0, want > 0 (counters %+v)", st)
+	}
+	if c.alive(idA) {
+		t.Fatal("dead worker still holds a lease")
+	}
+	if wa.submits.Load() < 1 || wb.submits.Load() < 1 {
+		t.Fatalf("submits a=%d b=%d, want both >= 1", wa.submits.Load(), wb.submits.Load())
+	}
+}
+
+func TestDispatchContextCancel(t *testing.T) {
+	t.Parallel()
+	fw := newFakeWorker(t, "running", nil) // never finishes
+	c := New(WithPollInterval(2 * time.Millisecond))
+	id, _ := c.Register(fw.srv.URL, "")
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.Heartbeat(id, 0, 0)
+			}
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	_, err := c.Dispatch(ctx, []byte(`{}`))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Dispatch error = %v, want deadline exceeded", err)
+	}
+}
+
+func TestAgentLifecycle(t *testing.T) {
+	t.Parallel()
+	c := New(WithLeaseTTL(120 * time.Millisecond))
+	mux := http.NewServeMux()
+	c.Handle(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var hits, comps atomic.Uint64
+	hits.Store(5)
+	comps.Store(2)
+	a := NewAgent(srv.URL, "http://worker-1", WithAgentStats(func() (uint64, uint64) {
+		return hits.Load(), comps.Load()
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- a.Run(ctx) }()
+
+	waitFor(t, "agent registration", func() bool { return c.Stats().LiveWorkers == 1 })
+	waitFor(t, "heartbeat-reported stats", func() bool {
+		st := c.Stats()
+		return st.SingleFlightHits == 5 && st.Computes == 2
+	})
+	id := a.ID()
+	if id == "" {
+		t.Fatal("agent has no ID after registration")
+	}
+
+	// A coordinator that marks the worker dead (or restarts) rejects the
+	// next heartbeat; the agent must re-register under the same ID.
+	c.markDead(id)
+	waitFor(t, "agent re-registration", func() bool {
+		return c.Stats().LiveWorkers == 1 && a.ID() == id
+	})
+
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent did not stop on context cancel")
+	}
+}

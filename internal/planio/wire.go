@@ -419,6 +419,9 @@ type StoreStatsDoc struct {
 	Errors       uint64 `json:"errors"`
 	Entries      int    `json:"entries"`
 	Segments     int    `json:"segments"`
+	Claims       uint64 `json:"claims,omitempty"`
+	ClaimWaits   uint64 `json:"claimWaits,omitempty"`
+	ClaimHits    uint64 `json:"claimHits,omitempty"`
 }
 
 // ReuseStatsDoc is the wire form of the sub-plan reuse catalog's counters.
@@ -431,6 +434,8 @@ type ReuseStatsDoc struct {
 	TornBytes    int64  `json:"tornBytes"`
 	BytesWritten uint64 `json:"bytesWritten"`
 	Errors       uint64 `json:"errors"`
+	Expired      int    `json:"expired,omitempty"`
+	Vanished     int    `json:"vanished,omitempty"`
 }
 
 // EventDoc is the wire form of one progress event: a closed set of type
@@ -510,4 +515,5 @@ type StatszDoc struct {
 	PlanStore    *StoreStatsDoc   `json:"planstore,omitempty"`
 	ReuseCatalog *ReuseStatsDoc   `json:"reusecatalog,omitempty"`
 	Journal      *JournalStatsDoc `json:"journal,omitempty"`
+	Cluster      *ClusterStatsDoc `json:"cluster,omitempty"`
 }

@@ -38,6 +38,7 @@ package planstore
 
 import (
 	"container/list"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -115,6 +116,16 @@ type Stats struct {
 	// Errors counts background persistence failures (a failed append or
 	// index publish); reads and computes still succeed when it rises.
 	Errors uint64
+	// Claims counts cross-process claims this store acquired — the times it
+	// became the cluster-wide computing replica for an address.
+	Claims uint64
+	// ClaimWaits counts GetOrCompute calls that found another replica's
+	// live claim and waited on it instead of computing.
+	ClaimWaits uint64
+	// ClaimHits counts waits answered by another replica's publish — the
+	// cross-replica single-flight hits: optimizations this replica was
+	// about to run that another replica's concurrent computation covered.
+	ClaimHits uint64
 	// Entries is the number of distinct addresses known (memory + disk).
 	Entries int
 	// Segments is the number of segment files in the directory.
@@ -201,6 +212,7 @@ type Store struct {
 	hits, memHits, diskHits, misses   atomic.Uint64
 	computes, puts, evictions         atomic.Uint64
 	bytesWritten, bytesRead, errCount atomic.Uint64
+	claims, claimWaits, claimHits     atomic.Uint64
 }
 
 // Open opens (creating if needed) the store directory: it loads the index
@@ -224,6 +236,9 @@ func Open(dir string, opts ...Option) (*Store, error) {
 		opt(s)
 	}
 	if err := os.MkdirAll(s.segDir, 0o755); err != nil {
+		return nil, fmt.Errorf("planstore: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "claims"), 0o755); err != nil {
 		return nil, fmt.Errorf("planstore: %w", err)
 	}
 	s.loadIndex() // best effort; a corrupt index degrades to a full scan
@@ -353,13 +368,27 @@ func (s *Store) putLocked(addr Address, doc []byte) error {
 }
 
 // GetOrCompute returns the document for key, running compute on a miss.
-// Concurrent callers with the same key share one computation — the
-// fingerprint-level single-flight that makes N simultaneous submissions of
-// one workflow cost exactly one optimization in this process. hit reports
-// whether the document came from the store (memory, disk, or another
-// caller's flight) rather than this call's compute. Errors are returned to
-// every waiter and never stored.
+// Concurrent callers with the same key share one computation. See
+// GetOrComputeCtx for the full semantics; GetOrCompute waits without a
+// cancellation context.
 func (s *Store) GetOrCompute(key Key, compute func() ([]byte, error)) (doc []byte, hit bool, err error) {
+	return s.GetOrComputeCtx(context.Background(), key, compute)
+}
+
+// GetOrComputeCtx returns the document for key, running compute on a miss.
+// Single-flight holds at two levels: concurrent callers within the process
+// share one computation through an in-process flight, and concurrent
+// callers across processes sharing the directory share one through a
+// flock-backed claim under dir/claims/ — N simultaneous submissions of one
+// workflow across a whole cluster of replicas cost exactly one
+// optimization. hit reports whether the document came from the store
+// (memory, disk, another caller's flight, or another replica's concurrent
+// computation) rather than this call's compute. ctx bounds only the
+// waiting; a compute this call started runs to its own completion. Errors
+// are returned to every in-process waiter and never stored; a replica
+// whose claimed compute fails releases the claim, so the next waiter takes
+// the computation over rather than inheriting the failure.
+func (s *Store) GetOrComputeCtx(ctx context.Context, key Key, compute func() ([]byte, error)) (doc []byte, hit bool, err error) {
 	addr := key.Address()
 	for {
 		if doc, ok, err := s.Get(key); err != nil {
@@ -370,7 +399,11 @@ func (s *Store) GetOrCompute(key Key, compute func() ([]byte, error)) (doc []byt
 		s.flMu.Lock()
 		if fl, ok := s.flights[addr]; ok {
 			s.flMu.Unlock()
-			<-fl.done
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
 			if fl.err != nil {
 				return nil, false, fl.err
 			}
@@ -387,8 +420,22 @@ func (s *Store) GetOrCompute(key Key, compute func() ([]byte, error)) (doc []byt
 			s.resolveFlight(addr, fl, doc, err)
 			return doc, ok, err
 		}
+		// Cross-process single-flight: only the claim holder computes.
+		cl, waited, err := s.waitOrClaim(ctx, key, addr)
+		if err != nil || waited != nil {
+			s.resolveFlight(addr, fl, waited, err)
+			return waited, waited != nil, err
+		}
+		// One more probe now that the claim is ours: the previous holder
+		// may have published and released between our last Get and the
+		// acquisition.
+		if doc, ok, gerr := s.Get(key); gerr != nil || ok {
+			cl.release()
+			s.resolveFlight(addr, fl, doc, gerr)
+			return doc, ok, gerr
+		}
 		s.computes.Add(1)
-		doc, err := compute()
+		doc, err = compute()
 		if err == nil {
 			s.mu.Lock()
 			// A failed append is a durability problem, not a correctness
@@ -399,6 +446,7 @@ func (s *Store) GetOrCompute(key Key, compute func() ([]byte, error)) (doc []byt
 			}
 			s.mu.Unlock()
 		}
+		cl.release()
 		s.resolveFlight(addr, fl, doc, err)
 		return doc, false, err
 	}
@@ -426,6 +474,9 @@ func (s *Store) Stats() Stats {
 		BytesWritten: s.bytesWritten.Load(),
 		BytesRead:    s.bytesRead.Load(),
 		Errors:       s.errCount.Load(),
+		Claims:       s.claims.Load(),
+		ClaimWaits:   s.claimWaits.Load(),
+		ClaimHits:    s.claimHits.Load(),
 	}
 	s.mu.Lock()
 	st.Entries = len(s.index)

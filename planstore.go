@@ -163,8 +163,10 @@ func (s *Session) storeLookup(w *Workflow, planner string, seed int64) (*Result,
 
 // optimizeNamed dispatches one named optimization, fronted by the plan
 // store when one is attached: a stored plan is returned without searching,
-// and a miss runs the search under a per-key single-flight so concurrent
-// submissions of the same workflow cost one optimization.
+// and a miss runs the search under a per-key single-flight — in-process and,
+// through the store's claim files, across every replica sharing the store
+// directory — so concurrent submissions of the same workflow cost one
+// optimization cluster-wide.
 func (s *Session) optimizeNamed(ctx context.Context, w *Workflow, name string, seed int64, obs optimizer.Observer) (*Result, error) {
 	if s.planStore == nil {
 		return s.optimizeDirect(ctx, w, name, seed, obs)
@@ -172,7 +174,7 @@ func (s *Session) optimizeNamed(ctx context.Context, w *Workflow, name string, s
 	key := s.planKey(w, name, seed)
 	for {
 		var computed *Result
-		doc, hit, err := s.planStore.GetOrCompute(key, func() ([]byte, error) {
+		doc, hit, err := s.planStore.GetOrComputeCtx(ctx, key, func() ([]byte, error) {
 			res, rerr := s.optimizeDirect(ctx, w, name, seed, obs)
 			if rerr != nil {
 				return nil, rerr

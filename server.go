@@ -46,7 +46,8 @@ type Server struct {
 	maxBody     int64
 	retain      int
 	retryPerJob time.Duration
-	journal     *Journal // durable job journal (WithJournal), nil without one
+	journal     *Journal     // durable job journal (WithJournal), nil without one
+	coordinator *Coordinator // cluster dispatch (WithCoordinator), nil without one
 	draining    atomic.Bool
 
 	mu       sync.RWMutex
@@ -514,6 +515,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if stats, ok := s.JournalStats(); ok {
 		doc.Journal = journalStatsDoc(stats)
 	}
+	if s.coordinator != nil {
+		cs := s.coordinator.Stats()
+		doc.Cluster = &cs
+	}
 	writeJSON(w, http.StatusOK, doc)
 }
 
@@ -546,7 +551,8 @@ func storeStatsDoc(st PlanStoreStats) *planio.StoreStatsDoc {
 		DiskHits: st.DiskHits, Misses: st.Misses, Computes: st.Computes,
 		Puts: st.Puts, Evictions: st.Evictions, BytesWritten: st.BytesWritten,
 		BytesRead: st.BytesRead, Errors: st.Errors, Entries: st.Entries,
-		Segments: st.Segments}
+		Segments: st.Segments, Claims: st.Claims, ClaimWaits: st.ClaimWaits,
+		ClaimHits: st.ClaimHits}
 }
 
 // storeStatsFromDoc is the client-side inverse of storeStatsDoc.
@@ -558,14 +564,16 @@ func storeStatsFromDoc(d *planio.StoreStatsDoc) PlanStoreStats {
 		DiskHits: d.DiskHits, Misses: d.Misses, Computes: d.Computes,
 		Puts: d.Puts, Evictions: d.Evictions, BytesWritten: d.BytesWritten,
 		BytesRead: d.BytesRead, Errors: d.Errors, Entries: d.Entries,
-		Segments: d.Segments}
+		Segments: d.Segments, Claims: d.Claims, ClaimWaits: d.ClaimWaits,
+		ClaimHits: d.ClaimHits}
 }
 
 // reuseStatsDoc converts reuse-catalog stats to their wire form.
 func reuseStatsDoc(st ReuseCatalogStats) *planio.ReuseStatsDoc {
 	return &planio.ReuseStatsDoc{Entries: st.Entries, Puts: st.Puts,
 		Hits: st.Hits, Misses: st.Misses, Compacted: st.Compacted,
-		TornBytes: st.TornBytes, BytesWritten: st.BytesWritten, Errors: st.Errors}
+		TornBytes: st.TornBytes, BytesWritten: st.BytesWritten, Errors: st.Errors,
+		Expired: st.Expired, Vanished: st.Vanished}
 }
 
 // reuseStatsFromDoc is the client-side inverse of reuseStatsDoc.
@@ -575,7 +583,8 @@ func reuseStatsFromDoc(d *planio.ReuseStatsDoc) ReuseCatalogStats {
 	}
 	return ReuseCatalogStats{Entries: d.Entries, Puts: d.Puts,
 		Hits: d.Hits, Misses: d.Misses, Compacted: d.Compacted,
-		TornBytes: d.TornBytes, BytesWritten: d.BytesWritten, Errors: d.Errors}
+		TornBytes: d.TornBytes, BytesWritten: d.BytesWritten, Errors: d.Errors,
+		Expired: d.Expired, Vanished: d.Vanished}
 }
 
 // robustnessDoc converts a robustness report to its wire form (nil-safe).

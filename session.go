@@ -116,19 +116,23 @@ func PlannerSpecs() []PlannerSpec { return baselines.DefaultRegistry().Specs() }
 // OptimizeAll's per-workflow fan-out does; Optimize never modifies its
 // input plan).
 type Session struct {
-	cluster     *Cluster
-	groups      Groups
-	seed        int64
-	plannerName string
-	parallelism int
-	observer    Observer
-	fraction    float64
-	baseOpts    Options
-	registry    *PlannerRegistry
+	cluster      *Cluster
+	groups       Groups
+	seed         int64
+	plannerName  string
+	parallelism  int
+	observer     Observer
+	fraction     float64
+	baseOpts     Options
+	registry     *PlannerRegistry
 	estCache     *EstimateCache
 	planStore    *PlanStore
 	reuseCatalog *ReuseCatalog
 	robustness   *whatif.RobustnessOptions
+	// dispatch, when set (WithCoordinator), routes submitted jobs to
+	// cluster workers instead of the local optimizer; ErrNoWorkers falls
+	// back to optimizing locally.
+	dispatch dispatchFunc
 	// incrementalSet/disableIncremental record WithIncrementalEstimation:
 	// tri-state so an unset option defers to WithOptimizerOptions.
 	incrementalSet     bool

@@ -286,9 +286,23 @@ func (s *Session) Submit(ctx context.Context, req OptimizeRequest) (*OptimizeHan
 		obs:      s.observer,
 	}
 	h.job = service.NewJobWithDeadline(h.id, req.deadline, func(ctx context.Context) (any, error) {
-		res, err := target.optimizeNamed(ctx, req.Workflow, name, seed, submitObserver{h})
-		if err != nil {
-			return nil, stubbyerr.From("optimize", wfName, err)
+		var res *Result
+		var err error
+		if target.dispatch != nil {
+			// Coordinator path: run the job on a cluster worker. Only the
+			// no-live-workers condition falls back to the local optimizer;
+			// any other dispatch failure is the job's real outcome (the
+			// coordinator already re-dispatched transient failures).
+			res, err = target.dispatchOptimize(ctx, req, name, seed)
+			if err != nil && !errors.Is(err, ErrNoWorkers) {
+				return nil, stubbyerr.From("optimize", wfName, err)
+			}
+		}
+		if res == nil {
+			res, err = target.optimizeNamed(ctx, req.Workflow, name, seed, submitObserver{h})
+			if err != nil {
+				return nil, stubbyerr.From("optimize", wfName, err)
+			}
 		}
 		if target.estCache != nil {
 			stats := target.estCache.Stats()
@@ -394,6 +408,7 @@ func (s *Session) deriveFor(req OptimizeRequest) (*Session, error) {
 		planStore:          s.planStore,
 		reuseCatalog:       s.reuseCatalog,
 		robustness:         s.robustness,
+		dispatch:           s.dispatch,
 		incrementalSet:     s.incrementalSet,
 		disableIncremental: s.disableIncremental,
 	}
